@@ -1,0 +1,74 @@
+//! Wall-clock decode throughput per detector × constellation × MIMO size.
+//!
+//! Supporting evidence for the paper's feasibility argument: PED counts
+//! are the architecture-neutral metric (Figs. 14–15), but wall-clock
+//! vectors/second show the same ordering on a real CPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geosphere_core::{
+    ethsd_decoder, geosphere_decoder, MimoDetector, MmseSicDetector, ZfDetector,
+};
+use gs_channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
+use gs_linalg::{Complex, Matrix};
+use gs_modulation::{Constellation, GridPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn instances(
+    c: Constellation,
+    na: usize,
+    nc: usize,
+    snr_db: f64,
+    n: usize,
+) -> Vec<(Matrix, Vec<Complex>)> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let sigma2 = noise_variance_for_snr_db(snr_db);
+    let pts = c.points();
+    (0..n)
+        .map(|_| {
+            let h = RayleighChannel::new(na, nc).sample_matrix(&mut rng).scale(c.scale());
+            let s: Vec<GridPoint> = (0..nc).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+            let mut y = geosphere_core::apply_channel(&h, &s);
+            for v in y.iter_mut() {
+                *v += sample_cn(&mut rng, sigma2);
+            }
+            (h, y)
+        })
+        .collect()
+}
+
+fn bench_decoders(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("decode_4x4_20dB");
+    for c in [Constellation::Qam16, Constellation::Qam64, Constellation::Qam256] {
+        let set = instances(c, 4, 4, 20.0, 64);
+        let detectors: Vec<(&str, Box<dyn MimoDetector>)> = vec![
+            ("geosphere", Box::new(geosphere_decoder())),
+            ("ethsd", Box::new(ethsd_decoder())),
+            ("zf", Box::new(ZfDetector)),
+            ("mmse-sic", Box::new(MmseSicDetector::new(0.01))),
+        ];
+        for (name, det) in detectors {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{c:?}")),
+                &set,
+                |b, set| {
+                    b.iter(|| {
+                        let mut acc = 0u64;
+                        for (h, y) in set {
+                            acc += det.detect(h, y, c).stats.visited_nodes.max(1);
+                        }
+                        acc
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decoders
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Substrate micro-benchmarks: QR decomposition, Viterbi decoding, FFT,
+//! and the geometric-channel realization — the fixed costs surrounding the
+//! sphere search in a real receiver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gs_channel::{ApArray, ChannelModel, GeometricChannel, Pos, RayleighChannel};
+use gs_coding::{conv, viterbi};
+use gs_linalg::{fft, qr_decompose, Complex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_qr(cr: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = cr.benchmark_group("qr");
+    for n in [2usize, 4, 8, 10] {
+        let h = RayleighChannel::new(n, n).sample_matrix(&mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| qr_decompose(h).r[(0, 0)])
+        });
+    }
+    group.finish();
+}
+
+fn bench_viterbi(cr: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let bits: Vec<bool> = (0..1024).map(|_| rng.gen_bool(0.5)).collect();
+    let coded = conv::encode(&bits);
+    cr.bench_function("viterbi_1024bits", |b| b.iter(|| viterbi::decode(&coded).len()));
+}
+
+fn bench_fft(cr: &mut Criterion) {
+    let data: Vec<Complex> =
+        (0..64).map(|k| Complex::new((k as f64).sin(), (k as f64).cos())).collect();
+    cr.bench_function("fft_64", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            fft(&mut d);
+            d[0]
+        })
+    });
+}
+
+fn bench_channel(cr: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let ap = ApArray::new(Pos::new(0.0, 0.0), 4, 0.0);
+    let clients = vec![
+        Pos::new(10.0, 3.0),
+        Pos::new(12.0, -2.0),
+        Pos::new(8.0, 6.0),
+        Pos::new(14.0, 1.0),
+    ];
+    let model = GeometricChannel::indoor_nlos(ap, clients);
+    cr.bench_function("geometric_channel_4x4_48sc", |b| {
+        b.iter(|| model.realize(&mut rng).subcarrier(0)[(0, 0)])
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_qr, bench_viterbi, bench_fft, bench_channel
+}
+criterion_main!(benches);

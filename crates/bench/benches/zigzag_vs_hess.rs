@@ -1,0 +1,61 @@
+//! Ablation: per-node enumeration cost, Geosphere 2-D zigzag vs the
+//! ETH-SD/Hess row scheme vs the naive full sort, as a function of
+//! constellation density and of how many children are actually needed.
+//!
+//! This isolates the §3.1.1 design choice: the zigzag's advantage is that
+//! a node expansion that only ever needs its first few children (the
+//! common case at reasonable SNR) never pays for the rest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geosphere_core::sphere::{
+    EnumeratorFactory, ExhaustiveSortFactory, GeosphereFactory, HessFactory, NodeEnumerator,
+};
+use geosphere_core::DetectorStats;
+use gs_linalg::Complex;
+use gs_modulation::Constellation;
+
+fn drain_k<F: EnumeratorFactory>(factory: &F, c: Constellation, k: usize) -> u64 {
+    let mut stats = DetectorStats::default();
+    // A spread of centers so the benches cover different slice geometries.
+    let centers = [
+        Complex::new(0.2, -0.6),
+        Complex::new(3.4, 2.9),
+        Complex::new(-1.1, 0.1),
+        Complex::new(7.7, -7.3),
+    ];
+    let mut acc = 0u64;
+    for &center in &centers {
+        let mut e = factory.make(c, center, 1.0, &mut stats);
+        for _ in 0..k {
+            if let Some(ch) = e.next_child(f64::INFINITY, &mut stats) {
+                acc = acc.wrapping_add(ch.point.i as u64);
+            }
+        }
+    }
+    acc + stats.ped_calcs
+}
+
+fn bench_enumeration(cr: &mut Criterion) {
+    for c in [Constellation::Qam16, Constellation::Qam64, Constellation::Qam256] {
+        let mut group = cr.benchmark_group(format!("enumerate_{c:?}"));
+        for &k in &[1usize, 4, 16] {
+            group.bench_with_input(BenchmarkId::new("geosphere_zigzag", k), &k, |b, &k| {
+                b.iter(|| drain_k(&GeosphereFactory::zigzag_only(), c, k))
+            });
+            group.bench_with_input(BenchmarkId::new("hess_rows", k), &k, |b, &k| {
+                b.iter(|| drain_k(&HessFactory, c, k))
+            });
+            group.bench_with_input(BenchmarkId::new("full_sort", k), &k, |b, &k| {
+                b.iter(|| drain_k(&ExhaustiveSortFactory, c, k))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_enumeration
+}
+criterion_main!(benches);

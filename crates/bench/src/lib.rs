@@ -1,0 +1,58 @@
+//! # gs-bench
+//!
+//! The benchmark harness of the Geosphere workspace. One binary per paper
+//! table/figure (run with `cargo run -p gs-bench --release --bin <name>`),
+//! plus Criterion micro-benchmarks for the decoders and substrates.
+//!
+//! Every binary accepts `--quick` (small smoke run) and `--full`
+//! (figure-fidelity run); the default sits in between.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gs_sim::ExperimentParams;
+
+/// Parses the common `--quick` / `--full` / `--seed N` flags.
+pub fn params_from_args() -> ExperimentParams {
+    let args: Vec<String> = std::env::args().collect();
+    let mut params = if args.iter().any(|a| a == "--quick") {
+        ExperimentParams::quick()
+    } else if args.iter().any(|a| a == "--full") {
+        ExperimentParams::full()
+    } else {
+        // Default: between quick and full — enough fidelity to see the
+        // paper's shapes in minutes.
+        ExperimentParams { seed: 2014, frames_per_point: 6, groups_per_point: 5, payload_bits: 1024 }
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            params.seed = v;
+        }
+    }
+    params
+}
+
+/// Reads an integer flag like `--clients 4`.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|p| args.get(p + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a float flag like `--target-fer 0.01`.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|p| args.get(p + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a rule line for table output.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}

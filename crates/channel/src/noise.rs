@@ -1,0 +1,118 @@
+//! Complex Gaussian noise and SNR bookkeeping.
+//!
+//! Conventions used across the workspace:
+//! - channel entries are normalized to unit average power (`E[|h|²] = 1`),
+//! - transmitted symbols have unit average energy (the constellation scale
+//!   factor is folded into the channel by the PHY),
+//! - so "average SNR per stream" (the paper's x-axis) is simply `1/σ²`,
+//!   with `σ²` the per-receive-antenna complex noise variance.
+
+use gs_linalg::Complex;
+use rand::Rng;
+
+/// Converts an SNR in decibels to the linear power ratio.
+#[inline]
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to decibels.
+#[inline]
+pub fn linear_to_db(linear: f64) -> f64 {
+    10.0 * linear.log10()
+}
+
+/// Noise variance `σ²` for a target per-stream SNR (dB) under the unit
+/// signal-power convention.
+#[inline]
+pub fn noise_variance_for_snr_db(snr_db: f64) -> f64 {
+    1.0 / db_to_linear(snr_db)
+}
+
+/// Samples a standard real Gaussian via Box–Muller.
+pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u in (0, 1] to avoid ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    let v: f64 = rng.gen();
+    (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos()
+}
+
+/// Samples a circularly-symmetric complex Gaussian `CN(0, variance)`
+/// (each real component has variance `variance/2`).
+pub fn sample_cn<R: Rng + ?Sized>(rng: &mut R, variance: f64) -> Complex {
+    let s = (variance / 2.0).sqrt();
+    Complex::new(sample_gaussian(rng) * s, sample_gaussian(rng) * s)
+}
+
+/// Samples an i.i.d. `CN(0, variance)` vector of length `n`.
+pub fn sample_cn_vector<R: Rng + ?Sized>(rng: &mut R, n: usize, variance: f64) -> Vec<Complex> {
+    (0..n).map(|_| sample_cn(rng, variance)).collect()
+}
+
+/// Adds `CN(0, variance)` noise to each element of `signal`.
+pub fn add_awgn<R: Rng + ?Sized>(rng: &mut R, signal: &[Complex], variance: f64) -> Vec<Complex> {
+    signal.iter().map(|&s| s + sample_cn(rng, variance)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn db_roundtrip() {
+        for &db in &[-10.0, 0.0, 3.0, 20.0, 25.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-12);
+        }
+        assert!((db_to_linear(10.0) - 10.0).abs() < 1e-12);
+        assert!((db_to_linear(20.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_variance_inverse_of_snr() {
+        assert!((noise_variance_for_snr_db(20.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_gaussian(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn cn_variance_split() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let n = 100_000;
+        let var_target = 0.25;
+        let mut e_total = 0.0;
+        let mut e_re = 0.0;
+        for _ in 0..n {
+            let z = sample_cn(&mut rng, var_target);
+            e_total += z.norm_sqr();
+            e_re += z.re * z.re;
+        }
+        e_total /= n as f64;
+        e_re /= n as f64;
+        assert!((e_total - var_target).abs() < 0.01, "total power {e_total}");
+        assert!((e_re - var_target / 2.0).abs() < 0.005, "real power {e_re}");
+    }
+
+    #[test]
+    fn awgn_preserves_length_and_perturbs() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let sig = vec![Complex::ONE; 16];
+        let noisy = add_awgn(&mut rng, &sig, 0.01);
+        assert_eq!(noisy.len(), 16);
+        assert!(noisy.iter().zip(&sig).any(|(a, b)| (*a - *b).abs() > 0.0));
+        // At 20 dB SNR, perturbations are small.
+        for (a, b) in noisy.iter().zip(&sig) {
+            assert!((*a - *b).abs() < 1.0);
+        }
+    }
+}

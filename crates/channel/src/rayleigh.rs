@@ -1,0 +1,174 @@
+//! i.i.d. Rayleigh fading channels.
+//!
+//! The paper's simulation channel (§5.2.1, §5.3.2): "a MIMO Rayleigh fading
+//! channel with independent, identically-distributed channel realizations
+//! sampled on a per-frame basis." Entries are `CN(0, 1)`, so the unit
+//! signal-power SNR convention of [`crate::noise`] applies directly.
+
+use crate::model::{taps_to_subcarriers, ChannelModel, MimoChannel};
+use crate::noise::sample_cn;
+use gs_linalg::{Complex, Matrix};
+use rand::Rng;
+
+/// Flat i.i.d. Rayleigh fading: every entry `CN(0, 1)`, one matrix for all
+/// subcarriers of a frame.
+#[derive(Clone, Copy, Debug)]
+pub struct RayleighChannel {
+    /// Receive antennas.
+    pub num_rx: usize,
+    /// Transmit streams.
+    pub num_tx: usize,
+}
+
+impl RayleighChannel {
+    /// Creates a flat Rayleigh model.
+    pub fn new(num_rx: usize, num_tx: usize) -> Self {
+        assert!(num_rx >= num_tx, "uplink MU-MIMO requires na >= nc");
+        RayleighChannel { num_rx, num_tx }
+    }
+
+    /// Samples a single `na × nc` matrix with CN(0,1) entries.
+    pub fn sample_matrix<R: Rng + ?Sized>(&self, rng: &mut R) -> Matrix {
+        Matrix::from_fn(self.num_rx, self.num_tx, |_, _| sample_cn(rng, 1.0))
+    }
+}
+
+impl ChannelModel for RayleighChannel {
+    fn realize<R: Rng + ?Sized>(&self, rng: &mut R) -> MimoChannel {
+        MimoChannel::flat(self.sample_matrix(rng))
+    }
+
+    fn num_rx(&self) -> usize {
+        self.num_rx
+    }
+
+    fn num_tx(&self) -> usize {
+        self.num_tx
+    }
+}
+
+/// Frequency-selective Rayleigh fading: each (rx, tx) pair has an
+/// exponentially-decaying tapped delay line with i.i.d. `CN` taps,
+/// normalized to unit total power, converted to per-subcarrier matrices.
+#[derive(Clone, Debug)]
+pub struct SelectiveRayleighChannel {
+    /// Receive antennas.
+    pub num_rx: usize,
+    /// Transmit streams.
+    pub num_tx: usize,
+    /// Number of delay taps (≥ 1).
+    pub num_taps: usize,
+    /// Per-tap power decay factor in (0, 1]; tap `k` has power ∝ decay^k.
+    pub decay: f64,
+    /// FFT size used to derive subcarrier responses.
+    pub n_fft: usize,
+    /// Number of subcarriers exposed.
+    pub n_subcarriers: usize,
+}
+
+impl SelectiveRayleighChannel {
+    /// A standard indoor profile: 4 taps, 0.5 decay, 64-point FFT, 48
+    /// data subcarriers (the 802.11 layout used throughout the paper).
+    pub fn indoor(num_rx: usize, num_tx: usize) -> Self {
+        SelectiveRayleighChannel {
+            num_rx,
+            num_tx,
+            num_taps: 4,
+            decay: 0.5,
+            n_fft: 64,
+            n_subcarriers: 48,
+        }
+    }
+
+    fn tap_powers(&self) -> Vec<f64> {
+        let raw: Vec<f64> = (0..self.num_taps).map(|k| self.decay.powi(k as i32)).collect();
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|p| p / total).collect()
+    }
+}
+
+impl ChannelModel for SelectiveRayleighChannel {
+    fn realize<R: Rng + ?Sized>(&self, rng: &mut R) -> MimoChannel {
+        let powers = self.tap_powers();
+        let taps: Vec<Vec<Vec<Complex>>> = (0..self.num_rx)
+            .map(|_| {
+                (0..self.num_tx)
+                    .map(|_| powers.iter().map(|&p| sample_cn(rng, p)).collect())
+                    .collect()
+            })
+            .collect();
+        taps_to_subcarriers(&taps, self.n_fft, self.n_subcarriers)
+    }
+
+    fn num_rx(&self) -> usize {
+        self.num_rx
+    }
+
+    fn num_tx(&self) -> usize {
+        self.num_tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flat_rayleigh_unit_power() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let model = RayleighChannel::new(4, 4);
+        let mut acc = 0.0;
+        let trials = 2000;
+        for _ in 0..trials {
+            acc += model.realize(&mut rng).average_entry_power();
+        }
+        let avg = acc / trials as f64;
+        assert!((avg - 1.0).abs() < 0.05, "average entry power {avg}");
+    }
+
+    #[test]
+    fn selective_rayleigh_unit_power() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let model = SelectiveRayleighChannel::indoor(2, 2);
+        let mut acc = 0.0;
+        let trials = 500;
+        for _ in 0..trials {
+            acc += model.realize(&mut rng).average_entry_power();
+        }
+        let avg = acc / trials as f64;
+        assert!((avg - 1.0).abs() < 0.05, "average entry power {avg}");
+    }
+
+    #[test]
+    fn selective_channel_has_48_subcarriers() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let ch = SelectiveRayleighChannel::indoor(4, 2).realize(&mut rng);
+        assert_eq!(ch.num_subcarriers(), 48);
+        assert_eq!(ch.num_rx(), 4);
+        assert_eq!(ch.num_tx(), 2);
+    }
+
+    #[test]
+    fn realizations_are_independent() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let model = RayleighChannel::new(2, 2);
+        let a = model.realize(&mut rng);
+        let b = model.realize(&mut rng);
+        assert!(a.subcarrier(0).max_abs_diff(b.subcarrier(0)) > 1e-6);
+    }
+
+    #[test]
+    fn tap_powers_normalized() {
+        let m = SelectiveRayleighChannel::indoor(2, 2);
+        let total: f64 = m.tap_powers().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "na >= nc")]
+    fn undetermined_panics() {
+        RayleighChannel::new(2, 4);
+    }
+}

@@ -1,0 +1,316 @@
+//! Emulated indoor office testbed (substitute for the paper's Fig. 8).
+//!
+//! The paper evaluates on a 15-node WARP testbed in an office: four-antenna
+//! APs, single-antenna clients, LOS and NLOS paths through walls and
+//! furniture. We reproduce the *setup* synthetically: a floorplan with
+//! client/AP positions and interior walls, per-link large-scale SNR from a
+//! log-distance model with wall losses, and small-scale fading from the
+//! [`GeometricChannel`] ray model — whose scatterer clusters sit near the
+//! clients only, the exact geometry that produces the paper's
+//! poorly-conditioned channels.
+
+use crate::geometric::{ApArray, GeometricChannel, Pos};
+use crate::metrics::{kappa_sqr_db, lambda_max_db, Cdf};
+use crate::model::ChannelModel;
+use rand::Rng;
+
+/// An interior wall segment with a crossing loss.
+#[derive(Clone, Copy, Debug)]
+pub struct Wall {
+    /// One endpoint.
+    pub a: Pos,
+    /// Other endpoint.
+    pub b: Pos,
+    /// Attenuation per crossing (dB).
+    pub loss_db: f64,
+}
+
+/// Proper segment–segment intersection test.
+fn segments_intersect(p1: Pos, p2: Pos, p3: Pos, p4: Pos) -> bool {
+    fn orient(a: Pos, b: Pos, c: Pos) -> f64 {
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    }
+    let d1 = orient(p3, p4, p1);
+    let d2 = orient(p3, p4, p2);
+    let d3 = orient(p1, p2, p3);
+    let d4 = orient(p1, p2, p4);
+    (d1 * d2 < 0.0) && (d3 * d4 < 0.0)
+}
+
+/// The emulated office testbed.
+#[derive(Clone, Debug)]
+pub struct Testbed {
+    /// AP array positions (orientation included).
+    pub aps: Vec<ApArray>,
+    /// Client positions.
+    pub clients: Vec<Pos>,
+    /// Interior walls.
+    pub walls: Vec<Wall>,
+    /// Transmit power budget folded into the link budget (dB): sets the
+    /// SNR scale so links land in the paper's 10–30 dB range.
+    pub tx_power_db: f64,
+    /// Path loss exponent for the log-distance model.
+    pub path_loss_exp: f64,
+    /// Scatterer cluster radius handed to the ray model (m).
+    pub cluster_radius: f64,
+    /// Scatterers per client cluster.
+    pub scatterers_per_client: usize,
+}
+
+impl Testbed {
+    /// The default office: a 30 m × 14 m floor with four AP positions,
+    /// fifteen client positions, and five interior walls — mirroring the
+    /// density of the paper's Figure 8 floor plan.
+    pub fn office() -> Self {
+        let aps = vec![
+            ApArray::new(Pos::new(4.0, 11.0), 4, 0.3),
+            ApArray::new(Pos::new(15.0, 12.0), 4, -0.2),
+            ApArray::new(Pos::new(25.0, 11.0), 4, 0.1),
+            ApArray::new(Pos::new(14.0, 2.5), 4, 1.4),
+        ];
+        let clients = vec![
+            Pos::new(2.0, 2.0),
+            Pos::new(5.5, 4.5),
+            Pos::new(8.0, 9.0),
+            Pos::new(9.5, 3.0),
+            Pos::new(12.0, 7.5),
+            Pos::new(13.5, 10.5),
+            Pos::new(16.0, 5.0),
+            Pos::new(18.5, 9.5),
+            Pos::new(20.0, 3.5),
+            Pos::new(22.5, 7.0),
+            Pos::new(24.0, 12.5),
+            Pos::new(26.5, 4.0),
+            Pos::new(28.0, 9.0),
+            Pos::new(10.5, 12.5),
+            Pos::new(6.5, 7.0),
+        ];
+        let walls = vec![
+            Wall { a: Pos::new(7.0, 0.0), b: Pos::new(7.0, 8.0), loss_db: 5.0 },
+            Wall { a: Pos::new(14.0, 6.0), b: Pos::new(14.0, 14.0), loss_db: 5.0 },
+            Wall { a: Pos::new(21.0, 0.0), b: Pos::new(21.0, 8.0), loss_db: 5.0 },
+            Wall { a: Pos::new(0.0, 6.0), b: Pos::new(5.0, 6.0), loss_db: 4.0 },
+            Wall { a: Pos::new(24.0, 6.0), b: Pos::new(30.0, 6.0), loss_db: 4.0 },
+        ];
+        Testbed {
+            aps,
+            clients,
+            walls,
+            tx_power_db: 46.0,
+            path_loss_exp: 3.0,
+            cluster_radius: 0.6,
+            scatterers_per_client: 5,
+        }
+    }
+
+    /// Large-scale SNR (dB) of the link from client `c` to AP `a`:
+    /// log-distance path loss plus wall-crossing losses.
+    pub fn link_snr_db(&self, ap: usize, client: usize) -> f64 {
+        let ap_pos = self.aps[ap].center;
+        let cl = self.clients[client];
+        let d = ap_pos.dist(cl).max(1.0);
+        let mut snr = self.tx_power_db - 10.0 * self.path_loss_exp * d.log10();
+        for w in &self.walls {
+            if segments_intersect(ap_pos, cl, w.a, w.b) {
+                snr -= w.loss_db;
+            }
+        }
+        snr
+    }
+
+    /// Builds the ray-model channel for a set of clients talking to one AP
+    /// truncated to `na` antennas.
+    ///
+    /// # Panics
+    /// Panics when `na` exceeds the AP's array size or a client index is
+    /// out of range.
+    pub fn channel(&self, ap: usize, client_indices: &[usize], na: usize) -> GeometricChannel {
+        let mut array = self.aps[ap].clone();
+        assert!(na <= array.num_antennas, "AP {ap} has only {} antennas", array.num_antennas);
+        array.num_antennas = na;
+        let clients: Vec<Pos> = client_indices.iter().map(|&c| self.clients[c]).collect();
+        GeometricChannel {
+            cluster_radius: self.cluster_radius,
+            scatterers_per_client: self.scatterers_per_client,
+            ..GeometricChannel::indoor_nlos(array, clients)
+        }
+    }
+
+    /// Enumerates every distinct combination of `n` client positions.
+    pub fn client_subsets(&self, n: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let total = self.clients.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        if n == 0 || n > total {
+            return out;
+        }
+        loop {
+            out.push(idx.clone());
+            // Advance combination.
+            let mut i = n;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if idx[i] != i + total - n {
+                    break;
+                }
+                if i == 0 {
+                    return out;
+                }
+            }
+            idx[i] += 1;
+            for j in i + 1..n {
+                idx[j] = idx[j - 1] + 1;
+            }
+        }
+    }
+
+    /// Measures the κ² (dB) distribution across links and subcarriers for
+    /// an `n_clients × na` configuration (the data behind Fig. 9).
+    ///
+    /// `max_links` bounds how many client subsets are sampled (they are
+    /// taken in enumeration order, matching a fixed measurement campaign).
+    pub fn kappa_cdf<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n_clients: usize,
+        na: usize,
+        max_links: usize,
+    ) -> Cdf {
+        self.metric_cdf(rng, n_clients, na, max_links, kappa_sqr_db)
+    }
+
+    /// Measures the Λ (dB) distribution across links and subcarriers (the
+    /// data behind Fig. 10).
+    pub fn lambda_cdf<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n_clients: usize,
+        na: usize,
+        max_links: usize,
+    ) -> Cdf {
+        self.metric_cdf(rng, n_clients, na, max_links, lambda_max_db)
+    }
+
+    fn metric_cdf<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n_clients: usize,
+        na: usize,
+        max_links: usize,
+        metric: impl Fn(&gs_linalg::Matrix) -> f64,
+    ) -> Cdf {
+        let mut samples = Vec::new();
+        let subsets = self.client_subsets(n_clients);
+        let stride = (subsets.len() / max_links.max(1)).max(1);
+        for (ap, subset) in subsets
+            .iter()
+            .step_by(stride)
+            .take(max_links)
+            .enumerate()
+            .map(|(k, s)| (k % self.aps.len(), s))
+        {
+            let ch = self.channel(ap, subset, na).realize(rng);
+            // Sample a spread of subcarriers, as the paper measures
+            // "across all OFDM subcarriers".
+            for k in (0..ch.num_subcarriers()).step_by(4) {
+                samples.push(metric(ch.subcarrier(k)));
+            }
+        }
+        Cdf::new(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn office_dimensions() {
+        let tb = Testbed::office();
+        assert_eq!(tb.aps.len(), 4);
+        assert_eq!(tb.clients.len(), 15);
+        assert!(!tb.walls.is_empty());
+    }
+
+    #[test]
+    fn snr_decreases_with_distance() {
+        let tb = Testbed::office();
+        // Client 2 (8.0, 9.0) is much closer to AP 0 (4,11) than client 12 (28,9).
+        assert!(tb.link_snr_db(0, 2) > tb.link_snr_db(0, 12));
+    }
+
+    #[test]
+    fn snrs_in_plausible_band() {
+        let tb = Testbed::office();
+        for a in 0..tb.aps.len() {
+            for c in 0..tb.clients.len() {
+                let snr = tb.link_snr_db(a, c);
+                // Weak cross-office links (below ~10 dB) are realistic and
+                // simply never selected by the SNR-band user selection.
+                assert!((-8.0..48.0).contains(&snr), "AP {a} client {c}: {snr} dB");
+            }
+        }
+    }
+
+    #[test]
+    fn wall_crossing_detected() {
+        // A link crossing the x=7 wall loses 5 dB relative to the same
+        // geometry without the wall.
+        let mut tb = Testbed::office();
+        let with_wall = tb.link_snr_db(0, 3); // AP0 (4,11) to client (9.5,3) crosses x=7 wall?
+        tb.walls.clear();
+        let without_wall = tb.link_snr_db(0, 3);
+        assert!(without_wall >= with_wall);
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        let o = Pos::new(0.0, 0.0);
+        assert!(segments_intersect(o, Pos::new(2.0, 2.0), Pos::new(0.0, 2.0), Pos::new(2.0, 0.0)));
+        assert!(!segments_intersect(o, Pos::new(1.0, 0.0), Pos::new(0.0, 1.0), Pos::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn client_subsets_counts() {
+        let tb = Testbed::office();
+        assert_eq!(tb.client_subsets(1).len(), 15);
+        assert_eq!(tb.client_subsets(2).len(), 105); // C(15,2)
+        assert_eq!(tb.client_subsets(4).len(), 1365); // C(15,4)
+        // Each subset is strictly increasing.
+        for s in tb.client_subsets(3) {
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn four_by_four_worse_conditioned_than_two_by_two() {
+        // The paper's core measurement: conditioning degrades sharply with
+        // more concurrent streams (Fig. 9/10).
+        let mut rng = StdRng::seed_from_u64(101);
+        let tb = Testbed::office();
+        let cdf2 = tb.lambda_cdf(&mut rng, 2, 2, 40);
+        let cdf4 = tb.lambda_cdf(&mut rng, 4, 4, 40);
+        let med2 = cdf2.quantile(0.5);
+        let med4 = cdf4.quantile(0.5);
+        assert!(
+            med4 > med2,
+            "4x4 should be worse conditioned: median Λ {med4:.1} dB vs {med2:.1} dB"
+        );
+    }
+
+    #[test]
+    fn more_rx_antennas_improve_conditioning() {
+        // Fig. 10's "2 clients × 4 AP antennas" curve is far better than
+        // 2 × 2: extra receive diversity helps.
+        let mut rng = StdRng::seed_from_u64(102);
+        let tb = Testbed::office();
+        let cdf22 = tb.lambda_cdf(&mut rng, 2, 2, 40);
+        let cdf24 = tb.lambda_cdf(&mut rng, 2, 4, 40);
+        assert!(cdf24.quantile(0.9) < cdf22.quantile(0.9));
+    }
+}

@@ -1,0 +1,45 @@
+//! # gs-coding
+//!
+//! Link-layer coding substrate for the Geosphere workspace, mirroring the
+//! 802.11 transmit pipeline the paper's implementation uses (§4): a K=7
+//! rate-1/2 convolutional code (with standard puncturing to 2/3 and 3/4),
+//! hard-decision Viterbi decoding with erasure support, the two-permutation
+//! block interleaver, the 7-bit LFSR scrambler, and a CRC-32 frame check.
+//!
+//! ```
+//! use gs_coding::{conv, viterbi};
+//!
+//! let info = vec![true, false, true, true, false];
+//! let coded = conv::encode(&info);
+//! assert_eq!(viterbi::decode(&coded), info);
+//! ```
+
+#![forbid(unsafe_code)]
+// Trellis/detector inner loops index several arrays by the same state or
+// stream variable; iterator rewrites obscure the recurrences.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod bcjr;
+pub mod conv;
+pub mod crc;
+pub mod interleave;
+pub mod puncture;
+pub mod scramble;
+pub mod viterbi;
+
+pub use bcjr::{siso_decode, SisoOutput};
+pub use crc::{append_crc, check_crc, crc32, pack_bits, unpack_bits};
+pub use interleave::Interleaver;
+pub use puncture::{depuncture, depuncture_soft, puncture, CodeRate};
+pub use scramble::Scrambler;
+pub use viterbi::CodedBit;
+
+/// Box–Muller Gaussian used only by in-crate tests (kept here so the crate
+/// stays dependency-free outside dev builds).
+#[cfg(test)]
+pub(crate) fn tests_helper_gaussian<R: rand::Rng>(rng: &mut R) -> f64 {
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    let v: f64 = rng.gen();
+    (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos()
+}

@@ -1,0 +1,331 @@
+//! Viterbi decoding for the K=7 rate-1/2 code.
+//!
+//! Hard-decision decoding over Hamming metrics plus an erasure-aware variant
+//! used after depuncturing. The trellis is the 64-state one defined in
+//! [`crate::conv`]; decoding assumes the encoder appended the 6 zero tail
+//! bits (terminated trellis).
+
+use crate::conv::{branch_output, next_state, CONSTRAINT, NUM_STATES};
+
+/// A received coded bit: a hard decision or an erasure (from depuncturing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodedBit {
+    /// Received as 0.
+    Zero,
+    /// Received as 1.
+    One,
+    /// Punctured away at the transmitter; contributes no metric.
+    Erased,
+}
+
+impl CodedBit {
+    /// Converts a plain bool.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            CodedBit::One
+        } else {
+            CodedBit::Zero
+        }
+    }
+
+    /// Hamming cost of hypothesizing transmitted bit `tx`.
+    #[inline]
+    fn cost(self, tx: bool) -> u32 {
+        match self {
+            CodedBit::Erased => 0,
+            CodedBit::Zero => tx as u32,
+            CodedBit::One => !tx as u32,
+        }
+    }
+}
+
+/// Decodes a terminated, rate-1/2 coded stream of hard bits.
+///
+/// `coded.len()` must be even and at least `2·(K−1)`; returns the
+/// `coded.len()/2 − 6` information bits.
+pub fn decode(coded: &[bool]) -> Vec<bool> {
+    let symbols: Vec<CodedBit> = coded.iter().map(|&b| CodedBit::from_bool(b)).collect();
+    decode_with_erasures(&symbols)
+}
+
+/// Decodes a terminated, rate-1/2 coded stream that may contain erasures.
+///
+/// # Panics
+/// Panics when the stream length is odd or shorter than the tail.
+pub fn decode_with_erasures(coded: &[CodedBit]) -> Vec<bool> {
+    assert_eq!(coded.len() % 2, 0, "rate-1/2 stream must have even length");
+    let steps = coded.len() / 2;
+    assert!(steps >= CONSTRAINT - 1, "stream shorter than the termination tail");
+
+    const INF: u32 = u32::MAX / 2;
+    let mut metric = vec![INF; NUM_STATES];
+    metric[0] = 0;
+    // survivors[t][state] = predecessor input bit packed with predecessor
+    // state: bit 7 = input, low 6 bits = previous state.
+    let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(steps);
+
+    let mut next = vec![INF; NUM_STATES];
+    for t in 0..steps {
+        let rx0 = coded[2 * t];
+        let rx1 = coded[2 * t + 1];
+        next.iter_mut().for_each(|m| *m = INF);
+        let mut surv = vec![0u8; NUM_STATES];
+        for state in 0..NUM_STATES {
+            let m = metric[state];
+            if m >= INF {
+                continue;
+            }
+            for input in [false, true] {
+                let (o0, o1) = branch_output(state, input);
+                let cost = m + rx0.cost(o0) + rx1.cost(o1);
+                let ns = next_state(state, input);
+                if cost < next[ns] {
+                    next[ns] = cost;
+                    surv[ns] = ((input as u8) << 7) | state as u8;
+                }
+            }
+        }
+        std::mem::swap(&mut metric, &mut next);
+        survivors.push(surv);
+    }
+
+    // Terminated trellis: trace back from state 0.
+    let mut state = 0usize;
+    let mut bits_rev = Vec::with_capacity(steps);
+    for t in (0..steps).rev() {
+        let s = survivors[t][state];
+        bits_rev.push(s & 0x80 != 0);
+        state = (s & 0x3f) as usize;
+    }
+    bits_rev.reverse();
+    bits_rev.truncate(steps - (CONSTRAINT - 1)); // drop tail bits
+    bits_rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::encode;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(rng: &mut StdRng, n: usize) -> Vec<bool> {
+        (0..n).map(|_| rng.gen_bool(0.5)).collect()
+    }
+
+    #[test]
+    fn noiseless_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for len in [1usize, 2, 7, 50, 333] {
+            let bits = random_bits(&mut rng, len);
+            let coded = encode(&bits);
+            assert_eq!(decode(&coded), bits, "len {len}");
+        }
+    }
+
+    #[test]
+    fn corrects_isolated_bit_errors() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let bits = random_bits(&mut rng, 120);
+        let mut coded = encode(&bits);
+        // Flip well-separated bits: free distance 10 means isolated single
+        // errors are always correctable.
+        for pos in [5usize, 60, 130, 200] {
+            coded[pos] = !coded[pos];
+        }
+        assert_eq!(decode(&coded), bits);
+    }
+
+    #[test]
+    fn corrects_short_burst() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let bits = random_bits(&mut rng, 200);
+        let mut coded = encode(&bits);
+        // A 2-bit burst within one trellis step (still within d_free/2).
+        coded[100] = !coded[100];
+        coded[101] = !coded[101];
+        assert_eq!(decode(&coded), bits);
+    }
+
+    #[test]
+    fn handles_erasures() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let bits = random_bits(&mut rng, 100);
+        let coded = encode(&bits);
+        let mut symbols: Vec<CodedBit> = coded.iter().map(|&b| CodedBit::from_bool(b)).collect();
+        // Erase every 6th symbol (a 1/6 erasure rate is far below capacity
+        // for this code).
+        for k in (0..symbols.len()).step_by(6) {
+            symbols[k] = CodedBit::Erased;
+        }
+        assert_eq!(decode_with_erasures(&symbols), bits);
+    }
+
+    #[test]
+    fn high_noise_fails_gracefully() {
+        // Under 30% BER the decoder cannot win, but it must return the right
+        // number of bits without panicking.
+        let mut rng = StdRng::seed_from_u64(45);
+        let bits = random_bits(&mut rng, 64);
+        let mut coded = encode(&bits);
+        for b in coded.iter_mut() {
+            if rng.gen_bool(0.3) {
+                *b = !*b;
+            }
+        }
+        assert_eq!(decode(&coded).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_length_panics() {
+        decode(&[true; 15]);
+    }
+}
+
+/// Decodes a terminated rate-1/2 stream from per-bit log-likelihood
+/// ratios (positive = bit 0 more likely, e.g. from a soft MIMO detector).
+/// Punctured positions should carry LLR `0.0` (no information).
+///
+/// The branch metric for hypothesizing transmitted bit `b` against LLR `L`
+/// is `|L|` when the hypothesis contradicts the LLR's hard decision and
+/// `0` otherwise — the max-log-optimal soft Viterbi metric.
+///
+/// # Panics
+/// Panics when the stream length is odd or shorter than the tail.
+pub fn decode_soft(llrs: &[f64]) -> Vec<bool> {
+    assert_eq!(llrs.len() % 2, 0, "rate-1/2 stream must have even length");
+    let steps = llrs.len() / 2;
+    assert!(steps >= CONSTRAINT - 1, "stream shorter than the termination tail");
+
+    #[inline]
+    fn cost(llr: f64, tx: bool) -> f64 {
+        // Positive LLR favours bit 0: penalize a `1` hypothesis by +L, a
+        // `0` hypothesis by −L when L is negative.
+        if tx {
+            llr.max(0.0)
+        } else {
+            (-llr).max(0.0)
+        }
+    }
+
+    const INF: f64 = f64::INFINITY;
+    let mut metric = vec![INF; NUM_STATES];
+    metric[0] = 0.0;
+    let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(steps);
+    let mut next = vec![INF; NUM_STATES];
+
+    for t in 0..steps {
+        let l0 = llrs[2 * t];
+        let l1 = llrs[2 * t + 1];
+        next.iter_mut().for_each(|m| *m = INF);
+        let mut surv = vec![0u8; NUM_STATES];
+        for state in 0..NUM_STATES {
+            let m = metric[state];
+            if !m.is_finite() {
+                continue;
+            }
+            for input in [false, true] {
+                let (o0, o1) = branch_output(state, input);
+                let c = m + cost(l0, o0) + cost(l1, o1);
+                let ns = next_state(state, input);
+                if c < next[ns] {
+                    next[ns] = c;
+                    surv[ns] = ((input as u8) << 7) | state as u8;
+                }
+            }
+        }
+        std::mem::swap(&mut metric, &mut next);
+        survivors.push(surv);
+    }
+
+    let mut state = 0usize;
+    let mut bits_rev = Vec::with_capacity(steps);
+    for t in (0..steps).rev() {
+        let s = survivors[t][state];
+        bits_rev.push(s & 0x80 != 0);
+        state = (s & 0x3f) as usize;
+    }
+    bits_rev.reverse();
+    bits_rev.truncate(steps - (CONSTRAINT - 1));
+    bits_rev
+}
+
+#[cfg(test)]
+mod soft_tests {
+    use super::*;
+    use crate::conv::encode;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn to_llrs(coded: &[bool], confidence: f64) -> Vec<f64> {
+        coded.iter().map(|&b| if b { -confidence } else { confidence }).collect()
+    }
+
+    #[test]
+    fn soft_matches_hard_on_clean_input() {
+        let mut rng = StdRng::seed_from_u64(401);
+        let bits: Vec<bool> = (0..150).map(|_| rng.gen_bool(0.5)).collect();
+        let coded = encode(&bits);
+        assert_eq!(decode_soft(&to_llrs(&coded, 4.0)), bits);
+    }
+
+    #[test]
+    fn soft_uses_reliability_to_beat_hard() {
+        // Two coded bits are wrong, but their LLRs are weak while the
+        // correct bits are strong — soft decoding must recover where a
+        // hard decoder sees genuine errors.
+        let mut rng = StdRng::seed_from_u64(402);
+        let bits: Vec<bool> = (0..80).map(|_| rng.gen_bool(0.5)).collect();
+        let coded = encode(&bits);
+        let mut llrs = to_llrs(&coded, 5.0);
+        // Flip the sign of a burst of bits but with tiny magnitude.
+        for k in 40..46 {
+            llrs[k] = -llrs[k].signum() * 0.1;
+        }
+        assert_eq!(decode_soft(&llrs), bits);
+    }
+
+    #[test]
+    fn zero_llrs_are_erasures() {
+        let mut rng = StdRng::seed_from_u64(403);
+        let bits: Vec<bool> = (0..100).map(|_| rng.gen_bool(0.5)).collect();
+        let coded = encode(&bits);
+        let mut llrs = to_llrs(&coded, 3.0);
+        for k in (0..llrs.len()).step_by(6) {
+            llrs[k] = 0.0;
+        }
+        assert_eq!(decode_soft(&llrs), bits);
+    }
+
+    #[test]
+    fn gaussian_channel_soft_beats_hard() {
+        // BPSK over AWGN at an SNR where hard decisions fail often: soft
+        // decoding must deliver strictly fewer bit errors over many frames.
+        let mut rng = StdRng::seed_from_u64(404);
+        let mut hard_errs = 0usize;
+        let mut soft_errs = 0usize;
+        let sigma = 0.9;
+        for _ in 0..60 {
+            let bits: Vec<bool> = (0..120).map(|_| rng.gen_bool(0.5)).collect();
+            let coded = encode(&bits);
+            // BPSK: 0 -> +1, 1 -> -1, AWGN, LLR = 2r/sigma^2.
+            let llrs: Vec<f64> = coded
+                .iter()
+                .map(|&b| {
+                    let tx = if b { -1.0 } else { 1.0 };
+                    let r = tx + sigma * crate::tests_helper_gaussian(&mut rng);
+                    2.0 * r / (sigma * sigma)
+                })
+                .collect();
+            let hard: Vec<bool> = llrs.iter().map(|&l| l < 0.0).collect();
+            hard_errs += decode(&hard).iter().zip(&bits).filter(|(a, b)| a != b).count();
+            soft_errs += decode_soft(&llrs).iter().zip(&bits).filter(|(a, b)| a != b).count();
+        }
+        assert!(
+            soft_errs < hard_errs,
+            "soft ({soft_errs}) must beat hard ({hard_errs}) on AWGN"
+        );
+    }
+}

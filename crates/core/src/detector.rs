@@ -1,0 +1,78 @@
+//! The common MIMO detection interface.
+//!
+//! A detector receives the **grid-domain** channel (the physical channel
+//! with the constellation's power normalization folded in) and the received
+//! vector, and returns hard symbol decisions on the odd-integer grid plus
+//! operation counts. All decoders in this crate — linear, SIC, sphere,
+//! K-best — implement this one trait, which is what lets the evaluation
+//! harness sweep them uniformly.
+
+use crate::stats::DetectorStats;
+use gs_linalg::{Complex, Matrix};
+use gs_modulation::{Constellation, GridPoint};
+
+/// The result of detecting one received vector.
+#[derive(Clone, Debug)]
+pub struct Detection {
+    /// Hard symbol decisions, one per transmit stream, grid domain.
+    pub symbols: Vec<GridPoint>,
+    /// Operation counts for this detection.
+    pub stats: DetectorStats,
+}
+
+/// A hard-output MIMO detector.
+pub trait MimoDetector {
+    /// Detects the transmitted symbol vector.
+    ///
+    /// * `h` — grid-domain channel (`na × nc`): `y = h·s + w` with `s`
+    ///   entries on the odd-integer constellation grid.
+    /// * `y` — received vector (`na` entries).
+    /// * `c` — the constellation every stream uses.
+    fn detect(&self, h: &Matrix, y: &[Complex], c: Constellation) -> Detection;
+
+    /// A short display name ("ZF", "Geosphere", "ETH-SD", …).
+    fn name(&self) -> &'static str;
+}
+
+/// Computes `y = h·s + noise`-free transmit hypothesis `h·s` for a grid
+/// symbol vector — shared by the exhaustive detector and the tests.
+pub fn apply_channel(h: &Matrix, s: &[GridPoint]) -> Vec<Complex> {
+    let sv: Vec<Complex> = s.iter().map(|p| p.to_complex()).collect();
+    h.mul_vec(&sv)
+}
+
+/// Squared residual `‖y − h·s‖²` of a hypothesis.
+pub fn residual_norm_sqr(h: &Matrix, y: &[Complex], s: &[GridPoint]) -> f64 {
+    gs_linalg::vec_dist_sqr(y, &apply_channel(h, s))
+}
+
+/// Slices each entry of a filtered estimate to the nearest grid point —
+/// the decision step of every linear detector.
+pub fn slice_vector(estimate: &[Complex], c: Constellation, stats: &mut DetectorStats) -> Vec<GridPoint> {
+    stats.slices += estimate.len() as u64;
+    estimate.iter().map(|&z| c.slice(z)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_channel_identity() {
+        let h = Matrix::identity(2);
+        let s = vec![GridPoint { i: 1, q: -3 }, GridPoint { i: -1, q: 1 }];
+        let y = apply_channel(&h, &s);
+        assert!((y[0] - Complex::new(1.0, -3.0)).abs() < 1e-12);
+        assert!((y[1] - Complex::new(-1.0, 1.0)).abs() < 1e-12);
+        assert!(residual_norm_sqr(&h, &y, &s) < 1e-12);
+    }
+
+    #[test]
+    fn slice_vector_counts() {
+        let mut stats = DetectorStats::default();
+        let est = vec![Complex::new(0.8, -2.6), Complex::new(-4.0, 4.0)];
+        let out = slice_vector(&est, Constellation::Qam16, &mut stats);
+        assert_eq!(out, vec![GridPoint { i: 1, q: -3 }, GridPoint { i: -3, q: 3 }]);
+        assert_eq!(stats.slices, 2);
+    }
+}

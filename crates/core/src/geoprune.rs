@@ -1,0 +1,117 @@
+//! Geometrical pruning lower bounds (paper §3.2, Eq. 9).
+//!
+//! A received symbol `ỹ` lies within ±1 (half the grid spacing) of its
+//! sliced constellation point on each axis. A candidate point offset from
+//! the slice by `dI` grid steps horizontally and `dQ` vertically therefore
+//! satisfies
+//!
+//! ```text
+//! |ỹ − s|² ≥ max(0, 2·dI − 1)² + max(0, 2·dQ − 1)²
+//! ```
+//!
+//! The per-axis terms come from a tiny lookup table "indexed on |dI| and
+//! |dQ|" — no multiplications at all. Because the bound never exceeds the
+//! exact cost, pruning on it cannot exclude the maximum-likelihood
+//! solution; because it is monotone in each offset, a bound violation also
+//! terminates the enumeration direction that produced it.
+
+/// Largest per-axis offset we ever see: 256-QAM has 16 levels per axis,
+/// so offsets range 0..=15.
+pub const MAX_OFFSET: usize = 16;
+
+/// Per-axis squared bound terms `max(0, 2d−1)²` for `d = 0..=16`.
+const AXIS_TERM: [f64; MAX_OFFSET + 1] = {
+    let mut t = [0.0; MAX_OFFSET + 1];
+    let mut d = 0;
+    while d <= MAX_OFFSET {
+        if d > 0 {
+            let v = (2 * d - 1) as f64;
+            t[d] = v * v;
+        }
+        d += 1;
+    }
+    t
+};
+
+/// Lower bound on `|ỹ − s|²` for a candidate at `(dI, dQ)` grid steps from
+/// the sliced point (grid spacing 2).
+///
+/// # Panics
+/// Debug-panics when an offset exceeds [`MAX_OFFSET`].
+#[inline]
+pub fn distance_lower_bound(d_i: usize, d_q: usize) -> f64 {
+    debug_assert!(d_i <= MAX_OFFSET && d_q <= MAX_OFFSET);
+    AXIS_TERM[d_i] + AXIS_TERM[d_q]
+}
+
+/// Grid-step offset between two axis coordinates (both odd integers).
+#[inline]
+pub fn axis_offset(a: i32, b: i32) -> usize {
+    ((a - b).abs() / 2) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_linalg::Complex;
+    use gs_modulation::Constellation;
+
+    #[test]
+    fn zero_offset_zero_bound() {
+        assert_eq!(distance_lower_bound(0, 0), 0.0);
+        assert_eq!(distance_lower_bound(0, 1), 1.0);
+        assert_eq!(distance_lower_bound(1, 0), 1.0);
+        assert_eq!(distance_lower_bound(2, 2), 18.0); // 3² + 3²
+    }
+
+    #[test]
+    fn figure7_example() {
+        // Figure 7: dI = dQ = 2 ⇒ bound = (2·2−1)² + (2·2−1)² = 18, i.e.
+        // √((2dI−1)² + (2dQ−1)²) as the paper's Eq. 9 distance.
+        assert!((distance_lower_bound(2, 2).sqrt() - (9.0f64 + 9.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_never_exceeds_exact_distance() {
+        // Exhaustive check across every constellation, many received points.
+        for c in Constellation::ALL {
+            let pts = c.points();
+            for &(re, im) in &[
+                (0.0, 0.0),
+                (0.99, -0.99),
+                (-2.3, 4.1),
+                (7.8, -7.8),
+                (15.9, 15.9),
+                (-0.01, 0.01),
+            ] {
+                let y = Complex::new(re, im);
+                let slice = c.slice(y);
+                for p in &pts {
+                    let bound =
+                        distance_lower_bound(axis_offset(p.i, slice.i), axis_offset(p.q, slice.q));
+                    let exact = p.dist_sqr(y);
+                    assert!(
+                        bound <= exact + 1e-9,
+                        "{c:?}: bound {bound} > exact {exact} for p={p:?}, y={y:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_monotone_in_each_offset() {
+        for d in 0..MAX_OFFSET {
+            assert!(distance_lower_bound(d, 0) <= distance_lower_bound(d + 1, 0));
+            assert!(distance_lower_bound(0, d) <= distance_lower_bound(0, d + 1));
+        }
+    }
+
+    #[test]
+    fn axis_offset_steps() {
+        assert_eq!(axis_offset(1, 1), 0);
+        assert_eq!(axis_offset(3, 1), 1);
+        assert_eq!(axis_offset(-3, 3), 3);
+        assert_eq!(axis_offset(15, -15), 15);
+    }
+}

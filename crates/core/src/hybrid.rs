@@ -1,0 +1,106 @@
+//! Condition-number-threshold hybrid detection (related work, §6.1).
+//!
+//! Maurer et al. propose "a system that switches between zero-forcing and
+//! maximum-likelihood decoding via a threshold test on the channel
+//! condition number". The paper argues Geosphere makes this design
+//! unnecessary — its complexity *self-adjusts* to channel conditioning
+//! ("complexity at high SNR is actually very small, obviating the need for
+//! a hybrid system") — and flags that Maurer gives no way to choose the
+//! threshold. This implementation exists to let the benches make that
+//! argument quantitatively.
+
+use crate::detector::{Detection, MimoDetector};
+use crate::linear::ZfDetector;
+use crate::sphere::{GeosphereFactory, SphereDecoder};
+use gs_linalg::{condition_number_sqr_db, Complex, Matrix};
+use gs_modulation::Constellation;
+
+/// ZF below a κ² threshold, Geosphere above it.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridDetector {
+    /// Switching threshold on κ²(H) in dB.
+    pub kappa_sqr_threshold_db: f64,
+}
+
+impl HybridDetector {
+    /// Creates a hybrid with the given κ² (dB) switching threshold.
+    pub fn new(kappa_sqr_threshold_db: f64) -> Self {
+        HybridDetector { kappa_sqr_threshold_db }
+    }
+}
+
+impl MimoDetector for HybridDetector {
+    fn detect(&self, h: &Matrix, y: &[Complex], c: Constellation) -> Detection {
+        if condition_number_sqr_db(h) <= self.kappa_sqr_threshold_db {
+            ZfDetector.detect(h, y, c)
+        } else {
+            SphereDecoder::new(GeosphereFactory::full()).detect(h, y, c)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Hybrid (ZF/Geosphere)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::apply_channel;
+    use gs_channel::RayleighChannel;
+    use gs_modulation::GridPoint;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn uses_zf_on_well_conditioned_channel() {
+        // Identity channel: κ² = 0 dB, must take the ZF path (no PEDs).
+        let c = Constellation::Qam16;
+        let h = Matrix::identity(2).scale(c.scale());
+        let s = vec![GridPoint { i: 1, q: 1 }, GridPoint { i: -3, q: 3 }];
+        let y = apply_channel(&h, &s);
+        let det = HybridDetector::new(10.0).detect(&h, &y, c);
+        assert_eq!(det.symbols, s);
+        assert_eq!(det.stats.ped_calcs, 0, "well-conditioned ⇒ ZF path");
+    }
+
+    #[test]
+    fn uses_sphere_on_ill_conditioned_channel() {
+        let c = Constellation::Qam16;
+        // Nearly parallel columns: κ² large.
+        let h = Matrix::from_rows(
+            2,
+            2,
+            &[
+                Complex::real(1.0),
+                Complex::real(0.98),
+                Complex::real(1.0),
+                Complex::real(1.02),
+            ],
+        )
+        .scale(c.scale());
+        let s = vec![GridPoint { i: 1, q: -1 }, GridPoint { i: 3, q: 1 }];
+        let y = apply_channel(&h, &s);
+        let det = HybridDetector::new(10.0).detect(&h, &y, c);
+        assert!(det.stats.ped_calcs > 0, "ill-conditioned ⇒ sphere path");
+        assert_eq!(det.symbols, s, "noiseless: sphere path is exact");
+    }
+
+    #[test]
+    fn always_valid_output() {
+        let mut rng = StdRng::seed_from_u64(801);
+        let c = Constellation::Qam64;
+        let det = HybridDetector::new(12.0);
+        for _ in 0..30 {
+            let h = RayleighChannel::new(4, 4).sample_matrix(&mut rng).scale(c.scale());
+            let y: Vec<Complex> =
+                (0..4).map(|_| gs_channel::sample_cn(&mut rng, 1.0)).collect();
+            let d = det.detect(&h, &y, c);
+            assert_eq!(d.symbols.len(), 4);
+            for p in &d.symbols {
+                assert!(c.is_valid_coord(p.i) && c.is_valid_coord(p.q));
+            }
+            let _ = rng.gen::<u8>();
+        }
+    }
+}

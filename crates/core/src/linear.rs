@@ -1,0 +1,181 @@
+//! Linear detectors: zero-forcing and MMSE.
+//!
+//! Zero-forcing (paper §1) inverts the channel: `H⁺y = s + H⁺w`. On a
+//! well-conditioned channel this cleanly decouples streams; on a
+//! poorly-conditioned one `H⁺w` blows up — the noise amplification
+//! Geosphere exists to avoid. MMSE (paper §6, "Linear filtering")
+//! regularizes the inverse by the noise power, trading residual
+//! inter-stream interference against amplification.
+
+use crate::detector::{slice_vector, Detection, MimoDetector};
+use crate::stats::DetectorStats;
+use gs_linalg::{pseudo_inverse, regularized_pseudo_inverse, Complex, Matrix};
+use gs_modulation::Constellation;
+
+/// The zero-forcing detector: slice `H⁺ y`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ZfDetector;
+
+impl MimoDetector for ZfDetector {
+    fn detect(&self, h: &Matrix, y: &[Complex], c: Constellation) -> Detection {
+        let mut stats = DetectorStats::default();
+        // nt x nr complex multiplications to apply the precomputed filter —
+        // the figure the paper quotes ("zero-forcing requires nt×nr = 8
+        // complex multiplications" for 2x4).
+        stats.complex_mults += (h.rows() * h.cols()) as u64;
+        let symbols = match pseudo_inverse(h) {
+            Ok(pinv) => slice_vector(&pinv.mul_vec(y), c, &mut stats),
+            // Singular channel: fall back to matched-filter decisions so the
+            // detector still returns (the frame will fail its CRC).
+            Err(_) => slice_vector(&h.hermitian().mul_vec(y), c, &mut stats),
+        };
+        Detection { symbols, stats }
+    }
+
+    fn name(&self) -> &'static str {
+        "ZF"
+    }
+}
+
+/// The (unbiased-decision) MMSE detector: slice `(H*H + λI)⁻¹H* y` with
+/// `λ = σ²/E_s` for grid-domain symbol energy `E_s`.
+#[derive(Clone, Copy, Debug)]
+pub struct MmseDetector {
+    /// Physical complex noise variance `σ²` (unit-signal-power convention).
+    pub noise_variance: f64,
+}
+
+impl MmseDetector {
+    /// Creates an MMSE detector for a given noise variance.
+    pub fn new(noise_variance: f64) -> Self {
+        MmseDetector { noise_variance }
+    }
+
+    /// Regularizer `λ = σ²/E_s` in the grid domain: grid symbols carry
+    /// energy `E_s`, so the noise-to-signal ratio per stream is `σ²/E_s`.
+    fn lambda(&self, c: Constellation) -> f64 {
+        self.noise_variance / c.energy()
+    }
+}
+
+impl MimoDetector for MmseDetector {
+    fn detect(&self, h: &Matrix, y: &[Complex], c: Constellation) -> Detection {
+        let mut stats = DetectorStats::default();
+        stats.complex_mults += (h.rows() * h.cols()) as u64;
+        let symbols = match regularized_pseudo_inverse(h, self.lambda(c)) {
+            Ok(w) => slice_vector(&w.mul_vec(y), c, &mut stats),
+            Err(_) => slice_vector(&h.hermitian().mul_vec(y), c, &mut stats),
+        };
+        Detection { symbols, stats }
+    }
+
+    fn name(&self) -> &'static str {
+        "MMSE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::apply_channel;
+    use gs_channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
+    use gs_modulation::GridPoint;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_symbols(rng: &mut StdRng, c: Constellation, n: usize) -> Vec<GridPoint> {
+        let pts = c.points();
+        (0..n).map(|_| pts[rng.gen_range(0..pts.len())]).collect()
+    }
+
+    #[test]
+    fn zf_perfect_on_identity_channel() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let c = Constellation::Qam64;
+        let h = Matrix::identity(4);
+        let s = random_symbols(&mut rng, c, 4);
+        let y = apply_channel(&h, &s);
+        let det = ZfDetector.detect(&h, &y, c);
+        assert_eq!(det.symbols, s);
+    }
+
+    #[test]
+    fn zf_noiseless_random_channel() {
+        let mut rng = StdRng::seed_from_u64(112);
+        let c = Constellation::Qam16;
+        for _ in 0..50 {
+            let h = RayleighChannel::new(4, 4).sample_matrix(&mut rng).scale(c.scale());
+            let s = random_symbols(&mut rng, c, 4);
+            let y = apply_channel(&h, &s);
+            assert_eq!(ZfDetector.detect(&h, &y, c).symbols, s);
+        }
+    }
+
+    #[test]
+    fn mmse_beats_zf_at_low_snr_on_bad_channel() {
+        // On a poorly-conditioned channel with noise, MMSE should make at
+        // least as few symbol errors as ZF on average.
+        let mut rng = StdRng::seed_from_u64(113);
+        let c = Constellation::Qpsk;
+        let snr_db = 12.0;
+        let sigma2 = noise_variance_for_snr_db(snr_db);
+        let mut zf_errs = 0usize;
+        let mut mmse_errs = 0usize;
+        for _ in 0..400 {
+            // Correlated columns: h2 = h1 + small perturbation.
+            let h1: Vec<Complex> = (0..2).map(|_| sample_cn(&mut rng, 1.0)).collect();
+            let h = Matrix::from_fn(2, 2, |r, col| {
+                if col == 0 {
+                    h1[r]
+                } else {
+                    h1[r] + sample_cn(&mut rng, 0.05)
+                }
+            })
+            .scale(c.scale());
+            let s = random_symbols(&mut rng, c, 2);
+            let mut y = apply_channel(&h, &s);
+            for v in y.iter_mut() {
+                *v += sample_cn(&mut rng, sigma2);
+            }
+            zf_errs += ZfDetector
+                .detect(&h, &y, c)
+                .symbols
+                .iter()
+                .zip(&s)
+                .filter(|(a, b)| a != b)
+                .count();
+            mmse_errs += MmseDetector::new(sigma2)
+                .detect(&h, &y, c)
+                .symbols
+                .iter()
+                .zip(&s)
+                .filter(|(a, b)| a != b)
+                .count();
+        }
+        assert!(
+            mmse_errs <= zf_errs,
+            "MMSE ({mmse_errs}) should not be worse than ZF ({zf_errs}) here"
+        );
+    }
+
+    #[test]
+    fn zf_survives_singular_channel() {
+        let h = Matrix::from_rows(
+            2,
+            2,
+            &[Complex::real(1.0), Complex::real(1.0), Complex::real(1.0), Complex::real(1.0)],
+        );
+        let y = vec![Complex::new(0.5, 0.5); 2];
+        let det = ZfDetector.detect(&h, &y, Constellation::Qpsk);
+        assert_eq!(det.symbols.len(), 2);
+    }
+
+    #[test]
+    fn mults_counted() {
+        let h = Matrix::identity(4);
+        let y = vec![Complex::ONE; 4];
+        let det = ZfDetector.detect(&h, &y, Constellation::Qpsk);
+        assert_eq!(det.stats.complex_mults, 16);
+        assert_eq!(det.stats.slices, 4);
+    }
+}

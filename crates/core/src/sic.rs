@@ -1,0 +1,147 @@
+//! MMSE with successive interference cancellation (MMSE-SIC).
+//!
+//! The paper's §5.2.1 baseline: "MMSE-SIC receiver processing which orders
+//! users by descending SNR, then performs MMSE detection and interference
+//! cancellation successively for each user, an approach known to be capable
+//! of reaching multi-user capacity". Hard decisions are subtracted, so
+//! error propagation — the effect the paper identifies as MMSE-SIC's
+//! practical weakness — is modeled faithfully.
+
+use crate::detector::{Detection, MimoDetector};
+use crate::stats::DetectorStats;
+use gs_linalg::{regularized_pseudo_inverse, Complex, Matrix};
+use gs_modulation::{Constellation, GridPoint};
+
+/// The MMSE-SIC detector.
+#[derive(Clone, Copy, Debug)]
+pub struct MmseSicDetector {
+    /// Physical complex noise variance `σ²`.
+    pub noise_variance: f64,
+}
+
+impl MmseSicDetector {
+    /// Creates an MMSE-SIC detector for a given noise variance.
+    pub fn new(noise_variance: f64) -> Self {
+        MmseSicDetector { noise_variance }
+    }
+}
+
+impl MimoDetector for MmseSicDetector {
+    fn detect(&self, h: &Matrix, y: &[Complex], c: Constellation) -> Detection {
+        let nc = h.cols();
+        let mut stats = DetectorStats::default();
+        let lambda = self.noise_variance / c.energy();
+
+        // Detection order: descending received SNR = descending column norm.
+        let mut order: Vec<usize> = (0..nc).collect();
+        let norms: Vec<f64> = (0..nc).map(|k| h.col(k).iter().map(|z| z.norm_sqr()).sum()).collect();
+        order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap());
+
+        let mut residual: Vec<Complex> = y.to_vec();
+        let mut remaining: Vec<usize> = order.clone(); // original column ids, strongest first
+        let mut symbols = vec![GridPoint::default(); nc];
+
+        while !remaining.is_empty() {
+            // Channel restricted to the remaining streams.
+            let sub = Matrix::from_fn(h.rows(), remaining.len(), |r, k| h[(r, remaining[k])]);
+            stats.complex_mults += (sub.rows() * sub.cols()) as u64;
+            let filt = match regularized_pseudo_inverse(&sub, lambda) {
+                Ok(w) => w,
+                Err(_) => sub.hermitian(),
+            };
+            let est = filt.mul_vec(&residual);
+            // Detect the strongest remaining stream (position 0 in
+            // `remaining` — kept sorted by the initial SNR order).
+            let stream = remaining[0];
+            let decided = c.slice(est[0]);
+            stats.slices += 1;
+            symbols[stream] = decided;
+            // Cancel its contribution with the *hard* decision.
+            let contrib = decided.to_complex();
+            for (r, res) in residual.iter_mut().enumerate() {
+                *res -= h[(r, stream)] * contrib;
+            }
+            stats.complex_mults += h.rows() as u64;
+            remaining.remove(0);
+        }
+        Detection { symbols, stats }
+    }
+
+    fn name(&self) -> &'static str {
+        "MMSE-SIC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::apply_channel;
+    use crate::linear::ZfDetector;
+    use gs_channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_symbols(rng: &mut StdRng, c: Constellation, n: usize) -> Vec<GridPoint> {
+        let pts = c.points();
+        (0..n).map(|_| pts[rng.gen_range(0..pts.len())]).collect()
+    }
+
+    #[test]
+    fn noiseless_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(121);
+        let c = Constellation::Qam16;
+        let det = MmseSicDetector::new(1e-9);
+        for _ in 0..50 {
+            let h = RayleighChannel::new(4, 4).sample_matrix(&mut rng).scale(c.scale());
+            let s = random_symbols(&mut rng, c, 4);
+            let y = apply_channel(&h, &s);
+            assert_eq!(det.detect(&h, &y, c).symbols, s);
+        }
+    }
+
+    #[test]
+    fn sic_beats_zf_on_average() {
+        // The paper's Fig. 13: MMSE-SIC significantly outperforms ZF when
+        // many streams share the medium.
+        let mut rng = StdRng::seed_from_u64(122);
+        let c = Constellation::Qpsk;
+        let sigma2 = noise_variance_for_snr_db(10.0);
+        let sic = MmseSicDetector::new(sigma2);
+        let mut zf_errs = 0usize;
+        let mut sic_errs = 0usize;
+        for _ in 0..300 {
+            let h = RayleighChannel::new(4, 4).sample_matrix(&mut rng).scale(c.scale());
+            let s = random_symbols(&mut rng, c, 4);
+            let mut y = apply_channel(&h, &s);
+            for v in y.iter_mut() {
+                *v += sample_cn(&mut rng, sigma2);
+            }
+            zf_errs +=
+                ZfDetector.detect(&h, &y, c).symbols.iter().zip(&s).filter(|(a, b)| a != b).count();
+            sic_errs +=
+                sic.detect(&h, &y, c).symbols.iter().zip(&s).filter(|(a, b)| a != b).count();
+        }
+        assert!(sic_errs < zf_errs, "SIC {sic_errs} vs ZF {zf_errs}");
+    }
+
+    #[test]
+    fn detects_in_descending_snr_order() {
+        // Make stream 1 overwhelmingly strong; SIC must still decode the
+        // weak stream correctly after cancelling the strong one (noiseless).
+        let c = Constellation::Qpsk;
+        let h = Matrix::from_rows(
+            2,
+            2,
+            &[
+                Complex::real(0.1),
+                Complex::real(3.0),
+                Complex::real(0.1),
+                Complex::real(-3.0),
+            ],
+        );
+        let s = vec![GridPoint { i: 1, q: -1 }, GridPoint { i: -1, q: 1 }];
+        let y = apply_channel(&h, &s);
+        let det = MmseSicDetector::new(1e-9).detect(&h, &y, c);
+        assert_eq!(det.symbols, s);
+    }
+}

@@ -1,0 +1,239 @@
+//! Max-log soft-output sphere detection (the paper's §7 future-work
+//! direction).
+//!
+//! "While Geosphere increases throughput, iterative soft receiver
+//! processing is required to reach MIMO capacity. Such 'soft-detectors'
+//! consist of several constrained maximum-likelihood problems and
+//! therefore the sphere decoder can be of use." — exactly how this module
+//! works: the hard Geosphere search yields the ML solution `x_ML` with
+//! metric `λ_ML`; each bit's **counter-hypothesis** metric `λ_i` is then a
+//! *constrained* ML problem (minimum distance over symbol vectors whose
+//! bit `i` is flipped), solved by the same Geosphere engine with a per-bit
+//! child filter and the sphere radius warm-started at the clipping limit.
+//! The max-log LLR is `(λ_i − λ_ML)/σ²`, signed by the ML bit.
+
+use crate::sphere::{GeosphereFactory, SphereDecoder};
+use crate::stats::DetectorStats;
+use gs_linalg::{qr_decompose, vec_dist_sqr, Complex, Matrix};
+use gs_modulation::{BitTable, Constellation, GridPoint};
+
+/// Soft detection output.
+#[derive(Clone, Debug)]
+pub struct SoftDetection {
+    /// Hard (maximum-likelihood) symbol decisions.
+    pub symbols: Vec<GridPoint>,
+    /// Per-bit log-likelihood ratios, `nc × Q` entries ordered stream-major
+    /// (stream 0's `Q` bits MSB-first, then stream 1, …).
+    ///
+    /// Sign convention: **positive = bit 0 more likely** (matching
+    /// `L = log P(b=0)/P(b=1)`). Magnitudes are clipped at
+    /// [`SoftGeosphereDetector::llr_clip`].
+    pub llrs: Vec<f64>,
+    /// Operation counts over the hard search and every counter-hypothesis
+    /// search.
+    pub stats: DetectorStats,
+}
+
+/// The soft-output Geosphere detector.
+#[derive(Clone, Copy, Debug)]
+pub struct SoftGeosphereDetector {
+    /// Complex noise variance σ² used to scale distances into LLRs.
+    pub noise_variance: f64,
+    /// Maximum LLR magnitude. Counter-hypothesis searches are
+    /// radius-limited to `λ_ML + clip·σ²`, so larger clips cost more
+    /// search; 8 is a standard choice.
+    pub llr_clip: f64,
+}
+
+impl SoftGeosphereDetector {
+    /// Creates a soft detector with the standard clip of 8.
+    pub fn new(noise_variance: f64) -> Self {
+        SoftGeosphereDetector { noise_variance, llr_clip: 8.0 }
+    }
+
+    /// Detects with per-bit soft output.
+    pub fn detect_soft(&self, h: &Matrix, y: &[Complex], c: Constellation) -> SoftDetection {
+        let nc = h.cols();
+        let q = c.bits_per_symbol();
+        let mut stats = DetectorStats::default();
+
+        let qr = qr_decompose(h);
+        let yhat_full = qr.rotate(y);
+        let yhat = &yhat_full[..nc];
+        // The QR drops the component of y orthogonal to range(H) (constant
+        // across hypotheses); recover it so distances are absolute.
+        let base = {
+            // ‖y‖² − ‖ŷ‖² = ‖(I − QQ*)y‖² ≥ 0.
+            let y_norm: f64 = y.iter().map(|z| z.norm_sqr()).sum();
+            let yhat_norm: f64 = yhat.iter().map(|z| z.norm_sqr()).sum();
+            (y_norm - yhat_norm).max(0.0)
+        };
+        let _ = base; // LLRs are metric *differences*: the constant cancels.
+
+        let engine = SphereDecoder::new(GeosphereFactory::full());
+
+        // 1. Hard ML search.
+        let (ml_symbols, ml_dist) = engine
+            .search_with_qr(&qr.r, yhat, c, None, f64::INFINITY, &mut stats)
+            .expect("infinite radius always yields a solution");
+
+        // 2. Counter-hypothesis per bit.
+        let table = BitTable::new(c);
+        let clip_delta = self.llr_clip * self.noise_variance;
+        let mut llrs = Vec::with_capacity(nc * q);
+        for stream in 0..nc {
+            for k in 0..q {
+                let ml_bit = table.bit(ml_symbols[stream], k);
+                let counter = engine.search_with_qr(
+                    &qr.r,
+                    yhat,
+                    c,
+                    Some((stream, k, !ml_bit)),
+                    ml_dist + clip_delta,
+                    &mut stats,
+                );
+                let lambda_counter = match counter {
+                    Some((_, d)) => d,
+                    None => ml_dist + clip_delta, // clipped
+                };
+                let magnitude = ((lambda_counter - ml_dist) / self.noise_variance)
+                    .clamp(0.0, self.llr_clip);
+                // Positive ⇒ bit 0: if the ML bit is 0, confidence in 0 is
+                // +magnitude; if the ML bit is 1, it is −magnitude.
+                llrs.push(if ml_bit { -magnitude } else { magnitude });
+            }
+        }
+
+        debug_assert!((vec_dist_sqr(yhat, &qr.r.mul_vec(
+            &ml_symbols.iter().map(|p| p.to_complex()).collect::<Vec<_>>()
+        )) - ml_dist).abs() < 1e-6 * ml_dist.max(1.0));
+
+        SoftDetection { symbols: ml_symbols, llrs, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::apply_channel;
+    use crate::ml::MlDetector;
+    use crate::MimoDetector;
+    use gs_channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
+    use gs_modulation::unmap_points;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn problem(
+        rng: &mut StdRng,
+        c: Constellation,
+        nc: usize,
+        noise: f64,
+    ) -> (Matrix, Vec<Complex>, Vec<GridPoint>) {
+        let h = RayleighChannel::new(nc + 1, nc).sample_matrix(rng).scale(c.scale());
+        let pts = c.points();
+        let s: Vec<_> = (0..nc).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+        let mut y = apply_channel(&h, &s);
+        for v in y.iter_mut() {
+            *v += sample_cn(rng, noise);
+        }
+        (h, y, s)
+    }
+
+    #[test]
+    fn hard_decisions_are_ml() {
+        let mut rng = StdRng::seed_from_u64(301);
+        let c = Constellation::Qam16;
+        let det = SoftGeosphereDetector::new(0.3);
+        for _ in 0..25 {
+            let (h, y, _) = problem(&mut rng, c, 3, 0.3);
+            let soft = det.detect_soft(&h, &y, c);
+            let ml = MlDetector.detect(&h, &y, c);
+            assert_eq!(soft.symbols, ml.symbols);
+        }
+    }
+
+    #[test]
+    fn llr_signs_match_transmitted_bits_at_high_snr() {
+        let mut rng = StdRng::seed_from_u64(302);
+        let c = Constellation::Qam16;
+        let sigma2 = noise_variance_for_snr_db(30.0);
+        let det = SoftGeosphereDetector::new(sigma2);
+        for _ in 0..20 {
+            let (h, y, s) = problem(&mut rng, c, 2, sigma2);
+            let soft = det.detect_soft(&h, &y, c);
+            let tx_bits = unmap_points(c, &s);
+            assert_eq!(soft.llrs.len(), tx_bits.len());
+            for (bit_idx, (&l, &b)) in soft.llrs.iter().zip(&tx_bits).enumerate() {
+                // Positive LLR = bit 0; at 30 dB every sign must be right.
+                assert_eq!(l < 0.0, b, "bit {bit_idx}: llr {l}, tx bit {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn llrs_clipped() {
+        let mut rng = StdRng::seed_from_u64(303);
+        let c = Constellation::Qpsk;
+        let det = SoftGeosphereDetector::new(1e-6); // near-noiseless: all clip
+        let (h, y, _) = problem(&mut rng, c, 2, 0.0);
+        let soft = det.detect_soft(&h, &y, c);
+        for &l in &soft.llrs {
+            assert!(l.abs() <= det.llr_clip + 1e-12);
+        }
+        assert!(soft.llrs.iter().any(|l| l.abs() > det.llr_clip * 0.99), "noiseless ⇒ clipped");
+    }
+
+    #[test]
+    fn llr_magnitudes_match_bruteforce_maxlog() {
+        // Exact max-log check against exhaustive per-bit minimum distances.
+        let mut rng = StdRng::seed_from_u64(304);
+        let c = Constellation::Qpsk;
+        let sigma2 = 0.5;
+        let det = SoftGeosphereDetector { noise_variance: sigma2, llr_clip: 100.0 };
+        for _ in 0..15 {
+            let (h, y, _) = problem(&mut rng, c, 2, sigma2);
+            let soft = det.detect_soft(&h, &y, c);
+            // Brute-force per-bit minima.
+            let pts = c.points();
+            let q = c.bits_per_symbol();
+            let table = BitTable::new(c);
+            for stream in 0..2 {
+                for k in 0..q {
+                    let mut d0 = f64::INFINITY;
+                    let mut d1 = f64::INFINITY;
+                    for &a in &pts {
+                        for &b in &pts {
+                            let s = [a, b];
+                            let d = crate::detector::residual_norm_sqr(&h, &y, &s);
+                            if table.bit(s[stream], k) {
+                                d1 = d1.min(d);
+                            } else {
+                                d0 = d0.min(d);
+                            }
+                        }
+                    }
+                    let expect = (d1 - d0) / sigma2;
+                    let got = soft.llrs[stream * q + k];
+                    assert!(
+                        (got - expect).abs() < 1e-6,
+                        "stream {stream} bit {k}: got {got}, expect {expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weaker_bits_get_smaller_magnitudes() {
+        // A received point near a decision boundary must yield a
+        // low-confidence LLR for the boundary bit.
+        let c = Constellation::Qpsk;
+        let h = Matrix::identity(1);
+        let det = SoftGeosphereDetector::new(1.0);
+        // QPSK grid points at (±1, ±1); received at (0.05, 1.0): the I bit
+        // is nearly ambiguous, the Q bit is confident.
+        let y = vec![Complex::new(0.05, 1.0)];
+        let soft = det.detect_soft(&h, &y, c);
+        assert!(soft.llrs[0].abs() < soft.llrs[1].abs());
+    }
+}

@@ -1,0 +1,366 @@
+//! The depth-first Schnorr–Euchner sphere-decoding engine (paper §2).
+//!
+//! The engine is shared verbatim by every depth-first decoder in this crate
+//! — Geosphere (with or without geometric pruning), ETH-SD, and the
+//! full-sort reference — parameterized only by the [`EnumeratorFactory`]
+//! that orders each node's children. Identical traversal given identical
+//! child orderings is what delivers the paper's "same number of visited
+//! nodes" property (§5.3).
+//!
+//! Walkthrough (paper Fig. 3): descend greedily along cheapest children to
+//! a first leaf `a`, shrink the sphere radius to `d(a)`, backtrack and
+//! expand any sibling whose partial distance still fits, terminating when
+//! the root's remaining children all violate the sphere constraint.
+
+use crate::detector::{Detection, MimoDetector};
+use crate::sphere::enumerator::{EnumeratorFactory, NodeEnumerator};
+use crate::stats::DetectorStats;
+use gs_linalg::{qr_decompose, sorted_qr_decompose, Complex, Matrix};
+use gs_modulation::{Constellation, GridPoint};
+
+/// A depth-first sphere decoder built from an enumerator family.
+#[derive(Clone, Copy, Debug)]
+pub struct SphereDecoder<F> {
+    factory: F,
+    /// Use column-norm sorted QR preprocessing (V-BLAST-style ordering).
+    pub sorted_qr: bool,
+    /// Optional initial squared radius (`∞` in the paper's §2.1 default).
+    pub initial_radius_sqr: f64,
+    /// Runtime guard: abandon the search after visiting this many tree
+    /// nodes and return the best solution found so far. `u64::MAX` (the
+    /// default) preserves exact ML; real-time receivers set a budget, and
+    /// a triggered budget almost always coincides with operating points
+    /// whose frames would fail anyway (hopeless SNR/constellation pairs).
+    pub max_visited_nodes: u64,
+}
+
+impl<F: EnumeratorFactory> SphereDecoder<F> {
+    /// Creates a decoder with unsorted QR and infinite initial radius.
+    pub fn new(factory: F) -> Self {
+        SphereDecoder {
+            factory,
+            sorted_qr: false,
+            initial_radius_sqr: f64::INFINITY,
+            max_visited_nodes: u64::MAX,
+        }
+    }
+
+    /// Enables sorted-QR preprocessing.
+    pub fn with_sorted_qr(mut self) -> Self {
+        self.sorted_qr = true;
+        self
+    }
+
+    /// Sets a visited-node budget (real-time runtime guard).
+    pub fn with_node_budget(mut self, budget: u64) -> Self {
+        self.max_visited_nodes = budget;
+        self
+    }
+
+    /// Decodes given a precomputed QR (lets the OFDM receiver reuse one QR
+    /// across a frame's worth of symbols on the same subcarrier).
+    pub fn detect_with_qr(
+        &self,
+        r: &Matrix,
+        yhat: &[Complex],
+        c: Constellation,
+        stats: &mut DetectorStats,
+    ) -> Vec<GridPoint> {
+        match self.search_with_qr(r, yhat, c, None, self.initial_radius_sqr, stats) {
+            Some((symbols, _)) => symbols,
+            // Infinite initial radius always yields a solution; a finite one
+            // may not — fall back to per-level slicing so callers always get
+            // valid symbols.
+            None => {
+                let mut out: Vec<GridPoint> = Vec::with_capacity(r.cols());
+                for i in (0..r.cols()).rev() {
+                    let mut acc = yhat[i];
+                    for j in (i + 1)..r.cols() {
+                        acc -= r[(i, j)] * out[r.cols() - 1 - j].to_complex();
+                    }
+                    let rll = r[(i, i)].re;
+                    let center = if rll > f64::EPSILON { acc / rll } else { Complex::ZERO };
+                    out.push(c.slice(center));
+                    stats.slices += 1;
+                }
+                out.reverse();
+                out
+            }
+        }
+    }
+
+    /// The generalized depth-first search: optional per-bit constraint
+    /// (used by the soft-output detector to find counter-hypotheses) and an
+    /// explicit initial squared radius. Returns the best solution and its
+    /// squared distance, or `None` when nothing lies within the radius.
+    ///
+    /// `constraint = (level, bit_index, required_value)` restricts the
+    /// search to symbol vectors whose Gray bit `bit_index` (MSB-first) of
+    /// stream `level` equals `required_value`.
+    pub fn search_with_qr(
+        &self,
+        r: &Matrix,
+        yhat: &[Complex],
+        c: Constellation,
+        constraint: Option<(usize, usize, bool)>,
+        initial_radius_sqr: f64,
+        stats: &mut DetectorStats,
+    ) -> Option<(Vec<GridPoint>, f64)> {
+        let nc = r.cols();
+        debug_assert_eq!(yhat.len(), nc, "ŷ must already be Q*-rotated and truncated");
+        let bit_table = constraint.map(|_| gs_modulation::BitTable::new(c));
+        let mut radius = initial_radius_sqr;
+
+        // Per-level state, indexed by row i of R (level nc-1 = tree root).
+        struct Level<E> {
+            enumerator: E,
+            /// d(s^(i+1)): accumulated distance of the partial vector above.
+            dist_above: f64,
+            /// Gain |r_ii|² of this level.
+            chosen: GridPoint,
+        }
+        let mut levels: Vec<Option<Level<F::Enumerator>>> = (0..nc).map(|_| None).collect();
+        let mut chosen = vec![GridPoint::default(); nc];
+        let mut best: Option<(f64, Vec<GridPoint>)> = None;
+
+        // Helper to open a level: compute ỹ_i from ŷ and the symbols chosen
+        // above (Eq. 8), then build its enumerator.
+        let open_level = |i: usize,
+                          dist_above: f64,
+                          chosen: &[GridPoint],
+                          stats: &mut DetectorStats|
+         -> Level<F::Enumerator> {
+            let mut acc = yhat[i];
+            for j in (i + 1)..nc {
+                acc -= r[(i, j)] * chosen[j].to_complex();
+            }
+            stats.complex_mults += (nc - 1 - i) as u64;
+            let rll = r[(i, i)].re; // real ≥ 0 by QR normalization
+            let center = if rll > f64::EPSILON { acc / rll } else { Complex::ZERO };
+            let gain = rll * rll;
+            Level {
+                enumerator: self.factory.make(c, center, gain, stats),
+                dist_above,
+                chosen: GridPoint::default(),
+            }
+        };
+
+        let mut i = nc - 1; // current level
+        levels[i] = Some(open_level(i, 0.0, &chosen, stats));
+        let mut local_nodes = 0u64;
+
+        loop {
+            if local_nodes >= self.max_visited_nodes {
+                break; // runtime budget exhausted: return best-so-far
+            }
+            let level = levels[i].as_mut().expect("current level open");
+            let budget = radius - level.dist_above;
+            let step = level.enumerator.next_child(budget, stats);
+            match step {
+                Some(child) if level.dist_above + child.cost < radius => {
+                    local_nodes += 1;
+                    // Constrained search: skip children whose required bit
+                    // disagrees (the enumeration stays sorted, so skipping
+                    // is just a filter — no soundness impact).
+                    if let Some((cl, ck, cv)) = constraint {
+                        if cl == i && bit_table.as_ref().expect("table built").bit(child.point, ck) != cv
+                        {
+                            continue;
+                        }
+                    }
+                    stats.visited_nodes += 1;
+                    let dist = level.dist_above + child.cost;
+                    level.chosen = child.point;
+                    chosen[i] = child.point;
+                    if i == 0 {
+                        // Leaf: new best solution, shrink the sphere.
+                        radius = dist;
+                        best = Some((dist, chosen.clone()));
+                        // Stay at this level; Schnorr–Euchner continues with
+                        // the next sibling under the new radius.
+                    } else {
+                        i -= 1;
+                        levels[i] = Some(open_level(i, dist, &chosen, stats));
+                    }
+                }
+                // Sorted enumeration: a child at or beyond the radius, or an
+                // exhausted node, closes this level (sibling pruning).
+                _ => {
+                    levels[i] = None;
+                    if i == nc - 1 {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+        }
+
+        best.map(|(d, s)| (s, d))
+    }
+}
+
+impl<F: EnumeratorFactory> MimoDetector for SphereDecoder<F> {
+    fn detect(&self, h: &Matrix, y: &[Complex], c: Constellation) -> Detection {
+        let mut stats = DetectorStats::default();
+        if self.sorted_qr {
+            let sqr = sorted_qr_decompose(h);
+            let yhat_full = sqr.qr.rotate(y);
+            let symbols_permuted =
+                self.detect_with_qr(&sqr.qr.r, &yhat_full[..h.cols()], c, &mut stats);
+            let symbols = sqr.unpermute(&symbols_permuted);
+            Detection { symbols, stats }
+        } else {
+            let qr = qr_decompose(h);
+            let yhat_full = qr.rotate(y);
+            let symbols = self.detect_with_qr(&qr.r, &yhat_full[..h.cols()], c, &mut stats);
+            Detection { symbols, stats }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.factory.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::apply_channel;
+    use crate::ml::MlDetector;
+    use crate::sphere::enumerator::ExhaustiveSortFactory;
+    use crate::sphere::geosphere_enum::GeosphereFactory;
+    use crate::sphere::hess_enum::HessFactory;
+    use gs_channel::{sample_cn, RayleighChannel};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(
+        rng: &mut StdRng,
+        c: Constellation,
+        na: usize,
+        nc: usize,
+        noise_var: f64,
+    ) -> (Matrix, Vec<Complex>, Vec<GridPoint>) {
+        let h = RayleighChannel::new(na, nc).sample_matrix(rng).scale(c.scale());
+        let pts = c.points();
+        let s: Vec<GridPoint> = (0..nc).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+        let mut y = apply_channel(&h, &s);
+        for v in y.iter_mut() {
+            *v += sample_cn(rng, noise_var);
+        }
+        (h, y, s)
+    }
+
+    #[test]
+    fn noiseless_roundtrip_all_decoders() {
+        let mut rng = StdRng::seed_from_u64(141);
+        let c = Constellation::Qam16;
+        let geo = SphereDecoder::new(GeosphereFactory::full());
+        let hess = SphereDecoder::new(HessFactory);
+        let fullsort = SphereDecoder::new(ExhaustiveSortFactory);
+        for _ in 0..30 {
+            let (h, y, s) = random_instance(&mut rng, c, 4, 4, 0.0);
+            assert_eq!(geo.detect(&h, &y, c).symbols, s);
+            assert_eq!(hess.detect(&h, &y, c).symbols, s);
+            assert_eq!(fullsort.detect(&h, &y, c).symbols, s);
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_ml_under_noise() {
+        // The core soundness claim: the sphere decoder returns the exact
+        // maximum-likelihood solution.
+        let mut rng = StdRng::seed_from_u64(142);
+        let decoders: Vec<(&str, Box<dyn Fn(&Matrix, &[Complex], Constellation) -> Detection>)> = vec![
+            ("geo-full", Box::new(|h, y, c| SphereDecoder::new(GeosphereFactory::full()).detect(h, y, c))),
+            ("geo-zz", Box::new(|h, y, c| SphereDecoder::new(GeosphereFactory::zigzag_only()).detect(h, y, c))),
+            ("hess", Box::new(|h, y, c| SphereDecoder::new(HessFactory).detect(h, y, c))),
+            ("geo-sortedqr", Box::new(|h, y, c| {
+                SphereDecoder::new(GeosphereFactory::full()).with_sorted_qr().detect(h, y, c)
+            })),
+        ];
+        for trial in 0..60 {
+            let c = if trial % 2 == 0 { Constellation::Qpsk } else { Constellation::Qam16 };
+            let nc = 2 + trial % 2; // 2 or 3 streams keeps exhaustive ML fast
+            // Heavy noise so ML ≠ transmitted often; exercises real search.
+            let (h, y, _) = random_instance(&mut rng, c, nc + 1, nc, 0.5);
+            let ml = crate::detector::residual_norm_sqr(&h, &y, &MlDetector.detect(&h, &y, c).symbols);
+            for (name, det) in &decoders {
+                let got = crate::detector::residual_norm_sqr(&h, &y, &det(&h, &y, c).symbols);
+                assert!(
+                    (got - ml).abs() < 1e-9,
+                    "{name} trial {trial}: residual {got} vs ML {ml}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_visited_nodes_across_enumerators() {
+        // Paper Fig. 15 note: "each of the above sphere decoders visit the
+        // same number of nodes."
+        let mut rng = StdRng::seed_from_u64(143);
+        for trial in 0..40 {
+            let c = [Constellation::Qam16, Constellation::Qam64][trial % 2];
+            let (h, y, _) = random_instance(&mut rng, c, 4, 4, 0.05);
+            let geo = SphereDecoder::new(GeosphereFactory::full()).detect(&h, &y, c);
+            let zz = SphereDecoder::new(GeosphereFactory::zigzag_only()).detect(&h, &y, c);
+            let hess = SphereDecoder::new(HessFactory).detect(&h, &y, c);
+            assert_eq!(geo.stats.visited_nodes, hess.stats.visited_nodes, "trial {trial}");
+            assert_eq!(zz.stats.visited_nodes, hess.stats.visited_nodes, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn geosphere_uses_fewer_peds_than_hess_on_dense_constellations() {
+        let mut rng = StdRng::seed_from_u64(144);
+        let c = Constellation::Qam256;
+        let mut geo_total = 0u64;
+        let mut hess_total = 0u64;
+        for _ in 0..30 {
+            let (h, y, _) = random_instance(&mut rng, c, 4, 4, 0.001);
+            geo_total += SphereDecoder::new(GeosphereFactory::full()).detect(&h, &y, c).stats.ped_calcs;
+            hess_total += SphereDecoder::new(HessFactory).detect(&h, &y, c).stats.ped_calcs;
+        }
+        assert!(
+            (geo_total as f64) < 0.5 * hess_total as f64,
+            "Geosphere {geo_total} vs ETH-SD {hess_total} PEDs"
+        );
+    }
+
+    #[test]
+    fn geometric_pruning_reduces_peds() {
+        let mut rng = StdRng::seed_from_u64(145);
+        let c = Constellation::Qam64;
+        let mut full_total = 0u64;
+        let mut zz_total = 0u64;
+        for _ in 0..40 {
+            let (h, y, _) = random_instance(&mut rng, c, 4, 4, 0.003);
+            full_total += SphereDecoder::new(GeosphereFactory::full()).detect(&h, &y, c).stats.ped_calcs;
+            zz_total +=
+                SphereDecoder::new(GeosphereFactory::zigzag_only()).detect(&h, &y, c).stats.ped_calcs;
+        }
+        assert!(full_total <= zz_total, "pruning must not add PEDs: {full_total} vs {zz_total}");
+        assert!(full_total < zz_total, "pruning should save PEDs: {full_total} vs {zz_total}");
+    }
+
+    #[test]
+    fn works_with_more_rx_than_tx() {
+        let mut rng = StdRng::seed_from_u64(146);
+        let c = Constellation::Qam16;
+        let geo = SphereDecoder::new(GeosphereFactory::full());
+        for _ in 0..20 {
+            let (h, y, s) = random_instance(&mut rng, c, 4, 2, 0.0);
+            assert_eq!(geo.detect(&h, &y, c).symbols, s);
+        }
+    }
+
+    #[test]
+    fn single_stream_detection() {
+        let mut rng = StdRng::seed_from_u64(147);
+        let c = Constellation::Qam64;
+        let geo = SphereDecoder::new(GeosphereFactory::full());
+        let (h, y, s) = random_instance(&mut rng, c, 2, 1, 0.0);
+        assert_eq!(geo.detect(&h, &y, c).symbols, s);
+    }
+}

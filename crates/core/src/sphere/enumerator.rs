@@ -1,0 +1,126 @@
+//! The node-enumeration interface shared by all depth-first sphere
+//! decoders.
+//!
+//! A sphere decoder's efficiency "is to a large part determined by the
+//! tree-traversal strategy" (paper §2.3), and the traversal strategy is
+//! exactly the choice of *enumerator*: the object that, at one tree node,
+//! yields that node's children in nondecreasing partial-Euclidean-distance
+//! order. The engine in [`crate::sphere::engine`] is identical for
+//! Geosphere and ETH-SD; only the enumerator differs — which is also why
+//! both visit the same tree nodes (§5.3).
+
+use crate::stats::DetectorStats;
+use gs_linalg::Complex;
+use gs_modulation::{Constellation, GridPoint};
+
+/// One enumerated child: the constellation point and its exact branch cost
+/// `c(s) = |r_ll|²·|ỹ − s|²` (Eq. 8).
+#[derive(Clone, Copy, Debug)]
+pub struct Child {
+    /// The constellation point chosen at this level.
+    pub point: GridPoint,
+    /// Exact branch cost (partial Euclidean distance increment).
+    pub cost: f64,
+}
+
+/// Enumerates the children of one tree node in nondecreasing branch cost.
+pub trait NodeEnumerator {
+    /// Yields the next-cheapest unexplored child whose cost may still fit
+    /// within `budget` (= `r² − d(parent)`, the remaining sphere budget).
+    ///
+    /// Returns `None` when the node is exhausted **or** when the enumerator
+    /// can prove every remaining child costs at least `budget` (sorted
+    /// enumeration makes this sound — Schnorr–Euchner sibling pruning).
+    /// Implementations may also return a child costing ≥ `budget`; the
+    /// engine re-checks. The budget only ever shrinks between calls.
+    fn next_child(&mut self, budget: f64, stats: &mut DetectorStats) -> Option<Child>;
+}
+
+/// Creates enumerators; one per tree-node visit.
+pub trait EnumeratorFactory {
+    /// The enumerator type produced.
+    type Enumerator: NodeEnumerator;
+
+    /// Creates an enumerator for a node with received symbol `center`
+    /// (`ỹ_l`, constellation space) and level gain `gain = |r_ll|²`.
+    fn make(
+        &self,
+        c: Constellation,
+        center: Complex,
+        gain: f64,
+        stats: &mut DetectorStats,
+    ) -> Self::Enumerator;
+
+    /// Display name of the decoder this enumerator family implements.
+    fn name(&self) -> &'static str;
+}
+
+/// A reference enumerator that materializes and sorts every child upfront.
+///
+/// This is the naive strategy the paper's §2.3 criticizes ("fully
+/// enumerated and sorted all possibilities … a highly inefficient
+/// process"); it exists as a test oracle for the efficient enumerators and
+/// to quantify their savings.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExhaustiveSortFactory;
+
+/// Enumerator produced by [`ExhaustiveSortFactory`].
+pub struct ExhaustiveSortEnumerator {
+    sorted: std::vec::IntoIter<Child>,
+}
+
+impl EnumeratorFactory for ExhaustiveSortFactory {
+    type Enumerator = ExhaustiveSortEnumerator;
+
+    fn make(
+        &self,
+        c: Constellation,
+        center: Complex,
+        gain: f64,
+        stats: &mut DetectorStats,
+    ) -> ExhaustiveSortEnumerator {
+        let mut children: Vec<Child> = c
+            .points()
+            .into_iter()
+            .map(|p| Child { point: p, cost: gain * p.dist_sqr(center) })
+            .collect();
+        stats.ped_calcs += children.len() as u64;
+        children.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        ExhaustiveSortEnumerator { sorted: children.into_iter() }
+    }
+
+    fn name(&self) -> &'static str {
+        "Full-sort SD"
+    }
+}
+
+impl NodeEnumerator for ExhaustiveSortEnumerator {
+    fn next_child(&mut self, _budget: f64, _stats: &mut DetectorStats) -> Option<Child> {
+        self.sorted.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_sort_yields_all_children_in_order() {
+        let mut stats = DetectorStats::default();
+        let c = Constellation::Qam16;
+        let center = Complex::new(0.3, -1.2);
+        let mut e = ExhaustiveSortFactory.make(c, center, 2.0, &mut stats);
+        assert_eq!(stats.ped_calcs, 16);
+        let mut costs = Vec::new();
+        while let Some(ch) = e.next_child(f64::INFINITY, &mut stats) {
+            costs.push(ch.cost);
+        }
+        assert_eq!(costs.len(), 16);
+        for w in costs.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // First child is the slice, cost = gain * |y - slice|².
+        let slice = c.slice(center);
+        assert!((costs[0] - 2.0 * slice.dist_sqr(center)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,389 @@
+//! Geosphere's two-dimensional zigzag enumeration (paper §3.1.1) with
+//! optional geometrical pruning (paper §3.2).
+//!
+//! The enumerator approximates an expanding-ring search around the received
+//! symbol `ỹ` (Figure 6): the constellation is viewed as √|O| *vertical*
+//! PAM subconstellations (columns, fixed in-phase coordinate). Exploring a
+//! point (a) zigzags **vertically** within that point's column and (b)
+//! zigzags **horizontally** to activate one new column — but only ever
+//! keeps **one live candidate per column** in the priority queue, which is
+//! what caps the queue at √|O| entries and makes each exploration cost at
+//! most two new distance computations (versus √|O| upfront for the
+//! row-parallel ETH-SD/Hess scheme).
+//!
+//! With geometrical pruning enabled, every would-be distance computation is
+//! preceded by the Eq. 9 table-lookup lower bound; a bound at or above the
+//! remaining sphere budget kills the whole zigzag direction (the bound is
+//! monotone along each direction) without computing a single exact PED.
+
+use crate::geoprune::{axis_offset, distance_lower_bound};
+use crate::sphere::enumerator::{Child, EnumeratorFactory, NodeEnumerator};
+use crate::stats::DetectorStats;
+use gs_linalg::Complex;
+use gs_modulation::{AxisZigzag, Constellation, GridPoint};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Factory for Geosphere enumerators.
+#[derive(Clone, Copy, Debug)]
+pub struct GeosphereFactory {
+    /// Enables the §3.2 geometric pruning bound (the paper's "Full"
+    /// variant). Disabled = the "2D zigzag only" ablation of §5.3.2.
+    pub geometric_pruning: bool,
+}
+
+impl GeosphereFactory {
+    /// The full Geosphere design: zigzag enumeration + geometric pruning.
+    pub fn full() -> Self {
+        GeosphereFactory { geometric_pruning: true }
+    }
+
+    /// The enumeration-only ablation (no geometric pruning).
+    pub fn zigzag_only() -> Self {
+        GeosphereFactory { geometric_pruning: false }
+    }
+}
+
+/// A queue candidate: exact cost, owning column index.
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    cost: f64,
+    point: GridPoint,
+    column: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost.total_cmp(&other.cost)
+    }
+}
+
+/// Geosphere's per-node enumerator.
+pub struct GeosphereEnumerator {
+    c: Constellation,
+    center: Complex,
+    gain: f64,
+    geoprune: bool,
+    /// Sliced point of `center` — the origin for Eq. 9 offsets.
+    slice: GridPoint,
+    /// Min-heap of at most one candidate per column.
+    queue: BinaryHeap<Reverse<Candidate>>,
+    /// Vertical zigzag state per column (indexed by level index of the
+    /// column's I coordinate); `None` = not activated or exhausted.
+    columns: Vec<Option<AxisZigzag>>,
+    /// Horizontal zigzag over column I coordinates; `None` once exhausted
+    /// (or killed by the bound).
+    horizontal: Option<AxisZigzag>,
+    /// Column owning the most recently returned child; its successors are
+    /// generated lazily on the next call (deferring PEDs as late as
+    /// possible).
+    pending_explore: Option<usize>,
+}
+
+impl GeosphereEnumerator {
+    fn new(
+        c: Constellation,
+        center: Complex,
+        gain: f64,
+        geoprune: bool,
+        stats: &mut DetectorStats,
+    ) -> Self {
+        let slice = c.slice(center);
+        stats.slices += 1;
+        let mut this = GeosphereEnumerator {
+            c,
+            center,
+            gain,
+            geoprune,
+            slice,
+            queue: BinaryHeap::new(),
+            columns: vec![None; c.side()],
+            horizontal: Some(AxisZigzag::new(c, center.re)),
+            pending_explore: None,
+        };
+        // Activate the initial column: the horizontal zigzag's first yield
+        // is the sliced column itself.
+        let first_col = this.horizontal.as_mut().unwrap().next().expect("nonempty axis");
+        debug_assert_eq!(first_col, slice.i);
+        this.activate_column(first_col, f64::INFINITY, stats);
+        this
+    }
+
+    /// Lower-bounds the branch cost of a point at the given axis offsets
+    /// from the slice.
+    fn bound(&self, d_i: usize, d_q: usize) -> f64 {
+        self.gain * distance_lower_bound(d_i, d_q)
+    }
+
+    /// Pushes a candidate after the (optional) bound test and the exact
+    /// PED computation. Returns `false` when the bound killed it.
+    fn try_push(&mut self, point: GridPoint, column: usize, budget: f64, stats: &mut DetectorStats) -> bool {
+        if self.geoprune {
+            stats.bound_checks += 1;
+            let b = self.bound(axis_offset(point.i, self.slice.i), axis_offset(point.q, self.slice.q));
+            if b >= budget {
+                stats.bound_prunes += 1;
+                return false;
+            }
+        }
+        let cost = self.gain * point.dist_sqr(self.center);
+        stats.ped_calcs += 1;
+        self.queue.push(Reverse(Candidate { cost, point, column }));
+        true
+    }
+
+    /// Vertical zigzag: advance `column`'s iterator and enqueue the next
+    /// point of that column. A bound kill exhausts the column (the bound is
+    /// monotone along the vertical zigzag).
+    fn advance_column(&mut self, column: usize, budget: f64, stats: &mut DetectorStats) {
+        let Some(iter) = self.columns[column].as_mut() else { return };
+        let Some(q) = iter.next() else {
+            self.columns[column] = None;
+            return;
+        };
+        let point = GridPoint { i: self.c.coord_of_index(column), q };
+        if !self.try_push(point, column, budget, stats) {
+            self.columns[column] = None; // monotone bound ⇒ rest of column dead
+        }
+    }
+
+    /// Horizontal zigzag: activate the next column in I-zigzag order. A
+    /// bound kill exhausts the horizontal direction entirely.
+    fn advance_horizontal(&mut self, budget: f64, stats: &mut DetectorStats) {
+        let Some(horiz) = self.horizontal.as_mut() else { return };
+        let Some(col_coord) = horiz.next() else {
+            self.horizontal = None;
+            return;
+        };
+        // The paper's Step 3(b) guard — "if no other constellation point in
+        // zh's PAM subconstellation is in Q" — holds by construction here:
+        // the global horizontal iterator activates each column exactly once.
+        if self.geoprune {
+            stats.bound_checks += 1;
+            // Cheapest conceivable point of the new column: same row as the
+            // slice (dQ = 0).
+            let b = self.bound(axis_offset(col_coord, self.slice.i), 0);
+            if b >= budget {
+                stats.bound_prunes += 1;
+                self.horizontal = None; // monotone in dI ⇒ all further columns dead
+                return;
+            }
+        }
+        self.activate_column(col_coord, budget, stats);
+    }
+
+    fn activate_column(&mut self, col_coord: i32, budget: f64, stats: &mut DetectorStats) {
+        let column = self.c.index_of_coord(col_coord);
+        debug_assert!(self.columns[column].is_none(), "column activated twice");
+        let mut iter = AxisZigzag::new(self.c, self.center.im);
+        let q = iter.next().expect("nonempty axis");
+        let point = GridPoint { i: col_coord, q };
+        let pushed = self.try_push(point, column, budget, stats);
+        // Keep the iterator only if the head survived; a bound kill on the
+        // column head (dQ = 0 term is 0, so this only happens via the dI
+        // term) dooms the whole column.
+        self.columns[column] = if pushed { Some(iter) } else { None };
+    }
+}
+
+impl NodeEnumerator for GeosphereEnumerator {
+    fn next_child(&mut self, budget: f64, stats: &mut DetectorStats) -> Option<Child> {
+        // Deferred successor generation for the previously explored point
+        // (paper Step 3a/3b) — runs only when the decoder actually needs
+        // another sibling, by which time the budget may already exclude it.
+        if let Some(column) = self.pending_explore.take() {
+            self.advance_column(column, budget, stats);
+            self.advance_horizontal(budget, stats);
+        }
+        // If the queue ran dry but unactivated columns remain (possible
+        // when bound kills emptied it), keep trying to activate.
+        while self.queue.is_empty() && self.horizontal.is_some() {
+            self.advance_horizontal(budget, stats);
+        }
+        let Reverse(cand) = self.queue.pop()?;
+        self.pending_explore = Some(cand.column);
+        Some(Child { point: cand.point, cost: cand.cost })
+    }
+}
+
+impl EnumeratorFactory for GeosphereFactory {
+    type Enumerator = GeosphereEnumerator;
+
+    fn make(
+        &self,
+        c: Constellation,
+        center: Complex,
+        gain: f64,
+        stats: &mut DetectorStats,
+    ) -> GeosphereEnumerator {
+        GeosphereEnumerator::new(c, center, gain, self.geometric_pruning, stats)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.geometric_pruning {
+            "Geosphere"
+        } else {
+            "Geosphere (2D zigzag only)"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(c: Constellation, center: Complex, geoprune: bool) -> (Vec<Child>, DetectorStats) {
+        let mut stats = DetectorStats::default();
+        let factory =
+            if geoprune { GeosphereFactory::full() } else { GeosphereFactory::zigzag_only() };
+        let mut e = factory.make(c, center, 1.0, &mut stats);
+        let mut out = Vec::new();
+        while let Some(ch) = e.next_child(f64::INFINITY, &mut stats) {
+            out.push(ch);
+        }
+        (out, stats)
+    }
+
+    #[test]
+    fn enumerates_all_points_in_nondecreasing_order() {
+        for c in Constellation::ALL {
+            for &(re, im) in &[
+                (0.0, 0.0),
+                (0.9, -0.4),
+                (-3.7, 2.2),
+                (16.0, -16.0),
+                (1.0, 1.0),
+                (-0.49, 5.51),
+            ] {
+                let (children, _) = drain(c, Complex::new(re, im), false);
+                assert_eq!(children.len(), c.size(), "{c:?} must enumerate everything");
+                for w in children.windows(2) {
+                    assert!(
+                        w[0].cost <= w[1].cost + 1e-12,
+                        "{c:?} at ({re},{im}): {} then {}",
+                        w[0].cost,
+                        w[1].cost
+                    );
+                }
+                let mut seen: Vec<_> = children.iter().map(|ch| (ch.point.i, ch.point.q)).collect();
+                seen.sort_unstable();
+                seen.dedup();
+                assert_eq!(seen.len(), c.size(), "{c:?}: duplicate points");
+            }
+        }
+    }
+
+    #[test]
+    fn first_child_is_the_slice() {
+        for c in Constellation::ALL {
+            let center = Complex::new(1.3, -2.2);
+            let (children, _) = drain(c, center, false);
+            assert_eq!(children[0].point, c.slice(center));
+        }
+    }
+
+    #[test]
+    fn queue_stays_within_sqrt_o() {
+        // The paper's bound: priority queue length at most √|O|.
+        let c = Constellation::Qam256;
+        let mut stats = DetectorStats::default();
+        let mut e = GeosphereFactory::zigzag_only().make(c, Complex::new(0.2, 0.7), 1.0, &mut stats);
+        for _ in 0..c.size() {
+            assert!(e.queue.len() <= c.side(), "queue grew past √|O|: {}", e.queue.len());
+            if e.next_child(f64::INFINITY, &mut stats).is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_ped_accounting() {
+        // Getting the first child of a 256-QAM node must cost exactly one
+        // PED (the slice) — not √|O| = 16 like the row-parallel scheme.
+        let mut stats = DetectorStats::default();
+        let mut e = GeosphereFactory::zigzag_only().make(
+            Constellation::Qam256,
+            Complex::new(0.2, 0.7),
+            1.0,
+            &mut stats,
+        );
+        let first = e.next_child(f64::INFINITY, &mut stats).unwrap();
+        assert_eq!(stats.ped_calcs, 1, "first child must cost a single PED");
+        assert!(first.cost >= 0.0);
+        // The second child costs at most two more PEDs (one vertical, one
+        // horizontal successor).
+        e.next_child(f64::INFINITY, &mut stats).unwrap();
+        assert!(stats.ped_calcs <= 3, "got {}", stats.ped_calcs);
+    }
+
+    #[test]
+    fn geometric_pruning_skips_peds_under_tight_budget() {
+        let c = Constellation::Qam256;
+        let center = Complex::new(0.1, -0.3);
+        let mut stats_full = DetectorStats::default();
+        let mut e = GeosphereFactory::full().make(c, center, 1.0, &mut stats_full);
+        // Tight budget: only the slice itself can fit.
+        let budget = 0.5;
+        let first = e.next_child(budget, &mut stats_full).unwrap();
+        assert_eq!(first.point, c.slice(center));
+        // Everything else is bound-pruned without exact PEDs.
+        let _ = e.next_child(budget, &mut stats_full);
+        assert!(
+            stats_full.ped_calcs <= 2,
+            "bound should avoid exact PEDs, got {}",
+            stats_full.ped_calcs
+        );
+        assert!(stats_full.bound_prunes > 0);
+    }
+
+    #[test]
+    fn pruned_and_unpruned_agree_on_surviving_order() {
+        // With a finite budget, the full variant must yield exactly the
+        // prefix of the unpruned ordering that fits the budget.
+        let c = Constellation::Qam64;
+        let center = Complex::new(2.4, -1.7);
+        let budget = 30.0;
+        let (all, _) = drain(c, center, false);
+        let expected: Vec<_> = all.iter().take_while(|ch| ch.cost < budget).collect();
+
+        let mut stats = DetectorStats::default();
+        let mut e = GeosphereFactory::full().make(c, center, 1.0, &mut stats);
+        let mut got = Vec::new();
+        while let Some(ch) = e.next_child(budget, &mut stats) {
+            if ch.cost >= budget {
+                break;
+            }
+            got.push(ch);
+        }
+        assert_eq!(got.len(), expected.len());
+        for (g, e_) in got.iter().zip(&expected) {
+            assert!((g.cost - e_.cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure6_walkthrough() {
+        // Figure 6: 16-QAM, received symbol in the cell of point a with the
+        // vertical neighbour b slightly closer than the horizontal c.
+        // Center chosen so ordering is a, b, c, d(above a), e...
+        let c = Constellation::Qam16;
+        // Slice = (1,1); vertical neighbour (1,-1) at distance ~1.6;
+        // horizontal (−1,1) at ~1.9; then (1,3) / (3,1)...
+        let center = Complex::new(0.95, 0.2);
+        let (children, _) = drain(c, center, false);
+        assert_eq!(children[0].point, GridPoint { i: 1, q: 1 }); // a
+        assert_eq!(children[1].point, GridPoint { i: 1, q: -1 }); // b (vertical)
+        assert_eq!(children[2].point, GridPoint { i: -1, q: 1 }); // c (horizontal)
+    }
+}

@@ -1,0 +1,172 @@
+//! The ETH-SD enumerator: Hess et al. row-subconstellation zigzag.
+//!
+//! The comparison decoder of the paper's §5.3: "we base our implementation
+//! of ETH-SD on the VLSI implementation of Burg et al., but … we use the
+//! superior method of Hess et al.: Hess' method splits the QAM
+//! constellation into horizontal subconstellations, performs an
+//! one-dimensional zigzag, and then compares Euclidean distances across
+//! all subconstellations."
+//!
+//! Enumeration is exact (same child order as Geosphere), but the cost
+//! profile differs: the first child of a node requires computing the head
+//! PED of **every** row — √|O| distance calculations — whereas Geosphere
+//! pays one. This is precisely the gap Figures 14 and 15 measure.
+
+use crate::sphere::enumerator::{Child, EnumeratorFactory, NodeEnumerator};
+use crate::stats::DetectorStats;
+use gs_linalg::Complex;
+use gs_modulation::{AxisZigzag, Constellation, GridPoint};
+
+/// Factory for ETH-SD (Hess) enumerators.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HessFactory;
+
+/// Per-row state: the row's current head candidate and its 1-D zigzag.
+struct Row {
+    /// Fixed Q coordinate of this horizontal subconstellation.
+    q: i32,
+    /// Remaining I levels in zigzag order.
+    iter: AxisZigzag,
+    /// Current head candidate cost; `None` when the row is exhausted.
+    head: Option<(GridPoint, f64)>,
+}
+
+/// The ETH-SD per-node enumerator.
+pub struct HessEnumerator {
+    rows: Vec<Row>,
+    /// Rows are initialized lazily on the first `next_child` so that a node
+    /// that is never queried costs nothing.
+    initialized: bool,
+    c: Constellation,
+    center: Complex,
+    gain: f64,
+}
+
+impl HessEnumerator {
+    fn init(&mut self, stats: &mut DetectorStats) {
+        // One slice for the in-phase axis; each row head shares the sliced
+        // I coordinate but needs its own distance computation.
+        stats.slices += 1;
+        for q in self.c.axis_levels() {
+            let mut iter = AxisZigzag::new(self.c, self.center.re);
+            let i = iter.next().expect("nonempty axis");
+            let point = GridPoint { i, q };
+            let cost = self.gain * point.dist_sqr(self.center);
+            stats.ped_calcs += 1;
+            self.rows.push(Row { q, iter, head: Some((point, cost)) });
+        }
+        self.initialized = true;
+    }
+}
+
+impl NodeEnumerator for HessEnumerator {
+    fn next_child(&mut self, _budget: f64, stats: &mut DetectorStats) -> Option<Child> {
+        if !self.initialized {
+            self.init(stats);
+        }
+        // Compare the head of every row; take the global minimum.
+        let best_row = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(k, r)| r.head.map(|(_, cost)| (k, cost)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))?
+            .0;
+        let (point, cost) = self.rows[best_row].head.take().expect("head just observed");
+        // Replenish the winning row from its zigzag.
+        if let Some(i) = self.rows[best_row].iter.next() {
+            let p = GridPoint { i, q: self.rows[best_row].q };
+            let c = self.gain * p.dist_sqr(self.center);
+            stats.ped_calcs += 1;
+            self.rows[best_row].head = Some((p, c));
+        }
+        Some(Child { point, cost })
+    }
+}
+
+impl EnumeratorFactory for HessFactory {
+    type Enumerator = HessEnumerator;
+
+    fn make(
+        &self,
+        c: Constellation,
+        center: Complex,
+        gain: f64,
+        _stats: &mut DetectorStats,
+    ) -> HessEnumerator {
+        HessEnumerator {
+            rows: Vec::with_capacity(c.side()),
+            initialized: false,
+            c,
+            center,
+            gain,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ETH-SD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sphere::geosphere_enum::GeosphereFactory;
+
+    fn drain<F: EnumeratorFactory>(f: &F, c: Constellation, center: Complex) -> (Vec<Child>, DetectorStats) {
+        let mut stats = DetectorStats::default();
+        let mut e = f.make(c, center, 1.0, &mut stats);
+        let mut out = Vec::new();
+        while let Some(ch) = e.next_child(f64::INFINITY, &mut stats) {
+            out.push(ch);
+        }
+        (out, stats)
+    }
+
+    #[test]
+    fn enumerates_all_points_sorted() {
+        for c in Constellation::ALL {
+            for &(re, im) in &[(0.0, 0.0), (1.4, -0.8), (-9.0, 9.0), (0.2, 3.3)] {
+                let (children, _) = drain(&HessFactory, c, Complex::new(re, im));
+                assert_eq!(children.len(), c.size());
+                for w in children.windows(2) {
+                    assert!(w[0].cost <= w[1].cost + 1e-12, "{c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_child_costs_sqrt_o_peds() {
+        // The structural difference vs Geosphere: ETH-SD pays √|O| PEDs for
+        // the first child of a node.
+        let c = Constellation::Qam256;
+        let mut stats = DetectorStats::default();
+        let mut e = HessFactory.make(c, Complex::new(0.2, 0.7), 1.0, &mut stats);
+        e.next_child(f64::INFINITY, &mut stats).unwrap();
+        assert_eq!(stats.ped_calcs, 16 + 1, "16 row heads + 1 replenish");
+    }
+
+    #[test]
+    fn agrees_with_geosphere_ordering() {
+        // Identical exact enumeration order (cost sequence) — the property
+        // behind "each of the above sphere decoders visit the same number
+        // of nodes" (Fig. 15 note).
+        for c in Constellation::ALL {
+            for &(re, im) in &[(0.3, -0.2), (2.6, 1.1), (-1.9, -3.4)] {
+                let center = Complex::new(re, im);
+                let (hess, _) = drain(&HessFactory, c, center);
+                let (geo, _) = drain(&GeosphereFactory::zigzag_only(), c, center);
+                assert_eq!(hess.len(), geo.len());
+                for (h, g) in hess.iter().zip(&geo) {
+                    assert!(
+                        (h.cost - g.cost).abs() < 1e-12,
+                        "{c:?} at {center:?}: {} vs {}",
+                        h.cost,
+                        g.cost
+                    );
+                }
+            }
+        }
+    }
+}

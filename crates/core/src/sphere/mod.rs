@@ -1,0 +1,11 @@
+//! Depth-first sphere decoding: shared engine + pluggable enumerators.
+
+pub mod engine;
+pub mod enumerator;
+pub mod geosphere_enum;
+pub mod hess_enum;
+
+pub use engine::SphereDecoder;
+pub use enumerator::{Child, EnumeratorFactory, ExhaustiveSortFactory, NodeEnumerator};
+pub use geosphere_enum::GeosphereFactory;
+pub use hess_enum::HessFactory;

@@ -1,0 +1,128 @@
+//! Detector operation counters (the paper's complexity metrics, §5.3).
+//!
+//! The paper's primary complexity measure is the number of **partial
+//! Euclidean distance (PED) calculations**, "since the dominant part of the
+//! additional computation is partial Euclidean distance calculations, this
+//! metric tracks overall complexity accurately". The secondary measure is
+//! **visited nodes** — identical across all Schnorr–Euchner decoders, which
+//! the paper uses to argue Geosphere keeps one-node-per-cycle hardware
+//! throughput.
+
+use std::ops::{Add, AddAssign};
+
+/// Operation counts accumulated during one or more detections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DetectorStats {
+    /// Exact partial Euclidean distance computations (the paper's primary
+    /// complexity metric).
+    pub ped_calcs: u64,
+    /// Tree nodes the search descended into (including leaves).
+    pub visited_nodes: u64,
+    /// Slicing operations (nearest-point quantizations).
+    pub slices: u64,
+    /// Geometric lower-bound table lookups (Eq. 9).
+    pub bound_checks: u64,
+    /// Branches excluded by the geometric bound alone, with no exact PED.
+    pub bound_prunes: u64,
+    /// Complex multiplications performed by linear front-ends (ZF/MMSE
+    /// filtering); lets the ZF-vs-sphere comparison of §5.3 be made in one
+    /// unit.
+    pub complex_mults: u64,
+}
+
+impl DetectorStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        DetectorStats::default()
+    }
+
+    /// Merges counts from another detection.
+    pub fn merge(&mut self, other: &DetectorStats) {
+        *self += *other;
+    }
+}
+
+impl Add for DetectorStats {
+    type Output = DetectorStats;
+    fn add(self, o: DetectorStats) -> DetectorStats {
+        DetectorStats {
+            ped_calcs: self.ped_calcs + o.ped_calcs,
+            visited_nodes: self.visited_nodes + o.visited_nodes,
+            slices: self.slices + o.slices,
+            bound_checks: self.bound_checks + o.bound_checks,
+            bound_prunes: self.bound_prunes + o.bound_prunes,
+            complex_mults: self.complex_mults + o.complex_mults,
+        }
+    }
+}
+
+impl AddAssign for DetectorStats {
+    fn add_assign(&mut self, o: DetectorStats) {
+        *self = *self + o;
+    }
+}
+
+/// Averages a stats accumulator over `n` detections (e.g. per subcarrier,
+/// as the paper reports).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AverageStats {
+    /// Average exact PED calculations.
+    pub ped_calcs: f64,
+    /// Average visited nodes.
+    pub visited_nodes: f64,
+    /// Average slicing operations.
+    pub slices: f64,
+    /// Average geometric-bound lookups.
+    pub bound_checks: f64,
+    /// Average bound-only prunes.
+    pub bound_prunes: f64,
+    /// Average complex multiplications.
+    pub complex_mults: f64,
+}
+
+impl AverageStats {
+    /// Divides accumulated totals by the number of detections.
+    pub fn from_total(total: DetectorStats, n: u64) -> Self {
+        let n = n.max(1) as f64;
+        AverageStats {
+            ped_calcs: total.ped_calcs as f64 / n,
+            visited_nodes: total.visited_nodes as f64 / n,
+            slices: total.slices as f64 / n,
+            bound_checks: total.bound_checks as f64 / n,
+            bound_prunes: total.bound_prunes as f64 / n,
+            complex_mults: total.complex_mults as f64 / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_merge() {
+        let a = DetectorStats { ped_calcs: 3, visited_nodes: 2, ..Default::default() };
+        let b = DetectorStats { ped_calcs: 5, slices: 1, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.ped_calcs, 8);
+        assert_eq!(c.visited_nodes, 2);
+        assert_eq!(c.slices, 1);
+        let mut d = a;
+        d.merge(&b);
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn averaging() {
+        let total = DetectorStats { ped_calcs: 100, visited_nodes: 40, ..Default::default() };
+        let avg = AverageStats::from_total(total, 10);
+        assert!((avg.ped_calcs - 10.0).abs() < 1e-12);
+        assert!((avg.visited_nodes - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_of_zero_detections_is_safe() {
+        let avg = AverageStats::from_total(DetectorStats::default(), 0);
+        assert_eq!(avg.ped_calcs, 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! In-place radix-2 FFT.
+//!
+//! Used to turn tapped-delay-line channel impulse responses into
+//! per-subcarrier frequency responses (the OFDM channels the detectors see),
+//! and by the OFDM modulator in `gs-phy`.
+
+use crate::complex::Complex;
+
+/// Forward DFT, in place. Length must be a power of two.
+///
+/// Convention: `X[k] = Σ_n x[n]·e^{−2πi kn/N}` (no normalization).
+pub fn fft(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// Inverse DFT, in place, including the `1/N` normalization so that
+/// `ifft(fft(x)) == x`.
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = *z / n;
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Cooley–Tukey butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::cis(ang);
+        let mut start = 0;
+        while start < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Frequency response of a (short) impulse response over `n_fft` bins:
+/// zero-pads `taps` to `n_fft` and returns the forward DFT.
+pub fn frequency_response(taps: &[Complex], n_fft: usize) -> Vec<Complex> {
+    assert!(taps.len() <= n_fft, "impulse response longer than FFT size");
+    let mut buf = vec![Complex::ZERO; n_fft];
+    buf[..taps.len()].copy_from_slice(taps);
+    fft(&mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < tol, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft(&mut data);
+        for z in &data {
+            assert!((*z - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut data = vec![Complex::ONE; 8];
+        fft(&mut data);
+        assert!((data[0] - Complex::real(8.0)).abs() < 1e-12);
+        for z in &data[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let orig: Vec<Complex> =
+            (0..64).map(|k| Complex::new((k as f64).sin(), (k as f64 * 0.7).cos())).collect();
+        let mut data = orig.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        assert_close(&data, &orig, 1e-10);
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex> =
+            (0..16).map(|k| Complex::new(k as f64 * 0.25 - 1.0, (k as f64 * 0.5).sin())).collect();
+        let mut fast = x.clone();
+        fft(&mut fast);
+        for k in 0..16 {
+            let mut acc = Complex::ZERO;
+            for (n, &xn) in x.iter().enumerate() {
+                acc += xn * Complex::cis(-std::f64::consts::TAU * (k * n) as f64 / 16.0);
+            }
+            assert!((fast[k] - acc).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let x: Vec<Complex> = (0..32).map(|k| Complex::new((k as f64).cos(), 0.3 * k as f64)).collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = x.clone();
+        fft(&mut freq);
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn single_tap_frequency_response_is_flat() {
+        let h = frequency_response(&[Complex::new(0.5, -0.5)], 16);
+        for z in &h {
+            assert!((*z - Complex::new(0.5, -0.5)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn delay_tap_is_linear_phase() {
+        // h[n] = delta[n-1] => H[k] = e^{-2pi i k / N}.
+        let h = frequency_response(&[Complex::ZERO, Complex::ONE], 8);
+        for (k, z) in h.iter().enumerate() {
+            let expect = Complex::cis(-std::f64::consts::TAU * k as f64 / 8.0);
+            assert!((*z - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Complex::ZERO; 6];
+        fft(&mut data);
+    }
+}

@@ -1,0 +1,271 @@
+//! Householder QR decomposition of complex matrices.
+//!
+//! The sphere decoder (paper §2.2) requires `H = QR` with `Q* Q = I` and `R`
+//! upper-triangular. We additionally normalize the decomposition so that the
+//! diagonal of `R` is **real and non-negative**: the Geosphere enumeration
+//! divides by `r_ll` (Eq. 8), and a positive real diagonal turns that into a
+//! cheap real division while leaving `‖ŷ − Rs‖` unchanged.
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+
+/// The result of a thin QR decomposition `H = Q R`.
+///
+/// For an `m × n` input with `m ≥ n`, `q` is `m × n` with orthonormal
+/// columns and `r` is `n × n` upper-triangular with a real, non-negative
+/// diagonal.
+#[derive(Clone, Debug)]
+pub struct Qr {
+    /// Orthonormal factor (`m × n`, thin).
+    pub q: Matrix,
+    /// Upper-triangular factor (`n × n`), real non-negative diagonal.
+    pub r: Matrix,
+}
+
+impl Qr {
+    /// Applies `Q*` to a received vector: `ŷ = Q* y` (paper Eq. 3).
+    pub fn rotate(&self, y: &[Complex]) -> Vec<Complex> {
+        self.q.hermitian().mul_vec(y)
+    }
+
+    /// Reconstructs `Q R`, for testing and diagnostics.
+    pub fn reconstruct(&self) -> Matrix {
+        self.q.mul_mat(&self.r)
+    }
+}
+
+/// Computes the thin Householder QR decomposition of `h`.
+///
+/// # Panics
+/// Panics if `h` has fewer rows than columns (the MIMO uplink always has
+/// `na ≥ nc`; rank-deficient "generalized sphere decoder" setups are out of
+/// scope, as in the paper §6.1).
+pub fn qr_decompose(h: &Matrix) -> Qr {
+    let (m, n) = h.shape();
+    assert!(m >= n, "QR requires rows >= cols (na >= nc), got {m}x{n}");
+
+    // Work on a full copy; accumulate the reflections into q_full.
+    let mut r_full = h.clone();
+    let mut q_full = Matrix::identity(m);
+
+    for k in 0..n {
+        // Householder vector for column k, rows k..m.
+        let mut x: Vec<Complex> = (k..m).map(|i| r_full[(i, k)]).collect();
+        let xnorm = x.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if xnorm < f64::EPSILON {
+            continue;
+        }
+        // alpha = -sign(x0) * |x|, where sign(z) = z/|z| (phase); this choice
+        // avoids cancellation and makes the pivot -phase(x0)*|x|.
+        let x0 = x[0];
+        let phase = if x0.abs() < f64::EPSILON { Complex::ONE } else { x0 / x0.abs() };
+        let alpha = -phase * xnorm;
+        x[0] -= alpha;
+        let vnorm_sqr: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        if vnorm_sqr < f64::EPSILON * f64::EPSILON {
+            continue;
+        }
+
+        // Apply I - 2 v v*/|v|^2 to the trailing block of R (columns k..n).
+        for c in k..n {
+            let dot: Complex = (k..m).map(|i| x[i - k].conj() * r_full[(i, c)]).sum();
+            let f = dot.scale(2.0 / vnorm_sqr);
+            for i in k..m {
+                let delta = x[i - k] * f;
+                r_full[(i, c)] -= delta;
+            }
+        }
+        // Accumulate into Q (apply reflection on the right of q_full).
+        for rrow in 0..m {
+            let dot: Complex = (k..m).map(|i| q_full[(rrow, i)] * x[i - k]).sum();
+            let f = dot.scale(2.0 / vnorm_sqr);
+            for i in k..m {
+                let delta = f * x[i - k].conj();
+                q_full[(rrow, i)] -= delta;
+            }
+        }
+    }
+
+    // Thin factors.
+    let mut q = Matrix::from_fn(m, n, |r, c| q_full[(r, c)]);
+    let mut r = Matrix::from_fn(n, n, |rr, cc| if rr <= cc { r_full[(rr, cc)] } else { Complex::ZERO });
+
+    // Normalize so diag(R) is real and non-negative: R <- D* R, Q <- Q D,
+    // with D = diag(phase(r_kk)).
+    for k in 0..n {
+        let d = r[(k, k)];
+        if d.abs() < f64::EPSILON {
+            continue;
+        }
+        let phase = d / d.abs();
+        let phase_conj = phase.conj();
+        for c in k..n {
+            r[(k, c)] = phase_conj * r[(k, c)];
+        }
+        for rr in 0..m {
+            q[(rr, k)] *= phase;
+        }
+    }
+    Qr { q, r }
+}
+
+/// A sorted QR decomposition: columns of `H` are permuted before QR so that
+/// detection proceeds from the strongest stream (largest post-QR diagonal)
+/// at the tree root. `perm[i]` gives the original column index of permuted
+/// column `i`.
+///
+/// Sorted QR (V-BLAST style norm ordering) is the standard preprocessing for
+/// SIC-type and sphere detectors; the sphere decoders in this workspace can
+/// run with or without it.
+#[derive(Clone, Debug)]
+pub struct SortedQr {
+    /// The QR factors of the permuted matrix.
+    pub qr: Qr,
+    /// `perm[i]` = original column of permuted column `i`.
+    pub perm: Vec<usize>,
+}
+
+impl SortedQr {
+    /// Restores a detected symbol vector to the original stream order.
+    pub fn unpermute<T: Copy + Default>(&self, s: &[T]) -> Vec<T> {
+        let mut out = vec![T::default(); s.len()];
+        for (i, &p) in self.perm.iter().enumerate() {
+            out[p] = s[i];
+        }
+        out
+    }
+}
+
+/// QR with column-norm sorting: weakest column first so the *last* detected
+/// level (tree root) carries the largest diagonal.
+///
+/// Sorting ascending by column norm puts low-confidence streams deep in the
+/// tree where the sphere search can compensate, which empirically reduces
+/// visited nodes for every Schnorr–Euchner decoder.
+pub fn sorted_qr_decompose(h: &Matrix) -> SortedQr {
+    let n = h.cols();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut norms: Vec<f64> = (0..n)
+        .map(|c| h.col(c).iter().map(|z| z.norm_sqr()).sum())
+        .collect();
+    // Ascending column norms: weakest stream detected first in natural
+    // column order = last in the tree walk.
+    perm.sort_by(|&a, &b| norms[a].partial_cmp(&norms[b]).unwrap());
+    norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let permuted = Matrix::from_fn(h.rows(), n, |r, c| h[(r, perm[c])]);
+    SortedQr { qr: qr_decompose(&permuted), perm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, |_, _| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, n) in &[(2, 2), (4, 4), (4, 2), (8, 4), (10, 10), (3, 1)] {
+            let h = random_matrix(&mut rng, m, n);
+            let qr = qr_decompose(&h);
+            assert!(
+                qr.reconstruct().max_abs_diff(&h) < 1e-10,
+                "QR reconstruction failed for {m}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for &(m, n) in &[(2, 2), (4, 4), (6, 3), (10, 10)] {
+            let h = random_matrix(&mut rng, m, n);
+            let qr = qr_decompose(&h);
+            let gram = qr.q.gram();
+            assert!(gram.max_abs_diff(&Matrix::identity(n)) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_positive_diagonal() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let h = random_matrix(&mut rng, 4, 4);
+            let qr = qr_decompose(&h);
+            for r in 0..4 {
+                for c in 0..4 {
+                    if r > c {
+                        assert!(qr.r[(r, c)].abs() < 1e-12, "R not triangular");
+                    }
+                }
+                assert!(qr.r[(r, r)].im.abs() < 1e-12, "diag not real");
+                assert!(qr.r[(r, r)].re >= 0.0, "diag negative");
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_preserves_residual_norm() {
+        // ||y - Hs||^2 = ||Q*y - Rs||^2 + const for any s, when na == nc the
+        // const vanishes; check the na == nc case numerically.
+        let mut rng = StdRng::seed_from_u64(10);
+        let h = random_matrix(&mut rng, 4, 4);
+        let qr = qr_decompose(&h);
+        let s: Vec<Complex> =
+            (0..4).map(|_| Complex::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0))).collect();
+        let y: Vec<Complex> =
+            (0..4).map(|_| Complex::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0))).collect();
+        let lhs = crate::matrix::vec_dist_sqr(&y, &h.mul_vec(&s));
+        let yhat = qr.rotate(&y);
+        let rhs = crate::matrix::vec_dist_sqr(&yhat, &qr.r.mul_vec(&s));
+        assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn sorted_qr_unpermute_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let h = random_matrix(&mut rng, 4, 4);
+        let sqr = sorted_qr_decompose(&h);
+        // Reconstruct permuted H and check column mapping.
+        let rec = sqr.qr.reconstruct();
+        for c in 0..4 {
+            for r in 0..4 {
+                assert!((rec[(r, c)] - h[(r, sqr.perm[c])]).abs() < 1e-10);
+            }
+        }
+        // unpermute puts values back.
+        let vals: Vec<usize> = (0..4).collect();
+        let restored = sqr.unpermute(&vals);
+        for (i, &p) in sqr.perm.iter().enumerate() {
+            assert_eq!(restored[p], vals[i]);
+        }
+    }
+
+    #[test]
+    fn sorted_qr_diagonal_ordering_tends_ascending() {
+        // With ascending column-norm sorting the first diagonal entry should
+        // not exceed the norm of the largest column.
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10 {
+            let h = random_matrix(&mut rng, 4, 4);
+            let sqr = sorted_qr_decompose(&h);
+            let d0 = sqr.qr.r[(0, 0)].re;
+            let max_norm = (0..4)
+                .map(|c| h.col(c).iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt())
+                .fold(0.0, f64::max);
+            assert!(d0 <= max_norm + 1e-9);
+        }
+    }
+
+    #[test]
+    fn qr_of_identity() {
+        let qr = qr_decompose(&Matrix::identity(3));
+        assert!(qr.q.max_abs_diff(&Matrix::identity(3)) < 1e-12);
+        assert!(qr.r.max_abs_diff(&Matrix::identity(3)) < 1e-12);
+    }
+}

@@ -1,0 +1,109 @@
+//! Fast symbol↔bit-pattern lookups for soft-output detection.
+//!
+//! The soft sphere decoder needs to test "what is bit `k` of this
+//! constellation point" millions of times; going through the `Vec<bool>`
+//! mapping would allocate per query. This module packs each point's Gray
+//! bits into a `u16` (MSB-first within the symbol, matching
+//! [`crate::gray::unmap_point`]).
+
+use crate::constellation::{Constellation, GridPoint};
+use crate::gray::unmap_point;
+
+/// Bits of a constellation point packed into a `u16`, MSB-first: bit
+/// index 0 (as used by [`bit_of_point`]) is the most significant of the
+/// `Q` bits.
+pub fn pack_point_bits(c: Constellation, p: GridPoint) -> u16 {
+    unmap_point(c, p)
+        .into_iter()
+        .fold(0u16, |acc, b| (acc << 1) | b as u16)
+}
+
+/// Bit `k` (0 = first/MSB of the symbol's `Q` bits) of a constellation
+/// point, without allocation.
+#[inline]
+pub fn bit_of_point(c: Constellation, p: GridPoint, k: usize) -> bool {
+    debug_assert!(k < c.bits_per_symbol());
+    let packed = pack_point_bits(c, p);
+    (packed >> (c.bits_per_symbol() - 1 - k)) & 1 == 1
+}
+
+/// A precomputed point→bits table for one constellation, indexed by
+/// `(level index of I) * side + (level index of Q)`.
+#[derive(Clone, Debug)]
+pub struct BitTable {
+    c: Constellation,
+    packed: Vec<u16>,
+}
+
+impl BitTable {
+    /// Builds the table for a constellation (|O| entries).
+    pub fn new(c: Constellation) -> Self {
+        let side = c.side();
+        let mut packed = vec![0u16; side * side];
+        for p in c.points() {
+            let idx = c.index_of_coord(p.i) * side + c.index_of_coord(p.q);
+            packed[idx] = pack_point_bits(c, p);
+        }
+        BitTable { c, packed }
+    }
+
+    /// The packed bits of a point.
+    #[inline]
+    pub fn packed(&self, p: GridPoint) -> u16 {
+        let side = self.c.side();
+        self.packed[self.c.index_of_coord(p.i) * side + self.c.index_of_coord(p.q)]
+    }
+
+    /// Bit `k` (MSB-first) of a point.
+    #[inline]
+    pub fn bit(&self, p: GridPoint, k: usize) -> bool {
+        (self.packed(p) >> (self.c.bits_per_symbol() - 1 - k)) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_matches_unmap() {
+        for c in Constellation::ALL {
+            for p in c.points() {
+                let bits = unmap_point(c, p);
+                let packed = pack_point_bits(c, p);
+                for (k, &b) in bits.iter().enumerate() {
+                    assert_eq!(
+                        (packed >> (c.bits_per_symbol() - 1 - k)) & 1 == 1,
+                        b,
+                        "{c:?} {p:?} bit {k}"
+                    );
+                    assert_eq!(bit_of_point(c, p, k), b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_direct() {
+        for c in Constellation::ALL {
+            let table = BitTable::new(c);
+            for p in c.points() {
+                assert_eq!(table.packed(p), pack_point_bits(c, p));
+                for k in 0..c.bits_per_symbol() {
+                    assert_eq!(table.bit(p, k), bit_of_point(c, p, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_values_unique() {
+        for c in Constellation::ALL {
+            let mut seen = std::collections::HashSet::new();
+            for p in c.points() {
+                assert!(seen.insert(pack_point_bits(c, p)), "{c:?}: duplicate bit pattern");
+            }
+            assert_eq!(seen.len(), c.size());
+        }
+    }
+}

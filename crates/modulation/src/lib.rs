@@ -1,0 +1,31 @@
+//! # gs-modulation
+//!
+//! Square QAM constellations and bit mappings for the Geosphere workspace.
+//!
+//! Everything operates on the **odd-integer grid** (points at
+//! `{±1, ±3, …}²`, spacing 2 — the paper's Figure 7 geometry). Power
+//! normalization is a scalar ([`Constellation::scale`]) that the PHY folds
+//! into the channel matrix, so detectors see integer-valued constellations
+//! and the geometric pruning table of Eq. 9 applies exactly.
+//!
+//! ```
+//! use gs_modulation::{Constellation, map_bits, unmap_point};
+//!
+//! let c = Constellation::Qam16;
+//! let p = map_bits(c, &[true, false, false, true]);
+//! assert_eq!(unmap_point(c, p), vec![true, false, false, true]);
+//! assert_eq!(c.slice(p.to_complex()), p);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod constellation;
+pub mod gray;
+pub mod zigzag;
+
+pub use bits::{bit_of_point, pack_point_bits, BitTable};
+pub use constellation::{Constellation, GridPoint};
+pub use gray::{gray_decode, gray_encode, map_bits, map_bitstream, unmap_point, unmap_points};
+pub use zigzag::AxisZigzag;

@@ -1,0 +1,152 @@
+//! One-dimensional (PAM) zigzag enumeration.
+//!
+//! The zigzag rule of the paper's Figure 4 (left): starting from the sliced
+//! level, visit the remaining levels of a PAM (sub)constellation in
+//! nondecreasing distance from a continuous target, alternating sides. This
+//! iterator is the shared building block of both Geosphere's 2-D zigzag
+//! (vertical *and* horizontal legs) and the ETH-SD/Hess row enumeration.
+
+use crate::constellation::Constellation;
+
+/// Iterator over the axis levels of a constellation in nondecreasing
+/// distance from a continuous target coordinate.
+#[derive(Clone, Debug)]
+pub struct AxisZigzag {
+    constellation: Constellation,
+    /// Continuous target (e.g. `ỹ` projected on this axis).
+    target: f64,
+    /// Next candidate below the target (level index), if any remain.
+    lo: Option<usize>,
+    /// Next candidate at-or-above the target (level index), if any remain.
+    hi: Option<usize>,
+}
+
+impl AxisZigzag {
+    /// Starts a zigzag toward `target` on the axis levels of `c`.
+    pub fn new(c: Constellation, target: f64) -> Self {
+        let first = c.index_of_coord(c.slice_axis(target));
+        // Split the level line at the sliced index: `hi` walks up from the
+        // slice, `lo` walks down from just below it.
+        let (lo, hi) = (first.checked_sub(1), Some(first));
+        let mut z = AxisZigzag { constellation: c, target, lo, hi };
+        // Decide which side the slice actually belongs to so alternation is
+        // seeded correctly (the slice is returned first regardless).
+        if (c.coord_of_index(first) as f64) > target {
+            // Slice is above target: treat it as the hi side (already is).
+        }
+        z.normalize();
+        z
+    }
+
+    fn normalize(&mut self) {
+        if let Some(hi) = self.hi {
+            if hi >= self.constellation.side() {
+                self.hi = None;
+            }
+        }
+    }
+
+    fn dist(&self, idx: usize) -> f64 {
+        (self.constellation.coord_of_index(idx) as f64 - self.target).abs()
+    }
+
+    /// Number of levels not yet yielded.
+    pub fn remaining(&self) -> usize {
+        let lo = self.lo.map_or(0, |l| l + 1);
+        let hi = self.hi.map_or(0, |h| self.constellation.side() - h);
+        lo + hi
+    }
+}
+
+impl Iterator for AxisZigzag {
+    type Item = i32;
+
+    fn next(&mut self) -> Option<i32> {
+        let pick_lo = match (self.lo, self.hi) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(l), Some(h)) => self.dist(l) < self.dist(h),
+        };
+        if pick_lo {
+            let l = self.lo.unwrap();
+            self.lo = l.checked_sub(1);
+            Some(self.constellation.coord_of_index(l))
+        } else {
+            let h = self.hi.unwrap();
+            self.hi = if h + 1 < self.constellation.side() { Some(h + 1) } else { None };
+            Some(self.constellation.coord_of_index(h))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = self.remaining();
+        (r, Some(r))
+    }
+}
+
+impl ExactSizeIterator for AxisZigzag {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_order(c: Constellation, target: f64) {
+        let order: Vec<i32> = AxisZigzag::new(c, target).collect();
+        assert_eq!(order.len(), c.side(), "must enumerate all levels");
+        // Distances must be nondecreasing.
+        for w in order.windows(2) {
+            let d0 = (w[0] as f64 - target).abs();
+            let d1 = (w[1] as f64 - target).abs();
+            assert!(d0 <= d1 + 1e-12, "{c:?} target {target}: {order:?}");
+        }
+        // All levels present exactly once.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, c.axis_levels());
+    }
+
+    #[test]
+    fn enumerates_in_nondecreasing_distance() {
+        for c in Constellation::ALL {
+            for &t in &[-100.0, -2.3, -1.0, -0.2, 0.0, 0.4, 1.0, 1.7, 2.0, 3.6, 100.0] {
+                check_order(c, t);
+            }
+        }
+    }
+
+    #[test]
+    fn first_is_slice() {
+        for c in Constellation::ALL {
+            for &t in &[-5.2, -0.3, 0.9, 4.4] {
+                let first = AxisZigzag::new(c, t).next().unwrap();
+                assert_eq!(first, c.slice_axis(t));
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_example_order() {
+        // Figure 4 (left): 4-PAM levels, target between the two middle
+        // levels, slightly right of centre: slice = 1, then -1, then 3, -3.
+        let order: Vec<i32> = AxisZigzag::new(Constellation::Qam16, 0.4).collect();
+        assert_eq!(order, vec![1, -1, 3, -3]);
+    }
+
+    #[test]
+    fn edge_target_walks_inward() {
+        let order: Vec<i32> = AxisZigzag::new(Constellation::Qam16, 9.0).collect();
+        assert_eq!(order, vec![3, 1, -1, -3]);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut z = AxisZigzag::new(Constellation::Qam64, 0.3);
+        for left in (0..8).rev() {
+            assert_eq!(z.remaining(), left + 1);
+            z.next();
+        }
+        assert_eq!(z.remaining(), 0);
+        assert_eq!(z.next(), None);
+    }
+}

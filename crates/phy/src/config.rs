@@ -1,0 +1,122 @@
+//! PHY configuration and rate accounting.
+
+use gs_coding::CodeRate;
+use gs_modulation::Constellation;
+
+/// OFDM symbol duration (s): 3.2 µs useful + 0.8 µs cyclic prefix, the
+/// 802.11a/g/n numerology of the paper's 20 MHz channel.
+pub const OFDM_SYMBOL_SECONDS: f64 = 4.0e-6;
+/// Data subcarriers per OFDM symbol.
+pub const DATA_SUBCARRIERS: usize = 48;
+/// FFT size of the 20 MHz OFDM numerology.
+pub const FFT_SIZE: usize = 64;
+/// Cyclic prefix length in samples.
+pub const CYCLIC_PREFIX: usize = 16;
+
+/// Static PHY parameters for one transmission.
+#[derive(Clone, Copy, Debug)]
+pub struct PhyConfig {
+    /// Constellation used on every data subcarrier.
+    pub constellation: Constellation,
+    /// Convolutional code rate.
+    pub code_rate: CodeRate,
+    /// Data subcarriers per OFDM symbol.
+    pub n_subcarriers: usize,
+    /// Information payload bits per client frame (before CRC/tail/padding).
+    pub payload_bits: usize,
+}
+
+impl PhyConfig {
+    /// The paper's §4 configuration: rate-1/2 coding over 48 subcarriers,
+    /// with a simulation-friendly 2048-bit payload.
+    pub fn new(constellation: Constellation) -> Self {
+        PhyConfig {
+            constellation,
+            code_rate: CodeRate::Half,
+            n_subcarriers: DATA_SUBCARRIERS,
+            payload_bits: 2048,
+        }
+    }
+
+    /// Coded bits per OFDM symbol per stream (`N_CBPS`).
+    pub fn n_cbps(&self) -> usize {
+        self.n_subcarriers * self.constellation.bits_per_symbol()
+    }
+
+    /// Information (data) bits per OFDM symbol per stream (`N_DBPS`).
+    pub fn n_dbps(&self) -> usize {
+        self.n_cbps() * self.code_rate.numerator() / self.code_rate.denominator()
+    }
+
+    /// Per-stream PHY bit rate in Mbps (the 802.11 rate table generalized:
+    /// e.g. 64-QAM rate-1/2 over 48 subcarriers = 36 Mbps).
+    pub fn phy_rate_mbps(&self) -> f64 {
+        self.n_dbps() as f64 / OFDM_SYMBOL_SECONDS / 1e6
+    }
+
+    /// Number of OFDM symbols a frame occupies, after CRC, tail, and
+    /// pad-to-symbol-boundary accounting.
+    pub fn n_ofdm_symbols(&self) -> usize {
+        // payload + 32 CRC bits + pad, then 6 tail bits, must fill whole
+        // OFDM symbols of N_DBPS information bits each.
+        let base = self.payload_bits + 32 + gs_coding::conv::CONSTRAINT - 1;
+        base.div_ceil(self.n_dbps())
+    }
+
+    /// Total information bits carried (payload + CRC + tail + pad).
+    pub fn total_info_bits(&self) -> usize {
+        self.n_ofdm_symbols() * self.n_dbps()
+    }
+
+    /// Pad bits appended after the CRC so the tail lands on an OFDM symbol
+    /// boundary.
+    pub fn pad_bits(&self) -> usize {
+        self.total_info_bits() - self.payload_bits - 32 - (gs_coding::conv::CONSTRAINT - 1)
+    }
+
+    /// Frame airtime in seconds.
+    pub fn airtime_seconds(&self) -> f64 {
+        self.n_ofdm_symbols() as f64 * OFDM_SYMBOL_SECONDS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_table_matches_80211() {
+        // Classic 802.11a rates: QPSK 1/2 = 12 Mbps, 16-QAM 1/2 = 24 Mbps,
+        // 64-QAM 1/2 = 36 Mbps (and 3/4 = 54 Mbps).
+        assert!((PhyConfig::new(Constellation::Qpsk).phy_rate_mbps() - 12.0).abs() < 1e-9);
+        assert!((PhyConfig::new(Constellation::Qam16).phy_rate_mbps() - 24.0).abs() < 1e-9);
+        assert!((PhyConfig::new(Constellation::Qam64).phy_rate_mbps() - 36.0).abs() < 1e-9);
+        let mut cfg54 = PhyConfig::new(Constellation::Qam64);
+        cfg54.code_rate = CodeRate::ThreeQuarters;
+        assert!((cfg54.phy_rate_mbps() - 54.0).abs() < 1e-9);
+        assert!((PhyConfig::new(Constellation::Qam256).phy_rate_mbps() - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_fills_whole_symbols() {
+        for c in Constellation::ALL {
+            let cfg = PhyConfig::new(c);
+            let total = cfg.total_info_bits();
+            assert_eq!(total % cfg.n_dbps(), 0);
+            assert_eq!(
+                cfg.payload_bits + 32 + 6 + cfg.pad_bits(),
+                total,
+                "{c:?}: accounting must balance"
+            );
+        }
+    }
+
+    #[test]
+    fn airtime_scales_with_payload() {
+        let mut small = PhyConfig::new(Constellation::Qam16);
+        small.payload_bits = 512;
+        let mut large = small;
+        large.payload_bits = 8192;
+        assert!(large.airtime_seconds() > small.airtime_seconds());
+    }
+}

@@ -1,0 +1,28 @@
+//! # gs-phy
+//!
+//! The OFDM MIMO physical layer of the Geosphere workspace (paper §4):
+//! 802.11-style framing over 48 data subcarriers, the full
+//! scramble→code→interleave→map transmit chain, a per-subcarrier MIMO
+//! detection receive chain accepting any [`geosphere_core::MimoDetector`],
+//! a time-domain OFDM modulator, and FER/throughput measurement drivers.
+
+#![forbid(unsafe_code)]
+// Trellis/detector inner loops index several arrays by the same state or
+// stream variable; iterator rewrites obscure the recurrences.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod chanest;
+pub mod config;
+pub mod iterative;
+pub mod measure;
+pub mod ofdm;
+pub mod soft_rx;
+pub mod txrx;
+
+pub use config::{PhyConfig, DATA_SUBCARRIERS, OFDM_SYMBOL_SECONDS};
+pub use iterative::uplink_frame_iterative;
+pub use measure::{best_rate_measurement, measure, snr_for_target_fer, Measurement};
+pub use chanest::{estimate_channel, estimation_mse, ChannelEstimate};
+pub use soft_rx::{receive_frame_soft, uplink_frame_soft};
+pub use txrx::{receive_frame, transmit_frame, uplink_frame, uplink_frame_with_csi, TxFrame, UplinkOutcome};

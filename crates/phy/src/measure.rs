@@ -1,0 +1,199 @@
+//! Frame-error-rate and throughput measurement.
+//!
+//! Runs repeated uplink frames over fresh channel realizations (the
+//! paper's per-frame i.i.d. sampling, §5.3.2 footnote: coherence times of
+//! "driving speeds and slower") and aggregates FER, net throughput, and
+//! per-subcarrier detector complexity.
+
+use crate::config::PhyConfig;
+use crate::txrx::uplink_frame;
+use geosphere_core::{AverageStats, DetectorStats, MimoDetector};
+use gs_channel::ChannelModel;
+use rand::Rng;
+
+/// Aggregated measurement over many frames.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Frames attempted per client.
+    pub frames: usize,
+    /// Number of clients.
+    pub clients: usize,
+    /// Per-client frame error rate.
+    pub client_fer: Vec<f64>,
+    /// Overall frame error rate (all clients pooled).
+    pub fer: f64,
+    /// Net uplink throughput in Mbps: payload bits delivered across all
+    /// clients divided by total airtime.
+    pub throughput_mbps: f64,
+    /// Detector complexity averaged per subcarrier detection.
+    pub per_subcarrier: AverageStats,
+}
+
+/// Measures FER/throughput/complexity for one (channel model, detector,
+/// SNR, PHY config) operating point.
+pub fn measure<R, M, D>(
+    cfg: &PhyConfig,
+    model: &M,
+    detector: &D,
+    snr_db: f64,
+    frames: usize,
+    rng: &mut R,
+) -> Measurement
+where
+    R: Rng + ?Sized,
+    M: ChannelModel,
+    D: MimoDetector + ?Sized,
+{
+    let clients = model.num_tx();
+    let mut ok_count = vec![0usize; clients];
+    let mut stats = DetectorStats::default();
+    let mut detections = 0u64;
+
+    for _ in 0..frames {
+        let ch = model.realize(rng);
+        let out = uplink_frame(cfg, &ch, detector, snr_db, rng);
+        for (k, &ok) in out.client_ok.iter().enumerate() {
+            if ok {
+                ok_count[k] += 1;
+            }
+        }
+        stats += out.stats;
+        detections += out.detections;
+    }
+
+    let client_fer: Vec<f64> =
+        ok_count.iter().map(|&ok| 1.0 - ok as f64 / frames as f64).collect();
+    let total_ok: usize = ok_count.iter().sum();
+    let fer = 1.0 - total_ok as f64 / (frames * clients) as f64;
+    let delivered_bits = (total_ok * cfg.payload_bits) as f64;
+    let airtime = frames as f64 * cfg.airtime_seconds();
+    Measurement {
+        frames,
+        clients,
+        client_fer,
+        fer,
+        throughput_mbps: delivered_bits / airtime / 1e6,
+        per_subcarrier: AverageStats::from_total(stats, detections),
+    }
+}
+
+/// Finds (by bisection over a dB grid) the SNR at which `detector` reaches
+/// a target FER — used by the Fig. 15 methodology ("an SNR such that each
+/// constellation reaches a frame error rate of approximately 10%").
+pub fn snr_for_target_fer<R, M, D>(
+    cfg: &PhyConfig,
+    model: &M,
+    detector: &D,
+    target_fer: f64,
+    frames: usize,
+    rng: &mut R,
+) -> f64
+where
+    R: Rng + ?Sized,
+    M: ChannelModel,
+    D: MimoDetector + ?Sized,
+{
+    let mut lo = 0.0f64;
+    let mut hi = 50.0f64;
+    for _ in 0..7 {
+        let mid = (lo + hi) / 2.0;
+        let m = measure(cfg, model, detector, mid, frames, rng);
+        if m.fer > target_fer {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+/// The best net throughput across constellations — the paper's ideal rate
+/// adaptation ("we show throughput results for the constellation that
+/// achieves the best average throughput for the corresponding range").
+pub fn best_rate_measurement<R, M, D>(
+    base_cfg: &PhyConfig,
+    model: &M,
+    detector: &D,
+    snr_db: f64,
+    frames: usize,
+    rng: &mut R,
+) -> (gs_modulation::Constellation, Measurement)
+where
+    R: Rng + ?Sized,
+    M: ChannelModel,
+    D: MimoDetector + ?Sized,
+{
+    let mut best: Option<(gs_modulation::Constellation, Measurement)> = None;
+    for c in gs_modulation::Constellation::ALL {
+        let cfg = PhyConfig { constellation: c, ..*base_cfg };
+        let m = measure(&cfg, model, detector, snr_db, frames, rng);
+        let better = match &best {
+            None => true,
+            Some((_, b)) => m.throughput_mbps > b.throughput_mbps,
+        };
+        if better {
+            best = Some((c, m));
+        }
+    }
+    best.expect("at least one constellation evaluated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosphere_core::{geosphere_decoder, ZfDetector};
+    use gs_channel::RayleighChannel;
+    use gs_modulation::Constellation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_cfg(c: Constellation) -> PhyConfig {
+        PhyConfig { payload_bits: 256, ..PhyConfig::new(c) }
+    }
+
+    #[test]
+    fn high_snr_full_throughput() {
+        let mut rng = StdRng::seed_from_u64(181);
+        let cfg = small_cfg(Constellation::Qam16);
+        let model = RayleighChannel::new(4, 2);
+        let m = measure(&cfg, &model, &geosphere_decoder(), 38.0, 8, &mut rng);
+        assert!(m.fer < 0.1, "FER {}", m.fer);
+        // 2 clients × 24 Mbps PHY, scaled by payload/total-info efficiency.
+        assert!(m.throughput_mbps > 20.0, "throughput {}", m.throughput_mbps);
+    }
+
+    #[test]
+    fn zero_snr_zero_throughput() {
+        let mut rng = StdRng::seed_from_u64(182);
+        let cfg = small_cfg(Constellation::Qam64);
+        let model = RayleighChannel::new(2, 2);
+        let m = measure(&cfg, &model, &ZfDetector, -10.0, 4, &mut rng);
+        assert!(m.fer > 0.99);
+        assert!(m.throughput_mbps < 0.5);
+    }
+
+    #[test]
+    fn per_client_fer_lengths() {
+        let mut rng = StdRng::seed_from_u64(183);
+        let cfg = small_cfg(Constellation::Qpsk);
+        let model = RayleighChannel::new(4, 3);
+        let m = measure(&cfg, &model, &ZfDetector, 20.0, 3, &mut rng);
+        assert_eq!(m.client_fer.len(), 3);
+        assert_eq!(m.clients, 3);
+        for f in &m.client_fer {
+            assert!((0.0..=1.0).contains(f));
+        }
+    }
+
+    #[test]
+    fn snr_search_brackets_target() {
+        let mut rng = StdRng::seed_from_u64(184);
+        let cfg = small_cfg(Constellation::Qpsk);
+        let model = RayleighChannel::new(4, 2);
+        let snr = snr_for_target_fer(&cfg, &model, &geosphere_decoder(), 0.1, 6, &mut rng);
+        assert!((0.0..50.0).contains(&snr), "snr {snr}");
+        // At snr+10 dB the FER must be clearly below target.
+        let m = measure(&cfg, &model, &geosphere_decoder(), snr + 10.0, 10, &mut rng);
+        assert!(m.fer <= 0.35, "fer {} at {} dB", m.fer, snr + 10.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Soft-decision receive chain.
+//!
+//! The hard pipeline of [`crate::txrx`] slices symbols and hands hard bits
+//! to the Viterbi decoder; this module instead carries per-bit LLRs from
+//! the soft-output Geosphere detector all the way through deinterleaving
+//! and soft depuncturing into a soft Viterbi decode — the paper's §7
+//! direction, worth 1–2 dB of coding gain over hard decisions.
+
+use crate::config::PhyConfig;
+use crate::txrx::{transmit_frame, UplinkOutcome};
+use geosphere_core::{DetectorStats, SoftGeosphereDetector};
+use gs_channel::{sample_cn, MimoChannel};
+use gs_coding::{conv, depuncture_soft, interleave::Interleaver, scramble::Scrambler, viterbi};
+use gs_linalg::Complex;
+use rand::Rng;
+
+/// Decodes one client's LLR stream (frame order) back to a verified
+/// payload.
+///
+/// `llrs` must hold `n_ofdm_symbols × n_cbps` entries in transmitted bit
+/// order (symbol-major, `Q` bits per subcarrier symbol, MSB first).
+pub fn receive_frame_soft(cfg: &PhyConfig, llrs: &[f64]) -> Option<Vec<bool>> {
+    let c = cfg.constellation;
+    let il = Interleaver::new(cfg.n_cbps(), c.bits_per_symbol());
+    let deinterleaved = il.deinterleave_values_stream(llrs);
+    let mother_len = 2 * cfg.total_info_bits();
+    let soft = depuncture_soft(&deinterleaved, cfg.code_rate, mother_len);
+    let mut info = viterbi::decode_soft(&soft);
+    Scrambler::default_seed().apply_in_place(&mut info);
+    info.truncate(cfg.payload_bits + 32);
+    gs_coding::check_crc(&info)
+}
+
+/// Simulates one uplink frame with **soft** detection and decoding.
+///
+/// Mirrors [`crate::txrx::uplink_frame`] but runs the soft-output
+/// Geosphere detector per (OFDM symbol, subcarrier) and soft Viterbi per
+/// client.
+pub fn uplink_frame_soft<R: Rng + ?Sized>(
+    cfg: &PhyConfig,
+    channel: &MimoChannel,
+    snr_db: f64,
+    rng: &mut R,
+) -> UplinkOutcome {
+    let nc = channel.num_tx();
+    let c = cfg.constellation;
+    let q = c.bits_per_symbol();
+    assert!(
+        channel.num_subcarriers() == 1 || channel.num_subcarriers() == cfg.n_subcarriers,
+        "channel subcarrier count must be 1 or {}",
+        cfg.n_subcarriers
+    );
+
+    let frames: Vec<_> = (0..nc)
+        .map(|_| {
+            let payload: Vec<bool> = (0..cfg.payload_bits).map(|_| rng.gen_bool(0.5)).collect();
+            transmit_frame(cfg, &payload)
+        })
+        .collect();
+    let n_sym = frames[0].symbols.len();
+
+    let sigma2 = gs_channel::noise_variance_for_snr_db(snr_db);
+    let grid_channels: Vec<gs_linalg::Matrix> =
+        channel.iter().map(|m| m.scale(c.scale())).collect();
+    let detector = SoftGeosphereDetector::new(sigma2);
+
+    let mut stats = DetectorStats::default();
+    let mut detections = 0u64;
+    let mut llr_streams: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sym * cfg.n_cbps()); nc];
+
+    for t in 0..n_sym {
+        for k in 0..cfg.n_subcarriers {
+            let h = &grid_channels[k % grid_channels.len()];
+            let s: Vec<_> = (0..nc).map(|cl| frames[cl].symbols[t][k]).collect();
+            let mut y: Vec<Complex> = geosphere_core::apply_channel(h, &s);
+            for v in y.iter_mut() {
+                *v += sample_cn(rng, sigma2);
+            }
+            let soft = detector.detect_soft(h, &y, c);
+            stats += soft.stats;
+            detections += 1;
+            for cl in 0..nc {
+                llr_streams[cl].extend_from_slice(&soft.llrs[cl * q..(cl + 1) * q]);
+            }
+        }
+    }
+
+    let client_ok: Vec<bool> = (0..nc)
+        .map(|cl| {
+            receive_frame_soft(cfg, &llr_streams[cl])
+                .map(|p| p == frames[cl].payload)
+                .unwrap_or(false)
+        })
+        .collect();
+
+    UplinkOutcome { client_ok, stats, detections }
+}
+
+/// The `conv` re-import keeps the mother-length arithmetic near its
+/// definition for readers.
+const _: () = {
+    let _ = conv::CONSTRAINT;
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txrx::uplink_frame;
+    use geosphere_core::geosphere_decoder;
+    use gs_channel::{ChannelModel, RayleighChannel};
+    use gs_modulation::{unmap_points, Constellation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(c: Constellation) -> PhyConfig {
+        PhyConfig { payload_bits: 512, ..PhyConfig::new(c) }
+    }
+
+    #[test]
+    fn soft_rx_roundtrip_from_strong_llrs() {
+        let cfg = cfg(Constellation::Qam16);
+        let payload: Vec<bool> = (0..cfg.payload_bits).map(|k| k % 5 < 2).collect();
+        let f = transmit_frame(&cfg, &payload);
+        // Perfect LLRs derived from the transmitted bits themselves.
+        let flat: Vec<_> = f.symbols.iter().flatten().copied().collect();
+        let bits = unmap_points(cfg.constellation, &flat);
+        let llrs: Vec<f64> = bits.iter().map(|&b| if b { -6.0 } else { 6.0 }).collect();
+        assert_eq!(receive_frame_soft(&cfg, &llrs), Some(payload));
+    }
+
+    #[test]
+    fn soft_uplink_succeeds_at_high_snr() {
+        let mut rng = StdRng::seed_from_u64(501);
+        let cfg = cfg(Constellation::Qam16);
+        let ch = RayleighChannel::new(4, 2).realize(&mut rng);
+        let out = uplink_frame_soft(&cfg, &ch, 32.0, &mut rng);
+        assert!(out.client_ok.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn soft_beats_hard_at_marginal_snr() {
+        // The whole point of soft decoding: at an SNR where hard-decision
+        // frames die, soft frames survive more often.
+        let cfg = cfg(Constellation::Qam16);
+        let model = RayleighChannel::new(4, 4);
+        let mut hard_ok = 0usize;
+        let mut soft_ok = 0usize;
+        let trials = 12;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(600 + t);
+            let ch = model.realize(&mut rng);
+            let hard = uplink_frame(&cfg, &ch, &geosphere_decoder(), 17.0, &mut rng);
+            hard_ok += hard.client_ok.iter().filter(|&&ok| ok).count();
+            let mut rng = StdRng::seed_from_u64(600 + t);
+            let ch = model.realize(&mut rng);
+            let soft = uplink_frame_soft(&cfg, &ch, 17.0, &mut rng);
+            soft_ok += soft.client_ok.iter().filter(|&&ok| ok).count();
+        }
+        assert!(
+            soft_ok >= hard_ok,
+            "soft ({soft_ok}) must not lose to hard ({hard_ok}) at marginal SNR"
+        );
+    }
+}

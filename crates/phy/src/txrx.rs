@@ -1,0 +1,260 @@
+//! The transmit and receive chains.
+//!
+//! Per-client transmit pipeline (§4 of the paper, mirroring 802.11):
+//! payload → CRC-32 → pad → scramble → rate-1/2 convolutional code (+tail)
+//! → puncture → per-OFDM-symbol interleave → Gray QAM mapping → one grid
+//! symbol per (OFDM symbol, subcarrier).
+//!
+//! The uplink receive pipeline runs a [`MimoDetector`] per (OFDM symbol,
+//! subcarrier) on the stacked clients' symbols, then inverts the chain per
+//! client and checks the CRC — frame success is what the throughput
+//! figures count.
+
+use crate::config::PhyConfig;
+use geosphere_core::{Detection, DetectorStats, MimoDetector};
+use gs_channel::{sample_cn, MimoChannel};
+use gs_coding::{
+    conv, depuncture, interleave::Interleaver, puncture, scramble::Scrambler, viterbi,
+};
+use gs_linalg::Complex;
+use gs_modulation::{map_bitstream, unmap_points, GridPoint};
+use rand::Rng;
+
+/// A transmitted client frame: the original payload and the grid-domain
+/// symbol plan `[ofdm_symbol][subcarrier]`.
+#[derive(Clone, Debug)]
+pub struct TxFrame {
+    /// The information payload (pre-CRC).
+    pub payload: Vec<bool>,
+    /// Symbols per OFDM symbol per subcarrier.
+    pub symbols: Vec<Vec<GridPoint>>,
+}
+
+/// Encodes one client frame.
+///
+/// # Panics
+/// Panics when `payload.len() != cfg.payload_bits`.
+pub fn transmit_frame(cfg: &PhyConfig, payload: &[bool]) -> TxFrame {
+    assert_eq!(payload.len(), cfg.payload_bits, "payload length mismatch");
+    let c = cfg.constellation;
+
+    // Payload + CRC + pad, scrambled (the tail is appended by the encoder
+    // and must stay zero, so scrambling covers only the data region).
+    let mut info = gs_coding::append_crc(payload);
+    info.extend(std::iter::repeat_n(false, cfg.pad_bits()));
+    Scrambler::default_seed().apply_in_place(&mut info);
+
+    // Convolutional code (appends the 6-bit tail), then puncturing.
+    let mother = conv::encode(&info);
+    let coded = puncture(&mother, cfg.code_rate);
+    debug_assert_eq!(coded.len(), cfg.n_ofdm_symbols() * cfg.n_cbps());
+
+    // Per-OFDM-symbol interleaving, then Gray mapping.
+    let il = Interleaver::new(cfg.n_cbps(), c.bits_per_symbol());
+    let interleaved = il.interleave_stream(&coded);
+    let points = map_bitstream(c, &interleaved);
+
+    let symbols: Vec<Vec<GridPoint>> =
+        points.chunks(cfg.n_subcarriers).map(|ch| ch.to_vec()).collect();
+    TxFrame { payload: payload.to_vec(), symbols }
+}
+
+/// Decodes one client's detected grid symbols back to a payload, returning
+/// `Some(payload)` only when the CRC verifies.
+pub fn receive_frame(cfg: &PhyConfig, detected: &[Vec<GridPoint>]) -> Option<Vec<bool>> {
+    let c = cfg.constellation;
+    let flat: Vec<GridPoint> = detected.iter().flatten().copied().collect();
+    let bits = unmap_points(c, &flat);
+    let il = Interleaver::new(cfg.n_cbps(), c.bits_per_symbol());
+    let deinterleaved = il.deinterleave_stream(&bits);
+    // `total_info_bits` already includes the 6-bit tail, so the mother
+    // (rate-1/2) stream is exactly twice it.
+    let mother_len = 2 * cfg.total_info_bits();
+    let symbols = depuncture(&deinterleaved, cfg.code_rate, mother_len);
+    let mut info = viterbi::decode_with_erasures(&symbols);
+    Scrambler::default_seed().apply_in_place(&mut info);
+    info.truncate(cfg.payload_bits + 32); // drop pad
+    gs_coding::check_crc(&info)
+}
+
+/// Result of one multi-user uplink frame exchange.
+#[derive(Clone, Debug)]
+pub struct UplinkOutcome {
+    /// Per-client frame success (CRC verified).
+    pub client_ok: Vec<bool>,
+    /// Detector operation counts accumulated over the frame.
+    pub stats: DetectorStats,
+    /// Number of detector invocations (OFDM symbols × subcarriers) —
+    /// divide `stats` by this for the paper's per-subcarrier averages.
+    pub detections: u64,
+}
+
+/// Simulates one uplink frame: every client transmits simultaneously
+/// through `channel` at the given SNR; the AP detects with `detector`.
+///
+/// `channel` must have either one subcarrier (flat — reused for all) or
+/// exactly `cfg.n_subcarriers`.
+pub fn uplink_frame<R: Rng + ?Sized, D: MimoDetector + ?Sized>(
+    cfg: &PhyConfig,
+    channel: &MimoChannel,
+    detector: &D,
+    snr_db: f64,
+    rng: &mut R,
+) -> UplinkOutcome {
+    uplink_frame_with_csi(cfg, channel, None, detector, snr_db, rng)
+}
+
+/// Like [`uplink_frame`] but detects with (possibly imperfect) channel
+/// state information `csi` while the air uses `channel` — the path used to
+/// study estimated-CSI performance (see [`crate::chanest`]). `None` means
+/// genie CSI.
+pub fn uplink_frame_with_csi<R: Rng + ?Sized, D: MimoDetector + ?Sized>(
+    cfg: &PhyConfig,
+    channel: &MimoChannel,
+    csi: Option<&MimoChannel>,
+    detector: &D,
+    snr_db: f64,
+    rng: &mut R,
+) -> UplinkOutcome {
+    let nc = channel.num_tx();
+    let na = channel.num_rx();
+    let c = cfg.constellation;
+    assert!(
+        channel.num_subcarriers() == 1 || channel.num_subcarriers() == cfg.n_subcarriers,
+        "channel subcarrier count must be 1 or {}",
+        cfg.n_subcarriers
+    );
+
+    // Per-client frames with random payloads.
+    let frames: Vec<TxFrame> = (0..nc)
+        .map(|_| {
+            let payload: Vec<bool> = (0..cfg.payload_bits).map(|_| rng.gen_bool(0.5)).collect();
+            transmit_frame(cfg, &payload)
+        })
+        .collect();
+    let n_sym = frames[0].symbols.len();
+
+    // Grid-domain channel: fold the constellation scale into H so grid
+    // symbols fly at unit average power.
+    let sigma2 = gs_channel::noise_variance_for_snr_db(snr_db);
+    let grid_channels: Vec<gs_linalg::Matrix> =
+        channel.iter().map(|m| m.scale(c.scale())).collect();
+    // The detector's view of the channel: genie (the truth) or supplied CSI.
+    let rx_channels: Vec<gs_linalg::Matrix> = match csi {
+        Some(est) => {
+            assert_eq!(est.num_rx(), na, "CSI antenna mismatch");
+            assert_eq!(est.num_tx(), nc, "CSI stream mismatch");
+            est.iter().map(|m| m.scale(c.scale())).collect()
+        }
+        None => grid_channels.clone(),
+    };
+
+    let mut stats = DetectorStats::default();
+    let mut detections = 0u64;
+    let mut detected: Vec<Vec<Vec<GridPoint>>> =
+        vec![vec![Vec::with_capacity(cfg.n_subcarriers); n_sym]; nc];
+
+    for t in 0..n_sym {
+        for k in 0..cfg.n_subcarriers {
+            let h = &grid_channels[k % grid_channels.len()];
+            let h_rx = &rx_channels[k % rx_channels.len()];
+            let s: Vec<GridPoint> = (0..nc).map(|cl| frames[cl].symbols[t][k]).collect();
+            let mut y: Vec<Complex> = geosphere_core::apply_channel(h, &s);
+            for v in y.iter_mut() {
+                *v += sample_cn(rng, sigma2);
+            }
+            debug_assert_eq!(y.len(), na);
+            let Detection { symbols, stats: st } = detector.detect(h_rx, &y, c);
+            stats += st;
+            detections += 1;
+            for cl in 0..nc {
+                detected[cl][t].push(symbols[cl]);
+            }
+        }
+    }
+
+    let client_ok: Vec<bool> = (0..nc)
+        .map(|cl| {
+            receive_frame(cfg, &detected[cl])
+                .map(|p| p == frames[cl].payload)
+                .unwrap_or(false)
+        })
+        .collect();
+
+    UplinkOutcome { client_ok, stats, detections }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosphere_core::{geosphere_decoder, ZfDetector};
+    use gs_channel::{ChannelModel, RayleighChannel};
+    use gs_modulation::Constellation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tx_frame_dimensions() {
+        let cfg = PhyConfig::new(Constellation::Qam16);
+        let payload: Vec<bool> = (0..cfg.payload_bits).map(|k| k % 3 == 0).collect();
+        let f = transmit_frame(&cfg, &payload);
+        assert_eq!(f.symbols.len(), cfg.n_ofdm_symbols());
+        for row in &f.symbols {
+            assert_eq!(row.len(), cfg.n_subcarriers);
+        }
+    }
+
+    #[test]
+    fn tx_rx_roundtrip_noiseless_chain() {
+        // Bypass the channel entirely: receive exactly what was mapped.
+        for c in Constellation::ALL {
+            let cfg = PhyConfig::new(c);
+            let payload: Vec<bool> = (0..cfg.payload_bits).map(|k| (k * 13) % 7 < 3).collect();
+            let f = transmit_frame(&cfg, &payload);
+            let rx = receive_frame(&cfg, &f.symbols).expect("noiseless chain must verify");
+            assert_eq!(rx, payload, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn corrupted_symbols_fail_crc() {
+        let cfg = PhyConfig::new(Constellation::Qam16);
+        let payload: Vec<bool> = (0..cfg.payload_bits).map(|k| k % 2 == 0).collect();
+        let mut f = transmit_frame(&cfg, &payload);
+        // Corrupt a whole OFDM symbol beyond what the code can absorb.
+        for p in f.symbols[1].iter_mut() {
+            p.i = -p.i;
+            p.q = -p.q;
+        }
+        assert_eq!(receive_frame(&cfg, &f.symbols), None);
+    }
+
+    #[test]
+    fn uplink_high_snr_succeeds() {
+        let mut rng = StdRng::seed_from_u64(171);
+        let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(Constellation::Qam16) };
+        let ch = RayleighChannel::new(4, 2).realize(&mut rng);
+        let out = uplink_frame(&cfg, &ch, &geosphere_decoder(), 35.0, &mut rng);
+        assert!(out.client_ok.iter().all(|&ok| ok), "35 dB, 2x4: all frames should pass");
+        assert!(out.detections > 0);
+        assert!(out.stats.ped_calcs > 0);
+    }
+
+    #[test]
+    fn uplink_low_snr_fails() {
+        let mut rng = StdRng::seed_from_u64(172);
+        let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(Constellation::Qam64) };
+        let ch = RayleighChannel::new(4, 4).realize(&mut rng);
+        let out = uplink_frame(&cfg, &ch, &ZfDetector, -5.0, &mut rng);
+        assert!(out.client_ok.iter().all(|&ok| !ok), "-5 dB 64-QAM: frames must fail");
+    }
+
+    #[test]
+    fn detections_count_matches_grid() {
+        let mut rng = StdRng::seed_from_u64(173);
+        let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(Constellation::Qpsk) };
+        let ch = RayleighChannel::new(2, 2).realize(&mut rng);
+        let out = uplink_frame(&cfg, &ch, &ZfDetector, 30.0, &mut rng);
+        assert_eq!(out.detections, (cfg.n_ofdm_symbols() * cfg.n_subcarriers) as u64);
+    }
+}

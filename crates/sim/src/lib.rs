@@ -1,0 +1,23 @@
+//! # gs-sim
+//!
+//! The multi-user uplink network simulator behind the Geosphere paper's
+//! evaluation (§5): SNR-band user selection over the emulated office
+//! testbed, oracle rate adaptation, and one runner per figure — throughput
+//! comparisons (Figs. 11–13), complexity comparisons (Figs. 14–15), and the
+//! channel-conditioning CDFs (Figs. 9–10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributed;
+pub mod experiments;
+pub mod rate_adapt;
+pub mod selection;
+
+pub use distributed::{DistributedChannel, DistributedCluster};
+pub use experiments::{
+    complexity_at_target_fer, conditioning_cdfs, rayleigh_throughput, testbed_throughput,
+    ComplexityPoint, DetectorKind, ExperimentParams, ThroughputPoint, PAPER_CONFIGS, PAPER_SNRS,
+};
+pub use rate_adapt::{decoding_threshold_db, RateAdapter};
+pub use selection::{select_groups, UserGroup};

@@ -1,0 +1,49 @@
+//! Channel-conditioning survey of the emulated office testbed — the §5.1
+//! experiment in miniature: how often is the indoor MIMO channel poorly
+//! conditioned, and how much SNR does zero-forcing give away?
+//!
+//! ```sh
+//! cargo run --release --example channel_conditioning
+//! ```
+
+use geosphere::channel::{ChannelModel, Testbed};
+use geosphere::channel::{kappa_sqr_db, lambda_max_db};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let tb = Testbed::office();
+    let mut rng = StdRng::seed_from_u64(5);
+
+    println!("Per-configuration conditioning over the office floorplan:");
+    println!("{:<14} {:>12} {:>12} {:>18}", "config", "med κ² dB", "med Λ dB", "P(Λ > 5 dB)");
+    for &(nc, na) in &[(2usize, 2usize), (2, 4), (3, 4), (4, 4)] {
+        let kappa = tb.kappa_cdf(&mut rng, nc, na, 40);
+        let lambda = tb.lambda_cdf(&mut rng, nc, na, 40);
+        println!(
+            "{:<14} {:>12.1} {:>12.1} {:>17.0}%",
+            format!("{nc}c x {na}a"),
+            kappa.quantile(0.5),
+            lambda.quantile(0.5),
+            100.0 * lambda.fraction_above(5.0),
+        );
+    }
+
+    // Zoom into one 4x4 link: per-subcarrier variation.
+    let group: Vec<usize> = vec![4, 6, 7, 9];
+    let ch = tb.channel(0, &group, 4).realize(&mut rng);
+    println!("\nOne 4x4 link, per-subcarrier conditioning (every 6th subcarrier):");
+    for k in (0..ch.num_subcarriers()).step_by(6) {
+        let h = ch.subcarrier(k);
+        println!(
+            "  subcarrier {k:>2}: κ² = {:>5.1} dB, Λ = {:>5.1} dB",
+            kappa_sqr_db(h),
+            lambda_max_db(h)
+        );
+    }
+    println!(
+        "\nReflectors sit near the clients only (the paper's Fig. 2(b) geometry),\n\
+         so the AP sees small angular spread and the channel matrix is often\n\
+         ill-conditioned — the throughput zero-forcing leaves on the table."
+    );
+}

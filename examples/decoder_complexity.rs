@@ -1,0 +1,62 @@
+//! Decoder-complexity sweep: average PED calculations per detection as the
+//! constellation densifies, for every sphere-decoder variant in the
+//! workspace plus the breadth-first relatives.
+//!
+//! ```sh
+//! cargo run --release --example decoder_complexity
+//! ```
+
+use geosphere::core::{
+    ethsd_decoder, geosphere_decoder, geosphere_zigzag_only_decoder, FsdDetector, KBestDetector,
+    MimoDetector,
+};
+use geosphere::channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
+use geosphere::modulation::{Constellation, GridPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let snr_db = 24.0;
+    let trials = 300;
+    println!("Avg PED calcs per 4x4 detection at {snr_db} dB (Rayleigh, {trials} trials):");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "const.", "ETH-SD", "Geo zigzag", "Geo full", "K-best 8", "FSD"
+    );
+
+    for c in Constellation::ALL {
+        let sigma2 = noise_variance_for_snr_db(snr_db);
+        let pts = c.points();
+        let mut rng = StdRng::seed_from_u64(11);
+        let detectors: Vec<Box<dyn MimoDetector>> = vec![
+            Box::new(ethsd_decoder()),
+            Box::new(geosphere_zigzag_only_decoder()),
+            Box::new(geosphere_decoder()),
+            Box::new(KBestDetector::new(8)),
+            Box::new(FsdDetector::new()),
+        ];
+        let mut totals = vec![0u64; detectors.len()];
+        for _ in 0..trials {
+            let h = RayleighChannel::new(4, 4).sample_matrix(&mut rng).scale(c.scale());
+            let s: Vec<GridPoint> = (0..4).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+            let mut y = geosphere::core::apply_channel(&h, &s);
+            for v in y.iter_mut() {
+                *v += sample_cn(&mut rng, sigma2);
+            }
+            for (t, det) in totals.iter_mut().zip(&detectors) {
+                *t += det.detect(&h, &y, c).stats.ped_calcs;
+            }
+        }
+        print!("{:<12}", format!("{c:?}"));
+        for t in &totals {
+            print!(" {:>10.1}", *t as f64 / trials as f64);
+        }
+        println!();
+    }
+
+    println!(
+        "\nETH-SD's cost grows with constellation density (√|O| distance\n\
+         computations per node visit); Geosphere's stays nearly flat — the\n\
+         property that makes 4x4 256-QAM sphere decoding practical."
+    );
+}

@@ -1,0 +1,65 @@
+//! Distributed MIMO: two office APs pool their antennas over the wired
+//! backhaul (the paper's Figure 1 architecture) and jointly Geosphere-
+//! decode four clients — versus each AP going it alone.
+//!
+//! ```sh
+//! cargo run --release --example distributed_mimo
+//! ```
+
+use geosphere::channel::{lambda_max_db, ChannelModel, Testbed};
+use geosphere::core::geosphere_decoder;
+use geosphere::modulation::Constellation;
+use geosphere::phy::{measure, PhyConfig};
+use geosphere::sim::{DistributedChannel, DistributedCluster};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let tb = Testbed::office();
+    let clients = vec![4usize, 6, 7, 9];
+    let snr = 18.0;
+    let cfg = PhyConfig { payload_bits: 1024, ..PhyConfig::new(Constellation::Qam16) };
+
+    println!("4 clients {clients:?}, 16-QAM rate-1/2, {snr} dB, Geosphere everywhere");
+    println!(
+        "{:<26} {:>8} {:>12} {:>10} {:>12}",
+        "receiver", "antennas", "med Λ (dB)", "FER", "Mbps"
+    );
+
+    let configs: Vec<(&str, DistributedCluster)> = vec![
+        ("AP0 alone", DistributedCluster::synchronized(vec![0], 4)),
+        ("AP2 alone", DistributedCluster::synchronized(vec![2], 4)),
+        ("AP0+AP2 joint (ideal)", DistributedCluster::synchronized(vec![0, 2], 4)),
+        (
+            "AP0+AP2 joint (0.2 rad jitter)",
+            DistributedCluster::synchronized(vec![0, 2], 4).with_phase_jitter(0.2),
+        ),
+    ];
+
+    for (label, cluster) in configs {
+        let model = DistributedChannel::new(tb.clone(), cluster.clone(), clients.clone());
+        let mut rng = StdRng::seed_from_u64(33);
+        // Conditioning snapshot.
+        let lam: f64 = (0..8)
+            .map(|_| lambda_max_db(model.realize(&mut rng).subcarrier(24)))
+            .sum::<f64>()
+            / 8.0;
+        let mut rng = StdRng::seed_from_u64(34);
+        let m = measure(&cfg, &model, &geosphere_decoder(), snr, 8, &mut rng);
+        println!(
+            "{:<26} {:>8} {:>12.1} {:>10.2} {:>12.1}",
+            label,
+            cluster.total_antennas(),
+            lam,
+            m.fer,
+            m.throughput_mbps
+        );
+    }
+
+    println!(
+        "\nPooling APs doubles the receive aperture *and* adds angular diversity\n\
+         (the Fig. 2(b) degeneracy needs every path to share one bearing —\n\
+         impossible with APs on opposite sides of the office). Phase jitter on\n\
+         the backhaul is absorbed into the joint CSI and costs nothing."
+    );
+}

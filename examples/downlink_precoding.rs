@@ -1,0 +1,81 @@
+//! Downlink vector-perturbation (sphere-encoder) precoding — the §6.3
+//! complement to Geosphere's uplink detection. On ill-conditioned
+//! channels, plain channel-inversion precoding wastes transmit power the
+//! same way uplink zero-forcing amplifies noise; a sphere search over the
+//! perturbation lattice recovers it.
+//!
+//! ```sh
+//! cargo run --release --example downlink_precoding
+//! ```
+
+use geosphere::channel::{kappa_sqr_db, sample_cn, RayleighChannel};
+use geosphere::core::VectorPerturbationPrecoder;
+use geosphere::linalg::{Complex, Matrix};
+use geosphere::modulation::{Constellation, GridPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let c = Constellation::Qam16;
+    let users = 4;
+    let trials = 400;
+    let sigma2 = 0.02;
+
+    println!("Downlink, {users} users x {users} AP antennas, 16-QAM, σ² = {sigma2}");
+    println!(
+        "{:>22} | {:>12} {:>12} {:>12}",
+        "channel", "κ² dB (avg)", "ZF SER", "VP SER"
+    );
+
+    for (label, perturb) in [("well-conditioned", 1.0), ("ill-conditioned", 0.08)] {
+        let mut kappa_acc = 0.0;
+        let mut zf_errs = 0usize;
+        let mut vp_errs = 0usize;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            // rows = users. Ill-conditioned: user rows nearly parallel.
+            let base: Vec<Complex> = (0..users).map(|_| sample_cn(&mut rng, 1.0)).collect();
+            let h = if perturb >= 1.0 {
+                RayleighChannel::new(users, users).sample_matrix(&mut rng)
+            } else {
+                Matrix::from_fn(users, users, |_, col| base[col] + sample_cn(&mut rng, perturb))
+            };
+            kappa_acc += kappa_sqr_db(&h).min(80.0);
+            let Ok(pre) = VectorPerturbationPrecoder::new(&h, c) else { continue };
+            let pts = c.points();
+            let s: Vec<GridPoint> =
+                (0..users).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+            for vp_mode in [false, true] {
+                let p = if vp_mode { pre.precode(&s) } else { pre.zf_precode(&s) };
+                let rx = h.mul_vec(&p.x);
+                for (k, &want) in s.iter().enumerate() {
+                    let y = rx[k] / p.gamma.sqrt() + sample_cn(&mut rng, sigma2);
+                    if pre.demodulate(y, p.gamma, c) != want {
+                        if vp_mode {
+                            vp_errs += 1;
+                        } else {
+                            zf_errs += 1;
+                        }
+                    }
+                    if vp_mode {
+                        total += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "{:>22} | {:>12.1} {:>12.4} {:>12.4}",
+            label,
+            kappa_acc / trials as f64,
+            zf_errs as f64 / total as f64,
+            vp_errs as f64 / total as f64,
+        );
+    }
+    println!(
+        "\nThe sphere-encoded perturbation absorbs the inversion power spike on\n\
+         poorly-conditioned channels — the transmit-side twin of what Geosphere\n\
+         does at the receiver. The two compose: precode the downlink, sphere-\n\
+         decode the uplink."
+    );
+}

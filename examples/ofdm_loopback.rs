@@ -1,0 +1,75 @@
+//! Time-domain OFDM loopback: run one client frame through the full stack
+//! — scramble/code/interleave/map, IFFT + cyclic prefix, a multipath
+//! channel applied **in the time domain**, FFT demodulation, per-subcarrier
+//! equalization, and the receive chain back to verified payload bits.
+//!
+//! This demonstrates that the per-subcarrier frequency-domain model used by
+//! the evaluation is the exact behaviour of a real OFDM transceiver.
+//!
+//! ```sh
+//! cargo run --release --example ofdm_loopback
+//! ```
+
+use geosphere::coding as _;
+use geosphere::linalg::Complex;
+use geosphere::modulation::Constellation;
+use geosphere::phy::ofdm::{data_bins, demodulate_stream, modulate_stream};
+use geosphere::phy::{receive_frame, transmit_frame, PhyConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let cfg = PhyConfig { payload_bits: 1024, ..PhyConfig::new(Constellation::Qam16) };
+    let payload: Vec<bool> = (0..cfg.payload_bits).map(|_| rng.gen_bool(0.5)).collect();
+
+    // Transmit chain to grid symbols, then time-domain OFDM samples.
+    let frame = transmit_frame(&cfg, &payload);
+    let scale = cfg.constellation.scale();
+    let freq_symbols: Vec<Vec<Complex>> = frame
+        .symbols
+        .iter()
+        .map(|row| row.iter().map(|p| p.to_complex() * scale).collect())
+        .collect();
+    let tx_samples = modulate_stream(&freq_symbols);
+    println!(
+        "frame: {} OFDM symbols -> {} time-domain samples",
+        freq_symbols.len(),
+        tx_samples.len()
+    );
+
+    // A 3-tap multipath channel applied by direct convolution in time.
+    let taps = [Complex::new(0.85, 0.1), Complex::new(0.3, -0.25), Complex::new(0.1, 0.15)];
+    let mut rx_samples = vec![Complex::ZERO; tx_samples.len()];
+    for (n, out) in rx_samples.iter_mut().enumerate() {
+        for (d, &tap) in taps.iter().enumerate() {
+            if n >= d {
+                *out += tap * tx_samples[n - d];
+            }
+        }
+        // Mild AWGN (~30 dB SNR).
+        *out += Complex::new(rng.gen_range(-0.02..0.02), rng.gen_range(-0.02..0.02));
+    }
+
+    // Receive: FFT back to subcarriers, equalize with the known channel
+    // frequency response, slice to grid symbols.
+    let rx_freq = demodulate_stream(&rx_samples);
+    let h_bins = geosphere::linalg::frequency_response(&taps, 64);
+    let detected: Vec<Vec<_>> = rx_freq
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(data_bins())
+                .map(|(&v, bin)| cfg.constellation.slice(v / h_bins[bin] / scale))
+                .collect()
+        })
+        .collect();
+
+    match receive_frame(&cfg, &detected) {
+        Some(rx_payload) if rx_payload == payload => {
+            println!("payload recovered bit-exactly through the time-domain path ✓")
+        }
+        Some(_) => println!("CRC passed but payload differs — should never happen"),
+        None => println!("frame lost (CRC failure)"),
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: decode one 4×4 MIMO, 256-QAM received vector with
+//! Geosphere and compare against zero-forcing and the ETH-SD baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use geosphere::core::{
+    ethsd_decoder, geosphere_decoder, residual_norm_sqr, MimoDetector, ZfDetector,
+};
+use geosphere::channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
+use geosphere::modulation::{Constellation, GridPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let c = Constellation::Qam256;
+    let snr_db = 28.0;
+
+    // A random 4x4 channel, grid-domain scaled so transmitted grid symbols
+    // have unit average power.
+    let h = RayleighChannel::new(4, 4).sample_matrix(&mut rng).scale(c.scale());
+
+    // Four clients each send one 256-QAM symbol.
+    let points = c.points();
+    let tx: Vec<GridPoint> = (0..4).map(|_| points[rng.gen_range(0..points.len())]).collect();
+    println!("transmitted: {tx:?}");
+
+    // The AP hears the superposition plus noise.
+    let sigma2 = noise_variance_for_snr_db(snr_db);
+    let mut y = geosphere::core::apply_channel(&h, &tx);
+    for v in y.iter_mut() {
+        *v += sample_cn(&mut rng, sigma2);
+    }
+
+    // Decode with three detectors.
+    for det in [
+        &ZfDetector as &dyn MimoDetector,
+        &ethsd_decoder(),
+        &geosphere_decoder(),
+    ] {
+        let d = det.detect(&h, &y, c);
+        let errs = d.symbols.iter().zip(&tx).filter(|(a, b)| a != b).count();
+        println!(
+            "{:<12} symbols {:?}  (symbol errors: {errs}, residual {:.3}, PED calcs {}, visited nodes {})",
+            det.name(),
+            d.symbols,
+            residual_norm_sqr(&h, &y, &d.symbols),
+            d.stats.ped_calcs,
+            d.stats.visited_nodes,
+        );
+    }
+
+    println!(
+        "\nGeosphere returns the exact maximum-likelihood solution — same error\n\
+         performance as an exhaustive search over 256^4 ≈ 4.3e9 hypotheses —\n\
+         at a few dozen distance computations per received vector."
+    );
+}

@@ -1,0 +1,56 @@
+//! Soft-output Geosphere detection (the paper's §7 future-work direction):
+//! per-bit LLRs feed a soft Viterbi decoder, buying frames that hard
+//! decisions lose at the same SNR.
+//!
+//! ```sh
+//! cargo run --release --example soft_decoding
+//! ```
+
+use geosphere::channel::{ChannelModel, RayleighChannel};
+use geosphere::core::geosphere_decoder;
+use geosphere::modulation::Constellation;
+use geosphere::phy::{uplink_frame, uplink_frame_soft, PhyConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(Constellation::Qam16) };
+    let model = RayleighChannel::new(4, 4);
+    let trials = 40;
+
+    println!("4x4 uplink, 16-QAM rate-1/2, {trials} frames per point");
+    println!("{:>8} | {:>10} {:>10} | {:>14}", "SNR dB", "hard FER", "soft FER", "soft PED cost");
+    for snr in [10.0, 12.0, 14.0, 16.0] {
+        let mut hard_fail = 0usize;
+        let mut soft_fail = 0usize;
+        let mut soft_ped = 0u64;
+        let mut soft_det = 0u64;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(1000 + t);
+            let ch = model.realize(&mut rng);
+            let hard = uplink_frame(&cfg, &ch, &geosphere_decoder(), snr, &mut rng);
+            hard_fail += hard.client_ok.iter().filter(|&&ok| !ok).count();
+
+            let mut rng = StdRng::seed_from_u64(1000 + t);
+            let ch = model.realize(&mut rng);
+            let soft = uplink_frame_soft(&cfg, &ch, snr, &mut rng);
+            soft_fail += soft.client_ok.iter().filter(|&&ok| !ok).count();
+            soft_ped += soft.stats.ped_calcs;
+            soft_det += soft.detections;
+        }
+        let denom = (trials * 4) as f64;
+        println!(
+            "{:>8.0} | {:>10.3} {:>10.3} | {:>11.1}/sc",
+            snr,
+            hard_fail as f64 / denom,
+            soft_fail as f64 / denom,
+            soft_ped as f64 / soft_det as f64,
+        );
+    }
+    println!(
+        "\nThe soft path runs one constrained Geosphere search per bit (the\n\
+         counter-hypothesis), so its complexity is a small multiple of the hard\n\
+         decoder's — the structure §7 of the paper points to for reaching\n\
+         MIMO capacity with iterative receivers."
+    );
+}

@@ -1,0 +1,14 @@
+//! # Geosphere
+//!
+//! Facade crate re-exporting the whole Geosphere workspace under one name.
+//! See the README for the architecture and the per-crate docs for detail.
+
+#![forbid(unsafe_code)]
+
+pub use geosphere_core as core;
+pub use gs_channel as channel;
+pub use gs_coding as coding;
+pub use gs_linalg as linalg;
+pub use gs_modulation as modulation;
+pub use gs_phy as phy;
+pub use gs_sim as sim;

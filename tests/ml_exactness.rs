@@ -1,0 +1,134 @@
+//! Cross-crate oracle tests: every sphere decoder configuration must return
+//! the exhaustive maximum-likelihood solution, for every constellation and
+//! MIMO size where exhaustive search is feasible — under noise levels high
+//! enough that the search is nontrivial.
+
+use geosphere::core::{
+    ethsd_decoder, geosphere_decoder, geosphere_zigzag_only_decoder, residual_norm_sqr,
+    MimoDetector, MlDetector, SphereDecoder,
+};
+use geosphere::core::sphere::{ExhaustiveSortFactory, GeosphereFactory};
+use geosphere::channel::{sample_cn, RayleighChannel};
+use geosphere::linalg::{Complex, Matrix};
+use geosphere::modulation::Constellation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_problem(
+    rng: &mut StdRng,
+    c: Constellation,
+    na: usize,
+    nc: usize,
+    noise: f64,
+) -> (Matrix, Vec<Complex>) {
+    let h = RayleighChannel::new(na, nc).sample_matrix(rng).scale(c.scale());
+    let pts = c.points();
+    let s: Vec<_> = (0..nc).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+    let mut y = geosphere::core::apply_channel(&h, &s);
+    for v in y.iter_mut() {
+        *v += sample_cn(rng, noise);
+    }
+    (h, y)
+}
+
+fn assert_ml<D: MimoDetector>(det: &D, h: &Matrix, y: &[Complex], c: Constellation, label: &str) {
+    let got = residual_norm_sqr(h, y, &det.detect(h, y, c).symbols);
+    let ml = residual_norm_sqr(h, y, &MlDetector.detect(h, y, c).symbols);
+    assert!(
+        (got - ml).abs() < 1e-9,
+        "{label} {c:?}: residual {got} vs exhaustive {ml}"
+    );
+}
+
+#[test]
+fn geosphere_is_ml_qpsk_up_to_4x4() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    let det = geosphere_decoder();
+    for nc in 1..=4 {
+        for _ in 0..25 {
+            let (h, y) = random_problem(&mut rng, Constellation::Qpsk, 4, nc, 0.8);
+            assert_ml(&det, &h, &y, Constellation::Qpsk, "geosphere");
+        }
+    }
+}
+
+#[test]
+fn geosphere_is_ml_16qam_3x3() {
+    let mut rng = StdRng::seed_from_u64(1002);
+    let det = geosphere_decoder();
+    for _ in 0..40 {
+        let (h, y) = random_problem(&mut rng, Constellation::Qam16, 3, 3, 0.4);
+        assert_ml(&det, &h, &y, Constellation::Qam16, "geosphere");
+    }
+}
+
+#[test]
+fn geosphere_is_ml_64qam_2x2() {
+    let mut rng = StdRng::seed_from_u64(1003);
+    let det = geosphere_decoder();
+    for _ in 0..40 {
+        let (h, y) = random_problem(&mut rng, Constellation::Qam64, 2, 2, 0.2);
+        assert_ml(&det, &h, &y, Constellation::Qam64, "geosphere");
+    }
+}
+
+#[test]
+fn zigzag_only_and_ethsd_are_ml_too() {
+    let mut rng = StdRng::seed_from_u64(1004);
+    for _ in 0..30 {
+        let (h, y) = random_problem(&mut rng, Constellation::Qam16, 3, 3, 0.5);
+        assert_ml(&geosphere_zigzag_only_decoder(), &h, &y, Constellation::Qam16, "zigzag-only");
+        assert_ml(&ethsd_decoder(), &h, &y, Constellation::Qam16, "ethsd");
+        assert_ml(
+            &SphereDecoder::new(ExhaustiveSortFactory),
+            &h,
+            &y,
+            Constellation::Qam16,
+            "full-sort",
+        );
+    }
+}
+
+#[test]
+fn sorted_qr_preserves_ml() {
+    let mut rng = StdRng::seed_from_u64(1005);
+    let det = SphereDecoder::new(GeosphereFactory::full()).with_sorted_qr();
+    for _ in 0..30 {
+        let (h, y) = random_problem(&mut rng, Constellation::Qam16, 4, 3, 0.5);
+        assert_ml(&det, &h, &y, Constellation::Qam16, "sorted-qr");
+    }
+}
+
+#[test]
+fn extreme_noise_still_ml() {
+    // With noise ≫ signal, the ML point is far from the transmitted one and
+    // the radius shrinks slowly — the hardest case for pruning soundness.
+    let mut rng = StdRng::seed_from_u64(1006);
+    let det = geosphere_decoder();
+    for _ in 0..20 {
+        let (h, y) = random_problem(&mut rng, Constellation::Qpsk, 3, 3, 5.0);
+        assert_ml(&det, &h, &y, Constellation::Qpsk, "extreme-noise");
+    }
+}
+
+#[test]
+fn poorly_conditioned_channels_still_ml() {
+    // Nearly-parallel columns: exactly the regime the paper targets.
+    let mut rng = StdRng::seed_from_u64(1007);
+    let det = geosphere_decoder();
+    let c = Constellation::Qam16;
+    for _ in 0..30 {
+        let base: Vec<Complex> = (0..3).map(|_| sample_cn(&mut rng, 1.0)).collect();
+        let h = Matrix::from_fn(3, 3, |r, col| {
+            base[r] + sample_cn(&mut rng, if col == 0 { 0.0 } else { 0.02 })
+        })
+        .scale(c.scale());
+        let pts = c.points();
+        let s: Vec<_> = (0..3).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+        let mut y = geosphere::core::apply_channel(&h, &s);
+        for v in y.iter_mut() {
+            *v += sample_cn(&mut rng, 0.05);
+        }
+        assert_ml(&det, &h, &y, c, "ill-conditioned");
+    }
+}

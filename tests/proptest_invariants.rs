@@ -1,0 +1,209 @@
+//! Property-based tests (proptest) on the core invariants of every layer.
+
+use geosphere::coding::{conv, viterbi, Interleaver, Scrambler};
+use geosphere::core::geoprune::{axis_offset, distance_lower_bound};
+use geosphere::core::sphere::{
+    EnumeratorFactory, GeosphereFactory, HessFactory, NodeEnumerator,
+};
+use geosphere::core::DetectorStats;
+use geosphere::linalg::{qr_decompose, singular_values, Complex, Matrix};
+use geosphere::modulation::{map_bits, unmap_point, AxisZigzag, Constellation};
+use proptest::prelude::*;
+
+fn constellation_strategy() -> impl Strategy<Value = Constellation> {
+    prop_oneof![
+        Just(Constellation::Qpsk),
+        Just(Constellation::Qam16),
+        Just(Constellation::Qam64),
+        Just(Constellation::Qam256),
+    ]
+}
+
+fn complex_strategy(range: f64) -> impl Strategy<Value = Complex> {
+    (-range..range, -range..range).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- modulation ---
+
+    #[test]
+    fn slice_is_argmin(c in constellation_strategy(), y in complex_strategy(20.0)) {
+        let sliced = c.slice(y);
+        for p in c.points() {
+            prop_assert!(sliced.dist_sqr(y) <= p.dist_sqr(y) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn gray_mapping_roundtrips(c in constellation_strategy(), sym in 0usize..256) {
+        let sym = sym % c.size();
+        let bits: Vec<bool> = (0..c.bits_per_symbol()).rev().map(|k| (sym >> k) & 1 == 1).collect();
+        prop_assert_eq!(unmap_point(c, map_bits(c, &bits)), bits);
+    }
+
+    #[test]
+    fn axis_zigzag_sorted_and_complete(c in constellation_strategy(), t in -20.0f64..20.0) {
+        let order: Vec<i32> = AxisZigzag::new(c, t).collect();
+        prop_assert_eq!(order.len(), c.side());
+        for w in order.windows(2) {
+            prop_assert!((w[0] as f64 - t).abs() <= (w[1] as f64 - t).abs() + 1e-12);
+        }
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, c.axis_levels());
+    }
+
+    // --- enumerators: the heart of the paper ---
+
+    #[test]
+    fn zigzag_enumeration_matches_bruteforce_sort(
+        c in constellation_strategy(),
+        center in complex_strategy(18.0),
+        gain in 0.01f64..10.0,
+    ) {
+        let mut stats = DetectorStats::default();
+        let mut e = GeosphereFactory::zigzag_only().make(c, center, gain, &mut stats);
+        let mut got = Vec::new();
+        while let Some(ch) = e.next_child(f64::INFINITY, &mut stats) {
+            got.push(ch.cost);
+        }
+        let mut expect: Vec<f64> =
+            c.points().iter().map(|p| gain * p.dist_sqr(center)).collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, x) in got.iter().zip(&expect) {
+            prop_assert!((g - x).abs() < 1e-9, "got {} expected {}", g, x);
+        }
+    }
+
+    #[test]
+    fn hess_enumeration_matches_bruteforce_sort(
+        c in constellation_strategy(),
+        center in complex_strategy(18.0),
+    ) {
+        let mut stats = DetectorStats::default();
+        let mut e = HessFactory.make(c, center, 1.0, &mut stats);
+        let mut got = Vec::new();
+        while let Some(ch) = e.next_child(f64::INFINITY, &mut stats) {
+            got.push(ch.cost);
+        }
+        let mut expect: Vec<f64> = c.points().iter().map(|p| p.dist_sqr(center)).collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, x) in got.iter().zip(&expect) {
+            prop_assert!((g - x).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn geometric_bound_never_exceeds_exact(
+        c in constellation_strategy(),
+        y in complex_strategy(18.0),
+    ) {
+        let slice = c.slice(y);
+        for p in c.points() {
+            let bound = distance_lower_bound(
+                axis_offset(p.i, slice.i),
+                axis_offset(p.q, slice.q),
+            );
+            prop_assert!(bound <= p.dist_sqr(y) + 1e-9);
+        }
+    }
+
+    // --- linear algebra ---
+
+    #[test]
+    fn qr_reconstructs_and_q_unitary(
+        entries in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 16),
+    ) {
+        let data: Vec<Complex> = entries.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let h = Matrix::from_rows(4, 4, &data);
+        let qr = qr_decompose(&h);
+        prop_assert!(qr.reconstruct().max_abs_diff(&h) < 1e-9);
+        prop_assert!(qr.q.gram().max_abs_diff(&Matrix::identity(4)) < 1e-9);
+        for i in 0..4 {
+            prop_assert!(qr.r[(i, i)].im.abs() < 1e-10);
+            prop_assert!(qr.r[(i, i)].re >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_values_match_frobenius(
+        entries in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 12),
+    ) {
+        let data: Vec<Complex> = entries.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let h = Matrix::from_rows(4, 3, &data);
+        let sv = singular_values(&h);
+        prop_assert_eq!(sv.len(), 3);
+        let energy: f64 = sv.iter().map(|s| s * s).sum();
+        prop_assert!((energy - h.frobenius_norm_sqr()).abs() < 1e-6 * energy.max(1.0));
+        for w in sv.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    // --- coding ---
+
+    #[test]
+    fn conv_viterbi_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        prop_assert_eq!(viterbi::decode(&conv::encode(&bits)), bits);
+    }
+
+    #[test]
+    fn viterbi_corrects_one_flip(
+        bits in proptest::collection::vec(any::<bool>(), 20..100),
+        pos_frac in 0.0f64..1.0,
+    ) {
+        let mut coded = conv::encode(&bits);
+        let pos = ((coded.len() - 1) as f64 * pos_frac) as usize;
+        coded[pos] = !coded[pos];
+        prop_assert_eq!(viterbi::decode(&coded), bits);
+    }
+
+    #[test]
+    fn scrambler_involution(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let once = Scrambler::default_seed().apply(&bits);
+        let twice = Scrambler::default_seed().apply(&once);
+        prop_assert_eq!(twice, bits);
+    }
+
+    #[test]
+    fn interleaver_roundtrip(
+        c in constellation_strategy(),
+        seed_bits in proptest::collection::vec(any::<bool>(), 0..10),
+    ) {
+        let n_cbps = 48 * c.bits_per_symbol();
+        let bits: Vec<bool> =
+            (0..n_cbps).map(|k| seed_bits.get(k % seed_bits.len().max(1)).copied().unwrap_or(false)).collect();
+        let il = Interleaver::new(n_cbps, c.bits_per_symbol());
+        prop_assert_eq!(il.deinterleave(&il.interleave(&bits)), bits);
+    }
+
+    #[test]
+    fn crc_detects_any_single_flip(
+        bits in proptest::collection::vec(any::<bool>(), 1..120),
+        pos_frac in 0.0f64..1.0,
+    ) {
+        let framed = geosphere::coding::append_crc(&bits);
+        let mut corrupted = framed.clone();
+        let pos = ((corrupted.len() - 1) as f64 * pos_frac) as usize;
+        corrupted[pos] = !corrupted[pos];
+        prop_assert_eq!(geosphere::coding::check_crc(&framed), Some(bits));
+        prop_assert_eq!(geosphere::coding::check_crc(&corrupted), None);
+    }
+
+    // --- channel metrics ---
+
+    #[test]
+    fn lambda_at_least_unity(
+        entries in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 8),
+    ) {
+        let data: Vec<Complex> = entries.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let h = Matrix::from_rows(4, 2, &data);
+        for l in geosphere::channel::zf_snr_degradation(&h) {
+            prop_assert!(l >= 1.0 - 1e-9);
+        }
+        prop_assert!(geosphere::channel::lambda_max(&h) >= 1.0 - 1e-9);
+    }
+}

@@ -8,9 +8,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use geosphere_core::{
     ethsd_decoder, geosphere_decoder, MimoDetector, MmseSicDetector, ZfDetector,
 };
-use gs_channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
+use gs_channel::{
+    noise_variance_for_snr_db, sample_cn, ChannelModel, RayleighChannel, SelectiveRayleighChannel,
+};
 use gs_linalg::{Complex, Matrix};
 use gs_modulation::{Constellation, GridPoint};
+use gs_phy::{decode_frame_batched, uplink_frame, PhyConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,9 +69,54 @@ fn bench_decoders(cr: &mut Criterion) {
     group.finish();
 }
 
+/// Frame-level decode: the serial per-subcarrier receive path vs
+/// `decode_frame_batched` (per-subcarrier QR amortized across the frame's
+/// OFDM symbols, fanned out over a worker pool). One 64-subcarrier
+/// 4×4 64-QAM frame per iteration; outputs are bit-identical, so any gap
+/// is pure engine overhead/speedup.
+fn bench_frame_decode(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("frame_decode_4x4_qam64_64sc");
+    let cfg = PhyConfig {
+        n_subcarriers: 64,
+        payload_bits: 2048,
+        ..PhyConfig::new(Constellation::Qam64)
+    };
+    let snr_db = 28.0;
+    let model = SelectiveRayleighChannel {
+        n_fft: 64,
+        n_subcarriers: 64,
+        ..SelectiveRayleighChannel::indoor(4, 4)
+    };
+    let ch = model.realize(&mut StdRng::seed_from_u64(2014));
+    let det = geosphere_decoder();
+
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(77);
+            uplink_frame(&cfg, &ch, &det, snr_db, &mut rng).stats.ped_calcs
+        })
+    });
+    for workers in [1usize, 2, 4, 8] {
+        // The pool clamps to the hardware; label with the effective count
+        // so series aren't mistaken for distinct configurations on small
+        // machines.
+        let effective = geosphere_core::BatchDetector::new(&det, workers).workers();
+        group.bench_function(
+            BenchmarkId::new("batched", format!("{workers}w_eff{effective}")),
+            |b| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(77);
+                    decode_frame_batched(&cfg, &ch, &det, snr_db, &mut rng, workers).stats.ped_calcs
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_decoders
+    targets = bench_decoders, bench_frame_decode
 }
 criterion_main!(benches);

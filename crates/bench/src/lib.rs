@@ -22,11 +22,24 @@ pub fn params_from_args() -> ExperimentParams {
     } else {
         // Default: between quick and full — enough fidelity to see the
         // paper's shapes in minutes.
-        ExperimentParams { seed: 2014, frames_per_point: 6, groups_per_point: 5, payload_bits: 1024 }
+        ExperimentParams {
+            seed: 2014,
+            frames_per_point: 6,
+            groups_per_point: 5,
+            payload_bits: 1024,
+            workers: 1,
+        }
     };
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         if let Some(v) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
             params.seed = v;
+        }
+    }
+    // `--workers N` fans frame decoding out across N threads (0 = machine
+    // parallelism); measured numbers are bit-identical to serial.
+    if let Some(pos) = args.iter().position(|a| a == "--workers") {
+        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            params.workers = v;
         }
     }
     params

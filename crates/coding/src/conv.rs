@@ -109,7 +109,7 @@ mod tests {
     fn termination_returns_to_zero_state() {
         let bits = [true, true, false, true, false, true, true, false, false, true];
         let mut state = 0;
-        for &b in bits.iter().chain(std::iter::repeat(&false).take(6)) {
+        for &b in bits.iter().chain(std::iter::repeat_n(&false, 6)) {
             state = next_state(state, b);
         }
         assert_eq!(state, 0);

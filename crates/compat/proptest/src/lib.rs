@@ -1,0 +1,390 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API the workspace tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! [`strategy::Strategy`] with `prop_map`, range/tuple/[`strategy::Just`]
+//! strategies, [`prop_oneof!`], [`collection::vec`], [`arbitrary::any`],
+//! and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case panics with the sampled inputs in
+//!   the message; the per-test RNG seed is derived only from the test name,
+//!   so every failure replays identically under `cargo test`.
+//! - Sampling is driven by the workspace's deterministic [`rand`] shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Used by the `proptest!` macro expansion so consumer crates don't need
+// their own `rand` dependency.
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Uniform choice among boxed strategies — the engine of
+    /// [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics when `options` is empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let k = rng.gen_range(0..self.options.len());
+            self.options[k].sample(rng)
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary_sample(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_sample(rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_sample(rng: &mut StdRng) -> f64 {
+            // Bounded, finite: the workspace only needs well-behaved reals.
+            rng.gen_range(-1.0e6..1.0e6)
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_sample(rng: &mut StdRng) -> $t {
+                    rng.gen_range(<$t>::MIN..<$t>::MAX)
+                }
+            }
+        )*};
+    }
+    arb_int!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    /// Strategy yielding arbitrary values of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_sample(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Acceptable size arguments for [`vec`]: an exact length or a range.
+    pub trait IntoSizeRange {
+        /// Converts to a half-open `[min, max)` length range.
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    /// Strategy yielding vectors of `elem` with length in `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Builds a vector strategy.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let size = size.into_size_range();
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// How many cases each property test runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running exactly `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Stable per-test seed: FNV-1a over the test's name, so a failing
+    /// case replays identically on the next `cargo test` run.
+    pub fn seed_for(test_name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that samples its strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    // Leading config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    // Internal: done.
+    (@munch ($cfg:expr)) => {};
+    // Internal: one test fn, then recurse.
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng =
+                <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+            for _ in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                { $body }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    // No config attribute: use the default.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -2.0f64..2.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(p in (0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..2.0).contains(&p));
+        }
+
+        #[test]
+        fn oneof_yields_only_listed(v in prop_oneof![Just(1u32), Just(5u32), Just(9u32)]) {
+            prop_assert!(v == 1u32 || v == 5u32 || v == 9u32);
+        }
+
+        #[test]
+        fn vec_respects_size_range(v in crate::collection::vec(any::<bool>(), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn vec_exact_size(v in crate::collection::vec(0i32..100, 4)) {
+            prop_assert_eq!(v.len(), 4);
+            for e in v {
+                prop_assert!((0..100).contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        use crate::test_runner::seed_for;
+        assert_eq!(seed_for("a::b"), seed_for("a::b"));
+        assert_ne!(seed_for("a::b"), seed_for("a::c"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Batched parallel MIMO detection — the workspace's scaling layer.
+//!
+//! An OFDM frame is an embarrassingly parallel batch of per-subcarrier
+//! sphere searches (paper §4: one independent detection per OFDM symbol ×
+//! subcarrier), and those searches share a tiny set of distinct channel
+//! matrices — one per subcarrier, reused across every OFDM symbol of the
+//! frame. This module exploits both properties:
+//!
+//! * [`DetectionBatch`] describes a batch as a shared channel table plus
+//!   jobs that reference channels by index, so per-channel preprocessing
+//!   (QR factorization) is computed once per *channel*, not once per
+//!   *detection* — [`SphereDecoder`](crate::SphereDecoder) overrides
+//!   [`MimoDetector::detect_batch`] to do exactly that.
+//! * [`BatchDetector`] fans a batch out across a scoped worker pool.
+//!   Results are returned in job order and are bit-identical to detecting
+//!   each job serially, for any worker count: detection consumes no shared
+//!   mutable state and QR factorization is deterministic.
+
+use crate::detector::{Detection, MimoDetector};
+use gs_linalg::{Complex, Matrix};
+use gs_modulation::Constellation;
+
+/// One detection problem inside a batch: an index into the batch's shared
+/// channel table plus the received vector.
+#[derive(Clone, Debug)]
+pub struct DetectionJob {
+    /// Index into [`DetectionBatch::channels`].
+    pub channel: usize,
+    /// Received vector (one entry per AP antenna).
+    pub y: Vec<Complex>,
+}
+
+/// A batch of detection problems sharing a table of grid-domain channels.
+///
+/// The channel table is the unit of preprocessing reuse: every job whose
+/// `channel` index matches shares one QR factorization in detectors that
+/// support it.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectionBatch<'a> {
+    /// Distinct grid-domain channel matrices (constellation scale folded
+    /// in), typically one per OFDM subcarrier.
+    pub channels: &'a [Matrix],
+    /// The detection problems, each referencing a channel by index.
+    pub jobs: &'a [DetectionJob],
+    /// The constellation every stream uses.
+    pub c: Constellation,
+}
+
+impl DetectionBatch<'_> {
+    /// Detects every job serially through plain [`MimoDetector::detect`],
+    /// with no preprocessing reuse — the reference the batched paths are
+    /// checked against.
+    pub fn detect_serial<D: MimoDetector + ?Sized>(&self, detector: &D) -> Vec<Detection> {
+        self.jobs
+            .iter()
+            .map(|job| detector.detect(&self.channels[job.channel], &job.y, self.c))
+            .collect()
+    }
+}
+
+/// Fans batches of detections out across a scoped `std::thread` worker
+/// pool, preserving job order.
+///
+/// Each worker receives a contiguous chunk of jobs (with the shared
+/// channel table), so detectors that amortize per-channel preprocessing
+/// keep that benefit within each chunk. Workers borrow the detector
+/// immutably — [`MimoDetector`] requires `Send + Sync`, and no detector in
+/// this crate has interior mutability — so no cloning or locking happens
+/// on the hot path.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchDetector<'a, D: MimoDetector + ?Sized> {
+    detector: &'a D,
+    workers: usize,
+}
+
+impl<'a, D: MimoDetector + ?Sized> BatchDetector<'a, D> {
+    /// Wraps `detector` with a pool of `workers` threads; `workers == 0`
+    /// selects the machine's available parallelism.
+    ///
+    /// The pool never oversubscribes: detection is pure CPU work, so
+    /// running more threads than hardware threads only adds context-switch
+    /// and cache-thrash cost. The effective count is
+    /// `min(workers, available_parallelism)` — [`Self::workers`] reports
+    /// the resolved value.
+    pub fn new(detector: &'a D, workers: usize) -> Self {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let workers = if workers == 0 { hw } else { workers.min(hw) };
+        BatchDetector { detector, workers }
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &'a D {
+        self.detector
+    }
+
+    /// Detects every job in `batch`, in parallel across the pool, returning
+    /// results in job order.
+    ///
+    /// Jobs are grouped by channel index before being split into per-worker
+    /// chunks, so detectors that amortize per-channel preprocessing keep
+    /// (almost) one factorization per channel at any worker count — at most
+    /// `workers − 1` channel groups straddle a chunk boundary. An OFDM
+    /// frame's jobs arrive symbol-major (the channel cycles every
+    /// subcarrier), so without the grouping every chunk would touch every
+    /// channel and re-factorize it.
+    ///
+    /// Output is bit-identical to `self.detector().detect_batch(batch)` run
+    /// serially: the grouping permutation is deterministic (stable sort by
+    /// channel), it is inverted on the way out, and detection is a pure
+    /// function of (channel, y, constellation).
+    pub fn detect_batch(&self, batch: &DetectionBatch) -> Vec<Detection> {
+        let n = batch.jobs.len();
+        let workers = self.workers.min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return self.detector.detect_batch(batch);
+        }
+
+        // Group jobs by channel (stable: ties keep submission order), so
+        // each worker's contiguous chunk spans whole channel groups. When
+        // jobs already arrive grouped — notably the flat-channel case with
+        // a single table entry, the dominant experiment path — skip the
+        // permutation and its per-job clone entirely.
+        let already_grouped =
+            batch.jobs.windows(2).all(|w| w[0].channel <= w[1].channel);
+        let chunk_len = n.div_ceil(workers);
+
+        if already_grouped {
+            let mut out: Vec<Option<Detection>> = vec![None; n];
+            self.run_chunks(batch, batch.jobs, &mut out, chunk_len);
+            return out.into_iter().map(|d| d.expect("every chunk fills its slots")).collect();
+        }
+
+        // The clone per job is a small Vec (one entry per antenna), noise
+        // next to the detection itself.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (batch.jobs[i].channel, i));
+        let grouped: Vec<DetectionJob> = order.iter().map(|&i| batch.jobs[i].clone()).collect();
+
+        let mut grouped_out: Vec<Option<Detection>> = vec![None; n];
+        self.run_chunks(batch, &grouped, &mut grouped_out, chunk_len);
+
+        let mut out: Vec<Option<Detection>> = vec![None; n];
+        for (&slot, det) in order.iter().zip(grouped_out) {
+            out[slot] = det;
+        }
+        out.into_iter().map(|d| d.expect("every chunk fills its slots")).collect()
+    }
+
+    fn run_chunks(
+        &self,
+        batch: &DetectionBatch,
+        jobs: &[DetectionJob],
+        out: &mut [Option<Detection>],
+        chunk_len: usize,
+    ) {
+        std::thread::scope(|scope| {
+            for (jobs, slots) in jobs.chunks(chunk_len).zip(out.chunks_mut(chunk_len)) {
+                let sub = DetectionBatch { channels: batch.channels, jobs, c: batch.c };
+                let detector = self.detector;
+                scope.spawn(move || {
+                    for (slot, det) in slots.iter_mut().zip(detector.detect_batch(&sub)) {
+                        *slot = Some(det);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::apply_channel;
+    use crate::{ethsd_decoder, geosphere_decoder, MmseSicDetector, ZfDetector};
+    use gs_channel::{sample_cn, RayleighChannel};
+    use gs_modulation::GridPoint;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_batch(
+        seed: u64,
+        c: Constellation,
+        na: usize,
+        nc: usize,
+        n_channels: usize,
+        n_jobs: usize,
+        noise: f64,
+    ) -> (Vec<Matrix>, Vec<DetectionJob>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let channels: Vec<Matrix> = (0..n_channels)
+            .map(|_| RayleighChannel::new(na, nc).sample_matrix(&mut rng).scale(c.scale()))
+            .collect();
+        let pts = c.points();
+        let jobs: Vec<DetectionJob> = (0..n_jobs)
+            .map(|j| {
+                let channel = j % n_channels;
+                let s: Vec<GridPoint> =
+                    (0..nc).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+                let mut y = apply_channel(&channels[channel], &s);
+                for v in y.iter_mut() {
+                    *v += sample_cn(&mut rng, noise);
+                }
+                DetectionJob { channel, y }
+            })
+            .collect();
+        (channels, jobs)
+    }
+
+    #[test]
+    fn batched_matches_serial_reference_all_detectors() {
+        let c = Constellation::Qam16;
+        let (channels, jobs) = random_batch(301, c, 4, 4, 6, 48, 0.05);
+        let batch = DetectionBatch { channels: &channels, jobs: &jobs, c };
+        let detectors: Vec<Box<dyn MimoDetector>> = vec![
+            Box::new(geosphere_decoder()),
+            Box::new(ethsd_decoder()),
+            Box::new(geosphere_decoder().with_sorted_qr()),
+            Box::new(ZfDetector),
+            Box::new(MmseSicDetector::new(0.05)),
+        ];
+        for det in &detectors {
+            let reference = batch.detect_serial(det.as_ref());
+            let amortized = det.detect_batch(&batch);
+            for workers in [1, 2, 4, 7] {
+                let parallel = BatchDetector::new(det.as_ref(), workers).detect_batch(&batch);
+                assert_eq!(parallel.len(), reference.len());
+                for (k, (p, r)) in parallel.iter().zip(&reference).enumerate() {
+                    assert_eq!(p.symbols, r.symbols, "{} job {k} workers {workers}", det.name());
+                    assert_eq!(p.stats, r.stats, "{} job {k} workers {workers}", det.name());
+                }
+            }
+            for (k, (a, r)) in amortized.iter().zip(&reference).enumerate() {
+                assert_eq!(a.symbols, r.symbols, "{} amortized job {k}", det.name());
+                assert_eq!(a.stats, r.stats, "{} amortized job {k}", det.name());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_workers_selects_parallelism() {
+        let det = ZfDetector;
+        let b = BatchDetector::new(&det, 0);
+        assert!(b.workers() >= 1);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let det = geosphere_decoder();
+        let channels: Vec<Matrix> = vec![];
+        let jobs: Vec<DetectionJob> = vec![];
+        let batch = DetectionBatch { channels: &channels, jobs: &jobs, c: Constellation::Qpsk };
+        assert!(BatchDetector::new(&det, 4).detect_batch(&batch).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let c = Constellation::Qpsk;
+        let (channels, jobs) = random_batch(302, c, 2, 2, 1, 3, 0.01);
+        let batch = DetectionBatch { channels: &channels, jobs: &jobs, c };
+        let det = geosphere_decoder();
+        let out = BatchDetector::new(&det, 16).detect_batch(&batch);
+        assert_eq!(out.len(), 3);
+        let reference = batch.detect_serial(&det);
+        for (p, r) in out.iter().zip(&reference) {
+            assert_eq!(p.symbols, r.symbols);
+        }
+    }
+
+    #[test]
+    fn detectors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::GeosphereDecoder>();
+        assert_send_sync::<crate::EthSdDecoder>();
+        assert_send_sync::<ZfDetector>();
+        assert_send_sync::<MmseSicDetector>();
+        assert_send_sync::<Box<dyn MimoDetector>>();
+    }
+}

@@ -21,7 +21,12 @@ pub struct Detection {
 }
 
 /// A hard-output MIMO detector.
-pub trait MimoDetector {
+///
+/// `Send + Sync` is part of the contract: detection is a pure function of
+/// `(h, y, c)` with no interior mutability, which is what lets
+/// [`BatchDetector`](crate::BatchDetector) share one detector across a
+/// worker pool by reference.
+pub trait MimoDetector: Send + Sync {
     /// Detects the transmitted symbol vector.
     ///
     /// * `h` — grid-domain channel (`na × nc`): `y = h·s + w` with `s`
@@ -29,6 +34,16 @@ pub trait MimoDetector {
     /// * `y` — received vector (`na` entries).
     /// * `c` — the constellation every stream uses.
     fn detect(&self, h: &Matrix, y: &[Complex], c: Constellation) -> Detection;
+
+    /// Detects every job of a batch, in job order.
+    ///
+    /// The default loops [`MimoDetector::detect`]. Detectors with
+    /// per-channel preprocessing (QR factorization in the sphere decoders)
+    /// override this to compute it once per distinct channel in the
+    /// batch's table instead of once per job — with bit-identical results.
+    fn detect_batch(&self, batch: &crate::batch::DetectionBatch) -> Vec<Detection> {
+        batch.detect_serial(self)
+    }
 
     /// A short display name ("ZF", "Geosphere", "ETH-SD", …).
     fn name(&self) -> &'static str;

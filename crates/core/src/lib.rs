@@ -31,6 +31,7 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod detector;
 pub mod fsd;
 pub mod geoprune;
@@ -45,6 +46,7 @@ pub mod statprune;
 pub mod sphere;
 pub mod stats;
 
+pub use batch::{BatchDetector, DetectionBatch, DetectionJob};
 pub use detector::{apply_channel, residual_norm_sqr, slice_vector, Detection, MimoDetector};
 pub use fsd::FsdDetector;
 pub use hybrid::HybridDetector;

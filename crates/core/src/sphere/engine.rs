@@ -199,22 +199,62 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
     }
 }
 
+/// Per-channel preprocessing shared across a batch (plain or sorted QR).
+enum Prep {
+    Plain(gs_linalg::Qr),
+    Sorted(gs_linalg::SortedQr),
+}
+
+impl<F: EnumeratorFactory> SphereDecoder<F> {
+    fn prepare(&self, h: &Matrix) -> Prep {
+        if self.sorted_qr {
+            Prep::Sorted(sorted_qr_decompose(h))
+        } else {
+            Prep::Plain(qr_decompose(h))
+        }
+    }
+
+    fn detect_prepared(&self, prep: &Prep, nc: usize, y: &[Complex], c: Constellation) -> Detection {
+        let mut stats = DetectorStats::default();
+        match prep {
+            Prep::Plain(qr) => {
+                let yhat_full = qr.rotate(y);
+                let symbols = self.detect_with_qr(&qr.r, &yhat_full[..nc], c, &mut stats);
+                Detection { symbols, stats }
+            }
+            Prep::Sorted(sqr) => {
+                let yhat_full = sqr.qr.rotate(y);
+                let symbols_permuted = self.detect_with_qr(&sqr.qr.r, &yhat_full[..nc], c, &mut stats);
+                let symbols = sqr.unpermute(&symbols_permuted);
+                Detection { symbols, stats }
+            }
+        }
+    }
+}
+
 impl<F: EnumeratorFactory> MimoDetector for SphereDecoder<F> {
     fn detect(&self, h: &Matrix, y: &[Complex], c: Constellation) -> Detection {
-        let mut stats = DetectorStats::default();
-        if self.sorted_qr {
-            let sqr = sorted_qr_decompose(h);
-            let yhat_full = sqr.qr.rotate(y);
-            let symbols_permuted =
-                self.detect_with_qr(&sqr.qr.r, &yhat_full[..h.cols()], c, &mut stats);
-            let symbols = sqr.unpermute(&symbols_permuted);
-            Detection { symbols, stats }
-        } else {
-            let qr = qr_decompose(h);
-            let yhat_full = qr.rotate(y);
-            let symbols = self.detect_with_qr(&qr.r, &yhat_full[..h.cols()], c, &mut stats);
-            Detection { symbols, stats }
-        }
+        self.detect_prepared(&self.prepare(h), h.cols(), y, c)
+    }
+
+    /// Batched detection with per-channel QR amortization: the
+    /// factorization is computed once per entry of the batch's channel
+    /// table and reused by every job referencing it. An OFDM frame reuses
+    /// each subcarrier's channel across all its OFDM symbols, so this
+    /// removes an `n_ofdm_symbols×` redundancy — with output bit-identical
+    /// to per-job [`MimoDetector::detect`], since QR is deterministic and
+    /// uncounted by [`DetectorStats`].
+    fn detect_batch(&self, batch: &crate::batch::DetectionBatch) -> Vec<Detection> {
+        let mut preps: Vec<Option<Prep>> = (0..batch.channels.len()).map(|_| None).collect();
+        batch
+            .jobs
+            .iter()
+            .map(|job| {
+                let h = &batch.channels[job.channel];
+                let prep = preps[job.channel].get_or_insert_with(|| self.prepare(h));
+                self.detect_prepared(prep, h.cols(), &job.y, batch.c)
+            })
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -271,7 +311,8 @@ mod tests {
         // The core soundness claim: the sphere decoder returns the exact
         // maximum-likelihood solution.
         let mut rng = StdRng::seed_from_u64(142);
-        let decoders: Vec<(&str, Box<dyn Fn(&Matrix, &[Complex], Constellation) -> Detection>)> = vec![
+        type DetectFn = Box<dyn Fn(&Matrix, &[Complex], Constellation) -> Detection>;
+        let decoders: Vec<(&str, DetectFn)> = vec![
             ("geo-full", Box::new(|h, y, c| SphereDecoder::new(GeosphereFactory::full()).detect(h, y, c))),
             ("geo-zz", Box::new(|h, y, c| SphereDecoder::new(GeosphereFactory::zigzag_only()).detect(h, y, c))),
             ("hess", Box::new(|h, y, c| SphereDecoder::new(HessFactory).detect(h, y, c))),

@@ -37,7 +37,11 @@ pub trait NodeEnumerator {
 }
 
 /// Creates enumerators; one per tree-node visit.
-pub trait EnumeratorFactory {
+///
+/// `Send + Sync` is required so sphere decoders built from a factory
+/// satisfy the [`crate::MimoDetector`] thread-safety contract; factories
+/// are stateless configuration, so this costs nothing.
+pub trait EnumeratorFactory: Send + Sync {
     /// The enumerator type produced.
     type Enumerator: NodeEnumerator;
 

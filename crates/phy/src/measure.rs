@@ -6,7 +6,7 @@
 //! per-subcarrier detector complexity.
 
 use crate::config::PhyConfig;
-use crate::txrx::uplink_frame;
+use crate::txrx::{decode_frame_batched, uplink_frame};
 use geosphere_core::{AverageStats, DetectorStats, MimoDetector};
 use gs_channel::ChannelModel;
 use rand::Rng;
@@ -44,6 +44,47 @@ where
     M: ChannelModel,
     D: MimoDetector + ?Sized,
 {
+    measure_impl(cfg, model, detector, snr_db, frames, rng, None)
+}
+
+/// [`measure`] with the frame decode fanned out across `workers` threads
+/// (`0` = machine parallelism) through
+/// [`decode_frame_batched`](crate::txrx::decode_frame_batched).
+///
+/// Results are bit-identical to [`measure`] for the same `rng` state —
+/// the batched decode path is deterministic — so experiment outputs don't
+/// depend on the worker count, only wall-clock does.
+pub fn measure_batched<R, M, D>(
+    cfg: &PhyConfig,
+    model: &M,
+    detector: &D,
+    snr_db: f64,
+    frames: usize,
+    rng: &mut R,
+    workers: usize,
+) -> Measurement
+where
+    R: Rng + ?Sized,
+    M: ChannelModel,
+    D: MimoDetector + ?Sized,
+{
+    measure_impl(cfg, model, detector, snr_db, frames, rng, Some(workers))
+}
+
+fn measure_impl<R, M, D>(
+    cfg: &PhyConfig,
+    model: &M,
+    detector: &D,
+    snr_db: f64,
+    frames: usize,
+    rng: &mut R,
+    workers: Option<usize>,
+) -> Measurement
+where
+    R: Rng + ?Sized,
+    M: ChannelModel,
+    D: MimoDetector + ?Sized,
+{
     let clients = model.num_tx();
     let mut ok_count = vec![0usize; clients];
     let mut stats = DetectorStats::default();
@@ -51,7 +92,10 @@ where
 
     for _ in 0..frames {
         let ch = model.realize(rng);
-        let out = uplink_frame(cfg, &ch, detector, snr_db, rng);
+        let out = match workers {
+            Some(w) => decode_frame_batched(cfg, &ch, detector, snr_db, rng, w),
+            None => uplink_frame(cfg, &ch, detector, snr_db, rng),
+        };
         for (k, &ok) in out.client_ok.iter().enumerate() {
             if ok {
                 ok_count[k] += 1;
@@ -93,11 +137,49 @@ where
     M: ChannelModel,
     D: MimoDetector + ?Sized,
 {
+    snr_search_impl(cfg, model, detector, target_fer, frames, rng, None)
+}
+
+/// [`snr_for_target_fer`] with each probe measurement decoded through the
+/// batched path (`0` = machine parallelism). Returns the same SNR as the
+/// serial search for the same `rng` state — the bisection consumes
+/// identical measurements — in less wall-clock.
+pub fn snr_for_target_fer_batched<R, M, D>(
+    cfg: &PhyConfig,
+    model: &M,
+    detector: &D,
+    target_fer: f64,
+    frames: usize,
+    rng: &mut R,
+    workers: usize,
+) -> f64
+where
+    R: Rng + ?Sized,
+    M: ChannelModel,
+    D: MimoDetector + ?Sized,
+{
+    snr_search_impl(cfg, model, detector, target_fer, frames, rng, Some(workers))
+}
+
+fn snr_search_impl<R, M, D>(
+    cfg: &PhyConfig,
+    model: &M,
+    detector: &D,
+    target_fer: f64,
+    frames: usize,
+    rng: &mut R,
+    workers: Option<usize>,
+) -> f64
+where
+    R: Rng + ?Sized,
+    M: ChannelModel,
+    D: MimoDetector + ?Sized,
+{
     let mut lo = 0.0f64;
     let mut hi = 50.0f64;
     for _ in 0..7 {
         let mid = (lo + hi) / 2.0;
-        let m = measure(cfg, model, detector, mid, frames, rng);
+        let m = measure_impl(cfg, model, detector, mid, frames, rng, workers);
         if m.fer > target_fer {
             lo = mid;
         } else {

@@ -139,9 +139,7 @@ mod tests {
         // Build a delayed circular version (time-invariant single tap at
         // delay 1 acting on the CP-extended signal).
         let mut delayed = vec![Complex::ZERO; time.len()];
-        for k in 1..time.len() {
-            delayed[k] = time[k - 1];
-        }
+        delayed[1..].copy_from_slice(&time[..time.len() - 1]);
         let rx = demodulate_symbol(&delayed);
         for (k, (a, b)) in freq.iter().zip(&rx).enumerate() {
             let expect = *a * Complex::cis(-std::f64::consts::TAU * data_bins()[k] as f64 / 64.0);

@@ -11,7 +11,9 @@
 //! figures count.
 
 use crate::config::PhyConfig;
-use geosphere_core::{Detection, DetectorStats, MimoDetector};
+use geosphere_core::{
+    BatchDetector, Detection, DetectionBatch, DetectionJob, DetectorStats, MimoDetector,
+};
 use gs_channel::{sample_cn, MimoChannel};
 use gs_coding::{
     conv, depuncture, interleave::Interleaver, puncture, scramble::Scrambler, viterbi,
@@ -116,6 +118,61 @@ pub fn uplink_frame_with_csi<R: Rng + ?Sized, D: MimoDetector + ?Sized>(
     snr_db: f64,
     rng: &mut R,
 ) -> UplinkOutcome {
+    let plan = plan_uplink_frame(cfg, channel, csi, snr_db, rng);
+    // The serial reference path: fresh preprocessing per detection, exactly
+    // as a subcarrier-at-a-time receiver would run.
+    let batch =
+        DetectionBatch { channels: &plan.rx_channels, jobs: &plan.jobs, c: cfg.constellation };
+    let detections = batch.detect_serial(detector);
+    assemble_outcome(cfg, &plan, detections)
+}
+
+/// Like [`uplink_frame`] but fans the frame's per-subcarrier sphere
+/// searches out across `workers` threads (`0` = machine parallelism) and
+/// amortizes per-subcarrier channel preprocessing across the frame's OFDM
+/// symbols via [`MimoDetector::detect_batch`].
+///
+/// Output is **bit-identical** to [`uplink_frame`] for the same `rng`
+/// state, at every worker count: all randomness (payloads, then noise in
+/// OFDM-symbol-major order) is drawn before detection begins, in the same
+/// order the serial path draws it, and detection is a pure function of the
+/// planned problems.
+pub fn decode_frame_batched<R: Rng + ?Sized, D: MimoDetector + ?Sized>(
+    cfg: &PhyConfig,
+    channel: &MimoChannel,
+    detector: &D,
+    snr_db: f64,
+    rng: &mut R,
+    workers: usize,
+) -> UplinkOutcome {
+    let plan = plan_uplink_frame(cfg, channel, None, snr_db, rng);
+    let batch =
+        DetectionBatch { channels: &plan.rx_channels, jobs: &plan.jobs, c: cfg.constellation };
+    let detections = BatchDetector::new(detector, workers).detect_batch(&batch);
+    assemble_outcome(cfg, &plan, detections)
+}
+
+/// Everything about one uplink frame except the detections: the per-client
+/// transmitted frames, the detector's channel table, and one detection job
+/// per (OFDM symbol, subcarrier) in OFDM-symbol-major order.
+struct UplinkPlan {
+    frames: Vec<TxFrame>,
+    rx_channels: Vec<gs_linalg::Matrix>,
+    jobs: Vec<DetectionJob>,
+    n_sym: usize,
+}
+
+/// Draws every random quantity of the frame — client payloads, then
+/// per-(symbol, subcarrier) noise — in the fixed order both the serial and
+/// batched receive paths share, and packages the resulting detection
+/// problems.
+fn plan_uplink_frame<R: Rng + ?Sized>(
+    cfg: &PhyConfig,
+    channel: &MimoChannel,
+    csi: Option<&MimoChannel>,
+    snr_db: f64,
+    rng: &mut R,
+) -> UplinkPlan {
     let nc = channel.num_tx();
     let na = channel.num_rx();
     let c = cfg.constellation;
@@ -149,39 +206,49 @@ pub fn uplink_frame_with_csi<R: Rng + ?Sized, D: MimoDetector + ?Sized>(
         None => grid_channels.clone(),
     };
 
-    let mut stats = DetectorStats::default();
-    let mut detections = 0u64;
-    let mut detected: Vec<Vec<Vec<GridPoint>>> =
-        vec![vec![Vec::with_capacity(cfg.n_subcarriers); n_sym]; nc];
-
+    let mut jobs = Vec::with_capacity(n_sym * cfg.n_subcarriers);
     for t in 0..n_sym {
         for k in 0..cfg.n_subcarriers {
             let h = &grid_channels[k % grid_channels.len()];
-            let h_rx = &rx_channels[k % rx_channels.len()];
             let s: Vec<GridPoint> = (0..nc).map(|cl| frames[cl].symbols[t][k]).collect();
             let mut y: Vec<Complex> = geosphere_core::apply_channel(h, &s);
             for v in y.iter_mut() {
                 *v += sample_cn(rng, sigma2);
             }
             debug_assert_eq!(y.len(), na);
-            let Detection { symbols, stats: st } = detector.detect(h_rx, &y, c);
-            stats += st;
-            detections += 1;
-            for cl in 0..nc {
-                detected[cl][t].push(symbols[cl]);
-            }
+            jobs.push(DetectionJob { channel: k % rx_channels.len(), y });
+        }
+    }
+
+    UplinkPlan { frames, rx_channels, jobs, n_sym }
+}
+
+/// Inverts the per-client receive chains over the detected symbols and
+/// aggregates detector statistics (job order, so counts are reproducible).
+fn assemble_outcome(cfg: &PhyConfig, plan: &UplinkPlan, detections: Vec<Detection>) -> UplinkOutcome {
+    let nc = plan.frames.len();
+    let n_detections = detections.len() as u64;
+    let mut stats = DetectorStats::default();
+    let mut detected: Vec<Vec<Vec<GridPoint>>> =
+        vec![vec![Vec::with_capacity(cfg.n_subcarriers); plan.n_sym]; nc];
+
+    for (idx, Detection { symbols, stats: st }) in detections.into_iter().enumerate() {
+        let t = idx / cfg.n_subcarriers;
+        stats += st;
+        for cl in 0..nc {
+            detected[cl][t].push(symbols[cl]);
         }
     }
 
     let client_ok: Vec<bool> = (0..nc)
         .map(|cl| {
             receive_frame(cfg, &detected[cl])
-                .map(|p| p == frames[cl].payload)
+                .map(|p| p == plan.frames[cl].payload)
                 .unwrap_or(false)
         })
         .collect();
 
-    UplinkOutcome { client_ok, stats, detections }
+    UplinkOutcome { client_ok, stats, detections: n_detections }
 }
 
 #[cfg(test)]
@@ -247,6 +314,26 @@ mod tests {
         let ch = RayleighChannel::new(4, 4).realize(&mut rng);
         let out = uplink_frame(&cfg, &ch, &ZfDetector, -5.0, &mut rng);
         assert!(out.client_ok.iter().all(|&ok| !ok), "-5 dB 64-QAM: frames must fail");
+    }
+
+    #[test]
+    fn batched_decode_bit_identical_to_serial() {
+        // Same RNG seed → serial and batched paths must agree exactly, at
+        // every worker count, including op counts.
+        let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(Constellation::Qam16) };
+        let mut chan_rng = StdRng::seed_from_u64(271);
+        let ch = RayleighChannel::new(4, 2).realize(&mut chan_rng);
+        let det = geosphere_decoder();
+
+        let mut rng = StdRng::seed_from_u64(272);
+        let serial = uplink_frame(&cfg, &ch, &det, 18.0, &mut rng);
+        for workers in [1, 2, 4] {
+            let mut rng = StdRng::seed_from_u64(272);
+            let batched = decode_frame_batched(&cfg, &ch, &det, 18.0, &mut rng, workers);
+            assert_eq!(batched.client_ok, serial.client_ok, "workers {workers}");
+            assert_eq!(batched.stats, serial.stats, "workers {workers}");
+            assert_eq!(batched.detections, serial.detections, "workers {workers}");
+        }
     }
 
     #[test]

@@ -12,7 +12,10 @@ use geosphere_core::{
 };
 use gs_channel::{noise_variance_for_snr_db, Cdf, RayleighChannel, Testbed};
 use gs_modulation::Constellation;
-use gs_phy::{measure, snr_for_target_fer, Measurement, PhyConfig};
+use gs_phy::{
+    measure, measure_batched, snr_for_target_fer, snr_for_target_fer_batched, Measurement,
+    PhyConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -27,12 +30,24 @@ pub struct ExperimentParams {
     pub groups_per_point: usize,
     /// Payload bits per client frame.
     pub payload_bits: usize,
+    /// Decode worker threads: `1` = the serial reference receive path,
+    /// `>1` = fan per-subcarrier detections out via
+    /// [`gs_phy::decode_frame_batched`] (`0` = machine parallelism).
+    /// Measured numbers are bit-identical either way; only wall-clock
+    /// changes.
+    pub workers: usize,
 }
 
 impl ExperimentParams {
     /// Fast parameters for smoke tests and CI.
     pub fn quick() -> Self {
-        ExperimentParams { seed: 2014, frames_per_point: 3, groups_per_point: 3, payload_bits: 512 }
+        ExperimentParams {
+            seed: 2014,
+            frames_per_point: 3,
+            groups_per_point: 3,
+            payload_bits: 512,
+            workers: 1,
+        }
     }
 
     /// Full-fidelity parameters for regenerating the figures.
@@ -42,6 +57,43 @@ impl ExperimentParams {
             frames_per_point: 12,
             groups_per_point: 8,
             payload_bits: 2048,
+            workers: 0,
+        }
+    }
+
+    /// Routes one measurement through the serial or batched decode path
+    /// according to [`ExperimentParams::workers`].
+    fn measure<M: gs_channel::ChannelModel, D: MimoDetector + ?Sized>(
+        &self,
+        cfg: &PhyConfig,
+        model: &M,
+        detector: &D,
+        snr_db: f64,
+        frames: usize,
+        rng: &mut StdRng,
+    ) -> Measurement {
+        if self.workers == 1 {
+            measure(cfg, model, detector, snr_db, frames, rng)
+        } else {
+            measure_batched(cfg, model, detector, snr_db, frames, rng, self.workers)
+        }
+    }
+
+    /// Like [`Self::measure`] for the target-FER SNR bisection, so the
+    /// calibration phase of the complexity experiments parallelizes too.
+    fn snr_for_target_fer<M: gs_channel::ChannelModel, D: MimoDetector + ?Sized>(
+        &self,
+        cfg: &PhyConfig,
+        model: &M,
+        detector: &D,
+        target_fer: f64,
+        frames: usize,
+        rng: &mut StdRng,
+    ) -> f64 {
+        if self.workers == 1 {
+            snr_for_target_fer(cfg, model, detector, target_fer, frames, rng)
+        } else {
+            snr_for_target_fer_batched(cfg, model, detector, target_fer, frames, rng, self.workers)
         }
     }
 
@@ -157,7 +209,7 @@ pub fn testbed_throughput(
             .iter()
             .map(|g: &UserGroup| {
                 let model = tb.channel(g.ap, &g.clients, ap_antennas);
-                measure(&cfg, &model, det.as_ref(), snr_db, params.frames_per_point, &mut rng)
+                params.measure(&cfg, &model, det.as_ref(), snr_db, params.frames_per_point, &mut rng)
             })
             .collect();
         let (mbps, _, _, _) = merge_measurements(&ms);
@@ -199,7 +251,7 @@ pub fn rayleigh_throughput(
         let cfg = params.cfg(c);
         let det = detector.build(snr_db);
         let mut rng = params.rng(7_000_000 + n_clients as u64 * 100 + c.size() as u64);
-        let m = measure(
+        let m = params.measure(
             &cfg,
             &model,
             det.as_ref(),
@@ -267,11 +319,11 @@ pub fn complexity_at_target_fer(
         Some(tb) => {
             let groups = select_groups(tb, n_clients, 22.0, 20.0, 1);
             let model = tb.channel(groups[0].ap, &groups[0].clients, ap_antennas);
-            snr_for_target_fer(&cfg, &model, &geosphere_decoder(), target_fer, params.frames_per_point, &mut rng)
+            params.snr_for_target_fer(&cfg, &model, &geosphere_decoder(), target_fer, params.frames_per_point, &mut rng)
         }
         None => {
             let model = RayleighChannel::new(ap_antennas, n_clients);
-            snr_for_target_fer(&cfg, &model, &geosphere_decoder(), target_fer, params.frames_per_point, &mut rng)
+            params.snr_for_target_fer(&cfg, &model, &geosphere_decoder(), target_fer, params.frames_per_point, &mut rng)
         }
     };
 
@@ -287,11 +339,11 @@ pub fn complexity_at_target_fer(
                 Some(tb) => {
                     let groups = select_groups(tb, n_clients, 22.0, 20.0, 1);
                     let model = tb.channel(groups[0].ap, &groups[0].clients, ap_antennas);
-                    measure(&cfg, &model, det.as_ref(), snr_db, params.frames_per_point, &mut rng)
+                    params.measure(&cfg, &model, det.as_ref(), snr_db, params.frames_per_point, &mut rng)
                 }
                 None => {
                     let model = RayleighChannel::new(ap_antennas, n_clients);
-                    measure(&cfg, &model, det.as_ref(), snr_db, params.frames_per_point, &mut rng)
+                    params.measure(&cfg, &model, det.as_ref(), snr_db, params.frames_per_point, &mut rng)
                 }
             };
             ComplexityPoint {
@@ -386,8 +438,8 @@ mod tests {
         let params = ExperimentParams::quick();
         let tb = Testbed::office();
         let (kappa, lambda) = conditioning_cdfs(&params, &tb, 2, 2, 10);
-        assert!(kappa.len() > 0);
-        assert!(lambda.len() > 0);
+        assert!(!kappa.is_empty());
+        assert!(!lambda.is_empty());
         assert!(kappa.quantile(0.5) >= 0.0);
         assert!(lambda.quantile(0.5) >= 0.0);
     }

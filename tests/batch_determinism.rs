@@ -1,0 +1,102 @@
+//! The batched decode path must be bit-identical to the serial reference —
+//! same seed, same outcome — at every worker count. This is the contract
+//! that makes the worker pool safe to enable everywhere: parallelism can
+//! change wall-clock, never results.
+
+use geosphere::channel::{ChannelModel, RayleighChannel, SelectiveRayleighChannel};
+use geosphere::core::{geosphere_decoder, BatchDetector, DetectionBatch, DetectionJob};
+use geosphere::linalg::Matrix;
+use geosphere::modulation::Constellation;
+use geosphere::phy::{decode_frame_batched, uplink_frame, PhyConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Serial and batched uplink decodes of the same seeded frame must agree
+/// exactly — symbols, CRC outcomes, and op counts — for ≥2 thread counts.
+#[test]
+fn batched_frame_decode_is_bit_identical_across_worker_counts() {
+    for (c, na, nc, snr_db, seed) in [
+        (Constellation::Qpsk, 2, 2, 12.0, 401u64),
+        (Constellation::Qam16, 4, 2, 22.0, 402),
+        (Constellation::Qam64, 4, 4, 28.0, 403),
+    ] {
+        let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(c) };
+        let ch = RayleighChannel::new(na, nc).realize(&mut StdRng::seed_from_u64(seed));
+        let det = geosphere_decoder();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let serial = uplink_frame(&cfg, &ch, &det, snr_db, &mut rng);
+
+        for workers in [1usize, 2, 4, 8] {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+            let batched = decode_frame_batched(&cfg, &ch, &det, snr_db, &mut rng, workers);
+            assert_eq!(batched.client_ok, serial.client_ok, "{c:?} {na}x{nc} workers={workers}");
+            assert_eq!(batched.stats, serial.stats, "{c:?} {na}x{nc} workers={workers}");
+            assert_eq!(batched.detections, serial.detections, "{c:?} workers={workers}");
+            // The RNG must be consumed identically too: both paths leave the
+            // generator in the same state for whatever runs next.
+            let mut rng_serial = StdRng::seed_from_u64(seed ^ 0xABCD);
+            uplink_frame(&cfg, &ch, &det, snr_db, &mut rng_serial);
+            assert_eq!(
+                rng.gen_range(0..u64::MAX),
+                rng_serial.gen_range(0..u64::MAX),
+                "{c:?} workers={workers}: RNG stream diverged"
+            );
+        }
+    }
+}
+
+/// Same contract over a frequency-selective channel, where the batch's
+/// channel table holds one matrix per subcarrier (the QR-amortization
+/// fast path in the sphere decoders).
+#[test]
+fn batched_decode_matches_serial_on_selective_channel() {
+    let c = Constellation::Qam16;
+    let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(c) };
+    let model = SelectiveRayleighChannel::indoor(4, 2);
+    let ch = model.realize(&mut StdRng::seed_from_u64(77));
+    let det = geosphere_decoder();
+
+    let mut rng = StdRng::seed_from_u64(78);
+    let serial = uplink_frame(&cfg, &ch, &det, 24.0, &mut rng);
+    for workers in [2usize, 5] {
+        let mut rng = StdRng::seed_from_u64(78);
+        let batched = decode_frame_batched(&cfg, &ch, &det, 24.0, &mut rng, workers);
+        assert_eq!(batched.client_ok, serial.client_ok, "workers={workers}");
+        assert_eq!(batched.stats, serial.stats, "workers={workers}");
+    }
+}
+
+/// The core-layer engine honors the same contract on a raw batch.
+#[test]
+fn core_batch_detector_is_deterministic() {
+    let c = Constellation::Qam16;
+    let mut rng = StdRng::seed_from_u64(91);
+    let channels: Vec<Matrix> = (0..8)
+        .map(|_| RayleighChannel::new(4, 4).sample_matrix(&mut rng).scale(c.scale()))
+        .collect();
+    let pts = c.points();
+    let jobs: Vec<DetectionJob> = (0..96)
+        .map(|j| {
+            let channel = j % channels.len();
+            let s: Vec<_> = (0..4).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+            let mut y = geosphere::core::apply_channel(&channels[channel], &s);
+            for v in y.iter_mut() {
+                *v += geosphere::channel::sample_cn(&mut rng, 0.05);
+            }
+            DetectionJob { channel, y }
+        })
+        .collect();
+    let batch = DetectionBatch { channels: &channels, jobs: &jobs, c };
+    let det = geosphere_decoder();
+
+    let reference = batch.detect_serial(&det);
+    for workers in [1usize, 3, 8] {
+        let out = BatchDetector::new(&det, workers).detect_batch(&batch);
+        assert_eq!(out.len(), reference.len());
+        for (k, (a, b)) in out.iter().zip(&reference).enumerate() {
+            assert_eq!(a.symbols, b.symbols, "job {k} workers {workers}");
+            assert_eq!(a.stats, b.stats, "job {k} workers {workers}");
+        }
+    }
+}

@@ -5,7 +5,8 @@
 
 use geosphere::core::{
     ethsd_decoder, geosphere_decoder, geosphere_zigzag_only_decoder, residual_norm_sqr,
-    MimoDetector, MlDetector, SphereDecoder,
+    FsdDetector, KBestDetector, MimoDetector, MlDetector, MmseSicDetector, SphereDecoder,
+    ZfDetector,
 };
 use geosphere::core::sphere::{ExhaustiveSortFactory, GeosphereFactory};
 use geosphere::channel::{sample_cn, RayleighChannel};
@@ -108,6 +109,163 @@ fn extreme_noise_still_ml() {
     for _ in 0..20 {
         let (h, y) = random_problem(&mut rng, Constellation::Qpsk, 3, 3, 5.0);
         assert_ml(&det, &h, &y, Constellation::Qpsk, "extreme-noise");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-matrix conformance suite
+//
+// Every detector in the workspace, checked against the exhaustive-ML oracle
+// across {QPSK, 16-QAM, 64-QAM} × {2×2, 4×4} × {low, high} noise. Seeds are
+// derived deterministically from the scenario coordinates, so a failure
+// names its scenario and replays identically.
+// ---------------------------------------------------------------------------
+
+const MATRIX_CONSTELLATIONS: [Constellation; 3] =
+    [Constellation::Qpsk, Constellation::Qam16, Constellation::Qam64];
+
+/// (AP antennas, client streams).
+const MATRIX_SIZES: [(usize, usize); 2] = [(2, 2), (4, 4)];
+
+const MATRIX_TRIALS: usize = 4;
+
+/// Noise variances keeping the sphere search nontrivial without drowning
+/// the constellation (denser grids get less absolute noise).
+fn matrix_noise(c: Constellation, high: bool) -> f64 {
+    let high_level = match c {
+        Constellation::Qpsk => 0.8,
+        Constellation::Qam16 => 0.4,
+        _ => 0.2,
+    };
+    if high {
+        high_level
+    } else {
+        0.02
+    }
+}
+
+/// One seed per scenario coordinate, so every assertion is replayable.
+fn matrix_seed(c: Constellation, na: usize, nc: usize, high: bool, trial: usize) -> u64 {
+    0x6d6c_0000
+        + c.size() as u64 * 1_000_000
+        + na as u64 * 100_000
+        + nc as u64 * 10_000
+        + u64::from(high) * 1_000
+        + trial as u64
+}
+
+/// The ML oracle residual. `MlDetector` enumerates `|O|^nc` hypotheses —
+/// fine everywhere in the matrix except 64-QAM 4×4 (16.7M hypotheses, too
+/// slow for a debug-mode test); there the full-sort sphere reference (also
+/// exact ML, cross-checked against `MlDetector` on every smaller scenario
+/// and in the engine's own tests) stands in.
+fn oracle_residual(h: &Matrix, y: &[Complex], c: Constellation) -> f64 {
+    if MlDetector::hypothesis_count(c, h.cols()) <= 70_000 {
+        residual_norm_sqr(h, y, &MlDetector.detect(h, y, c).symbols)
+    } else {
+        let reference = SphereDecoder::new(ExhaustiveSortFactory);
+        residual_norm_sqr(h, y, &reference.detect(h, y, c).symbols)
+    }
+}
+
+#[test]
+fn matrix_exact_detectors_match_oracle() {
+    // Geosphere (full), the zigzag-only ablation, and ETH-SD all claim
+    // exact ML: their residual must equal the oracle's everywhere.
+    for c in MATRIX_CONSTELLATIONS {
+        for (na, nc) in MATRIX_SIZES {
+            for high in [false, true] {
+                for trial in 0..MATRIX_TRIALS {
+                    let mut rng = StdRng::seed_from_u64(matrix_seed(c, na, nc, high, trial));
+                    let (h, y) = random_problem(&mut rng, c, na, nc, matrix_noise(c, high));
+                    let ml = oracle_residual(&h, &y, c);
+                    for det in [
+                        ("geosphere", geosphere_decoder()),
+                        ("zigzag-only", geosphere_zigzag_only_decoder()),
+                    ] {
+                        let got = residual_norm_sqr(&h, &y, &det.1.detect(&h, &y, c).symbols);
+                        assert!(
+                            (got - ml).abs() < 1e-9,
+                            "{} {c:?} {na}x{nc} high={high} trial={trial}: {got} vs ML {ml}",
+                            det.0
+                        );
+                    }
+                    let got = residual_norm_sqr(&h, &y, &ethsd_decoder().detect(&h, &y, c).symbols);
+                    assert!(
+                        (got - ml).abs() < 1e-9,
+                        "ethsd {c:?} {na}x{nc} high={high} trial={trial}: {got} vs ML {ml}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_suboptimal_detectors_never_beat_oracle() {
+    // K-best, FSD, MMSE-SIC, and ZF are approximations: the oracle's
+    // residual must lower-bound theirs on every scenario (an approximation
+    // "beating" exhaustive ML means the oracle — or the residual math — is
+    // broken).
+    for c in MATRIX_CONSTELLATIONS {
+        for (na, nc) in MATRIX_SIZES {
+            for high in [false, true] {
+                for trial in 0..MATRIX_TRIALS {
+                    let noise = matrix_noise(c, high);
+                    let mut rng = StdRng::seed_from_u64(matrix_seed(c, na, nc, high, trial) + 500);
+                    let (h, y) = random_problem(&mut rng, c, na, nc, noise);
+                    let ml = oracle_residual(&h, &y, c);
+                    let dets: Vec<(&str, Box<dyn MimoDetector>)> = vec![
+                        ("kbest", Box::new(KBestDetector::new(16))),
+                        ("fsd", Box::new(FsdDetector::new())),
+                        ("mmse-sic", Box::new(MmseSicDetector::new(noise))),
+                        ("zf", Box::new(ZfDetector)),
+                    ];
+                    for (name, det) in dets {
+                        let got = residual_norm_sqr(&h, &y, &det.detect(&h, &y, c).symbols);
+                        assert!(
+                            got >= ml - 1e-9,
+                            "{name} {c:?} {na}x{nc} high={high} trial={trial}: \
+                             residual {got} below exhaustive ML {ml}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_all_detectors_recover_at_negligible_noise() {
+    // At vanishing noise every detector in the workspace — exact or not —
+    // must return the transmitted vector (conformance with the oracle in
+    // the easy regime; failures here are wiring bugs, not statistics).
+    for c in MATRIX_CONSTELLATIONS {
+        for (na, nc) in MATRIX_SIZES {
+            for trial in 0..MATRIX_TRIALS {
+                let mut rng = StdRng::seed_from_u64(matrix_seed(c, na, nc, false, trial) + 900);
+                let h = RayleighChannel::new(na, nc).sample_matrix(&mut rng).scale(c.scale());
+                let pts = c.points();
+                let s: Vec<_> = (0..nc).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+                let y = geosphere::core::apply_channel(&h, &s);
+                let dets: Vec<(&str, Box<dyn MimoDetector>)> = vec![
+                    ("geosphere", Box::new(geosphere_decoder())),
+                    ("zigzag-only", Box::new(geosphere_zigzag_only_decoder())),
+                    ("ethsd", Box::new(ethsd_decoder())),
+                    ("kbest", Box::new(KBestDetector::new(16))),
+                    ("fsd", Box::new(FsdDetector::new())),
+                    ("mmse-sic", Box::new(MmseSicDetector::new(1e-9))),
+                    ("zf", Box::new(ZfDetector)),
+                ];
+                for (name, det) in dets {
+                    assert_eq!(
+                        det.detect(&h, &y, c).symbols,
+                        s,
+                        "{name} {c:?} {na}x{nc} trial={trial}"
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -143,6 +143,86 @@ proptest! {
         }
     }
 
+    #[test]
+    fn fft_ifft_roundtrips(
+        entries in proptest::collection::vec((-4.0f64..4.0, -4.0f64..4.0), 16),
+    ) {
+        let orig: Vec<Complex> = entries.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let mut data = orig.clone();
+        geosphere::linalg::fft(&mut data);
+        geosphere::linalg::ifft(&mut data);
+        for (a, b) in data.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+        // Parseval: the FFT preserves energy up to the 1/N convention.
+        let mut freq = orig.clone();
+        geosphere::linalg::fft(&mut freq);
+        let time_energy: f64 = orig.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / 16.0;
+        prop_assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn cholesky_reconstructs_gram_matrix(
+        entries in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 16),
+    ) {
+        // H*·H + εI is Hermitian positive definite for any H, the shape the
+        // MMSE front-ends feed to the Cholesky solver.
+        let data: Vec<Complex> = entries.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let h = Matrix::from_rows(4, 4, &data);
+        let mut a = h.gram();
+        for i in 0..4 {
+            a[(i, i)] += Complex::new(1e-3, 0.0);
+        }
+        let chol = geosphere::linalg::cholesky(&a).expect("PD by construction");
+        prop_assert!(chol.reconstruct().max_abs_diff(&a) < 1e-9);
+        prop_assert!(chol.det() > 0.0);
+    }
+
+    // --- batched decoding engine ---
+
+    #[test]
+    fn batched_detection_matches_serial(
+        entries in proptest::collection::vec((-1.5f64..1.5, -1.5f64..1.5), 4),
+        noise in proptest::collection::vec((-0.2f64..0.2, -0.2f64..0.2), 8),
+        workers in 1usize..6,
+    ) {
+        use geosphere::core::{BatchDetector, DetectionBatch, DetectionJob, MimoDetector};
+
+        let c = Constellation::Qam16;
+        let data: Vec<Complex> = entries.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let mut h = Matrix::from_rows(2, 2, &data).scale(c.scale());
+        // Keep the channel comfortably invertible so the search terminates
+        // fast; degenerate matrices are covered by the seeded suites.
+        h[(0, 0)] += Complex::new(1.0, 0.0);
+        h[(1, 1)] += Complex::new(1.0, 0.0);
+        let channels = vec![h];
+        let pts = c.points();
+        let jobs: Vec<DetectionJob> = noise
+            .chunks(2)
+            .enumerate()
+            .map(|(j, w)| {
+                let s = [pts[j % pts.len()], pts[(j * 7 + 3) % pts.len()]];
+                let mut y = geosphere::core::apply_channel(&channels[0], &s);
+                for (v, &(re, im)) in y.iter_mut().zip(w) {
+                    *v += Complex::new(re, im);
+                }
+                DetectionJob { channel: 0, y }
+            })
+            .collect();
+        let batch = DetectionBatch { channels: &channels, jobs: &jobs, c };
+        let det = geosphere::core::geosphere_decoder();
+        let serial = batch.detect_serial(&det);
+        let amortized = det.detect_batch(&batch);
+        let parallel = BatchDetector::new(&det, workers).detect_batch(&batch);
+        for ((s, a), p) in serial.iter().zip(&amortized).zip(&parallel) {
+            prop_assert_eq!(&s.symbols, &a.symbols);
+            prop_assert_eq!(&s.symbols, &p.symbols);
+            prop_assert_eq!(s.stats, a.stats);
+            prop_assert_eq!(s.stats, p.stats);
+        }
+    }
+
     // --- coding ---
 
     #[test]

@@ -5,9 +5,7 @@
 //! vectors/second show the same ordering on a real CPU.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use geosphere_core::{
-    ethsd_decoder, geosphere_decoder, MimoDetector, MmseSicDetector, ZfDetector,
-};
+use geosphere_core::{ethsd_decoder, geosphere_decoder, MimoDetector, MmseSicDetector, ZfDetector};
 use gs_channel::{
     noise_variance_for_snr_db, sample_cn, ChannelModel, RayleighChannel, SelectiveRayleighChannel,
 };
@@ -51,19 +49,15 @@ fn bench_decoders(cr: &mut Criterion) {
             ("mmse-sic", Box::new(MmseSicDetector::new(0.01))),
         ];
         for (name, det) in detectors {
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("{c:?}")),
-                &set,
-                |b, set| {
-                    b.iter(|| {
-                        let mut acc = 0u64;
-                        for (h, y) in set {
-                            acc += det.detect(h, y, c).stats.visited_nodes.max(1);
-                        }
-                        acc
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, format!("{c:?}")), &set, |b, set| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for (h, y) in set {
+                        acc += det.detect(h, y, c).stats.visited_nodes.max(1);
+                    }
+                    acc
+                })
+            });
         }
     }
     group.finish();
@@ -76,11 +70,8 @@ fn bench_decoders(cr: &mut Criterion) {
 /// is pure engine overhead/speedup.
 fn bench_frame_decode(cr: &mut Criterion) {
     let mut group = cr.benchmark_group("frame_decode_4x4_qam64_64sc");
-    let cfg = PhyConfig {
-        n_subcarriers: 64,
-        payload_bits: 2048,
-        ..PhyConfig::new(Constellation::Qam64)
-    };
+    let cfg =
+        PhyConfig { n_subcarriers: 64, payload_bits: 2048, ..PhyConfig::new(Constellation::Qam64) };
     let snr_db = 28.0;
     let model = SelectiveRayleighChannel {
         n_fft: 64,
@@ -114,9 +105,57 @@ fn bench_frame_decode(cr: &mut Criterion) {
     group.finish();
 }
 
+/// The allocation-refactor win, isolated: the same per-symbol
+/// `detect_with_qr` searches driven (a) with a fresh `SearchWorkspace` per
+/// call — the old allocate-per-symbol behavior — versus (b) through one
+/// long-lived workspace, the steady-state receiver configuration where the
+/// hot path performs zero heap allocations (enforced by
+/// `tests/alloc_regression.rs`).
+fn bench_workspace_reuse(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("workspace_reuse_4x4_qam64_20dB");
+    let c = Constellation::Qam64;
+    let nc = 4;
+    let set = instances(c, 4, nc, 20.0, 64);
+    let prepared: Vec<_> = set
+        .iter()
+        .map(|(h, y)| {
+            let qr = gs_linalg::qr_decompose(h);
+            let yhat = qr.rotate(y);
+            (qr, yhat)
+        })
+        .collect();
+    let det = geosphere_decoder();
+
+    group.bench_function("fresh_workspace_per_symbol", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (qr, yhat) in &prepared {
+                let mut ws = det.make_workspace();
+                let mut stats = geosphere_core::DetectorStats::default();
+                det.detect_with_qr(&qr.r, &yhat[..nc], c, &mut ws, &mut stats);
+                acc += stats.visited_nodes;
+            }
+            acc
+        })
+    });
+    group.bench_function("reused_workspace", |b| {
+        let mut ws = det.make_workspace();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (qr, yhat) in &prepared {
+                let mut stats = geosphere_core::DetectorStats::default();
+                det.detect_with_qr(&qr.r, &yhat[..nc], c, &mut ws, &mut stats);
+                acc += stats.visited_nodes;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_decoders, bench_frame_decode
+    targets = bench_decoders, bench_frame_decode, bench_workspace_reuse
 }
 criterion_main!(benches);

@@ -35,9 +35,7 @@ fn bench_soft_detection(cr: &mut Criterion) {
         let det = SoftGeosphereDetector::new(noise_variance_for_snr_db(22.0));
         group.bench_with_input(BenchmarkId::from_parameter(format!("{c:?}")), &set, |b, set| {
             b.iter(|| {
-                set.iter()
-                    .map(|(h, y)| det.detect_soft(h, y, c).stats.ped_calcs)
-                    .sum::<u64>()
+                set.iter().map(|(h, y)| det.detect_soft(h, y, c).stats.ped_calcs).sum::<u64>()
             })
         });
     }

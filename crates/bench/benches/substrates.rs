@@ -43,12 +43,8 @@ fn bench_fft(cr: &mut Criterion) {
 fn bench_channel(cr: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(9);
     let ap = ApArray::new(Pos::new(0.0, 0.0), 4, 0.0);
-    let clients = vec![
-        Pos::new(10.0, 3.0),
-        Pos::new(12.0, -2.0),
-        Pos::new(8.0, 6.0),
-        Pos::new(14.0, 1.0),
-    ];
+    let clients =
+        vec![Pos::new(10.0, 3.0), Pos::new(12.0, -2.0), Pos::new(8.0, 6.0), Pos::new(14.0, 1.0)];
     let model = GeometricChannel::indoor_nlos(ap, clients);
     cr.bench_function("geometric_channel_4x4_48sc", |b| {
         b.iter(|| model.realize(&mut rng).subcarrier(0)[(0, 0)])

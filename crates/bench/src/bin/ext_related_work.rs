@@ -8,11 +8,11 @@
 //! machinery without saving anything (hybrid ≈ Geosphere, because
 //! Geosphere's complexity already self-adjusts to conditioning).
 
-use gs_bench::{params_from_args, rule};
 use geosphere_core::{
     geosphere_decoder, FsdDetector, HybridDetector, KBestDetector, MimoDetector,
     StatisticalPruningDetector,
 };
+use gs_bench::{params_from_args, rule};
 use gs_channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
 use gs_modulation::{Constellation, GridPoint};
 use rand::rngs::StdRng;
@@ -33,8 +33,14 @@ fn main() {
         Box::new(StatisticalPruningDetector::new(6.0, sigma2)),
         Box::new(HybridDetector::new(12.0)),
     ];
-    let labels =
-        ["Geosphere", "K-best (K=8)", "K-best (K=16)", "FSD (p=1)", "Stat. pruning β=6", "Hybrid κ²<12dB"];
+    let labels = [
+        "Geosphere",
+        "K-best (K=8)",
+        "K-best (K=16)",
+        "FSD (p=1)",
+        "Stat. pruning β=6",
+        "Hybrid κ²<12dB",
+    ];
 
     println!("Related-work ablation — 4x4, 64-QAM, {snr_db} dB Rayleigh, {trials} vectors");
     rule(78);

@@ -2,8 +2,8 @@
 //! pipeline — FER at marginal SNRs and the complexity premium of
 //! counter-hypothesis searches.
 
-use gs_bench::{params_from_args, rule};
 use geosphere_core::geosphere_decoder;
+use gs_bench::{params_from_args, rule};
 use gs_channel::{ChannelModel, RayleighChannel};
 use gs_modulation::Constellation;
 use gs_phy::{uplink_frame, uplink_frame_soft, PhyConfig};
@@ -12,7 +12,8 @@ use rand::SeedableRng;
 
 fn main() {
     let params = params_from_args();
-    let cfg = PhyConfig { payload_bits: params.payload_bits, ..PhyConfig::new(Constellation::Qam16) };
+    let cfg =
+        PhyConfig { payload_bits: params.payload_bits, ..PhyConfig::new(Constellation::Qam16) };
     let model = RayleighChannel::new(4, 4);
     let trials = (8 * params.frames_per_point) as u64;
 

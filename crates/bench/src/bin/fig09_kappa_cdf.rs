@@ -17,7 +17,10 @@ fn main() {
 
     println!("Figure 9 — CDF of kappa^2 (dB) across links and subcarriers");
     rule(72);
-    println!("{:>10} | {:>10} {:>10} {:>10} {:>10}", "CDF", "2c x 2a", "2c x 4a", "3c x 4a", "4c x 4a");
+    println!(
+        "{:>10} | {:>10} {:>10} {:>10} {:>10}",
+        "CDF", "2c x 2a", "2c x 4a", "3c x 4a", "4c x 4a"
+    );
     rule(72);
 
     let cdfs: Vec<_> = PAPER_CONFIGS

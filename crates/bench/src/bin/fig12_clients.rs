@@ -29,7 +29,11 @@ fn main() {
         if nc == 4 {
             geo4 = geo.throughput_mbps;
         }
-        let gain = if zf.throughput_mbps > 0.0 { geo.throughput_mbps / zf.throughput_mbps } else { f64::INFINITY };
+        let gain = if zf.throughput_mbps > 0.0 {
+            geo.throughput_mbps / zf.throughput_mbps
+        } else {
+            f64::INFINITY
+        };
         println!(
             "{:>8} | {:>12.1} {:>12.1} {:>7.2}x",
             nc, zf.throughput_mbps, geo.throughput_mbps, gain

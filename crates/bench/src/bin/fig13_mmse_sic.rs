@@ -26,7 +26,11 @@ fn main() {
         let zf = rayleigh_throughput(&params, nc, na, snr, DetectorKind::Zf);
         let sic = rayleigh_throughput(&params, nc, na, snr, DetectorKind::MmseSic);
         let geo = rayleigh_throughput(&params, nc, na, snr, DetectorKind::Geosphere);
-        let gain = if zf.throughput_mbps > 0.0 { geo.throughput_mbps / zf.throughput_mbps } else { f64::INFINITY };
+        let gain = if zf.throughput_mbps > 0.0 {
+            geo.throughput_mbps / zf.throughput_mbps
+        } else {
+            f64::INFINITY
+        };
         println!(
             "{:>8} | {:>11.1} {:>11.1} {:>11.1} | {:>13.2}x",
             nc, zf.throughput_mbps, sic.throughput_mbps, geo.throughput_mbps, gain

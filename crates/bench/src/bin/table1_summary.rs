@@ -6,9 +6,7 @@
 use gs_bench::{params_from_args, rule};
 use gs_channel::Testbed;
 use gs_modulation::Constellation;
-use gs_sim::{
-    complexity_at_target_fer, conditioning_cdfs, testbed_throughput, DetectorKind,
-};
+use gs_sim::{complexity_at_target_fer, conditioning_cdfs, testbed_throughput, DetectorKind};
 
 fn main() {
     let params = params_from_args();

@@ -213,10 +213,8 @@ impl ChannelModel for GeometricChannel {
         let denom = (na * self.n_subcarriers) as f64;
         let scales: Vec<f64> =
             col_power.iter().map(|&p| if p > 0.0 { (denom / p).sqrt() } else { 1.0 }).collect();
-        let rescaled: Vec<Matrix> = norm
-            .iter()
-            .map(|m| Matrix::from_fn(na, nc, |r, c| m[(r, c)] * scales[c]))
-            .collect();
+        let rescaled: Vec<Matrix> =
+            norm.iter().map(|m| Matrix::from_fn(na, nc, |r, c| m[(r, c)] * scales[c])).collect();
         norm = MimoChannel::new(rescaled);
         norm
     }
@@ -266,7 +264,12 @@ mod tests {
         // The Fig. 2 mechanism: shrinking the scatterer cluster shrinks the
         // angular spread at the AP and should degrade Λ on average.
         let mut rng = StdRng::seed_from_u64(92);
-        let clients = vec![Pos::new(12.0, 2.0), Pos::new(12.5, 0.5), Pos::new(11.0, -1.5), Pos::new(13.0, 3.0)];
+        let clients = vec![
+            Pos::new(12.0, 2.0),
+            Pos::new(12.5, 0.5),
+            Pos::new(11.0, -1.5),
+            Pos::new(13.0, 3.0),
+        ];
         let trials = 40;
 
         let avg_lambda = |radius: f64, rng: &mut StdRng| -> f64 {

@@ -128,12 +128,7 @@ mod tests {
         let h = Matrix::from_rows(
             2,
             2,
-            &[
-                Complex::real(s),
-                Complex::real(s),
-                Complex::real(s),
-                Complex::real(-s),
-            ],
+            &[Complex::real(s), Complex::real(s), Complex::real(s), Complex::real(-s)],
         );
         assert!((lambda_max(&h) - 1.0).abs() < 1e-9);
     }
@@ -144,12 +139,7 @@ mod tests {
         let h = Matrix::from_rows(
             2,
             2,
-            &[
-                Complex::real(1.0),
-                Complex::real(0.99),
-                Complex::real(1.0),
-                Complex::real(1.0),
-            ],
+            &[Complex::real(1.0), Complex::real(0.99), Complex::real(1.0), Complex::real(1.0)],
         );
         assert!(kappa_sqr_db(&h) > 30.0);
         assert!(lambda_max_db(&h) > 20.0);
@@ -178,12 +168,7 @@ mod tests {
         let h = Matrix::from_rows(
             2,
             2,
-            &[
-                Complex::real(1.0),
-                Complex::real(1.0),
-                Complex::real(1.0),
-                Complex::real(1.0),
-            ],
+            &[Complex::real(1.0), Complex::real(1.0), Complex::real(1.0), Complex::real(1.0)],
         );
         assert!(lambda_max(&h).is_infinite());
     }

@@ -103,9 +103,7 @@ pub fn taps_to_subcarriers(
         .iter()
         .map(|row| row.iter().map(|ir| frequency_response(ir, n_fft)).collect())
         .collect();
-    let mats = (0..n_subcarriers)
-        .map(|k| Matrix::from_fn(na, nc, |r, c| freq[r][c][k]))
-        .collect();
+    let mats = (0..n_subcarriers).map(|k| Matrix::from_fn(na, nc, |r, c| freq[r][c][k])).collect();
     MimoChannel::new(mats)
 }
 
@@ -140,8 +138,7 @@ mod tests {
 
     #[test]
     fn multi_tap_varies_across_subcarriers() {
-        let taps =
-            vec![vec![vec![Complex::real(0.7), Complex::ZERO, Complex::real(0.7)]]];
+        let taps = vec![vec![vec![Complex::real(0.7), Complex::ZERO, Complex::real(0.7)]]];
         let ch = taps_to_subcarriers(&taps, 64, 48);
         let h0 = ch.subcarrier(0)[(0, 0)].abs();
         let h16 = ch.subcarrier(16)[(0, 0)].abs();
@@ -168,9 +165,7 @@ impl MimoChannel {
         let mats = self
             .subcarriers
             .iter()
-            .map(|m| {
-                Matrix::from_fn(m.rows(), m.cols(), |r, c| m[(r, c)] * gains[c])
-            })
+            .map(|m| Matrix::from_fn(m.rows(), m.cols(), |r, c| m[(r, c)] * gains[c]))
             .collect();
         MimoChannel::new(mats)
     }

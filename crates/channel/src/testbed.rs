@@ -281,6 +281,7 @@ mod tests {
         assert_eq!(tb.client_subsets(1).len(), 15);
         assert_eq!(tb.client_subsets(2).len(), 105); // C(15,2)
         assert_eq!(tb.client_subsets(4).len(), 1365); // C(15,4)
+
         // Each subset is strictly increasing.
         for s in tb.client_subsets(3) {
             assert!(s.windows(2).all(|w| w[0] < w[1]));

@@ -63,24 +63,14 @@ impl ChannelTrace {
         out.push_str("geosphere-trace v1\n");
         let _ = writeln!(out, "realizations {}", self.realizations.len());
         for ch in &self.realizations {
-            let _ = writeln!(
-                out,
-                "channel {} {} {}",
-                ch.num_subcarriers(),
-                ch.num_rx(),
-                ch.num_tx()
-            );
+            let _ =
+                writeln!(out, "channel {} {} {}", ch.num_subcarriers(), ch.num_rx(), ch.num_tx());
             for m in ch.iter() {
                 for r in 0..m.rows() {
                     let mut line = String::new();
                     for c in 0..m.cols() {
                         let z = m[(r, c)];
-                        let _ = write!(
-                            line,
-                            "{:016x}{:016x} ",
-                            z.re.to_bits(),
-                            z.im.to_bits()
-                        );
+                        let _ = write!(line, "{:016x}{:016x} ", z.re.to_bits(), z.im.to_bits());
                     }
                     out.push_str(line.trim_end());
                     out.push('\n');
@@ -95,8 +85,7 @@ impl ChannelTrace {
         let err = |line: usize, message: &str| TraceParseError { message: message.into(), line };
         let mut lines = text.lines().enumerate();
 
-        let (ln, header) =
-            lines.next().ok_or_else(|| err(1, "empty input"))?;
+        let (ln, header) = lines.next().ok_or_else(|| err(1, "empty input"))?;
         if header.trim() != "geosphere-trace v1" {
             return Err(err(ln + 1, "bad magic header"));
         }
@@ -123,8 +112,7 @@ impl ChannelTrace {
             for _ in 0..n_sc {
                 let mut m = Matrix::zeros(na, nc);
                 for r in 0..na {
-                    let (ln, row) =
-                        lines.next().ok_or_else(|| err(0, "truncated: matrix row"))?;
+                    let (ln, row) = lines.next().ok_or_else(|| err(0, "truncated: matrix row"))?;
                     let toks: Vec<&str> = row.split_whitespace().collect();
                     if toks.len() != nc {
                         return Err(err(ln + 1, "wrong number of entries in row"));
@@ -223,10 +211,8 @@ mod tests {
         assert!(ChannelTrace::deserialize("wrong magic\n").is_err());
         let err = ChannelTrace::deserialize("geosphere-trace v1\nrealizations x\n").unwrap_err();
         assert_eq!(err.line, 2);
-        let err = ChannelTrace::deserialize(
-            "geosphere-trace v1\nrealizations 1\nchannel 1 2\n",
-        )
-        .unwrap_err();
+        let err = ChannelTrace::deserialize("geosphere-trace v1\nrealizations 1\nchannel 1 2\n")
+            .unwrap_err();
         assert_eq!(err.line, 3);
     }
 

@@ -205,10 +205,7 @@ mod tests {
         llrs[20] = if coded[20] { 0.4 } else { -0.4 }; // weakly wrong
         let out = siso_decode(&llrs);
         let ext = out.coded_extrinsic[20];
-        assert!(
-            (ext < 0.0) == coded[20],
-            "extrinsic must overrule the weak wrong input: {ext}"
-        );
+        assert!((ext < 0.0) == coded[20], "extrinsic must overrule the weak wrong input: {ext}");
     }
 
     #[test]

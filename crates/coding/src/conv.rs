@@ -85,8 +85,10 @@ mod tests {
         assert_eq!(out.len(), 14);
         let g0_bits: Vec<bool> = (0..7).map(|k| out[2 * k]).collect();
         let g1_bits: Vec<bool> = (0..7).map(|k| out[2 * k + 1]).collect();
-        let g0_val = g0_bits.iter().enumerate().fold(0u32, |acc, (k, &b)| acc | ((b as u32) << (6 - k)));
-        let g1_val = g1_bits.iter().enumerate().fold(0u32, |acc, (k, &b)| acc | ((b as u32) << (6 - k)));
+        let g0_val =
+            g0_bits.iter().enumerate().fold(0u32, |acc, (k, &b)| acc | ((b as u32) << (6 - k)));
+        let g1_val =
+            g1_bits.iter().enumerate().fold(0u32, |acc, (k, &b)| acc | ((b as u32) << (6 - k)));
         assert_eq!(g0_val, G0);
         assert_eq!(g1_val, G1);
     }

@@ -22,7 +22,10 @@ impl Interleaver {
     /// Panics unless `n_cbps` is a positive multiple of both 16 and
     /// `n_bpsc` (the 802.11 interleaver is defined in 16 columns).
     pub fn new(n_cbps: usize, n_bpsc: usize) -> Self {
-        assert!(n_cbps > 0 && n_cbps.is_multiple_of(16), "n_cbps must be a positive multiple of 16");
+        assert!(
+            n_cbps > 0 && n_cbps.is_multiple_of(16),
+            "n_cbps must be a positive multiple of 16"
+        );
         assert!(n_bpsc > 0 && n_cbps.is_multiple_of(n_bpsc), "n_cbps must be a multiple of n_bpsc");
         Interleaver { n_cbps, n_bpsc }
     }

@@ -63,12 +63,7 @@ impl CodeRate {
 /// Removes punctured positions from a rate-1/2 coded stream.
 pub fn puncture(coded: &[bool], rate: CodeRate) -> Vec<bool> {
     let pat = rate.pattern();
-    coded
-        .iter()
-        .enumerate()
-        .filter(|(k, _)| pat[k % pat.len()])
-        .map(|(_, &b)| b)
-        .collect()
+    coded.iter().enumerate().filter(|(k, _)| pat[k % pat.len()]).map(|(_, &b)| b).collect()
 }
 
 /// Reinserts erasures at punctured positions, restoring the rate-1/2 stream

@@ -49,6 +49,22 @@ pub fn decode(coded: &[bool]) -> Vec<bool> {
     decode_with_erasures(&symbols)
 }
 
+/// Branch outputs for every (state, input), packed as `o0 | o1 << 1`.
+///
+/// Precomputing the table once per decode keeps the add-compare-select
+/// inner loop free of the per-transition parity computations (two popcounts
+/// per branch otherwise — the dominant cost of the frame receive chain).
+fn output_table() -> [u8; 2 * NUM_STATES] {
+    let mut table = [0u8; 2 * NUM_STATES];
+    for state in 0..NUM_STATES {
+        for input in [false, true] {
+            let (o0, o1) = branch_output(state, input);
+            table[(state << 1) | input as usize] = (o0 as u8) | ((o1 as u8) << 1);
+        }
+    }
+    table
+}
+
 /// Decodes a terminated, rate-1/2 coded stream that may contain erasures.
 ///
 /// # Panics
@@ -57,28 +73,38 @@ pub fn decode_with_erasures(coded: &[CodedBit]) -> Vec<bool> {
     assert_eq!(coded.len() % 2, 0, "rate-1/2 stream must have even length");
     let steps = coded.len() / 2;
     assert!(steps >= CONSTRAINT - 1, "stream shorter than the termination tail");
+    let outputs = output_table();
 
     const INF: u32 = u32::MAX / 2;
     let mut metric = vec![INF; NUM_STATES];
     metric[0] = 0;
-    // survivors[t][state] = predecessor input bit packed with predecessor
-    // state: bit 7 = input, low 6 bits = previous state.
-    let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(steps);
+    // survivors[t*NUM_STATES + state] = predecessor input bit packed with
+    // predecessor state: bit 7 = input, low 6 bits = previous state. One
+    // flat slab for the whole trellis — no per-step allocation.
+    let mut survivors = vec![0u8; steps * NUM_STATES];
 
     let mut next = vec![INF; NUM_STATES];
     for t in 0..steps {
         let rx0 = coded[2 * t];
         let rx1 = coded[2 * t + 1];
+        // Branch metric for each packed output pair against this step's
+        // received pair: 4 values cover all 128 transitions.
+        let branch_cost = [
+            rx0.cost(false) + rx1.cost(false),
+            rx0.cost(true) + rx1.cost(false),
+            rx0.cost(false) + rx1.cost(true),
+            rx0.cost(true) + rx1.cost(true),
+        ];
         next.iter_mut().for_each(|m| *m = INF);
-        let mut surv = vec![0u8; NUM_STATES];
+        let surv = &mut survivors[t * NUM_STATES..(t + 1) * NUM_STATES];
         for state in 0..NUM_STATES {
             let m = metric[state];
             if m >= INF {
                 continue;
             }
             for input in [false, true] {
-                let (o0, o1) = branch_output(state, input);
-                let cost = m + rx0.cost(o0) + rx1.cost(o1);
+                let out = outputs[(state << 1) | input as usize];
+                let cost = m + branch_cost[out as usize];
                 let ns = next_state(state, input);
                 if cost < next[ns] {
                     next[ns] = cost;
@@ -87,14 +113,13 @@ pub fn decode_with_erasures(coded: &[CodedBit]) -> Vec<bool> {
             }
         }
         std::mem::swap(&mut metric, &mut next);
-        survivors.push(surv);
     }
 
     // Terminated trellis: trace back from state 0.
     let mut state = 0usize;
     let mut bits_rev = Vec::with_capacity(steps);
     for t in (0..steps).rev() {
-        let s = survivors[t][state];
+        let s = survivors[t * NUM_STATES + state];
         bits_rev.push(s & 0x80 != 0);
         state = (s & 0x3f) as usize;
     }
@@ -210,25 +235,33 @@ pub fn decode_soft(llrs: &[f64]) -> Vec<bool> {
         }
     }
 
+    let outputs = output_table();
     const INF: f64 = f64::INFINITY;
     let mut metric = vec![INF; NUM_STATES];
     metric[0] = 0.0;
-    let mut survivors: Vec<Vec<u8>> = Vec::with_capacity(steps);
+    // Flat survivor slab, as in `decode_with_erasures`.
+    let mut survivors = vec![0u8; steps * NUM_STATES];
     let mut next = vec![INF; NUM_STATES];
 
     for t in 0..steps {
         let l0 = llrs[2 * t];
         let l1 = llrs[2 * t + 1];
+        let branch_cost = [
+            cost(l0, false) + cost(l1, false),
+            cost(l0, true) + cost(l1, false),
+            cost(l0, false) + cost(l1, true),
+            cost(l0, true) + cost(l1, true),
+        ];
         next.iter_mut().for_each(|m| *m = INF);
-        let mut surv = vec![0u8; NUM_STATES];
+        let surv = &mut survivors[t * NUM_STATES..(t + 1) * NUM_STATES];
         for state in 0..NUM_STATES {
             let m = metric[state];
             if !m.is_finite() {
                 continue;
             }
             for input in [false, true] {
-                let (o0, o1) = branch_output(state, input);
-                let c = m + cost(l0, o0) + cost(l1, o1);
+                let out = outputs[(state << 1) | input as usize];
+                let c = m + branch_cost[out as usize];
                 let ns = next_state(state, input);
                 if c < next[ns] {
                     next[ns] = c;
@@ -237,13 +270,12 @@ pub fn decode_soft(llrs: &[f64]) -> Vec<bool> {
             }
         }
         std::mem::swap(&mut metric, &mut next);
-        survivors.push(surv);
     }
 
     let mut state = 0usize;
     let mut bits_rev = Vec::with_capacity(steps);
     for t in (0..steps).rev() {
-        let s = survivors[t][state];
+        let s = survivors[t * NUM_STATES + state];
         bits_rev.push(s & 0x80 != 0);
         state = (s & 0x3f) as usize;
     }
@@ -323,9 +355,6 @@ mod soft_tests {
             hard_errs += decode(&hard).iter().zip(&bits).filter(|(a, b)| a != b).count();
             soft_errs += decode_soft(&llrs).iter().zip(&bits).filter(|(a, b)| a != b).count();
         }
-        assert!(
-            soft_errs < hard_errs,
-            "soft ({soft_errs}) must beat hard ({hard_errs}) on AWGN"
-        );
+        assert!(soft_errs < hard_errs, "soft ({soft_errs}) must beat hard ({hard_errs}) on AWGN");
     }
 }

@@ -49,11 +49,7 @@ impl Criterion {
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            throughput: None,
-        }
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
     }
 
     /// Runs a standalone benchmark.

@@ -15,6 +15,13 @@
 //!   Results are returned in job order and are bit-identical to detecting
 //!   each job serially, for any worker count: detection consumes no shared
 //!   mutable state and QR factorization is deterministic.
+//!
+//! Workspace ownership: each worker's `detect_batch`/`detect_batch_indexed`
+//! call owns one [`SearchWorkspace`](crate::sphere::SearchWorkspace) for
+//! its whole job chunk (created on the worker thread, inside the sphere
+//! decoder's override), so per-node enumerators, per-level search state,
+//! and per-channel QR factors are reused across every job the worker
+//! processes — zero heap allocations per symbol after warmup.
 
 use crate::detector::{Detection, MimoDetector};
 use gs_linalg::{Complex, Matrix};
@@ -107,7 +114,9 @@ impl<'a, D: MimoDetector + ?Sized> BatchDetector<'a, D> {
     /// `workers − 1` channel groups straddle a chunk boundary. An OFDM
     /// frame's jobs arrive symbol-major (the channel cycles every
     /// subcarrier), so without the grouping every chunk would touch every
-    /// channel and re-factorize it.
+    /// channel and re-factorize it. The grouping is an index permutation
+    /// dispatched through [`MimoDetector::detect_batch_indexed`] — jobs are
+    /// never cloned or rearranged in memory.
     ///
     /// Output is bit-identical to `self.detector().detect_batch(batch)` run
     /// serially: the grouping permutation is deterministic (stable sort by
@@ -124,51 +133,49 @@ impl<'a, D: MimoDetector + ?Sized> BatchDetector<'a, D> {
         // each worker's contiguous chunk spans whole channel groups. When
         // jobs already arrive grouped — notably the flat-channel case with
         // a single table entry, the dominant experiment path — skip the
-        // permutation and its per-job clone entirely.
-        let already_grouped =
-            batch.jobs.windows(2).all(|w| w[0].channel <= w[1].channel);
+        // permutation entirely.
+        let already_grouped = batch.jobs.windows(2).all(|w| w[0].channel <= w[1].channel);
         let chunk_len = n.div_ceil(workers);
 
         if already_grouped {
             let mut out: Vec<Option<Detection>> = vec![None; n];
-            self.run_chunks(batch, batch.jobs, &mut out, chunk_len);
+            std::thread::scope(|scope| {
+                for (jobs, slots) in batch.jobs.chunks(chunk_len).zip(out.chunks_mut(chunk_len)) {
+                    let sub = DetectionBatch { channels: batch.channels, jobs, c: batch.c };
+                    let detector = self.detector;
+                    scope.spawn(move || {
+                        for (slot, det) in slots.iter_mut().zip(detector.detect_batch(&sub)) {
+                            *slot = Some(det);
+                        }
+                    });
+                }
+            });
             return out.into_iter().map(|d| d.expect("every chunk fills its slots")).collect();
         }
 
-        // The clone per job is a small Vec (one entry per antenna), noise
-        // next to the detection itself.
+        // Channel-grouped dispatch order; workers receive disjoint index
+        // chunks and resolve jobs through the shared batch by index, then
+        // the results are scattered back to job order.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&i| (batch.jobs[i].channel, i));
-        let grouped: Vec<DetectionJob> = order.iter().map(|&i| batch.jobs[i].clone()).collect();
-
-        let mut grouped_out: Vec<Option<Detection>> = vec![None; n];
-        self.run_chunks(batch, &grouped, &mut grouped_out, chunk_len);
 
         let mut out: Vec<Option<Detection>> = vec![None; n];
-        for (&slot, det) in order.iter().zip(grouped_out) {
-            out[slot] = det;
-        }
-        out.into_iter().map(|d| d.expect("every chunk fills its slots")).collect()
-    }
-
-    fn run_chunks(
-        &self,
-        batch: &DetectionBatch,
-        jobs: &[DetectionJob],
-        out: &mut [Option<Detection>],
-        chunk_len: usize,
-    ) {
         std::thread::scope(|scope| {
-            for (jobs, slots) in jobs.chunks(chunk_len).zip(out.chunks_mut(chunk_len)) {
-                let sub = DetectionBatch { channels: batch.channels, jobs, c: batch.c };
-                let detector = self.detector;
-                scope.spawn(move || {
-                    for (slot, det) in slots.iter_mut().zip(detector.detect_batch(&sub)) {
-                        *slot = Some(det);
-                    }
-                });
+            let handles: Vec<_> = order
+                .chunks(chunk_len)
+                .map(|idx_chunk| {
+                    let detector = self.detector;
+                    scope.spawn(move || detector.detect_batch_indexed(batch, idx_chunk))
+                })
+                .collect();
+            for (idx_chunk, handle) in order.chunks(chunk_len).zip(handles) {
+                let dets = handle.join().expect("detection worker panicked");
+                for (&slot, det) in idx_chunk.iter().zip(dets) {
+                    out[slot] = Some(det);
+                }
             }
         });
+        out.into_iter().map(|d| d.expect("every chunk fills its slots")).collect()
     }
 }
 
@@ -199,8 +206,7 @@ mod tests {
         let jobs: Vec<DetectionJob> = (0..n_jobs)
             .map(|j| {
                 let channel = j % n_channels;
-                let s: Vec<GridPoint> =
-                    (0..nc).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+                let s: Vec<GridPoint> = (0..nc).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
                 let mut y = apply_channel(&channels[channel], &s);
                 for v in y.iter_mut() {
                     *v += sample_cn(&mut rng, noise);

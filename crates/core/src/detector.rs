@@ -41,8 +41,35 @@ pub trait MimoDetector: Send + Sync {
     /// per-channel preprocessing (QR factorization in the sphere decoders)
     /// override this to compute it once per distinct channel in the
     /// batch's table instead of once per job — with bit-identical results.
+    /// **An override here must be paired with a
+    /// [`MimoDetector::detect_batch_indexed`] override**: the worker pool
+    /// dispatches non-channel-grouped batches through the indexed form, and
+    /// its default gets no amortization.
     fn detect_batch(&self, batch: &crate::batch::DetectionBatch) -> Vec<Detection> {
         batch.detect_serial(self)
+    }
+
+    /// Detects the jobs selected by `indices` (results in `indices` order).
+    ///
+    /// This is the scattered-dispatch form [`crate::BatchDetector`] uses to
+    /// hand workers channel-grouped job subsets without materializing a
+    /// cloned, reordered job list. The default loops
+    /// [`MimoDetector::detect`]; detectors with per-channel preprocessing
+    /// must override it alongside [`MimoDetector::detect_batch`] (same
+    /// amortization — `indices` arrive channel-grouped — and bit-identical
+    /// per-job results in both cases).
+    fn detect_batch_indexed(
+        &self,
+        batch: &crate::batch::DetectionBatch,
+        indices: &[usize],
+    ) -> Vec<Detection> {
+        indices
+            .iter()
+            .map(|&ix| {
+                let job = &batch.jobs[ix];
+                self.detect(&batch.channels[job.channel], &job.y, batch.c)
+            })
+            .collect()
     }
 
     /// A short display name ("ZF", "Geosphere", "ETH-SD", …).
@@ -63,7 +90,11 @@ pub fn residual_norm_sqr(h: &Matrix, y: &[Complex], s: &[GridPoint]) -> f64 {
 
 /// Slices each entry of a filtered estimate to the nearest grid point —
 /// the decision step of every linear detector.
-pub fn slice_vector(estimate: &[Complex], c: Constellation, stats: &mut DetectorStats) -> Vec<GridPoint> {
+pub fn slice_vector(
+    estimate: &[Complex],
+    c: Constellation,
+    stats: &mut DetectorStats,
+) -> Vec<GridPoint> {
     stats.slices += estimate.len() as u64;
     estimate.iter().map(|&z| c.slice(z)).collect()
 }

@@ -49,6 +49,10 @@ impl MimoDetector for FsdDetector {
         let yhat = &yhat_full[..nc];
         let r = &qr.r;
 
+        let factory = GeosphereFactory::zigzag_only();
+        // One enumerator reset in place per fully-expanded node (the reuse
+        // protocol's single-slot form).
+        let mut enum_slot = None;
         // Partial paths: (distance, symbols chosen root-first).
         let mut paths: Vec<(f64, Vec<GridPoint>)> = vec![(0.0, Vec::new())];
         for i in (0..nc).rev() {
@@ -66,7 +70,8 @@ impl MimoDetector for FsdDetector {
                 let gain = rll * rll;
                 if full {
                     // Expand every child of this node.
-                    let mut en = GeosphereFactory::zigzag_only().make(c, center, gain, &mut stats);
+                    factory.make_in(&mut enum_slot, c, center, gain, &mut stats);
+                    let en = enum_slot.as_mut().expect("slot just filled");
                     while let Some(child) = en.next_child(f64::INFINITY, &mut stats) {
                         stats.visited_nodes += 1;
                         let mut s2 = syms.clone();

@@ -76,14 +76,9 @@ mod tests {
         // Exhaustive check across every constellation, many received points.
         for c in Constellation::ALL {
             let pts = c.points();
-            for &(re, im) in &[
-                (0.0, 0.0),
-                (0.99, -0.99),
-                (-2.3, 4.1),
-                (7.8, -7.8),
-                (15.9, 15.9),
-                (-0.01, 0.01),
-            ] {
+            for &(re, im) in
+                &[(0.0, 0.0), (0.99, -0.99), (-2.3, 4.1), (7.8, -7.8), (15.9, 15.9), (-0.01, 0.01)]
+            {
                 let y = Complex::new(re, im);
                 let slice = c.slice(y);
                 for p in &pts {

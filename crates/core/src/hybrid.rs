@@ -71,12 +71,7 @@ mod tests {
         let h = Matrix::from_rows(
             2,
             2,
-            &[
-                Complex::real(1.0),
-                Complex::real(0.98),
-                Complex::real(1.0),
-                Complex::real(1.02),
-            ],
+            &[Complex::real(1.0), Complex::real(0.98), Complex::real(1.0), Complex::real(1.02)],
         )
         .scale(c.scale());
         let s = vec![GridPoint { i: 1, q: -1 }, GridPoint { i: 3, q: 1 }];
@@ -93,8 +88,7 @@ mod tests {
         let det = HybridDetector::new(12.0);
         for _ in 0..30 {
             let h = RayleighChannel::new(4, 4).sample_matrix(&mut rng).scale(c.scale());
-            let y: Vec<Complex> =
-                (0..4).map(|_| gs_channel::sample_cn(&mut rng, 1.0)).collect();
+            let y: Vec<Complex> = (0..4).map(|_| gs_channel::sample_cn(&mut rng, 1.0)).collect();
             let d = det.detect(&h, &y, c);
             assert_eq!(d.symbols.len(), 4);
             for p in &d.symbols {

@@ -47,6 +47,10 @@ impl MimoDetector for KBestDetector {
         let yhat = &yhat_full[..nc];
         let r = &qr.r;
 
+        let factory = GeosphereFactory::zigzag_only();
+        // One enumerator reused (reset in place) across every node
+        // expansion — the reuse protocol's single-slot degenerate case.
+        let mut enum_slot = None;
         let mut survivors = vec![Partial { dist: 0.0, symbols: Vec::new() }];
         for i in (0..nc).rev() {
             let mut candidates: Vec<Partial> = Vec::with_capacity(survivors.len() * self.k);
@@ -54,7 +58,8 @@ impl MimoDetector for KBestDetector {
                 // Center for this level given the parent's chosen symbols.
                 let mut acc = yhat[i];
                 for (offset, j) in ((i + 1)..nc).enumerate() {
-                    acc -= r[(i, j)] * parent.symbols[parent.symbols.len() - 1 - offset].to_complex();
+                    acc -=
+                        r[(i, j)] * parent.symbols[parent.symbols.len() - 1 - offset].to_complex();
                 }
                 stats.complex_mults += (nc - 1 - i) as u64;
                 let rll = r[(i, i)].re;
@@ -62,7 +67,8 @@ impl MimoDetector for KBestDetector {
                 let gain = rll * rll;
                 // Expand only the K cheapest children — zigzag order makes
                 // the truncation cheap and sorted.
-                let mut en = GeosphereFactory::zigzag_only().make(c, center, gain, &mut stats);
+                factory.make_in(&mut enum_slot, c, center, gain, &mut stats);
+                let en = enum_slot.as_mut().expect("slot just filled");
                 for _ in 0..self.k.min(c.size()) {
                     let Some(child) = en.next_child(f64::INFINITY, &mut stats) else { break };
                     stats.visited_nodes += 1;

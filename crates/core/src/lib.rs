@@ -42,8 +42,8 @@ pub mod ml;
 pub mod precode;
 pub mod sic;
 pub mod soft;
-pub mod statprune;
 pub mod sphere;
+pub mod statprune;
 pub mod stats;
 
 pub use batch::{BatchDetector, DetectionBatch, DetectionJob};
@@ -55,9 +55,9 @@ pub use linear::{MmseDetector, ZfDetector};
 pub use ml::MlDetector;
 pub use precode::{mod_tau, Precoded, VectorPerturbationPrecoder};
 pub use sic::MmseSicDetector;
-pub use soft::{SoftDetection, SoftGeosphereDetector};
+pub use soft::{SoftDetection, SoftGeosphereDetector, SoftWorkspace};
+pub use sphere::{GeosphereFactory, HessFactory, SearchWorkspace, SphereDecoder, WorkspaceFor};
 pub use statprune::StatisticalPruningDetector;
-pub use sphere::{GeosphereFactory, HessFactory, SphereDecoder};
 pub use stats::{AverageStats, DetectorStats};
 
 /// The full Geosphere decoder (2-D zigzag + geometric pruning), the

@@ -137,13 +137,8 @@ mod tests {
             for v in y.iter_mut() {
                 *v += sample_cn(&mut rng, sigma2);
             }
-            zf_errs += ZfDetector
-                .detect(&h, &y, c)
-                .symbols
-                .iter()
-                .zip(&s)
-                .filter(|(a, b)| a != b)
-                .count();
+            zf_errs +=
+                ZfDetector.detect(&h, &y, c).symbols.iter().zip(&s).filter(|(a, b)| a != b).count();
             mmse_errs += MmseDetector::new(sigma2)
                 .detect(&h, &y, c)
                 .symbols

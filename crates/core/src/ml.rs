@@ -67,11 +67,8 @@ impl MimoDetector for MlDetector {
                 current[level] = p;
                 let contrib = p.to_complex();
                 let prev = partials[level].clone();
-                let next: Vec<Complex> = prev
-                    .iter()
-                    .enumerate()
-                    .map(|(r, &v)| v - h[(r, level)] * contrib)
-                    .collect();
+                let next: Vec<Complex> =
+                    prev.iter().enumerate().map(|(r, &v)| v - h[(r, level)] * contrib).collect();
                 partials[level + 1] = next;
                 recurse(h, pts, level + 1, nc, current, partials, best, stats);
             }

@@ -255,7 +255,9 @@ mod tests {
         for _ in 0..trials {
             let base: Vec<Complex> = (0..2).map(|_| sample_cn(&mut rng, 1.0)).collect();
             // rows = users; make the two users' channels nearly parallel.
-            let h = Matrix::from_fn(2, 2, |r, col| base[col] + sample_cn(&mut rng, if r == 0 { 0.0 } else { 0.02 }));
+            let h = Matrix::from_fn(2, 2, |r, col| {
+                base[col] + sample_cn(&mut rng, if r == 0 { 0.0 } else { 0.02 })
+            });
             let pre = VectorPerturbationPrecoder::new(&h, c).unwrap();
             let s = random_symbols(&mut rng, c, 2);
             let vp = pre.precode(&s);

@@ -34,7 +34,8 @@ impl MimoDetector for MmseSicDetector {
 
         // Detection order: descending received SNR = descending column norm.
         let mut order: Vec<usize> = (0..nc).collect();
-        let norms: Vec<f64> = (0..nc).map(|k| h.col(k).iter().map(|z| z.norm_sqr()).sum()).collect();
+        let norms: Vec<f64> =
+            (0..nc).map(|k| h.col(k).iter().map(|z| z.norm_sqr()).sum()).collect();
         order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap());
 
         let mut residual: Vec<Complex> = y.to_vec();
@@ -132,12 +133,7 @@ mod tests {
         let h = Matrix::from_rows(
             2,
             2,
-            &[
-                Complex::real(0.1),
-                Complex::real(3.0),
-                Complex::real(0.1),
-                Complex::real(-3.0),
-            ],
+            &[Complex::real(0.1), Complex::real(3.0), Complex::real(0.1), Complex::real(-3.0)],
         );
         let s = vec![GridPoint { i: 1, q: -1 }, GridPoint { i: -1, q: 1 }];
         let y = apply_channel(&h, &s);

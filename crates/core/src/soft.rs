@@ -12,13 +12,14 @@
 //! child filter and the sphere radius warm-started at the clipping limit.
 //! The max-log LLR is `(λ_i − λ_ML)/σ²`, signed by the ML bit.
 
-use crate::sphere::{GeosphereFactory, SphereDecoder};
+use crate::sphere::geosphere_enum::GeosphereEnumerator;
+use crate::sphere::{GeosphereFactory, SearchWorkspace, SphereDecoder};
 use crate::stats::DetectorStats;
-use gs_linalg::{qr_decompose, vec_dist_sqr, Complex, Matrix};
-use gs_modulation::{BitTable, Constellation, GridPoint};
+use gs_linalg::{qr_decompose_into, vec_dist_sqr, Complex, Matrix, Qr, QrWorkspace};
+use gs_modulation::{Constellation, GridPoint};
 
 /// Soft detection output.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SoftDetection {
     /// Hard (maximum-likelihood) symbol decisions.
     pub symbols: Vec<GridPoint>,
@@ -32,6 +33,30 @@ pub struct SoftDetection {
     /// Operation counts over the hard search and every counter-hypothesis
     /// search.
     pub stats: DetectorStats,
+}
+
+/// Reusable scratch for soft detection: the underlying search workspace
+/// plus QR factors, rotation scratch, and the ML bit cache. One per
+/// worker/receiver, reset per symbol — after warmup,
+/// [`SoftGeosphereDetector::detect_soft_into`] allocates nothing.
+#[derive(Default)]
+pub struct SoftWorkspace {
+    /// Search state shared by the hard search and every counter-hypothesis
+    /// search.
+    search: SearchWorkspace<GeosphereEnumerator>,
+    /// In-place QR scratch.
+    qr_ws: QrWorkspace,
+    /// The channel's QR factors, recomputed per call into reused storage.
+    qr: Qr,
+    /// Q*-rotated receive vector.
+    yhat: Vec<Complex>,
+}
+
+impl SoftWorkspace {
+    /// Creates an empty workspace; buffers warm up on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// The soft-output Geosphere detector.
@@ -51,64 +76,106 @@ impl SoftGeosphereDetector {
         SoftGeosphereDetector { noise_variance, llr_clip: 8.0 }
     }
 
+    /// Creates a reusable workspace for
+    /// [`SoftGeosphereDetector::detect_soft_into`].
+    pub fn make_workspace(&self) -> SoftWorkspace {
+        SoftWorkspace::new()
+    }
+
     /// Detects with per-bit soft output.
+    ///
+    /// Convenience wrapper that allocates a fresh workspace and output;
+    /// per-symbol callers should hold both and use
+    /// [`SoftGeosphereDetector::detect_soft_into`].
     pub fn detect_soft(&self, h: &Matrix, y: &[Complex], c: Constellation) -> SoftDetection {
+        let mut ws = self.make_workspace();
+        let mut out = SoftDetection::default();
+        self.detect_soft_into(h, y, c, &mut ws, &mut out);
+        out
+    }
+
+    /// [`SoftGeosphereDetector::detect_soft`] with every buffer — search
+    /// state, QR factors, and the output's symbol/LLR vectors — reused in
+    /// place: zero heap allocations per symbol after warmup, bit-identical
+    /// output.
+    pub fn detect_soft_into(
+        &self,
+        h: &Matrix,
+        y: &[Complex],
+        c: Constellation,
+        ws: &mut SoftWorkspace,
+        out: &mut SoftDetection,
+    ) {
         let nc = h.cols();
         let q = c.bits_per_symbol();
         let mut stats = DetectorStats::default();
 
-        let qr = qr_decompose(h);
-        let yhat_full = qr.rotate(y);
-        let yhat = &yhat_full[..nc];
+        qr_decompose_into(h, &mut ws.qr_ws, &mut ws.qr);
+        ws.qr.rotate_into(y, &mut ws.yhat);
         // The QR drops the component of y orthogonal to range(H) (constant
-        // across hypotheses); recover it so distances are absolute.
-        let base = {
-            // ‖y‖² − ‖ŷ‖² = ‖(I − QQ*)y‖² ≥ 0.
-            let y_norm: f64 = y.iter().map(|z| z.norm_sqr()).sum();
-            let yhat_norm: f64 = yhat.iter().map(|z| z.norm_sqr()).sum();
-            (y_norm - yhat_norm).max(0.0)
-        };
-        let _ = base; // LLRs are metric *differences*: the constant cancels.
+        // across hypotheses); it would be ‖y‖² − ‖ŷ‖² = ‖(I − QQ*)y‖² ≥ 0,
+        // but LLRs are metric *differences*: the constant cancels.
 
         let engine = SphereDecoder::new(GeosphereFactory::full());
 
         // 1. Hard ML search.
-        let (ml_symbols, ml_dist) = engine
-            .search_with_qr(&qr.r, yhat, c, None, f64::INFINITY, &mut stats)
+        let ml_dist = engine
+            .search_with_qr(
+                &ws.qr.r,
+                &ws.yhat[..nc],
+                c,
+                None,
+                f64::INFINITY,
+                &mut ws.search,
+                &mut stats,
+            )
             .expect("infinite radius always yields a solution");
+        out.symbols.clear();
+        out.symbols.extend_from_slice(ws.search.best());
 
-        // 2. Counter-hypothesis per bit.
-        let table = BitTable::new(c);
+        // 2. Counter-hypothesis per bit. ML bits are read from
+        // `out.symbols`, which the counter searches never touch; the bit
+        // table is built once here and reused by every constrained search.
+        ws.search.ensure_bit_table(c);
         let clip_delta = self.llr_clip * self.noise_variance;
-        let mut llrs = Vec::with_capacity(nc * q);
+        out.llrs.clear();
         for stream in 0..nc {
             for k in 0..q {
-                let ml_bit = table.bit(ml_symbols[stream], k);
+                let ml_bit = {
+                    let (_, table) = ws.search.bit_table.as_ref().expect("table just ensured");
+                    table.bit(out.symbols[stream], k)
+                };
                 let counter = engine.search_with_qr(
-                    &qr.r,
-                    yhat,
+                    &ws.qr.r,
+                    &ws.yhat[..nc],
                     c,
                     Some((stream, k, !ml_bit)),
                     ml_dist + clip_delta,
+                    &mut ws.search,
                     &mut stats,
                 );
                 let lambda_counter = match counter {
-                    Some((_, d)) => d,
+                    Some(d) => d,
                     None => ml_dist + clip_delta, // clipped
                 };
-                let magnitude = ((lambda_counter - ml_dist) / self.noise_variance)
-                    .clamp(0.0, self.llr_clip);
+                let magnitude =
+                    ((lambda_counter - ml_dist) / self.noise_variance).clamp(0.0, self.llr_clip);
                 // Positive ⇒ bit 0: if the ML bit is 0, confidence in 0 is
                 // +magnitude; if the ML bit is 1, it is −magnitude.
-                llrs.push(if ml_bit { -magnitude } else { magnitude });
+                out.llrs.push(if ml_bit { -magnitude } else { magnitude });
             }
         }
 
-        debug_assert!((vec_dist_sqr(yhat, &qr.r.mul_vec(
-            &ml_symbols.iter().map(|p| p.to_complex()).collect::<Vec<_>>()
-        )) - ml_dist).abs() < 1e-6 * ml_dist.max(1.0));
+        debug_assert!(
+            (vec_dist_sqr(
+                &ws.yhat[..nc],
+                &ws.qr.r.mul_vec(&out.symbols.iter().map(|p| p.to_complex()).collect::<Vec<_>>())
+            ) - ml_dist)
+                .abs()
+                < 1e-6 * ml_dist.max(1.0)
+        );
 
-        SoftDetection { symbols: ml_symbols, llrs, stats }
+        out.stats = stats;
     }
 }
 
@@ -119,7 +186,7 @@ mod tests {
     use crate::ml::MlDetector;
     use crate::MimoDetector;
     use gs_channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
-    use gs_modulation::unmap_points;
+    use gs_modulation::{unmap_points, BitTable};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

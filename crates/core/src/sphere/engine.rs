@@ -11,11 +11,18 @@
 //! a first leaf `a`, shrink the sphere radius to `d(a)`, backtrack and
 //! expand any sibling whose partial distance still fits, terminating when
 //! the root's remaining children all violate the sphere constraint.
+//!
+//! All per-search state lives in a caller-provided [`SearchWorkspace`]
+//! (one per worker, reset per symbol — see [`crate::sphere::workspace`]):
+//! enumerators are reset in place per node visit instead of allocated, so
+//! the search itself performs zero heap allocations after warmup.
 
+use crate::batch::DetectionJob;
 use crate::detector::{Detection, MimoDetector};
 use crate::sphere::enumerator::{EnumeratorFactory, NodeEnumerator};
+use crate::sphere::workspace::{Prep, SearchWorkspace};
 use crate::stats::DetectorStats;
-use gs_linalg::{qr_decompose, sorted_qr_decompose, Complex, Matrix};
+use gs_linalg::{qr_decompose_into, sorted_qr_decompose_into, Complex, Matrix, Qr, SortedQr};
 use gs_modulation::{Constellation, GridPoint};
 
 /// A depth-first sphere decoder built from an enumerator family.
@@ -57,46 +64,60 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
         self
     }
 
+    /// Creates a search workspace for this decoder's enumerator family.
+    ///
+    /// Hold one per worker/receiver and pass it to every call: all search
+    /// state is reused in place, so detection allocates nothing after the
+    /// first symbol of a given shape.
+    pub fn make_workspace(&self) -> SearchWorkspace<F::Enumerator> {
+        SearchWorkspace::new()
+    }
+
     /// Decodes given a precomputed QR (lets the OFDM receiver reuse one QR
-    /// across a frame's worth of symbols on the same subcarrier).
-    pub fn detect_with_qr(
+    /// across a frame's worth of symbols on the same subcarrier). The
+    /// returned slice borrows the workspace's solution buffer; copy it out
+    /// (e.g. `extend_from_slice`) before the next search.
+    pub fn detect_with_qr<'w>(
         &self,
         r: &Matrix,
         yhat: &[Complex],
         c: Constellation,
+        ws: &'w mut SearchWorkspace<F::Enumerator>,
         stats: &mut DetectorStats,
-    ) -> Vec<GridPoint> {
-        match self.search_with_qr(r, yhat, c, None, self.initial_radius_sqr, stats) {
-            Some((symbols, _)) => symbols,
+    ) -> &'w [GridPoint] {
+        let nc = r.cols();
+        if self.search_with_qr(r, yhat, c, None, self.initial_radius_sqr, ws, stats).is_none() {
             // Infinite initial radius always yields a solution; a finite one
             // may not — fall back to per-level slicing so callers always get
             // valid symbols.
-            None => {
-                let mut out: Vec<GridPoint> = Vec::with_capacity(r.cols());
-                for i in (0..r.cols()).rev() {
-                    let mut acc = yhat[i];
-                    for j in (i + 1)..r.cols() {
-                        acc -= r[(i, j)] * out[r.cols() - 1 - j].to_complex();
-                    }
-                    let rll = r[(i, i)].re;
-                    let center = if rll > f64::EPSILON { acc / rll } else { Complex::ZERO };
-                    out.push(c.slice(center));
-                    stats.slices += 1;
+            for i in (0..nc).rev() {
+                let mut acc = yhat[i];
+                for j in (i + 1)..nc {
+                    acc -= r[(i, j)] * ws.best[j].to_complex();
                 }
-                out.reverse();
-                out
+                let rll = r[(i, i)].re;
+                let center = if rll > f64::EPSILON { acc / rll } else { Complex::ZERO };
+                ws.best[i] = c.slice(center);
+                stats.slices += 1;
             }
+            ws.solution_len = nc;
         }
+        ws.best()
     }
 
     /// The generalized depth-first search: optional per-bit constraint
     /// (used by the soft-output detector to find counter-hypotheses) and an
-    /// explicit initial squared radius. Returns the best solution and its
-    /// squared distance, or `None` when nothing lies within the radius.
+    /// explicit initial squared radius. Returns the best squared distance —
+    /// with the symbol vector in [`SearchWorkspace::best`] — or `None` when
+    /// nothing lies within the radius.
     ///
     /// `constraint = (level, bit_index, required_value)` restricts the
     /// search to symbol vectors whose Gray bit `bit_index` (MSB-first) of
     /// stream `level` equals `required_value`.
+    // The argument list is the search problem itself (factorization, ŷ,
+    // constellation, constraint, radius) plus the two mutable sinks; a
+    // params struct would only rename the same eight things.
+    #[allow(clippy::too_many_arguments)]
     pub fn search_with_qr(
         &self,
         r: &Matrix,
@@ -104,32 +125,35 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
         c: Constellation,
         constraint: Option<(usize, usize, bool)>,
         initial_radius_sqr: f64,
+        ws: &mut SearchWorkspace<F::Enumerator>,
         stats: &mut DetectorStats,
-    ) -> Option<(Vec<GridPoint>, f64)> {
+    ) -> Option<f64> {
         let nc = r.cols();
         debug_assert_eq!(yhat.len(), nc, "ŷ must already be Q*-rotated and truncated");
-        let bit_table = constraint.map(|_| gs_modulation::BitTable::new(c));
-        let mut radius = initial_radius_sqr;
-
-        // Per-level state, indexed by row i of R (level nc-1 = tree root).
-        struct Level<E> {
-            enumerator: E,
-            /// d(s^(i+1)): accumulated distance of the partial vector above.
-            dist_above: f64,
-            /// Gain |r_ii|² of this level.
-            chosen: GridPoint,
+        ws.prepare_levels(nc);
+        if constraint.is_some() {
+            ws.ensure_bit_table(c);
         }
-        let mut levels: Vec<Option<Level<F::Enumerator>>> = (0..nc).map(|_| None).collect();
-        let mut chosen = vec![GridPoint::default(); nc];
-        let mut best: Option<(f64, Vec<GridPoint>)> = None;
+        // Split the workspace into disjoint slabs so the per-level state,
+        // the candidate vector, and the best-solution buffer can be borrowed
+        // simultaneously.
+        let SearchWorkspace {
+            enumerators, dist_above, chosen, best, solution_len, bit_table, ..
+        } = ws;
+        let bit_table = bit_table.as_ref().map(|(_, t)| t);
+        let mut radius = initial_radius_sqr;
+        let mut found = false;
+        let mut best_dist = 0.0f64;
+        *solution_len = 0;
 
-        // Helper to open a level: compute ỹ_i from ŷ and the symbols chosen
-        // above (Eq. 8), then build its enumerator.
+        // Opens level i: compute ỹ_i from ŷ and the symbols chosen above
+        // (Eq. 8), then reset the level's slab enumerator for the node.
         let open_level = |i: usize,
-                          dist_above: f64,
+                          da: f64,
                           chosen: &[GridPoint],
-                          stats: &mut DetectorStats|
-         -> Level<F::Enumerator> {
+                          enumerators: &mut [Option<F::Enumerator>],
+                          dist_above: &mut [f64],
+                          stats: &mut DetectorStats| {
             let mut acc = yhat[i];
             for j in (i + 1)..nc {
                 acc -= r[(i, j)] * chosen[j].to_complex();
@@ -138,55 +162,52 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
             let rll = r[(i, i)].re; // real ≥ 0 by QR normalization
             let center = if rll > f64::EPSILON { acc / rll } else { Complex::ZERO };
             let gain = rll * rll;
-            Level {
-                enumerator: self.factory.make(c, center, gain, stats),
-                dist_above,
-                chosen: GridPoint::default(),
-            }
+            self.factory.make_in(&mut enumerators[i], c, center, gain, stats);
+            dist_above[i] = da;
         };
 
-        let mut i = nc - 1; // current level
-        levels[i] = Some(open_level(i, 0.0, &chosen, stats));
+        let mut i = nc - 1; // current level (nc-1 = tree root)
+        open_level(i, 0.0, chosen, enumerators, dist_above, stats);
         let mut local_nodes = 0u64;
 
         loop {
             if local_nodes >= self.max_visited_nodes {
                 break; // runtime budget exhausted: return best-so-far
             }
-            let level = levels[i].as_mut().expect("current level open");
-            let budget = radius - level.dist_above;
-            let step = level.enumerator.next_child(budget, stats);
+            let budget = radius - dist_above[i];
+            let step =
+                enumerators[i].as_mut().expect("current level open").next_child(budget, stats);
             match step {
-                Some(child) if level.dist_above + child.cost < radius => {
+                Some(child) if dist_above[i] + child.cost < radius => {
                     local_nodes += 1;
                     // Constrained search: skip children whose required bit
                     // disagrees (the enumeration stays sorted, so skipping
                     // is just a filter — no soundness impact).
                     if let Some((cl, ck, cv)) = constraint {
-                        if cl == i && bit_table.as_ref().expect("table built").bit(child.point, ck) != cv
-                        {
+                        if cl == i && bit_table.expect("table built").bit(child.point, ck) != cv {
                             continue;
                         }
                     }
                     stats.visited_nodes += 1;
-                    let dist = level.dist_above + child.cost;
-                    level.chosen = child.point;
+                    let dist = dist_above[i] + child.cost;
                     chosen[i] = child.point;
                     if i == 0 {
                         // Leaf: new best solution, shrink the sphere.
                         radius = dist;
-                        best = Some((dist, chosen.clone()));
+                        best_dist = dist;
+                        best[..nc].copy_from_slice(&chosen[..nc]);
+                        found = true;
                         // Stay at this level; Schnorr–Euchner continues with
                         // the next sibling under the new radius.
                     } else {
                         i -= 1;
-                        levels[i] = Some(open_level(i, dist, &chosen, stats));
+                        open_level(i, dist, chosen, enumerators, dist_above, stats);
                     }
                 }
                 // Sorted enumeration: a child at or beyond the radius, or an
-                // exhausted node, closes this level (sibling pruning).
+                // exhausted node, closes this level (sibling pruning). The
+                // slab enumerator stays allocated for reuse.
                 _ => {
-                    levels[i] = None;
                     if i == nc - 1 {
                         break;
                     }
@@ -195,46 +216,122 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
             }
         }
 
-        best.map(|(d, s)| (s, d))
+        if found {
+            *solution_len = nc;
+            Some(best_dist)
+        } else {
+            None
+        }
     }
-}
-
-/// Per-channel preprocessing shared across a batch (plain or sorted QR).
-enum Prep {
-    Plain(gs_linalg::Qr),
-    Sorted(gs_linalg::SortedQr),
 }
 
 impl<F: EnumeratorFactory> SphereDecoder<F> {
-    fn prepare(&self, h: &Matrix) -> Prep {
-        if self.sorted_qr {
-            Prep::Sorted(sorted_qr_decompose(h))
-        } else {
-            Prep::Plain(qr_decompose(h))
+    /// (Re)computes the QR slot for one channel, reusing the slot's matrix
+    /// storage and the workspace's factorization scratch.
+    fn refresh_prep(
+        slot: &mut Option<Prep>,
+        sorted: bool,
+        h: &Matrix,
+        qr_ws: &mut gs_linalg::QrWorkspace,
+    ) {
+        match (sorted, &mut *slot) {
+            (false, Some(Prep::Plain(qr))) => qr_decompose_into(h, qr_ws, qr),
+            (true, Some(Prep::Sorted(sqr))) => sorted_qr_decompose_into(h, qr_ws, sqr),
+            (false, s) => {
+                let mut qr = Qr::default();
+                qr_decompose_into(h, qr_ws, &mut qr);
+                *s = Some(Prep::Plain(qr));
+            }
+            (true, s) => {
+                let mut sqr = SortedQr::default();
+                sorted_qr_decompose_into(h, qr_ws, &mut sqr);
+                *s = Some(Prep::Sorted(sqr));
+            }
         }
     }
 
-    fn detect_prepared(&self, prep: &Prep, nc: usize, y: &[Complex], c: Constellation) -> Detection {
+    /// Detects one job against prepared QR factors, recycling the
+    /// workspace's rotation scratch and a spare output buffer.
+    fn detect_prepared(
+        &self,
+        prep: &Prep,
+        nc: usize,
+        y: &[Complex],
+        c: Constellation,
+        ws: &mut SearchWorkspace<F::Enumerator>,
+    ) -> Detection {
         let mut stats = DetectorStats::default();
+        let mut symbols = ws.take_spare();
+        // Detach the rotation scratch so the workspace can be re-borrowed
+        // mutably by the search; reattached below (a pointer move, not an
+        // allocation).
+        let mut yhat = std::mem::take(&mut ws.yhat);
         match prep {
             Prep::Plain(qr) => {
-                let yhat_full = qr.rotate(y);
-                let symbols = self.detect_with_qr(&qr.r, &yhat_full[..nc], c, &mut stats);
-                Detection { symbols, stats }
+                qr.rotate_into(y, &mut yhat);
+                let best = self.detect_with_qr(&qr.r, &yhat[..nc], c, ws, &mut stats);
+                symbols.extend_from_slice(best);
             }
             Prep::Sorted(sqr) => {
-                let yhat_full = sqr.qr.rotate(y);
-                let symbols_permuted = self.detect_with_qr(&sqr.qr.r, &yhat_full[..nc], c, &mut stats);
-                let symbols = sqr.unpermute(&symbols_permuted);
-                Detection { symbols, stats }
+                sqr.qr.rotate_into(y, &mut yhat);
+                let best = self.detect_with_qr(&sqr.qr.r, &yhat[..nc], c, ws, &mut stats);
+                sqr.unpermute_into(best, &mut symbols);
             }
+        }
+        ws.yhat = yhat;
+        Detection { symbols, stats }
+    }
+
+    /// Detects a sequence of jobs into `out`, amortizing per-channel QR and
+    /// reusing every buffer in `ws` — the batched frame-decode inner loop.
+    ///
+    /// Per-channel factors are recomputed once per call (channel contents
+    /// may change between batches) into storage that persists in the
+    /// workspace. Calling [`SearchWorkspace::recycle`] happens internally:
+    /// `out` is drained and its symbol buffers reused, so a caller that
+    /// keeps `ws` and `out` alive across frames performs **zero heap
+    /// allocations per symbol** in steady state.
+    pub fn detect_batch_into(
+        &self,
+        batch: &crate::batch::DetectionBatch,
+        ws: &mut SearchWorkspace<F::Enumerator>,
+        out: &mut Vec<Detection>,
+    ) {
+        self.detect_jobs_into(batch.channels, batch.jobs.iter(), batch.c, ws, out);
+    }
+
+    fn detect_jobs_into<'j>(
+        &self,
+        channels: &[Matrix],
+        jobs: impl Iterator<Item = &'j DetectionJob>,
+        c: Constellation,
+        ws: &mut SearchWorkspace<F::Enumerator>,
+        out: &mut Vec<Detection>,
+    ) {
+        ws.recycle(out);
+        ws.begin_batch(channels.len());
+        for job in jobs {
+            let h = &channels[job.channel];
+            // Take the prep out of its slot so the workspace stays
+            // borrowable during the search; put it back afterwards.
+            let mut prep = ws.preps[job.channel].take();
+            if !ws.prep_fresh[job.channel] {
+                Self::refresh_prep(&mut prep, self.sorted_qr, h, &mut ws.qr_ws);
+                ws.prep_fresh[job.channel] = true;
+            }
+            let prep = prep.expect("prep just refreshed");
+            out.push(self.detect_prepared(&prep, h.cols(), &job.y, c, ws));
+            ws.preps[job.channel] = Some(prep);
         }
     }
 }
 
 impl<F: EnumeratorFactory> MimoDetector for SphereDecoder<F> {
     fn detect(&self, h: &Matrix, y: &[Complex], c: Constellation) -> Detection {
-        self.detect_prepared(&self.prepare(h), h.cols(), y, c)
+        let mut ws = self.make_workspace();
+        let mut prep = None;
+        Self::refresh_prep(&mut prep, self.sorted_qr, h, &mut ws.qr_ws);
+        self.detect_prepared(&prep.expect("prep just refreshed"), h.cols(), y, c, &mut ws)
     }
 
     /// Batched detection with per-channel QR amortization: the
@@ -244,17 +341,35 @@ impl<F: EnumeratorFactory> MimoDetector for SphereDecoder<F> {
     /// removes an `n_ofdm_symbols×` redundancy — with output bit-identical
     /// to per-job [`MimoDetector::detect`], since QR is deterministic and
     /// uncounted by [`DetectorStats`].
+    ///
+    /// One [`SearchWorkspace`] serves the whole batch (it is created here,
+    /// on the calling worker thread), so per-node and per-symbol search
+    /// state is reused across every job in the batch.
     fn detect_batch(&self, batch: &crate::batch::DetectionBatch) -> Vec<Detection> {
-        let mut preps: Vec<Option<Prep>> = (0..batch.channels.len()).map(|_| None).collect();
-        batch
-            .jobs
-            .iter()
-            .map(|job| {
-                let h = &batch.channels[job.channel];
-                let prep = preps[job.channel].get_or_insert_with(|| self.prepare(h));
-                self.detect_prepared(prep, h.cols(), &job.y, batch.c)
-            })
-            .collect()
+        let mut ws = self.make_workspace();
+        let mut out = Vec::new();
+        self.detect_batch_into(batch, &mut ws, &mut out);
+        out
+    }
+
+    /// Indexed batched detection (see [`MimoDetector::detect_batch_indexed`])
+    /// with the same per-channel QR amortization and workspace reuse as
+    /// [`MimoDetector::detect_batch`].
+    fn detect_batch_indexed(
+        &self,
+        batch: &crate::batch::DetectionBatch,
+        indices: &[usize],
+    ) -> Vec<Detection> {
+        let mut ws = self.make_workspace();
+        let mut out = Vec::new();
+        self.detect_jobs_into(
+            batch.channels,
+            indices.iter().map(|&ix| &batch.jobs[ix]),
+            batch.c,
+            &mut ws,
+            &mut out,
+        );
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -313,25 +428,35 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(142);
         type DetectFn = Box<dyn Fn(&Matrix, &[Complex], Constellation) -> Detection>;
         let decoders: Vec<(&str, DetectFn)> = vec![
-            ("geo-full", Box::new(|h, y, c| SphereDecoder::new(GeosphereFactory::full()).detect(h, y, c))),
-            ("geo-zz", Box::new(|h, y, c| SphereDecoder::new(GeosphereFactory::zigzag_only()).detect(h, y, c))),
+            (
+                "geo-full",
+                Box::new(|h, y, c| SphereDecoder::new(GeosphereFactory::full()).detect(h, y, c)),
+            ),
+            (
+                "geo-zz",
+                Box::new(|h, y, c| {
+                    SphereDecoder::new(GeosphereFactory::zigzag_only()).detect(h, y, c)
+                }),
+            ),
             ("hess", Box::new(|h, y, c| SphereDecoder::new(HessFactory).detect(h, y, c))),
-            ("geo-sortedqr", Box::new(|h, y, c| {
-                SphereDecoder::new(GeosphereFactory::full()).with_sorted_qr().detect(h, y, c)
-            })),
+            (
+                "geo-sortedqr",
+                Box::new(|h, y, c| {
+                    SphereDecoder::new(GeosphereFactory::full()).with_sorted_qr().detect(h, y, c)
+                }),
+            ),
         ];
         for trial in 0..60 {
             let c = if trial % 2 == 0 { Constellation::Qpsk } else { Constellation::Qam16 };
             let nc = 2 + trial % 2; // 2 or 3 streams keeps exhaustive ML fast
+
             // Heavy noise so ML ≠ transmitted often; exercises real search.
             let (h, y, _) = random_instance(&mut rng, c, nc + 1, nc, 0.5);
-            let ml = crate::detector::residual_norm_sqr(&h, &y, &MlDetector.detect(&h, &y, c).symbols);
+            let ml =
+                crate::detector::residual_norm_sqr(&h, &y, &MlDetector.detect(&h, &y, c).symbols);
             for (name, det) in &decoders {
                 let got = crate::detector::residual_norm_sqr(&h, &y, &det(&h, &y, c).symbols);
-                assert!(
-                    (got - ml).abs() < 1e-9,
-                    "{name} trial {trial}: residual {got} vs ML {ml}"
-                );
+                assert!((got - ml).abs() < 1e-9, "{name} trial {trial}: residual {got} vs ML {ml}");
             }
         }
     }
@@ -353,6 +478,27 @@ mod tests {
     }
 
     #[test]
+    fn reused_workspace_matches_fresh_workspace() {
+        // The zero-alloc refactor's guard: detection through one long-lived
+        // workspace must be bit-identical (symbols and stats) to detection
+        // with a fresh workspace per call.
+        let mut rng = StdRng::seed_from_u64(148);
+        let c = Constellation::Qam64;
+        let geo = SphereDecoder::new(GeosphereFactory::full());
+        let mut shared = geo.make_workspace();
+        for trial in 0..25 {
+            let (h, y, _) = random_instance(&mut rng, c, 4, 4, 0.1);
+            let reference = geo.detect(&h, &y, c);
+            let qr = gs_linalg::qr_decompose(&h);
+            let yhat = qr.rotate(&y);
+            let mut stats = DetectorStats::default();
+            let symbols = geo.detect_with_qr(&qr.r, &yhat[..4], c, &mut shared, &mut stats);
+            assert_eq!(symbols, &reference.symbols[..], "trial {trial}");
+            assert_eq!(stats, reference.stats, "trial {trial}");
+        }
+    }
+
+    #[test]
     fn geosphere_uses_fewer_peds_than_hess_on_dense_constellations() {
         let mut rng = StdRng::seed_from_u64(144);
         let c = Constellation::Qam256;
@@ -360,7 +506,8 @@ mod tests {
         let mut hess_total = 0u64;
         for _ in 0..30 {
             let (h, y, _) = random_instance(&mut rng, c, 4, 4, 0.001);
-            geo_total += SphereDecoder::new(GeosphereFactory::full()).detect(&h, &y, c).stats.ped_calcs;
+            geo_total +=
+                SphereDecoder::new(GeosphereFactory::full()).detect(&h, &y, c).stats.ped_calcs;
             hess_total += SphereDecoder::new(HessFactory).detect(&h, &y, c).stats.ped_calcs;
         }
         assert!(
@@ -377,9 +524,12 @@ mod tests {
         let mut zz_total = 0u64;
         for _ in 0..40 {
             let (h, y, _) = random_instance(&mut rng, c, 4, 4, 0.003);
-            full_total += SphereDecoder::new(GeosphereFactory::full()).detect(&h, &y, c).stats.ped_calcs;
-            zz_total +=
-                SphereDecoder::new(GeosphereFactory::zigzag_only()).detect(&h, &y, c).stats.ped_calcs;
+            full_total +=
+                SphereDecoder::new(GeosphereFactory::full()).detect(&h, &y, c).stats.ped_calcs;
+            zz_total += SphereDecoder::new(GeosphereFactory::zigzag_only())
+                .detect(&h, &y, c)
+                .stats
+                .ped_calcs;
         }
         assert!(full_total <= zz_total, "pruning must not add PEDs: {full_total} vs {zz_total}");
         assert!(full_total < zz_total, "pruning should save PEDs: {full_total} vs {zz_total}");

@@ -8,6 +8,24 @@
 //! order. The engine in [`crate::sphere::engine`] is identical for
 //! Geosphere and ETH-SD; only the enumerator differs — which is also why
 //! both visit the same tree nodes (§5.3).
+//!
+//! ## The reset-and-reuse protocol
+//!
+//! Tree searches visit one node per enumerator, and a frame's worth of
+//! searches visits millions of nodes, so enumerators follow a **reuse
+//! protocol** instead of being constructed per visit: a factory can either
+//! [`make`](EnumeratorFactory::make) a fresh enumerator (cold path, buffer
+//! warmup) or [`reset`](EnumeratorFactory::reset) an existing one in place
+//! for a new node, reusing its internal buffers.
+//! [`make_in`](EnumeratorFactory::make_in) dispatches between the two for a
+//! slab slot, and is what the engine's
+//! [`SearchWorkspace`](crate::sphere::SearchWorkspace) uses — after warmup
+//! no enumerator touches the heap again.
+//!
+//! To add a new enumerator family under the protocol, implement `reset` as
+//! "clear every collection, then reinitialize exactly as `make` would":
+//! the engine requires a reset enumerator to behave bit-identically to a
+//! freshly made one (same children, same order, same operation counts).
 
 use crate::stats::DetectorStats;
 use gs_linalg::Complex;
@@ -36,17 +54,21 @@ pub trait NodeEnumerator {
     fn next_child(&mut self, budget: f64, stats: &mut DetectorStats) -> Option<Child>;
 }
 
-/// Creates enumerators; one per tree-node visit.
+/// Creates and re-initializes enumerators (see the module docs for the
+/// reset-and-reuse protocol).
 ///
 /// `Send + Sync` is required so sphere decoders built from a factory
 /// satisfy the [`crate::MimoDetector`] thread-safety contract; factories
 /// are stateless configuration, so this costs nothing.
 pub trait EnumeratorFactory: Send + Sync {
     /// The enumerator type produced.
-    type Enumerator: NodeEnumerator;
+    type Enumerator: NodeEnumerator + Send;
 
     /// Creates an enumerator for a node with received symbol `center`
     /// (`ỹ_l`, constellation space) and level gain `gain = |r_ll|²`.
+    ///
+    /// This is the allocating cold path; steady-state callers go through
+    /// [`EnumeratorFactory::make_in`].
     fn make(
         &self,
         c: Constellation,
@@ -54,6 +76,37 @@ pub trait EnumeratorFactory: Send + Sync {
         gain: f64,
         stats: &mut DetectorStats,
     ) -> Self::Enumerator;
+
+    /// Re-initializes `e` in place for a new node, reusing its buffers.
+    ///
+    /// Must leave `e` bit-identical in behavior to
+    /// `self.make(c, center, gain, stats)` — same child sequence and the
+    /// same operation counts — while performing no heap allocation once
+    /// `e`'s buffers have warmed up to this constellation's size.
+    fn reset(
+        &self,
+        e: &mut Self::Enumerator,
+        c: Constellation,
+        center: Complex,
+        gain: f64,
+        stats: &mut DetectorStats,
+    );
+
+    /// Resets the enumerator in `slot` for a new node, making one on first
+    /// use: the slab entry point of the reuse protocol.
+    fn make_in(
+        &self,
+        slot: &mut Option<Self::Enumerator>,
+        c: Constellation,
+        center: Complex,
+        gain: f64,
+        stats: &mut DetectorStats,
+    ) {
+        match slot {
+            Some(e) => self.reset(e, c, center, gain, stats),
+            None => *slot = Some(self.make(c, center, gain, stats)),
+        }
+    }
 
     /// Display name of the decoder this enumerator family implements.
     fn name(&self) -> &'static str;
@@ -64,13 +117,29 @@ pub trait EnumeratorFactory: Send + Sync {
 /// This is the naive strategy the paper's §2.3 criticizes ("fully
 /// enumerated and sorted all possibilities … a highly inefficient
 /// process"); it exists as a test oracle for the efficient enumerators and
-/// to quantify their savings.
+/// to quantify their savings. Because it is an oracle, it keeps the stable
+/// (allocating) sort — it is exempt from the zero-allocation invariant the
+/// production enumerators uphold, though `reset` still reuses its child
+/// buffer.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExhaustiveSortFactory;
 
 /// Enumerator produced by [`ExhaustiveSortFactory`].
 pub struct ExhaustiveSortEnumerator {
-    sorted: std::vec::IntoIter<Child>,
+    children: Vec<Child>,
+    cursor: usize,
+}
+
+impl ExhaustiveSortEnumerator {
+    fn fill(&mut self, c: Constellation, center: Complex, gain: f64, stats: &mut DetectorStats) {
+        self.children.clear();
+        self.children.extend(
+            c.points().into_iter().map(|p| Child { point: p, cost: gain * p.dist_sqr(center) }),
+        );
+        stats.ped_calcs += self.children.len() as u64;
+        self.children.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        self.cursor = 0;
+    }
 }
 
 impl EnumeratorFactory for ExhaustiveSortFactory {
@@ -83,14 +152,20 @@ impl EnumeratorFactory for ExhaustiveSortFactory {
         gain: f64,
         stats: &mut DetectorStats,
     ) -> ExhaustiveSortEnumerator {
-        let mut children: Vec<Child> = c
-            .points()
-            .into_iter()
-            .map(|p| Child { point: p, cost: gain * p.dist_sqr(center) })
-            .collect();
-        stats.ped_calcs += children.len() as u64;
-        children.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-        ExhaustiveSortEnumerator { sorted: children.into_iter() }
+        let mut e = ExhaustiveSortEnumerator { children: Vec::new(), cursor: 0 };
+        e.fill(c, center, gain, stats);
+        e
+    }
+
+    fn reset(
+        &self,
+        e: &mut ExhaustiveSortEnumerator,
+        c: Constellation,
+        center: Complex,
+        gain: f64,
+        stats: &mut DetectorStats,
+    ) {
+        e.fill(c, center, gain, stats);
     }
 
     fn name(&self) -> &'static str {
@@ -100,7 +175,11 @@ impl EnumeratorFactory for ExhaustiveSortFactory {
 
 impl NodeEnumerator for ExhaustiveSortEnumerator {
     fn next_child(&mut self, _budget: f64, _stats: &mut DetectorStats) -> Option<Child> {
-        self.sorted.next()
+        let child = self.children.get(self.cursor).copied();
+        if child.is_some() {
+            self.cursor += 1;
+        }
+        child
     }
 }
 
@@ -126,5 +205,51 @@ mod tests {
         // First child is the slice, cost = gain * |y - slice|².
         let slice = c.slice(center);
         assert!((costs[0] - 2.0 * slice.dist_sqr(center)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        // The protocol contract: a reset enumerator is indistinguishable
+        // from a fresh one — children, order, and operation counts.
+        let c = Constellation::Qam64;
+        let mut stats_fresh = DetectorStats::default();
+        let mut stats_reused = DetectorStats::default();
+        let mut reused =
+            ExhaustiveSortFactory.make(c, Complex::new(9.9, -9.9), 3.0, &mut stats_reused);
+        // Drain it part-way so the reset starts from a dirty state.
+        for _ in 0..7 {
+            reused.next_child(f64::INFINITY, &mut stats_reused);
+        }
+        stats_reused = DetectorStats::default();
+
+        let center = Complex::new(0.4, 1.1);
+        let fresh = ExhaustiveSortFactory.make(c, center, 2.0, &mut stats_fresh);
+        ExhaustiveSortFactory.reset(&mut reused, c, center, 2.0, &mut stats_reused);
+        assert_eq!(stats_fresh, stats_reused);
+        let mut fresh = fresh;
+        loop {
+            let a = fresh.next_child(f64::INFINITY, &mut stats_fresh);
+            let b = reused.next_child(f64::INFINITY, &mut stats_reused);
+            match (a, b) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.point, y.point);
+                    assert_eq!(x.cost.to_bits(), y.cost.to_bits());
+                }
+                _ => panic!("fresh and reset enumerations diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn make_in_allocates_once_then_reuses() {
+        let c = Constellation::Qam16;
+        let mut stats = DetectorStats::default();
+        let mut slot: Option<ExhaustiveSortEnumerator> = None;
+        ExhaustiveSortFactory.make_in(&mut slot, c, Complex::new(0.1, 0.2), 1.0, &mut stats);
+        assert!(slot.is_some());
+        let cap = slot.as_ref().unwrap().children.capacity();
+        ExhaustiveSortFactory.make_in(&mut slot, c, Complex::new(-1.1, 2.2), 1.5, &mut stats);
+        assert_eq!(slot.as_ref().unwrap().children.capacity(), cap, "reset must reuse the buffer");
     }
 }

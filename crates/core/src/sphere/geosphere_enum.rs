@@ -99,25 +99,48 @@ impl GeosphereEnumerator {
         geoprune: bool,
         stats: &mut DetectorStats,
     ) -> Self {
-        let slice = c.slice(center);
-        stats.slices += 1;
         let mut this = GeosphereEnumerator {
             c,
             center,
             gain,
             geoprune,
-            slice,
+            slice: GridPoint::default(),
             queue: BinaryHeap::new(),
-            columns: vec![None; c.side()],
-            horizontal: Some(AxisZigzag::new(c, center.re)),
+            columns: Vec::with_capacity(c.side()),
+            horizontal: None,
             pending_explore: None,
         };
+        this.reset_for(c, center, gain, geoprune, stats);
+        this
+    }
+
+    /// Re-initializes for a new node, reusing the queue and column buffers
+    /// (the reuse protocol's `reset`): behaviorally identical to a fresh
+    /// [`GeosphereEnumerator::new`], allocation-free after warmup.
+    fn reset_for(
+        &mut self,
+        c: Constellation,
+        center: Complex,
+        gain: f64,
+        geoprune: bool,
+        stats: &mut DetectorStats,
+    ) {
+        self.c = c;
+        self.center = center;
+        self.gain = gain;
+        self.geoprune = geoprune;
+        self.slice = c.slice(center);
+        stats.slices += 1;
+        self.queue.clear();
+        self.columns.clear();
+        self.columns.resize(c.side(), None);
+        self.horizontal = Some(AxisZigzag::new(c, center.re));
+        self.pending_explore = None;
         // Activate the initial column: the horizontal zigzag's first yield
         // is the sliced column itself.
-        let first_col = this.horizontal.as_mut().unwrap().next().expect("nonempty axis");
-        debug_assert_eq!(first_col, slice.i);
-        this.activate_column(first_col, f64::INFINITY, stats);
-        this
+        let first_col = self.horizontal.as_mut().unwrap().next().expect("nonempty axis");
+        debug_assert_eq!(first_col, self.slice.i);
+        self.activate_column(first_col, f64::INFINITY, stats);
     }
 
     /// Lower-bounds the branch cost of a point at the given axis offsets
@@ -128,10 +151,17 @@ impl GeosphereEnumerator {
 
     /// Pushes a candidate after the (optional) bound test and the exact
     /// PED computation. Returns `false` when the bound killed it.
-    fn try_push(&mut self, point: GridPoint, column: usize, budget: f64, stats: &mut DetectorStats) -> bool {
+    fn try_push(
+        &mut self,
+        point: GridPoint,
+        column: usize,
+        budget: f64,
+        stats: &mut DetectorStats,
+    ) -> bool {
         if self.geoprune {
             stats.bound_checks += 1;
-            let b = self.bound(axis_offset(point.i, self.slice.i), axis_offset(point.q, self.slice.q));
+            let b =
+                self.bound(axis_offset(point.i, self.slice.i), axis_offset(point.q, self.slice.q));
             if b >= budget {
                 stats.bound_prunes += 1;
                 return false;
@@ -230,6 +260,17 @@ impl EnumeratorFactory for GeosphereFactory {
         GeosphereEnumerator::new(c, center, gain, self.geometric_pruning, stats)
     }
 
+    fn reset(
+        &self,
+        e: &mut GeosphereEnumerator,
+        c: Constellation,
+        center: Complex,
+        gain: f64,
+        stats: &mut DetectorStats,
+    ) {
+        e.reset_for(c, center, gain, self.geometric_pruning, stats);
+    }
+
     fn name(&self) -> &'static str {
         if self.geometric_pruning {
             "Geosphere"
@@ -258,14 +299,9 @@ mod tests {
     #[test]
     fn enumerates_all_points_in_nondecreasing_order() {
         for c in Constellation::ALL {
-            for &(re, im) in &[
-                (0.0, 0.0),
-                (0.9, -0.4),
-                (-3.7, 2.2),
-                (16.0, -16.0),
-                (1.0, 1.0),
-                (-0.49, 5.51),
-            ] {
+            for &(re, im) in
+                &[(0.0, 0.0), (0.9, -0.4), (-3.7, 2.2), (16.0, -16.0), (1.0, 1.0), (-0.49, 5.51)]
+            {
                 let (children, _) = drain(c, Complex::new(re, im), false);
                 assert_eq!(children.len(), c.size(), "{c:?} must enumerate everything");
                 for w in children.windows(2) {
@@ -298,7 +334,8 @@ mod tests {
         // The paper's bound: priority queue length at most √|O|.
         let c = Constellation::Qam256;
         let mut stats = DetectorStats::default();
-        let mut e = GeosphereFactory::zigzag_only().make(c, Complex::new(0.2, 0.7), 1.0, &mut stats);
+        let mut e =
+            GeosphereFactory::zigzag_only().make(c, Complex::new(0.2, 0.7), 1.0, &mut stats);
         for _ in 0..c.size() {
             assert!(e.queue.len() <= c.side(), "queue grew past √|O|: {}", e.queue.len());
             if e.next_child(f64::INFINITY, &mut stats).is_none() {
@@ -369,6 +406,44 @@ mod tests {
         assert_eq!(got.len(), expected.len());
         for (g, e_) in got.iter().zip(&expected) {
             assert!((g.cost - e_.cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        // Protocol contract: a reset enumerator matches a fresh one in
+        // children, order, and operation counts — including under a finite
+        // budget where geometric pruning fires.
+        for geoprune in [false, true] {
+            let factory =
+                if geoprune { GeosphereFactory::full() } else { GeosphereFactory::zigzag_only() };
+            let c = Constellation::Qam64;
+            let mut dirty_stats = DetectorStats::default();
+            let mut reused = factory.make(c, Complex::new(-7.0, 7.0), 5.0, &mut dirty_stats);
+            for _ in 0..5 {
+                reused.next_child(f64::INFINITY, &mut dirty_stats);
+            }
+
+            let center = Complex::new(1.3, -0.6);
+            let budget = 40.0;
+            let mut stats_fresh = DetectorStats::default();
+            let mut stats_reused = DetectorStats::default();
+            let mut fresh = factory.make(c, center, 2.0, &mut stats_fresh);
+            factory.reset(&mut reused, c, center, 2.0, &mut stats_reused);
+            assert_eq!(stats_fresh, stats_reused, "geoprune {geoprune}");
+            loop {
+                let a = fresh.next_child(budget, &mut stats_fresh);
+                let b = reused.next_child(budget, &mut stats_reused);
+                assert_eq!(stats_fresh, stats_reused, "geoprune {geoprune}");
+                match (a, b) {
+                    (None, None) => break,
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.point, y.point);
+                        assert_eq!(x.cost.to_bits(), y.cost.to_bits());
+                    }
+                    _ => panic!("fresh and reset enumerations diverged"),
+                }
+            }
         }
     }
 

@@ -45,9 +45,12 @@ pub struct HessEnumerator {
 impl HessEnumerator {
     fn init(&mut self, stats: &mut DetectorStats) {
         // One slice for the in-phase axis; each row head shares the sliced
-        // I coordinate but needs its own distance computation.
+        // I coordinate but needs its own distance computation. Levels are
+        // walked by index (not via `axis_levels()`, which materializes a
+        // Vec) so a node visit stays allocation-free.
         stats.slices += 1;
-        for q in self.c.axis_levels() {
+        for qi in 0..self.c.side() {
+            let q = self.c.coord_of_index(qi);
             let mut iter = AxisZigzag::new(self.c, self.center.re);
             let i = iter.next().expect("nonempty axis");
             let point = GridPoint { i, q };
@@ -94,13 +97,24 @@ impl EnumeratorFactory for HessFactory {
         gain: f64,
         _stats: &mut DetectorStats,
     ) -> HessEnumerator {
-        HessEnumerator {
-            rows: Vec::with_capacity(c.side()),
-            initialized: false,
-            c,
-            center,
-            gain,
-        }
+        HessEnumerator { rows: Vec::with_capacity(c.side()), initialized: false, c, center, gain }
+    }
+
+    fn reset(
+        &self,
+        e: &mut HessEnumerator,
+        c: Constellation,
+        center: Complex,
+        gain: f64,
+        _stats: &mut DetectorStats,
+    ) {
+        // Row state is rebuilt lazily on the first `next_child`, exactly as
+        // after `make`; clearing keeps the row buffer's allocation.
+        e.rows.clear();
+        e.initialized = false;
+        e.c = c;
+        e.center = center;
+        e.gain = gain;
     }
 
     fn name(&self) -> &'static str {
@@ -113,7 +127,11 @@ mod tests {
     use super::*;
     use crate::sphere::geosphere_enum::GeosphereFactory;
 
-    fn drain<F: EnumeratorFactory>(f: &F, c: Constellation, center: Complex) -> (Vec<Child>, DetectorStats) {
+    fn drain<F: EnumeratorFactory>(
+        f: &F,
+        c: Constellation,
+        center: Complex,
+    ) -> (Vec<Child>, DetectorStats) {
         let mut stats = DetectorStats::default();
         let mut e = f.make(c, center, 1.0, &mut stats);
         let mut out = Vec::new();
@@ -145,6 +163,35 @@ mod tests {
         let mut e = HessFactory.make(c, Complex::new(0.2, 0.7), 1.0, &mut stats);
         e.next_child(f64::INFINITY, &mut stats).unwrap();
         assert_eq!(stats.ped_calcs, 16 + 1, "16 row heads + 1 replenish");
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let c = Constellation::Qam16;
+        let mut dirty = DetectorStats::default();
+        let mut reused = HessFactory.make(c, Complex::new(5.0, -5.0), 4.0, &mut dirty);
+        for _ in 0..3 {
+            reused.next_child(f64::INFINITY, &mut dirty);
+        }
+
+        let center = Complex::new(-0.7, 1.9);
+        let mut stats_fresh = DetectorStats::default();
+        let mut stats_reused = DetectorStats::default();
+        let mut fresh = HessFactory.make(c, center, 1.5, &mut stats_fresh);
+        HessFactory.reset(&mut reused, c, center, 1.5, &mut stats_reused);
+        loop {
+            let a = fresh.next_child(f64::INFINITY, &mut stats_fresh);
+            let b = reused.next_child(f64::INFINITY, &mut stats_reused);
+            assert_eq!(stats_fresh, stats_reused);
+            match (a, b) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.point, y.point);
+                    assert_eq!(x.cost.to_bits(), y.cost.to_bits());
+                }
+                _ => panic!("fresh and reset enumerations diverged"),
+            }
+        }
     }
 
     #[test]

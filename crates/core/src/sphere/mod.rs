@@ -4,8 +4,10 @@ pub mod engine;
 pub mod enumerator;
 pub mod geosphere_enum;
 pub mod hess_enum;
+pub mod workspace;
 
 pub use engine::SphereDecoder;
 pub use enumerator::{Child, EnumeratorFactory, ExhaustiveSortFactory, NodeEnumerator};
 pub use geosphere_enum::GeosphereFactory;
 pub use hess_enum::HessFactory;
+pub use workspace::{SearchWorkspace, WorkspaceFor};

@@ -1,0 +1,168 @@
+//! Reusable per-worker scratch state for the sphere-decoding hot path.
+//!
+//! Every tree-node visit needs an enumerator, every search needs per-level
+//! state and candidate buffers, and every detection needs a Q*-rotated
+//! receive vector plus (in the batched path) per-channel QR factors. Before
+//! this module those were heap-allocated per use — allocator traffic in the
+//! innermost loop of the system. [`SearchWorkspace`] owns all of it as
+//! reusable slabs instead.
+//!
+//! ## Ownership model
+//!
+//! **One workspace per worker, reset per symbol.** A workspace is *not*
+//! shared: the batch engine's worker threads each own one for the duration
+//! of their job chunk, serial callers create one per call (still cheaper
+//! than the old per-node allocations), and long-lived receivers hold one
+//! across frames. Nothing inside is ever deallocated between searches —
+//! buffers are cleared and refilled in place, so after the first search of
+//! a given shape ("warmup") the detection path performs **zero heap
+//! allocations per symbol**. `tests/alloc_regression.rs` enforces this with
+//! a counting global allocator.
+//!
+//! The enumerator slab holds one slot per tree level; slots are filled by
+//! [`EnumeratorFactory::make_in`](crate::sphere::EnumeratorFactory::make_in),
+//! which resets an existing enumerator in place rather than constructing a
+//! fresh one per node visit (see the protocol notes in
+//! [`crate::sphere::enumerator`]).
+
+use crate::detector::Detection;
+use gs_linalg::{Complex, Qr, QrWorkspace, SortedQr};
+use gs_modulation::{BitTable, Constellation, GridPoint};
+
+/// Per-channel preprocessing shared across a batch (plain or sorted QR).
+///
+/// Slots live in the workspace so their matrix storage is reused when the
+/// batch path re-factorizes a channel on a later call.
+#[derive(Clone, Debug)]
+pub(crate) enum Prep {
+    /// Unsorted Householder QR.
+    Plain(Qr),
+    /// Column-norm-sorted QR with its stream permutation.
+    Sorted(SortedQr),
+}
+
+/// Reusable scratch for [`SphereDecoder`](crate::SphereDecoder) searches:
+/// the per-level enumerator slab, candidate/best symbol buffers, rotation
+/// scratch, and the batched path's QR slots. See the module docs for the
+/// ownership model.
+///
+/// `E` is the enumerator type of the decoder's factory; the alias
+/// [`WorkspaceFor`] names it from a factory type directly.
+pub struct SearchWorkspace<E> {
+    /// Enumerator slab, one slot per tree level. Entries are allocated on
+    /// first use and reset in place forever after.
+    pub(crate) enumerators: Vec<Option<E>>,
+    /// `d(s^(i+1))`: accumulated distance of the partial vector above each
+    /// open level.
+    pub(crate) dist_above: Vec<f64>,
+    /// The current partial symbol vector (entry `i` = choice at level `i`).
+    pub(crate) chosen: Vec<GridPoint>,
+    /// The best full solution found by the last search.
+    pub(crate) best: Vec<GridPoint>,
+    /// Number of valid entries in `best` after the last search.
+    pub(crate) solution_len: usize,
+    /// Q*-rotation scratch for the detect entry points.
+    pub(crate) yhat: Vec<Complex>,
+    /// Gray-bit lookup for constrained (soft counter-hypothesis) searches,
+    /// cached per constellation.
+    pub(crate) bit_table: Option<(Constellation, BitTable)>,
+    /// Scratch for in-place QR factorization.
+    pub(crate) qr_ws: QrWorkspace,
+    /// Per-channel QR slots for the batched path (storage reused across
+    /// calls; contents are recomputed per batch — see `prep_fresh`).
+    pub(crate) preps: Vec<Option<Prep>>,
+    /// Whether `preps[k]` has been (re)computed during the current batch
+    /// call. Cleared at the start of every batch: channel contents may
+    /// change between batches even when the table shape doesn't.
+    pub(crate) prep_fresh: Vec<bool>,
+    /// Recycled per-detection symbol buffers (see
+    /// [`SearchWorkspace::recycle`]).
+    pub(crate) spare: Vec<Vec<GridPoint>>,
+}
+
+/// The workspace type for a given enumerator factory, e.g.
+/// `WorkspaceFor<GeosphereFactory>`.
+pub type WorkspaceFor<F> = SearchWorkspace<<F as crate::sphere::EnumeratorFactory>::Enumerator>;
+
+impl<E> Default for SearchWorkspace<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> SearchWorkspace<E> {
+    /// Creates an empty workspace; every buffer grows on first use and is
+    /// reused forever after.
+    pub fn new() -> Self {
+        SearchWorkspace {
+            enumerators: Vec::new(),
+            dist_above: Vec::new(),
+            chosen: Vec::new(),
+            best: Vec::new(),
+            solution_len: 0,
+            yhat: Vec::new(),
+            bit_table: None,
+            qr_ws: QrWorkspace::new(),
+            preps: Vec::new(),
+            prep_fresh: Vec::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// The best symbol vector found by the last search (stream order as
+    /// searched; empty before any search succeeds).
+    pub fn best(&self) -> &[GridPoint] {
+        &self.best[..self.solution_len]
+    }
+
+    /// Returns detections' symbol buffers to the spare pool so the next
+    /// [`detect_batch_into`](crate::SphereDecoder::detect_batch_into) call
+    /// reuses them instead of allocating. Clears `detections`.
+    pub fn recycle(&mut self, detections: &mut Vec<Detection>) {
+        self.spare.extend(detections.drain(..).map(|d| d.symbols));
+    }
+
+    /// Sizes the per-level slabs for an `nc`-stream search. Grows only —
+    /// a smaller search reuses the prefix of a larger search's slabs.
+    pub(crate) fn prepare_levels(&mut self, nc: usize) {
+        if self.enumerators.len() < nc {
+            self.enumerators.resize_with(nc, || None);
+        }
+        if self.dist_above.len() < nc {
+            self.dist_above.resize(nc, 0.0);
+        }
+        if self.chosen.len() < nc {
+            self.chosen.resize(nc, GridPoint::default());
+        }
+        if self.best.len() < nc {
+            self.best.resize(nc, GridPoint::default());
+        }
+    }
+
+    /// The Gray-bit table for `c`, built on first use per constellation.
+    pub(crate) fn ensure_bit_table(&mut self, c: Constellation) {
+        match &self.bit_table {
+            Some((cached, _)) if *cached == c => {}
+            _ => self.bit_table = Some((c, BitTable::new(c))),
+        }
+    }
+
+    /// Pops a recycled symbol buffer (or a fresh one on cold start),
+    /// cleared and ready to fill.
+    pub(crate) fn take_spare(&mut self) -> Vec<GridPoint> {
+        let mut v = self.spare.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Sizes the per-channel prep slab for a batch and marks every slot
+    /// stale (channel contents may differ from the previous batch even
+    /// when the table shape matches).
+    pub(crate) fn begin_batch(&mut self, n_channels: usize) {
+        if self.preps.len() < n_channels {
+            self.preps.resize_with(n_channels, || None);
+        }
+        self.prep_fresh.clear();
+        self.prep_fresh.resize(n_channels, false);
+    }
+}

@@ -48,18 +48,22 @@ impl MimoDetector for StatisticalPruningDetector {
         let r = &qr.r;
 
         // Iterative DFS identical to the engine but with the statistical
-        // level cap layered on top of the shrinking radius.
-        struct Lvl<E> {
-            en: E,
-            dist_above: f64,
-        }
+        // level cap layered on top of the shrinking radius. Search state
+        // follows the same slab discipline as the engine: one reusable
+        // enumerator slot per level, reset per node visit (`make_in`).
         let factory = GeosphereFactory::full();
         let mut radius = f64::INFINITY;
         let mut best: Option<(f64, Vec<GridPoint>)> = None;
         let mut chosen = vec![GridPoint::default(); nc];
-        let mut levels: Vec<Option<Lvl<_>>> = (0..nc).map(|_| None).collect();
+        let mut enums: Vec<Option<_>> = (0..nc).map(|_| None).collect();
+        let mut dist_above = vec![0.0f64; nc];
 
-        let open = |i: usize, dist_above: f64, chosen: &[GridPoint], stats: &mut DetectorStats| {
+        let open = |i: usize,
+                    da: f64,
+                    chosen: &[GridPoint],
+                    enums: &mut [Option<_>],
+                    dist_above: &mut [f64],
+                    stats: &mut DetectorStats| {
             let mut acc = yhat[i];
             for j in (i + 1)..nc {
                 acc -= r[(i, j)] * chosen[j].to_complex();
@@ -67,21 +71,22 @@ impl MimoDetector for StatisticalPruningDetector {
             stats.complex_mults += (nc - 1 - i) as u64;
             let rll = r[(i, i)].re;
             let center = if rll > f64::EPSILON { acc / rll } else { Complex::ZERO };
-            Lvl { en: factory.make(c, center, rll * rll, stats), dist_above }
+            factory.make_in(&mut enums[i], c, center, rll * rll, stats);
+            dist_above[i] = da;
         };
 
         let mut i = nc - 1;
-        levels[i] = Some(open(i, 0.0, &chosen, &mut stats));
+        open(i, 0.0, &chosen, &mut enums, &mut dist_above, &mut stats);
         loop {
-            let lvl = levels[i].as_mut().expect("level open");
             // Statistical cap: levels decided so far once this child lands.
             let decided = (nc - i) as f64;
             let cap = (self.beta * decided * self.noise_variance).min(radius);
-            let budget = cap - lvl.dist_above;
-            match lvl.en.next_child(budget, &mut stats) {
-                Some(ch) if lvl.dist_above + ch.cost < cap => {
+            let budget = cap - dist_above[i];
+            let step = enums[i].as_mut().expect("level open").next_child(budget, &mut stats);
+            match step {
+                Some(ch) if dist_above[i] + ch.cost < cap => {
                     stats.visited_nodes += 1;
-                    let dist = lvl.dist_above + ch.cost;
+                    let dist = dist_above[i] + ch.cost;
                     chosen[i] = ch.point;
                     if i == 0 {
                         if dist < radius {
@@ -90,11 +95,10 @@ impl MimoDetector for StatisticalPruningDetector {
                         }
                     } else {
                         i -= 1;
-                        levels[i] = Some(open(i, dist, &chosen, &mut stats));
+                        open(i, dist, &chosen, &mut enums, &mut dist_above, &mut stats);
                     }
                 }
                 _ => {
-                    levels[i] = None;
                     if i == nc - 1 {
                         break;
                     }

@@ -130,8 +130,9 @@ mod tests {
     fn solve_matches_lu() {
         let mut rng = StdRng::seed_from_u64(912);
         let a = random_spd(&mut rng, 5);
-        let b: Vec<Complex> =
-            (0..5).map(|_| Complex::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0))).collect();
+        let b: Vec<Complex> = (0..5)
+            .map(|_| Complex::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)))
+            .collect();
         let x_chol = cholesky(&a).unwrap().solve(&b);
         let x_lu = lu_decompose(&a).unwrap().solve(&b);
         for (u, v) in x_chol.iter().zip(&x_lu) {

@@ -129,7 +129,8 @@ mod tests {
 
     #[test]
     fn parseval_energy_conserved() {
-        let x: Vec<Complex> = (0..32).map(|k| Complex::new((k as f64).cos(), 0.3 * k as f64)).collect();
+        let x: Vec<Complex> =
+            (0..32).map(|k| Complex::new((k as f64).cos(), 0.3 * k as f64)).collect();
         let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let mut freq = x.clone();
         fft(&mut freq);

@@ -170,7 +170,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn random_matrix(rng: &mut StdRng, m: usize, n: usize) -> Matrix {
-        Matrix::from_fn(m, n, |_, _| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        Matrix::from_fn(m, n, |_, _| {
+            Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
     }
 
     #[test]
@@ -188,8 +190,9 @@ mod tests {
     fn solve_matches_mul() {
         let mut rng = StdRng::seed_from_u64(22);
         let a = random_matrix(&mut rng, 5, 5);
-        let x: Vec<Complex> =
-            (0..5).map(|_| Complex::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0))).collect();
+        let x: Vec<Complex> = (0..5)
+            .map(|_| Complex::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)))
+            .collect();
         let b = a.mul_vec(&x);
         let lu = lu_decompose(&a).unwrap();
         let x2 = lu.solve(&b);

@@ -37,7 +37,12 @@ pub mod svd;
 pub use cholesky::{cholesky, Cholesky};
 pub use complex::Complex;
 pub use fft::{fft, frequency_response, ifft};
-pub use inverse::{invert, lu_decompose, pseudo_inverse, regularized_pseudo_inverse, LinalgError, Lu};
+pub use inverse::{
+    invert, lu_decompose, pseudo_inverse, regularized_pseudo_inverse, LinalgError, Lu,
+};
 pub use matrix::{vec_dist_sqr, vec_dot, vec_norm_sqr, Matrix};
-pub use qr::{qr_decompose, sorted_qr_decompose, Qr, SortedQr};
+pub use qr::{
+    qr_decompose, qr_decompose_into, sorted_qr_decompose, sorted_qr_decompose_into, Qr,
+    QrWorkspace, SortedQr,
+};
 pub use svd::{condition_number, condition_number_sqr_db, singular_values, spectral_norm};

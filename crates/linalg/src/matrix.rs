@@ -17,6 +17,14 @@ pub struct Matrix {
     data: Vec<Complex>,
 }
 
+impl Default for Matrix {
+    /// The empty `0 × 0` matrix — the natural seed for workspace slots that
+    /// are later filled in place via [`Matrix::copy_from`] and friends.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// An all-zero `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -124,6 +132,31 @@ impl Matrix {
         Matrix::from_fn(self.rows, self.cols, |r, c| self[(r, c)].scale(k))
     }
 
+    /// Reshapes `self` into an all-zero `rows × cols` matrix, reusing the
+    /// existing storage (no heap traffic once capacity suffices).
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, Complex::ZERO);
+    }
+
+    /// Reshapes `self` into the `n × n` identity, reusing storage.
+    pub fn reset_identity(&mut self, n: usize) {
+        self.reset_zeros(n, n);
+        for i in 0..n {
+            self[(i, i)] = Complex::ONE;
+        }
+    }
+
+    /// Makes `self` an entry-wise copy of `src`, reusing storage.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// `A* A` — the Gram matrix, used for SNR-degradation metrics.
     pub fn gram(&self) -> Matrix {
         self.hermitian().mul_mat(self)
@@ -157,12 +190,7 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[Complex]) -> Vec<Complex> {
         assert_eq!(x.len(), self.cols, "matrix-vector dimension mismatch");
         (0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x)
-                    .fold(Complex::ZERO, |acc, (&a, &b)| acc + a * b)
-            })
+            .map(|r| self.row(r).iter().zip(x).fold(Complex::ZERO, |acc, (&a, &b)| acc + a * b))
             .collect()
     }
 
@@ -179,11 +207,7 @@ impl Matrix {
     /// Largest entry-wise deviation from another matrix.
     pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
         assert_eq!(self.shape(), other.shape());
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (*a - *b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max)
     }
 
     /// Extracts the upper-left `rows × cols` block.
@@ -217,9 +241,7 @@ impl Matrix {
     /// Removes one column, returning an `rows × (cols−1)` matrix.
     pub fn without_col(&self, col: usize) -> Matrix {
         assert!(col < self.cols);
-        Matrix::from_fn(self.rows, self.cols - 1, |r, c| {
-            self[(r, if c < col { c } else { c + 1 })]
-        })
+        Matrix::from_fn(self.rows, self.cols - 1, |r, c| self[(r, if c < col { c } else { c + 1 })])
     }
 
     /// True when every entry is finite.
@@ -340,11 +362,11 @@ mod tests {
 
     #[test]
     fn gram_is_hermitian_psd() {
-        let a = Matrix::from_rows(3, 2, &[
-            c(1.0, 0.2), c(0.0, 1.0),
-            c(2.0, -0.3), c(0.4, -3.0),
-            c(-1.0, 0.0), c(0.1, 0.1),
-        ]);
+        let a = Matrix::from_rows(
+            3,
+            2,
+            &[c(1.0, 0.2), c(0.0, 1.0), c(2.0, -0.3), c(0.4, -3.0), c(-1.0, 0.0), c(0.1, 0.1)],
+        );
         let g = a.gram();
         assert!(g.max_abs_diff(&g.hermitian()) < 1e-12);
         for i in 0..2 {

@@ -5,6 +5,12 @@
 //! diagonal of `R` is **real and non-negative**: the Geosphere enumeration
 //! divides by `r_ll` (Eq. 8), and a positive real diagonal turns that into a
 //! cheap real division while leaving `‖ŷ − Rs‖` unchanged.
+//!
+//! Every entry point has an allocation-free `_into` variant backed by a
+//! [`QrWorkspace`]: detection pipelines re-factorize per channel and rotate
+//! per received vector, so the hot path reuses one workspace's buffers
+//! instead of allocating fresh matrices each time. The allocating wrappers
+//! delegate to the `_into` forms, so both produce bit-identical factors.
 
 use crate::complex::Complex;
 use crate::matrix::Matrix;
@@ -14,7 +20,7 @@ use crate::matrix::Matrix;
 /// For an `m × n` input with `m ≥ n`, `q` is `m × n` with orthonormal
 /// columns and `r` is `n × n` upper-triangular with a real, non-negative
 /// diagonal.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Qr {
     /// Orthonormal factor (`m × n`, thin).
     pub q: Matrix,
@@ -25,12 +31,58 @@ pub struct Qr {
 impl Qr {
     /// Applies `Q*` to a received vector: `ŷ = Q* y` (paper Eq. 3).
     pub fn rotate(&self, y: &[Complex]) -> Vec<Complex> {
-        self.q.hermitian().mul_vec(y)
+        let mut out = Vec::new();
+        self.rotate_into(y, &mut out);
+        out
+    }
+
+    /// [`Qr::rotate`] into a caller-owned buffer (cleared first): zero heap
+    /// allocations once `out`'s capacity has warmed up.
+    ///
+    /// # Panics
+    /// Panics when `y.len()` differs from the number of rows of `Q`.
+    pub fn rotate_into(&self, y: &[Complex], out: &mut Vec<Complex>) {
+        assert_eq!(y.len(), self.q.rows(), "rotate dimension mismatch");
+        out.clear();
+        for i in 0..self.q.cols() {
+            let mut acc = Complex::ZERO;
+            for (j, &yj) in y.iter().enumerate() {
+                acc += self.q[(j, i)].conj() * yj;
+            }
+            out.push(acc);
+        }
     }
 
     /// Reconstructs `Q R`, for testing and diagnostics.
     pub fn reconstruct(&self) -> Matrix {
         self.q.mul_mat(&self.r)
+    }
+}
+
+/// Reusable scratch buffers for the `_into` decomposition variants.
+///
+/// One workspace per worker thread is the intended ownership model (it is
+/// embedded in the detection `SearchWorkspace`); after the first
+/// factorization of a given shape, subsequent calls perform no heap
+/// allocations.
+#[derive(Clone, Debug, Default)]
+pub struct QrWorkspace {
+    /// Full working copy of the input, reduced in place.
+    r_full: Matrix,
+    /// Accumulated reflections (full `m × m`).
+    q_full: Matrix,
+    /// Householder vector for the current column.
+    x: Vec<Complex>,
+    /// Column-norm scratch for the sorted variant.
+    norms: Vec<f64>,
+    /// Column-permuted copy of the input for the sorted variant.
+    permuted: Matrix,
+}
+
+impl QrWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -41,16 +93,40 @@ impl Qr {
 /// `na ≥ nc`; rank-deficient "generalized sphere decoder" setups are out of
 /// scope, as in the paper §6.1).
 pub fn qr_decompose(h: &Matrix) -> Qr {
+    let mut ws = QrWorkspace::new();
+    let mut out = Qr::default();
+    qr_decompose_into(h, &mut ws, &mut out);
+    out
+}
+
+/// [`qr_decompose`] into a caller-owned output, with scratch taken from
+/// `ws`: zero heap allocations once both have warmed up on this shape.
+/// Factors are bit-identical to [`qr_decompose`] (same arithmetic, same
+/// operation order).
+pub fn qr_decompose_into(h: &Matrix, ws: &mut QrWorkspace, out: &mut Qr) {
+    qr_core(h, &mut ws.r_full, &mut ws.q_full, &mut ws.x, out);
+}
+
+/// The Householder reduction shared by the plain and sorted variants,
+/// parameterized over its scratch buffers so callers control reuse.
+fn qr_core(
+    h: &Matrix,
+    r_full: &mut Matrix,
+    q_full: &mut Matrix,
+    x: &mut Vec<Complex>,
+    out: &mut Qr,
+) {
     let (m, n) = h.shape();
     assert!(m >= n, "QR requires rows >= cols (na >= nc), got {m}x{n}");
 
     // Work on a full copy; accumulate the reflections into q_full.
-    let mut r_full = h.clone();
-    let mut q_full = Matrix::identity(m);
+    r_full.copy_from(h);
+    q_full.reset_identity(m);
 
     for k in 0..n {
         // Householder vector for column k, rows k..m.
-        let mut x: Vec<Complex> = (k..m).map(|i| r_full[(i, k)]).collect();
+        x.clear();
+        x.extend((k..m).map(|i| r_full[(i, k)]));
         let xnorm = x.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
         if xnorm < f64::EPSILON {
             continue;
@@ -86,27 +162,36 @@ pub fn qr_decompose(h: &Matrix) -> Qr {
         }
     }
 
-    // Thin factors.
-    let mut q = Matrix::from_fn(m, n, |r, c| q_full[(r, c)]);
-    let mut r = Matrix::from_fn(n, n, |rr, cc| if rr <= cc { r_full[(rr, cc)] } else { Complex::ZERO });
+    // Thin factors, written into the reused output storage.
+    out.q.reset_zeros(m, n);
+    for r in 0..m {
+        for c in 0..n {
+            out.q[(r, c)] = q_full[(r, c)];
+        }
+    }
+    out.r.reset_zeros(n, n);
+    for rr in 0..n {
+        for cc in rr..n {
+            out.r[(rr, cc)] = r_full[(rr, cc)];
+        }
+    }
 
     // Normalize so diag(R) is real and non-negative: R <- D* R, Q <- Q D,
     // with D = diag(phase(r_kk)).
     for k in 0..n {
-        let d = r[(k, k)];
+        let d = out.r[(k, k)];
         if d.abs() < f64::EPSILON {
             continue;
         }
         let phase = d / d.abs();
         let phase_conj = phase.conj();
         for c in k..n {
-            r[(k, c)] = phase_conj * r[(k, c)];
+            out.r[(k, c)] = phase_conj * out.r[(k, c)];
         }
         for rr in 0..m {
-            q[(rr, k)] *= phase;
+            out.q[(rr, k)] *= phase;
         }
     }
-    Qr { q, r }
 }
 
 /// A sorted QR decomposition: columns of `H` are permuted before QR so that
@@ -117,7 +202,7 @@ pub fn qr_decompose(h: &Matrix) -> Qr {
 /// Sorted QR (V-BLAST style norm ordering) is the standard preprocessing for
 /// SIC-type and sphere detectors; the sphere decoders in this workspace can
 /// run with or without it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SortedQr {
     /// The QR factors of the permuted matrix.
     pub qr: Qr,
@@ -128,11 +213,19 @@ pub struct SortedQr {
 impl SortedQr {
     /// Restores a detected symbol vector to the original stream order.
     pub fn unpermute<T: Copy + Default>(&self, s: &[T]) -> Vec<T> {
-        let mut out = vec![T::default(); s.len()];
+        let mut out = Vec::new();
+        self.unpermute_into(s, &mut out);
+        out
+    }
+
+    /// [`SortedQr::unpermute`] into a caller-owned buffer (cleared first);
+    /// allocation-free once `out`'s capacity has warmed up.
+    pub fn unpermute_into<T: Copy + Default>(&self, s: &[T], out: &mut Vec<T>) {
+        out.clear();
+        out.resize(s.len(), T::default());
         for (i, &p) in self.perm.iter().enumerate() {
             out[p] = s[i];
         }
-        out
     }
 }
 
@@ -143,18 +236,32 @@ impl SortedQr {
 /// tree where the sphere search can compensate, which empirically reduces
 /// visited nodes for every Schnorr–Euchner decoder.
 pub fn sorted_qr_decompose(h: &Matrix) -> SortedQr {
+    let mut ws = QrWorkspace::new();
+    let mut out = SortedQr::default();
+    sorted_qr_decompose_into(h, &mut ws, &mut out);
+    out
+}
+
+/// [`sorted_qr_decompose`] into a caller-owned output with scratch from
+/// `ws`; allocation-free after shape warmup, bit-identical factors.
+pub fn sorted_qr_decompose_into(h: &Matrix, ws: &mut QrWorkspace, out: &mut SortedQr) {
     let n = h.cols();
-    let mut perm: Vec<usize> = (0..n).collect();
-    let mut norms: Vec<f64> = (0..n)
-        .map(|c| h.col(c).iter().map(|z| z.norm_sqr()).sum())
-        .collect();
+    out.perm.clear();
+    out.perm.extend(0..n);
+    ws.norms.clear();
+    ws.norms.extend((0..n).map(|c| (0..h.rows()).map(|r| h[(r, c)].norm_sqr()).sum::<f64>()));
     // Ascending column norms: weakest stream detected first in natural
     // column order = last in the tree walk.
-    perm.sort_by(|&a, &b| norms[a].partial_cmp(&norms[b]).unwrap());
-    norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let norms = &ws.norms;
+    out.perm.sort_by(|&a, &b| norms[a].partial_cmp(&norms[b]).unwrap());
 
-    let permuted = Matrix::from_fn(h.rows(), n, |r, c| h[(r, perm[c])]);
-    SortedQr { qr: qr_decompose(&permuted), perm }
+    ws.permuted.reset_zeros(h.rows(), n);
+    for r in 0..h.rows() {
+        for c in 0..n {
+            ws.permuted[(r, c)] = h[(r, out.perm[c])];
+        }
+    }
+    qr_core(&ws.permuted, &mut ws.r_full, &mut ws.q_full, &mut ws.x, &mut out.qr);
 }
 
 #[cfg(test)]
@@ -164,7 +271,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn random_matrix(rng: &mut StdRng, m: usize, n: usize) -> Matrix {
-        Matrix::from_fn(m, n, |_, _| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        Matrix::from_fn(m, n, |_, _| {
+            Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
     }
 
     #[test]
@@ -216,14 +325,78 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let h = random_matrix(&mut rng, 4, 4);
         let qr = qr_decompose(&h);
-        let s: Vec<Complex> =
-            (0..4).map(|_| Complex::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0))).collect();
-        let y: Vec<Complex> =
-            (0..4).map(|_| Complex::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0))).collect();
+        let s: Vec<Complex> = (0..4)
+            .map(|_| Complex::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)))
+            .collect();
+        let y: Vec<Complex> = (0..4)
+            .map(|_| Complex::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)))
+            .collect();
         let lhs = crate::matrix::vec_dist_sqr(&y, &h.mul_vec(&s));
         let yhat = qr.rotate(&y);
         let rhs = crate::matrix::vec_dist_sqr(&yhat, &qr.r.mul_vec(&s));
         assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn rotate_into_matches_hermitian_mul() {
+        // rotate_into is the hot-path form of Q*·y; it must agree exactly
+        // with the explicit Hermitian product it replaced.
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(m, n) in &[(2, 2), (4, 4), (6, 3)] {
+            let h = random_matrix(&mut rng, m, n);
+            let qr = qr_decompose(&h);
+            let y: Vec<Complex> = (0..m)
+                .map(|_| Complex::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)))
+                .collect();
+            let reference = qr.q.hermitian().mul_vec(&y);
+            let mut out = Vec::new();
+            qr.rotate_into(&y, &mut out);
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "{m}x{n}: re differs");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "{m}x{n}: im differs");
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_into_reuses_and_matches() {
+        // One workspace + output pair across many shapes/instances must give
+        // bit-identical factors to the allocating path.
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut ws = QrWorkspace::new();
+        let mut out = Qr::default();
+        for &(m, n) in &[(4, 4), (2, 2), (8, 4), (4, 4), (3, 1)] {
+            let h = random_matrix(&mut rng, m, n);
+            qr_decompose_into(&h, &mut ws, &mut out);
+            let reference = qr_decompose(&h);
+            assert_eq!(out.q.shape(), reference.q.shape());
+            for (a, b) in out.q.as_slice().iter().zip(reference.q.as_slice()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+            for (a, b) in out.r.as_slice().iter().zip(reference.r.as_slice()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_decompose_into_matches() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut ws = QrWorkspace::new();
+        let mut out = SortedQr::default();
+        for _ in 0..5 {
+            let h = random_matrix(&mut rng, 4, 4);
+            sorted_qr_decompose_into(&h, &mut ws, &mut out);
+            let reference = sorted_qr_decompose(&h);
+            assert_eq!(out.perm, reference.perm);
+            for (a, b) in out.qr.r.as_slice().iter().zip(reference.qr.r.as_slice()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
     }
 
     #[test]

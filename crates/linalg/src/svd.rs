@@ -68,9 +68,8 @@ fn one_sided_jacobi(mut u: Matrix) -> Vec<f64> {
         }
     }
 
-    let mut sv: Vec<f64> = (0..n)
-        .map(|c| (0..m).map(|r| u[(r, c)].norm_sqr()).sum::<f64>().sqrt())
-        .collect();
+    let mut sv: Vec<f64> =
+        (0..n).map(|c| (0..m).map(|r| u[(r, c)].norm_sqr()).sum::<f64>().sqrt()).collect();
     sv.sort_by(|a, b| b.partial_cmp(a).unwrap());
     sv
 }
@@ -109,7 +108,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn random_matrix(rng: &mut StdRng, m: usize, n: usize) -> Matrix {
-        Matrix::from_fn(m, n, |_, _| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        Matrix::from_fn(m, n, |_, _| {
+            Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
     }
 
     #[test]

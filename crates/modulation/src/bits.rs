@@ -13,9 +13,7 @@ use crate::gray::unmap_point;
 /// index 0 (as used by [`bit_of_point`]) is the most significant of the
 /// `Q` bits.
 pub fn pack_point_bits(c: Constellation, p: GridPoint) -> u16 {
-    unmap_point(c, p)
-        .into_iter()
-        .fold(0u16, |acc, b| (acc << 1) | b as u16)
+    unmap_point(c, p).into_iter().fold(0u16, |acc, b| (acc << 1) | b as u16)
 }
 
 /// Bit `k` (0 = first/MSB of the symbol's `Q` bits) of a constellation

@@ -91,7 +91,8 @@ impl Constellation {
 
     /// Parses names like `"16-QAM"`, `"qam64"`, `"qpsk"`, `"256"`.
     pub fn parse(name: &str) -> Option<Constellation> {
-        let lower: String = name.to_ascii_lowercase().chars().filter(|c| c.is_alphanumeric()).collect();
+        let lower: String =
+            name.to_ascii_lowercase().chars().filter(|c| c.is_alphanumeric()).collect();
         match lower.as_str() {
             "qpsk" | "4qam" | "qam4" | "4" => Some(Constellation::Qpsk),
             "16qam" | "qam16" | "16" => Some(Constellation::Qam16),
@@ -224,12 +225,9 @@ mod tests {
                 c.points().iter().map(|p| p.to_complex().norm_sqr()).sum::<f64>() / c.size() as f64;
             assert!((avg - c.energy()).abs() < 1e-12, "{c:?}");
             // Normalized constellation has unit average energy.
-            let avg_norm: f64 = c
-                .points()
-                .iter()
-                .map(|p| p.to_normalized(c).norm_sqr())
-                .sum::<f64>()
-                / c.size() as f64;
+            let avg_norm: f64 =
+                c.points().iter().map(|p| p.to_normalized(c).norm_sqr()).sum::<f64>()
+                    / c.size() as f64;
             assert!((avg_norm - 1.0).abs() < 1e-12, "{c:?}");
         }
     }
@@ -238,7 +236,8 @@ mod tests {
     fn slice_returns_nearest_point() {
         for c in Constellation::ALL {
             let pts = c.points();
-            for &(re, im) in &[(0.3, -0.7), (5.9, 5.9), (-100.0, 100.0), (1.0, 1.0), (-0.99, 2.01)] {
+            for &(re, im) in &[(0.3, -0.7), (5.9, 5.9), (-100.0, 100.0), (1.0, 1.0), (-0.99, 2.01)]
+            {
                 let y = Complex::new(re, im);
                 let sliced = c.slice(y);
                 let best = pts

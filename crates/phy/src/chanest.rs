@@ -67,9 +67,8 @@ pub fn estimate_channel<R: Rng + ?Sized>(
             // Two repetitions of the solo training symbol.
             let mut reps: Vec<Vec<Complex>> = Vec::with_capacity(LTF_REPEATS);
             for _ in 0..LTF_REPEATS {
-                let rx: Vec<Complex> = (0..na)
-                    .map(|r| h[(r, client)] * p + sample_cn(rng, sigma2))
-                    .collect();
+                let rx: Vec<Complex> =
+                    (0..na).map(|r| h[(r, client)] * p + sample_cn(rng, sigma2)).collect();
                 reps.push(rx);
             }
             // LS estimate: average the repetitions, divide by the pilot.

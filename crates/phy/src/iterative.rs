@@ -133,6 +133,15 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
     let mut detections = 0u64;
     let mut client_ok = vec![false; nc];
 
+    // Per-resource-element scratch, hoisted so the detection inner loop
+    // reuses buffers instead of allocating per (symbol, subcarrier, stream)
+    // — the same memory discipline as the sphere path's SearchWorkspace.
+    let mut sp: Vec<SymbolPrior> = Vec::with_capacity(nc);
+    let mut cov = Matrix::default();
+    let mut cov_cl = Matrix::default();
+    let mut yc: Vec<Complex> = Vec::with_capacity(na);
+    let mut h_cl: Vec<Complex> = Vec::with_capacity(na);
+
     for _iter in 0..iterations {
         // Detection pass: soft-PIC MMSE per (t, k), producing posterior
         // channel LLRs per bit in transmitted order.
@@ -144,12 +153,11 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
                 detections += 1;
                 // Symbol priors for every stream at this resource element.
                 let base = (t * cfg.n_subcarriers + k) * q;
-                let sp: Vec<SymbolPrior> = (0..nc)
-                    .map(|cl| symbol_stats(c, &table, &priors[cl][base..base + q]))
-                    .collect();
+                sp.clear();
+                sp.extend((0..nc).map(|cl| symbol_stats(c, &table, &priors[cl][base..base + q])));
                 // Covariance of the residual: H V H* + σ² I, with V the
                 // per-stream residual variances (grid domain folded into h).
-                let mut cov = Matrix::zeros(na, na);
+                cov.reset_zeros(na, na);
                 for r1 in 0..na {
                     for r2 in 0..na {
                         let mut acc = Complex::ZERO;
@@ -165,7 +173,8 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
                 }
                 for cl in 0..nc {
                     // Cancel every other stream's soft mean.
-                    let mut yc: Vec<Complex> = y.clone();
+                    yc.clear();
+                    yc.extend_from_slice(y);
                     for other in 0..nc {
                         if other == cl {
                             continue;
@@ -176,14 +185,15 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
                     }
                     // Per-stream MMSE filter: w = (cov + h_cl(Es−v_cl)h_cl*)⁻¹h_cl
                     // — adjust cov for this stream's full symbol energy.
-                    let mut cov_cl = cov.clone();
+                    cov_cl.copy_from(&cov);
                     let delta = es - sp[cl].variance;
                     for r1 in 0..na {
                         for r2 in 0..na {
                             cov_cl[(r1, r2)] += h[(r1, cl)] * h[(r2, cl)].conj() * delta;
                         }
                     }
-                    let h_cl = h.col(cl);
+                    h_cl.clear();
+                    h_cl.extend((0..na).map(|r| h[(r, cl)]));
                     let w = match invert(&cov_cl) {
                         Ok(inv) => inv.mul_vec(&h_cl),
                         Err(_) => h_cl.clone(),
@@ -191,10 +201,8 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
                     stats.complex_mults += (na * na) as u64;
                     // z = w* yc ; effective gain mu = w* h_cl (real by
                     // construction up to numerical noise).
-                    let z: Complex =
-                        w.iter().zip(&yc).map(|(&wr, &yr)| wr.conj() * yr).sum();
-                    let mu: Complex =
-                        w.iter().zip(&h_cl).map(|(&wr, &hr)| wr.conj() * hr).sum();
+                    let z: Complex = w.iter().zip(&yc).map(|(&wr, &yr)| wr.conj() * yr).sum();
+                    let mu: Complex = w.iter().zip(&h_cl).map(|(&wr, &hr)| wr.conj() * hr).sum();
                     let mu = mu.re.max(1e-12);
                     // Exact post-filter disturbance power: w*·M·w with
                     // M = cov_cl − Es·h_cl h_cl* (everything except the
@@ -253,9 +261,8 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
                 // tagged chunk using the bool path per bit is O(n²); instead
                 // use deinterleave on identity indices once.
                 let idx: Vec<usize> = (0..cfg.n_cbps()).collect();
-                let fetched = il.deinterleave_values_stream(
-                    &idx.iter().map(|&v| v as f64).collect::<Vec<_>>(),
-                );
+                let fetched = il
+                    .deinterleave_values_stream(&idx.iter().map(|&v| v as f64).collect::<Vec<_>>());
                 // fetched[k] = tx index feeding logical k ⇒ tx[fetched[k]] = chunk[k].
                 for (k, &src) in fetched.iter().enumerate() {
                     tx_order[chunk_start + src as usize] = chunk[k];
@@ -265,7 +272,10 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
             if std::env::var("GS_TURBO_DEBUG").is_ok() {
                 let maxp = priors[cl].iter().fold(0.0f64, |a, &b| a.max(b.abs()));
                 let nz = priors[cl].iter().filter(|&&v| v.abs() > 1e-9).count();
-                eprintln!("iter {_iter} client {cl}: max|prior| {maxp:.2}, nonzero {nz}/{}", priors[cl].len());
+                eprintln!(
+                    "iter {_iter} client {cl}: max|prior| {maxp:.2}, nonzero {nz}/{}",
+                    priors[cl].len()
+                );
             }
         }
     }

@@ -20,13 +20,13 @@ pub mod ofdm;
 pub mod soft_rx;
 pub mod txrx;
 
+pub use chanest::{estimate_channel, estimation_mse, ChannelEstimate};
 pub use config::{PhyConfig, DATA_SUBCARRIERS, OFDM_SYMBOL_SECONDS};
 pub use iterative::uplink_frame_iterative;
 pub use measure::{
     best_rate_measurement, measure, measure_batched, snr_for_target_fer,
     snr_for_target_fer_batched, Measurement,
 };
-pub use chanest::{estimate_channel, estimation_mse, ChannelEstimate};
 pub use soft_rx::{receive_frame_soft, uplink_frame_soft};
 pub use txrx::{
     decode_frame_batched, receive_frame, transmit_frame, uplink_frame, uplink_frame_with_csi,

@@ -105,8 +105,7 @@ where
         detections += out.detections;
     }
 
-    let client_fer: Vec<f64> =
-        ok_count.iter().map(|&ok| 1.0 - ok as f64 / frames as f64).collect();
+    let client_fer: Vec<f64> = ok_count.iter().map(|&ok| 1.0 - ok as f64 / frames as f64).collect();
     let total_ok: usize = ok_count.iter().sum();
     let fer = 1.0 - total_ok as f64 / (frames * clients) as f64;
     let delivered_bits = (total_ok * cfg.payload_bits) as f64;

@@ -90,8 +90,9 @@ mod tests {
 
     #[test]
     fn modulate_demodulate_roundtrip() {
-        let freq: Vec<Complex> =
-            (0..DATA_SUBCARRIERS).map(|k| Complex::new(k as f64 - 24.0, (k as f64 * 0.3).sin())).collect();
+        let freq: Vec<Complex> = (0..DATA_SUBCARRIERS)
+            .map(|k| Complex::new(k as f64 - 24.0, (k as f64 * 0.3).sin()))
+            .collect();
         let time = modulate_symbol(&freq);
         assert_eq!(time.len(), FFT_SIZE + CYCLIC_PREFIX);
         let back = demodulate_symbol(&time);

@@ -8,7 +8,7 @@
 
 use crate::config::PhyConfig;
 use crate::txrx::{transmit_frame, UplinkOutcome};
-use geosphere_core::{DetectorStats, SoftGeosphereDetector};
+use geosphere_core::{DetectorStats, SoftDetection, SoftGeosphereDetector};
 use gs_channel::{sample_cn, MimoChannel};
 use gs_coding::{conv, depuncture_soft, interleave::Interleaver, scramble::Scrambler, viterbi};
 use gs_linalg::Complex;
@@ -68,6 +68,12 @@ pub fn uplink_frame_soft<R: Rng + ?Sized>(
     let mut detections = 0u64;
     let mut llr_streams: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sym * cfg.n_cbps()); nc];
 
+    // One workspace + output pair for the whole frame: every per-symbol
+    // soft detection reuses the same search state, QR factors, and LLR
+    // buffers (bit-identical to per-call `detect_soft`, without its
+    // allocations).
+    let mut ws = detector.make_workspace();
+    let mut soft = SoftDetection::default();
     for t in 0..n_sym {
         for k in 0..cfg.n_subcarriers {
             let h = &grid_channels[k % grid_channels.len()];
@@ -76,7 +82,7 @@ pub fn uplink_frame_soft<R: Rng + ?Sized>(
             for v in y.iter_mut() {
                 *v += sample_cn(rng, sigma2);
             }
-            let soft = detector.detect_soft(h, &y, c);
+            detector.detect_soft_into(h, &y, c, &mut ws, &mut soft);
             stats += soft.stats;
             detections += 1;
             for cl in 0..nc {

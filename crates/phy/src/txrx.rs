@@ -130,7 +130,10 @@ pub fn uplink_frame_with_csi<R: Rng + ?Sized, D: MimoDetector + ?Sized>(
 /// Like [`uplink_frame`] but fans the frame's per-subcarrier sphere
 /// searches out across `workers` threads (`0` = machine parallelism) and
 /// amortizes per-subcarrier channel preprocessing across the frame's OFDM
-/// symbols via [`MimoDetector::detect_batch`].
+/// symbols via [`MimoDetector::detect_batch`]. Each worker owns one search
+/// workspace for its whole job chunk (see
+/// [`geosphere_core::SearchWorkspace`]), so the frame's inner decode loop
+/// performs no per-symbol heap allocation after warmup.
 ///
 /// Output is **bit-identical** to [`uplink_frame`] for the same `rng`
 /// state, at every worker count: all randomness (payloads, then noise in
@@ -225,7 +228,11 @@ fn plan_uplink_frame<R: Rng + ?Sized>(
 
 /// Inverts the per-client receive chains over the detected symbols and
 /// aggregates detector statistics (job order, so counts are reproducible).
-fn assemble_outcome(cfg: &PhyConfig, plan: &UplinkPlan, detections: Vec<Detection>) -> UplinkOutcome {
+fn assemble_outcome(
+    cfg: &PhyConfig,
+    plan: &UplinkPlan,
+    detections: Vec<Detection>,
+) -> UplinkOutcome {
     let nc = plan.frames.len();
     let n_detections = detections.len() as u64;
     let mut stats = DetectorStats::default();
@@ -242,9 +249,7 @@ fn assemble_outcome(cfg: &PhyConfig, plan: &UplinkPlan, detections: Vec<Detectio
 
     let client_ok: Vec<bool> = (0..nc)
         .map(|cl| {
-            receive_frame(cfg, &detected[cl])
-                .map(|p| p == plan.frames[cl].payload)
-                .unwrap_or(false)
+            receive_frame(cfg, &detected[cl]).map(|p| p == plan.frames[cl].payload).unwrap_or(false)
         })
         .collect();
 

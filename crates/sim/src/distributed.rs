@@ -69,9 +69,7 @@ impl ChannelModel for DistributedChannel {
             .aps
             .iter()
             .map(|&ap| {
-                self.testbed
-                    .channel(ap, &self.clients, self.cluster.antennas_per_ap)
-                    .realize(rng)
+                self.testbed.channel(ap, &self.clients, self.cluster.antennas_per_ap).realize(rng)
             })
             .collect();
         let n_sc = per_ap[0].num_subcarriers();
@@ -85,9 +83,7 @@ impl ChannelModel for DistributedChannel {
             .iter()
             .map(|_| {
                 if self.cluster.phase_jitter_std > 0.0 {
-                    Complex::cis(
-                        gs_channel::sample_gaussian(rng) * self.cluster.phase_jitter_std,
-                    )
+                    Complex::cis(gs_channel::sample_gaussian(rng) * self.cluster.phase_jitter_std)
                 } else {
                     Complex::ONE
                 }
@@ -151,16 +147,11 @@ mod tests {
             DistributedCluster::synchronized(vec![0], 4),
             clients.clone(),
         );
-        let joint = DistributedChannel::new(
-            tb,
-            DistributedCluster::synchronized(vec![0, 2], 4),
-            clients,
-        );
+        let joint =
+            DistributedChannel::new(tb, DistributedCluster::synchronized(vec![0, 2], 4), clients);
 
         let avg_lambda = |m: &DistributedChannel, rng: &mut StdRng| -> f64 {
-            (0..trials)
-                .map(|_| lambda_max_db(m.realize(rng).subcarrier(24)))
-                .sum::<f64>()
+            (0..trials).map(|_| lambda_max_db(m.realize(rng).subcarrier(24))).sum::<f64>()
                 / trials as f64
         };
         let l_single = avg_lambda(&single, &mut rng);
@@ -191,11 +182,8 @@ mod tests {
 
         let (tb, clients) = setup();
         let mut rng = StdRng::seed_from_u64(954);
-        let model = DistributedChannel::new(
-            tb,
-            DistributedCluster::synchronized(vec![0, 1], 4),
-            clients,
-        );
+        let model =
+            DistributedChannel::new(tb, DistributedCluster::synchronized(vec![0, 1], 4), clients);
         let ch = model.realize(&mut rng);
         let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(Constellation::Qam16) };
         let out = uplink_frame(&cfg, &ch, &geosphere_decoder(), 25.0, &mut rng);

@@ -7,8 +7,8 @@
 
 use crate::selection::{select_groups, UserGroup};
 use geosphere_core::{
-    ethsd_decoder, geosphere_decoder, geosphere_zigzag_only_decoder, MimoDetector,
-    MmseDetector, MmseSicDetector, ZfDetector,
+    ethsd_decoder, geosphere_decoder, geosphere_zigzag_only_decoder, MimoDetector, MmseDetector,
+    MmseSicDetector, ZfDetector,
 };
 use gs_channel::{noise_variance_for_snr_db, Cdf, RayleighChannel, Testbed};
 use gs_modulation::Constellation;
@@ -209,7 +209,14 @@ pub fn testbed_throughput(
             .iter()
             .map(|g: &UserGroup| {
                 let model = tb.channel(g.ap, &g.clients, ap_antennas);
-                params.measure(&cfg, &model, det.as_ref(), snr_db, params.frames_per_point, &mut rng)
+                params.measure(
+                    &cfg,
+                    &model,
+                    det.as_ref(),
+                    snr_db,
+                    params.frames_per_point,
+                    &mut rng,
+                )
             })
             .collect();
         let (mbps, _, _, _) = merge_measurements(&ms);
@@ -319,11 +326,25 @@ pub fn complexity_at_target_fer(
         Some(tb) => {
             let groups = select_groups(tb, n_clients, 22.0, 20.0, 1);
             let model = tb.channel(groups[0].ap, &groups[0].clients, ap_antennas);
-            params.snr_for_target_fer(&cfg, &model, &geosphere_decoder(), target_fer, params.frames_per_point, &mut rng)
+            params.snr_for_target_fer(
+                &cfg,
+                &model,
+                &geosphere_decoder(),
+                target_fer,
+                params.frames_per_point,
+                &mut rng,
+            )
         }
         None => {
             let model = RayleighChannel::new(ap_antennas, n_clients);
-            params.snr_for_target_fer(&cfg, &model, &geosphere_decoder(), target_fer, params.frames_per_point, &mut rng)
+            params.snr_for_target_fer(
+                &cfg,
+                &model,
+                &geosphere_decoder(),
+                target_fer,
+                params.frames_per_point,
+                &mut rng,
+            )
         }
     };
 
@@ -339,11 +360,25 @@ pub fn complexity_at_target_fer(
                 Some(tb) => {
                     let groups = select_groups(tb, n_clients, 22.0, 20.0, 1);
                     let model = tb.channel(groups[0].ap, &groups[0].clients, ap_antennas);
-                    params.measure(&cfg, &model, det.as_ref(), snr_db, params.frames_per_point, &mut rng)
+                    params.measure(
+                        &cfg,
+                        &model,
+                        det.as_ref(),
+                        snr_db,
+                        params.frames_per_point,
+                        &mut rng,
+                    )
                 }
                 None => {
                     let model = RayleighChannel::new(ap_antennas, n_clients);
-                    params.measure(&cfg, &model, det.as_ref(), snr_db, params.frames_per_point, &mut rng)
+                    params.measure(
+                        &cfg,
+                        &model,
+                        det.as_ref(),
+                        snr_db,
+                        params.frames_per_point,
+                        &mut rng,
+                    )
                 }
             };
             ComplexityPoint {

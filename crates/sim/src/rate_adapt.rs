@@ -56,12 +56,11 @@ impl RateAdapter {
         let mid = channel.num_subcarriers() / 2;
         let lambda = lambda_max_db(channel.subcarrier(mid));
         // Excess receive antennas contribute array gain ≈ 10·log10(na/nc).
-        let array_gain =
-            10.0 * (channel.num_rx() as f64 / channel.num_tx() as f64).log10();
+        let array_gain = 10.0 * (channel.num_rx() as f64 / channel.num_tx() as f64).log10();
         let loss = match detector {
-            DetectorKind::Geosphere
-            | DetectorKind::GeosphereZigzagOnly
-            | DetectorKind::EthSd => 0.0,
+            DetectorKind::Geosphere | DetectorKind::GeosphereZigzagOnly | DetectorKind::EthSd => {
+                0.0
+            }
             DetectorKind::Zf => lambda,
             DetectorKind::Mmse | DetectorKind::MmseSic => lambda / 2.0,
         };
@@ -71,7 +70,12 @@ impl RateAdapter {
     /// Picks the densest constellation whose threshold fits the effective
     /// SNR; falls back to QPSK when nothing fits (the link will likely
     /// fail, but QPSK maximizes the chance).
-    pub fn select(&self, channel: &MimoChannel, detector: DetectorKind, snr_db: f64) -> Constellation {
+    pub fn select(
+        &self,
+        channel: &MimoChannel,
+        detector: DetectorKind,
+        snr_db: f64,
+    ) -> Constellation {
         let eff = self.effective_snr_db(channel, detector, snr_db);
         Constellation::ALL
             .into_iter()
@@ -147,14 +151,7 @@ mod tests {
         for c in Constellation::ALL {
             let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(c) };
             let mut rng2 = StdRng::seed_from_u64(904);
-            let m = measure(
-                &cfg,
-                &model,
-                &geosphere_core::geosphere_decoder(),
-                snr,
-                6,
-                &mut rng2,
-            );
+            let m = measure(&cfg, &model, &geosphere_core::geosphere_decoder(), snr, 6, &mut rng2);
             if m.throughput_mbps > best {
                 best = m.throughput_mbps;
             }

@@ -6,8 +6,8 @@
 //! cargo run --release --example channel_conditioning
 //! ```
 
-use geosphere::channel::{ChannelModel, Testbed};
 use geosphere::channel::{kappa_sqr_db, lambda_max_db};
+use geosphere::channel::{ChannelModel, Testbed};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -6,11 +6,11 @@
 //! cargo run --release --example decoder_complexity
 //! ```
 
+use geosphere::channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
 use geosphere::core::{
     ethsd_decoder, geosphere_decoder, geosphere_zigzag_only_decoder, FsdDetector, KBestDetector,
     MimoDetector,
 };
-use geosphere::channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
 use geosphere::modulation::{Constellation, GridPoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

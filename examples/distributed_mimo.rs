@@ -40,10 +40,9 @@ fn main() {
         let model = DistributedChannel::new(tb.clone(), cluster.clone(), clients.clone());
         let mut rng = StdRng::seed_from_u64(33);
         // Conditioning snapshot.
-        let lam: f64 = (0..8)
-            .map(|_| lambda_max_db(model.realize(&mut rng).subcarrier(24)))
-            .sum::<f64>()
-            / 8.0;
+        let lam: f64 =
+            (0..8).map(|_| lambda_max_db(model.realize(&mut rng).subcarrier(24))).sum::<f64>()
+                / 8.0;
         let mut rng = StdRng::seed_from_u64(34);
         let m = measure(&cfg, &model, &geosphere_decoder(), snr, 8, &mut rng);
         println!(

@@ -23,10 +23,7 @@ fn main() {
     let sigma2 = 0.02;
 
     println!("Downlink, {users} users x {users} AP antennas, 16-QAM, σ² = {sigma2}");
-    println!(
-        "{:>22} | {:>12} {:>12} {:>12}",
-        "channel", "κ² dB (avg)", "ZF SER", "VP SER"
-    );
+    println!("{:>22} | {:>12} {:>12} {:>12}", "channel", "κ² dB (avg)", "ZF SER", "VP SER");
 
     for (label, perturb) in [("well-conditioned", 1.0), ("ill-conditioned", 0.08)] {
         let mut kappa_acc = 0.0;
@@ -44,8 +41,7 @@ fn main() {
             kappa_acc += kappa_sqr_db(&h).min(80.0);
             let Ok(pre) = VectorPerturbationPrecoder::new(&h, c) else { continue };
             let pts = c.points();
-            let s: Vec<GridPoint> =
-                (0..users).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+            let s: Vec<GridPoint> = (0..users).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
             for vp_mode in [false, true] {
                 let p = if vp_mode { pre.precode(&s) } else { pre.zf_precode(&s) };
                 let rx = h.mul_vec(&p.x);

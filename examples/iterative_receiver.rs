@@ -18,10 +18,7 @@ fn main() {
     let trials = 20;
 
     println!("4x4 uplink, 16-QAM rate-1/2, Rayleigh, {trials} frames per point");
-    println!(
-        "{:>8} | {:>12} {:>12} {:>12}",
-        "SNR dB", "1 iter FER", "2 iter FER", "3 iter FER"
-    );
+    println!("{:>8} | {:>12} {:>12} {:>12}", "SNR dB", "1 iter FER", "2 iter FER", "3 iter FER");
     for snr in [11.0, 13.0, 15.0] {
         let mut fails = [0usize; 3];
         for (slot, iters) in [1usize, 2, 3].into_iter().enumerate() {

@@ -5,10 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use geosphere::channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
 use geosphere::core::{
     ethsd_decoder, geosphere_decoder, residual_norm_sqr, MimoDetector, ZfDetector,
 };
-use geosphere::channel::{noise_variance_for_snr_db, sample_cn, RayleighChannel};
 use geosphere::modulation::{Constellation, GridPoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,11 +35,7 @@ fn main() {
     }
 
     // Decode with three detectors.
-    for det in [
-        &ZfDetector as &dyn MimoDetector,
-        &ethsd_decoder(),
-        &geosphere_decoder(),
-    ] {
+    for det in [&ZfDetector as &dyn MimoDetector, &ethsd_decoder(), &geosphere_decoder()] {
         let d = det.detect(&h, &y, c);
         let errs = d.symbols.iter().zip(&tx).filter(|(a, b)| a != b).count();
         println!(

@@ -1,0 +1,217 @@
+//! Allocation regression guard for the detection hot path.
+//!
+//! The sphere-decoding stack promises **zero heap allocations per symbol
+//! after warmup** when driven through a reused
+//! [`SearchWorkspace`](geosphere_core::SearchWorkspace): enumerators are
+//! reset in place per node visit, per-level state lives in slabs, QR
+//! factors and rotation scratch are recomputed into reused storage, and
+//! the batched path recycles its output buffers. This test enforces that
+//! claim with a counting global allocator: warm the workspace up, snapshot
+//! the allocation counter, run many detections, and require the counter
+//! not to move.
+//!
+//! The counter is **thread-scoped**: it only counts while the measuring
+//! thread has armed it, so allocations from the libtest harness thread (or
+//! any other process housemate) cannot fail the assertion spuriously. The
+//! thread-local flag is `const`-initialized, so reading it inside the
+//! allocator never recurses through lazy TLS initialization.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// Armed only on the measuring thread, only around the measured region.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Counts allocations (and reallocations) made by threads that have armed
+/// the counter.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn count_if_armed() {
+    // `try_with`: TLS may be unavailable during thread teardown; those
+    // allocations are by definition outside a measured region.
+    let _ = COUNTING.try_with(|armed| {
+        if armed.get() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+// SAFETY: delegates directly to `System`; the counter update has no other
+// side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_if_armed();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_if_armed();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f` with this thread's allocation counting armed, returning how
+/// many allocations `f` made.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNTING.with(|armed| armed.set(true));
+    let result = f();
+    COUNTING.with(|armed| armed.set(false));
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+use geosphere_core::{
+    apply_channel, ethsd_decoder, geosphere_decoder, DetectionBatch, DetectionJob, DetectorStats,
+    MimoDetector,
+};
+use gs_channel::{sample_cn, RayleighChannel};
+use gs_linalg::{qr_decompose, Complex, Matrix, Qr};
+use gs_modulation::{Constellation, GridPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instances(
+    seed: u64,
+    c: Constellation,
+    na: usize,
+    nc: usize,
+    noise: f64,
+    n: usize,
+) -> Vec<(Matrix, Vec<Complex>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let h = RayleighChannel::new(na, nc).sample_matrix(&mut rng).scale(c.scale());
+            let pts = c.points();
+            let s: Vec<GridPoint> = (0..nc).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+            let mut y = apply_channel(&h, &s);
+            for v in y.iter_mut() {
+                *v += sample_cn(&mut rng, noise);
+            }
+            (h, y)
+        })
+        .collect()
+}
+
+/// `detect_with_qr` with a warmed workspace must not touch the allocator,
+/// across noise levels and both Geosphere and ETH-SD enumerator families.
+fn assert_detect_with_qr_allocation_free() {
+    let c = Constellation::Qam64;
+    let nc = 4;
+    let instances = random_instances(9001, c, 4, nc, 0.05, 24);
+    let prepared: Vec<(Qr, Vec<Complex>)> = instances
+        .iter()
+        .map(|(h, y)| {
+            let qr = qr_decompose(h);
+            let yhat = qr.rotate(y);
+            (qr, yhat)
+        })
+        .collect();
+
+    let geo = geosphere_decoder();
+    let hess = ethsd_decoder();
+    let mut geo_ws = geo.make_workspace();
+    let mut hess_ws = hess.make_workspace();
+    let mut stats = DetectorStats::default();
+
+    // Warmup pass: grows every slab/buffer to this workload's high-water
+    // mark (searches are deterministic, so a second pass needs no more).
+    for (qr, yhat) in &prepared {
+        geo.detect_with_qr(&qr.r, &yhat[..nc], c, &mut geo_ws, &mut stats);
+        hess.detect_with_qr(&qr.r, &yhat[..nc], c, &mut hess_ws, &mut stats);
+    }
+
+    let (delta, ()) = allocations_during(|| {
+        for (qr, yhat) in &prepared {
+            geo.detect_with_qr(&qr.r, &yhat[..nc], c, &mut geo_ws, &mut stats);
+            hess.detect_with_qr(&qr.r, &yhat[..nc], c, &mut hess_ws, &mut stats);
+        }
+    });
+    assert_eq!(
+        delta,
+        0,
+        "detect_with_qr allocated {delta} times across {} warmed detections",
+        2 * prepared.len()
+    );
+    assert!(stats.visited_nodes > 0, "searches must actually have run");
+}
+
+/// The batched frame-decode inner loop (`detect_batch_into` with a kept
+/// workspace and recycled output) must not touch the allocator — including
+/// its per-channel QR refresh and, in the sorted-QR configuration, the
+/// permutation handling.
+fn assert_detect_batch_into_allocation_free() {
+    let c = Constellation::Qam16;
+    let mut rng = StdRng::seed_from_u64(9002);
+    let n_channels = 3;
+    let n_jobs = 30;
+    let channels: Vec<Matrix> = (0..n_channels)
+        .map(|_| RayleighChannel::new(4, 4).sample_matrix(&mut rng).scale(c.scale()))
+        .collect();
+    let pts = c.points();
+    let jobs: Vec<DetectionJob> = (0..n_jobs)
+        .map(|j| {
+            let channel = j % n_channels;
+            let s: Vec<GridPoint> = (0..4).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+            let mut y = apply_channel(&channels[channel], &s);
+            for v in y.iter_mut() {
+                *v += sample_cn(&mut rng, 0.05);
+            }
+            DetectionJob { channel, y }
+        })
+        .collect();
+    let batch = DetectionBatch { channels: &channels, jobs: &jobs, c };
+
+    let plain = geosphere_decoder();
+    let sorted = geosphere_decoder().with_sorted_qr();
+    let reference_plain = plain.detect_batch(&batch);
+
+    let mut plain_ws = plain.make_workspace();
+    let mut sorted_ws = sorted.make_workspace();
+    let mut plain_out = Vec::new();
+    let mut sorted_out = Vec::new();
+    // Two warmup rounds: the first grows the search/prep buffers, the
+    // second warms the recycling pool (spare buffers only exist after a
+    // previous round's outputs are reclaimed).
+    for _ in 0..2 {
+        plain.detect_batch_into(&batch, &mut plain_ws, &mut plain_out);
+        sorted.detect_batch_into(&batch, &mut sorted_ws, &mut sorted_out);
+    }
+
+    let (delta, ()) = allocations_during(|| {
+        plain.detect_batch_into(&batch, &mut plain_ws, &mut plain_out);
+        sorted.detect_batch_into(&batch, &mut sorted_ws, &mut sorted_out);
+    });
+    assert_eq!(
+        delta,
+        0,
+        "batched frame-decode inner loop allocated {delta} times across {} warmed jobs",
+        2 * n_jobs
+    );
+
+    // The allocation-free path must still produce the reference output.
+    assert_eq!(plain_out.len(), reference_plain.len());
+    for (a, b) in plain_out.iter().zip(&reference_plain) {
+        assert_eq!(a.symbols, b.symbols);
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+#[test]
+fn detection_hot_path_is_allocation_free_after_warmup() {
+    assert_detect_with_qr_allocation_free();
+    assert_detect_batch_into_allocation_free();
+}

@@ -37,14 +37,12 @@ fn geosphere_outperforms_zf_on_ill_conditioned_testbed() {
         let mut rng = StdRng::seed_from_u64(2002 + gi as u64);
         let zf = measure(&cfg(Constellation::Qam16), &model, &ZfDetector, 20.0, 5, &mut rng);
         let mut rng = StdRng::seed_from_u64(2002 + gi as u64);
-        let geo = measure(&cfg(Constellation::Qam16), &model, &geosphere_decoder(), 20.0, 5, &mut rng);
+        let geo =
+            measure(&cfg(Constellation::Qam16), &model, &geosphere_decoder(), 20.0, 5, &mut rng);
         zf_ok += ((1.0 - zf.fer) * 100.0) as usize;
         geo_ok += ((1.0 - geo.fer) * 100.0) as usize;
     }
-    assert!(
-        geo_ok >= zf_ok,
-        "Geosphere success {geo_ok} must be at least ZF success {zf_ok}"
-    );
+    assert!(geo_ok >= zf_ok, "Geosphere success {geo_ok} must be at least ZF success {zf_ok}");
 }
 
 #[test]

@@ -6,7 +6,7 @@ use geosphere::channel::{ChannelModel, ChannelTrace, RayleighChannel, Testbed, T
 use geosphere::core::{SoftGeosphereDetector, VectorPerturbationPrecoder};
 use geosphere::modulation::{unmap_points, Constellation};
 use geosphere::phy::{measure, uplink_frame_iterative, uplink_frame_soft, PhyConfig};
-use geosphere::sim::{DistributedChannel, DistributedCluster, DetectorKind, RateAdapter};
+use geosphere::sim::{DetectorKind, DistributedChannel, DistributedCluster, RateAdapter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -79,12 +79,7 @@ fn distributed_cluster_beats_single_ap_fer() {
     let m_single = measure(&cfg(Constellation::Qam16), &single, det.as_ref(), 16.0, 5, &mut rng);
     let mut rng = StdRng::seed_from_u64(3201);
     let m_joint = measure(&cfg(Constellation::Qam16), &joint, det.as_ref(), 16.0, 5, &mut rng);
-    assert!(
-        m_joint.fer <= m_single.fer,
-        "joint {} vs single {}",
-        m_joint.fer,
-        m_single.fer
-    );
+    assert!(m_joint.fer <= m_single.fer, "joint {} vs single {}", m_joint.fer, m_single.fer);
 }
 
 #[test]

@@ -3,13 +3,13 @@
 //! MIMO size where exhaustive search is feasible — under noise levels high
 //! enough that the search is nontrivial.
 
+use geosphere::channel::{sample_cn, RayleighChannel};
+use geosphere::core::sphere::{ExhaustiveSortFactory, GeosphereFactory};
 use geosphere::core::{
     ethsd_decoder, geosphere_decoder, geosphere_zigzag_only_decoder, residual_norm_sqr,
     FsdDetector, KBestDetector, MimoDetector, MlDetector, MmseSicDetector, SphereDecoder,
     ZfDetector,
 };
-use geosphere::core::sphere::{ExhaustiveSortFactory, GeosphereFactory};
-use geosphere::channel::{sample_cn, RayleighChannel};
 use geosphere::linalg::{Complex, Matrix};
 use geosphere::modulation::Constellation;
 use rand::rngs::StdRng;
@@ -35,10 +35,7 @@ fn random_problem(
 fn assert_ml<D: MimoDetector>(det: &D, h: &Matrix, y: &[Complex], c: Constellation, label: &str) {
     let got = residual_norm_sqr(h, y, &det.detect(h, y, c).symbols);
     let ml = residual_norm_sqr(h, y, &MlDetector.detect(h, y, c).symbols);
-    assert!(
-        (got - ml).abs() < 1e-9,
-        "{label} {c:?}: residual {got} vs exhaustive {ml}"
-    );
+    assert!((got - ml).abs() < 1e-9, "{label} {c:?}: residual {got} vs exhaustive {ml}");
 }
 
 #[test]

@@ -2,9 +2,7 @@
 
 use geosphere::coding::{conv, viterbi, Interleaver, Scrambler};
 use geosphere::core::geoprune::{axis_offset, distance_lower_bound};
-use geosphere::core::sphere::{
-    EnumeratorFactory, GeosphereFactory, HessFactory, NodeEnumerator,
-};
+use geosphere::core::sphere::{EnumeratorFactory, GeosphereFactory, HessFactory, NodeEnumerator};
 use geosphere::core::DetectorStats;
 use geosphere::linalg::{qr_decompose, singular_values, Complex, Matrix};
 use geosphere::modulation::{map_bits, unmap_point, AxisZigzag, Constellation};

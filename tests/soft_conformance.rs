@@ -1,0 +1,139 @@
+//! Conformance of [`SoftGeosphereDetector`] against a brute-force max-log
+//! oracle.
+//!
+//! For every bit, the max-log LLR is `(λ_counter − λ_ML)/σ²` signed by the
+//! ML bit, where `λ_counter` is the minimum distance over symbol vectors
+//! with that bit flipped. On 2-stream instances the oracle is an exhaustive
+//! scan over all |O|² hypotheses, so the detector's constrained sphere
+//! searches are checked exactly — signs, magnitudes, and clip behavior.
+
+use geosphere_core::{apply_channel, residual_norm_sqr, SoftDetection, SoftGeosphereDetector};
+use gs_channel::{sample_cn, RayleighChannel};
+use gs_linalg::{Complex, Matrix};
+use gs_modulation::{BitTable, Constellation, GridPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn problem(
+    rng: &mut StdRng,
+    c: Constellation,
+    noise: f64,
+) -> (Matrix, Vec<Complex>, Vec<GridPoint>) {
+    let h = RayleighChannel::new(3, 2).sample_matrix(rng).scale(c.scale());
+    let pts = c.points();
+    let s: Vec<GridPoint> = (0..2).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+    let mut y = apply_channel(&h, &s);
+    for v in y.iter_mut() {
+        *v += sample_cn(rng, noise);
+    }
+    (h, y, s)
+}
+
+/// Exhaustive per-bit max-log LLRs with the detector's sign convention
+/// (positive = bit 0) and clipping.
+fn oracle_llrs(h: &Matrix, y: &[Complex], c: Constellation, sigma2: f64, clip: f64) -> Vec<f64> {
+    let pts = c.points();
+    let q = c.bits_per_symbol();
+    let table = BitTable::new(c);
+    let mut llrs = Vec::with_capacity(2 * q);
+    for stream in 0..2 {
+        for k in 0..q {
+            let mut d0 = f64::INFINITY;
+            let mut d1 = f64::INFINITY;
+            for &a in &pts {
+                for &b in &pts {
+                    let s = [a, b];
+                    let d = residual_norm_sqr(h, y, &s);
+                    if table.bit(s[stream], k) {
+                        d1 = d1.min(d);
+                    } else {
+                        d0 = d0.min(d);
+                    }
+                }
+            }
+            // Max-log LLR, then clip symmetric in magnitude.
+            let raw = (d1 - d0) / sigma2;
+            llrs.push(raw.clamp(-clip, clip));
+        }
+    }
+    llrs
+}
+
+#[test]
+fn llrs_match_bruteforce_oracle_qpsk_and_qam16() {
+    let mut rng = StdRng::seed_from_u64(7101);
+    for &(c, trials) in &[(Constellation::Qpsk, 20), (Constellation::Qam16, 12)] {
+        let sigma2 = 0.4;
+        // Large clip: no clipping in play, magnitudes must match exactly.
+        let det = SoftGeosphereDetector { noise_variance: sigma2, llr_clip: 1e6 };
+        for trial in 0..trials {
+            let (h, y, _) = problem(&mut rng, c, sigma2);
+            let soft = det.detect_soft(&h, &y, c);
+            let expect = oracle_llrs(&h, &y, c, sigma2, det.llr_clip);
+            assert_eq!(soft.llrs.len(), expect.len());
+            for (bit, (&got, &want)) in soft.llrs.iter().zip(&expect).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-6,
+                    "{c:?} trial {trial} bit {bit}: got {got}, oracle {want}"
+                );
+                assert_eq!(
+                    got < 0.0,
+                    want < 0.0,
+                    "{c:?} trial {trial} bit {bit}: sign disagrees with oracle"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn clipping_matches_oracle_clamp() {
+    // With a small clip the counter-hypothesis search is radius-limited;
+    // every surviving magnitude must equal the clamped oracle value, and
+    // none may exceed the clip.
+    let mut rng = StdRng::seed_from_u64(7102);
+    for &c in &[Constellation::Qpsk, Constellation::Qam16] {
+        let sigma2 = 0.15;
+        let det = SoftGeosphereDetector { noise_variance: sigma2, llr_clip: 2.0 };
+        let mut clipped_bits = 0usize;
+        for trial in 0..10 {
+            let (h, y, _) = problem(&mut rng, c, sigma2);
+            let soft = det.detect_soft(&h, &y, c);
+            let expect = oracle_llrs(&h, &y, c, sigma2, det.llr_clip);
+            for (bit, (&got, &want)) in soft.llrs.iter().zip(&expect).enumerate() {
+                assert!(got.abs() <= det.llr_clip + 1e-12, "{c:?} trial {trial} bit {bit}");
+                assert!(
+                    (got - want).abs() < 1e-6,
+                    "{c:?} trial {trial} bit {bit}: got {got}, clamped oracle {want}"
+                );
+                if got.abs() > det.llr_clip - 1e-9 {
+                    clipped_bits += 1;
+                }
+            }
+        }
+        assert!(clipped_bits > 0, "{c:?}: low noise must clip some bits");
+    }
+}
+
+#[test]
+fn workspace_reuse_is_bit_identical_to_fresh_calls() {
+    // The frame receiver drives soft detection through one reused
+    // workspace; its outputs must match per-call detection bit for bit.
+    let mut rng = StdRng::seed_from_u64(7103);
+    let c = Constellation::Qam16;
+    let sigma2 = 0.3;
+    let det = SoftGeosphereDetector::new(sigma2);
+    let mut ws = det.make_workspace();
+    let mut reused = SoftDetection::default();
+    for trial in 0..15 {
+        let (h, y, _) = problem(&mut rng, c, sigma2);
+        let fresh = det.detect_soft(&h, &y, c);
+        det.detect_soft_into(&h, &y, c, &mut ws, &mut reused);
+        assert_eq!(reused.symbols, fresh.symbols, "trial {trial}");
+        assert_eq!(reused.stats, fresh.stats, "trial {trial}");
+        assert_eq!(reused.llrs.len(), fresh.llrs.len());
+        for (a, b) in reused.llrs.iter().zip(&fresh.llrs) {
+            assert_eq!(a.to_bits(), b.to_bits(), "trial {trial}");
+        }
+    }
+}

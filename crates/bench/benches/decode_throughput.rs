@@ -11,7 +11,9 @@ use gs_channel::{
 };
 use gs_linalg::{Complex, Matrix};
 use gs_modulation::{Constellation, GridPoint};
-use gs_phy::{decode_frame_batched, uplink_frame, PhyConfig};
+use gs_phy::{
+    decode_frame_batched, decode_frame_batched_into, uplink_frame, FrameWorkspace, PhyConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -102,6 +104,59 @@ fn bench_frame_decode(cr: &mut Criterion) {
             },
         );
     }
+    // The steady-state receive loop: one FrameWorkspace held across frames
+    // (decode_frame_batched_into), so planning, detection, and the receive
+    // chain are allocation-free per frame. Outputs are bit-identical to the
+    // series above; any gap is pure allocator/reuse savings (plus, at >1
+    // worker, the persistent pool replacing per-frame thread spawns).
+    for workers in [1usize, 4] {
+        group.bench_function(
+            BenchmarkId::new("batched_into_reused_ws", format!("{workers}w")),
+            |b| {
+                let mut ws = FrameWorkspace::new();
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(77);
+                    decode_frame_batched_into(&cfg, &ch, &det, snr_db, &mut rng, workers, &mut ws)
+                        .stats
+                        .ped_calcs
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The frame-level workspace-reuse win, isolated: the same frame decoded
+/// through a fresh `FrameWorkspace` per frame (the one-shot
+/// `decode_frame_batched` behavior) versus one long-lived workspace — the
+/// steady-state receiver configuration whose per-frame zero-allocation
+/// contract `tests/alloc_regression.rs` enforces.
+fn bench_frame_workspace_reuse(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("frame_workspace_reuse_4x4_qam16_48sc");
+    let cfg = PhyConfig { payload_bits: 2048, ..PhyConfig::new(Constellation::Qam16) };
+    let snr_db = 24.0;
+    let model = SelectiveRayleighChannel {
+        n_fft: 64,
+        n_subcarriers: cfg.n_subcarriers,
+        ..SelectiveRayleighChannel::indoor(4, 4)
+    };
+    let ch = model.realize(&mut StdRng::seed_from_u64(2015));
+    let det = geosphere_decoder();
+
+    group.bench_function("fresh_workspace_per_frame", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(78);
+            let mut ws = FrameWorkspace::new();
+            decode_frame_batched_into(&cfg, &ch, &det, snr_db, &mut rng, 1, &mut ws).stats.ped_calcs
+        })
+    });
+    group.bench_function("reused_workspace", |b| {
+        let mut ws = FrameWorkspace::new();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(78);
+            decode_frame_batched_into(&cfg, &ch, &det, snr_db, &mut rng, 1, &mut ws).stats.ped_calcs
+        })
+    });
     group.finish();
 }
 
@@ -156,6 +211,6 @@ fn bench_workspace_reuse(cr: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_decoders, bench_frame_decode, bench_workspace_reuse
+    targets = bench_decoders, bench_frame_decode, bench_workspace_reuse, bench_frame_workspace_reuse
 }
 criterion_main!(benches);

@@ -41,6 +41,14 @@ pub fn next_state(state: usize, input: bool) -> usize {
 /// the all-zero state. Output length is `2·(bits.len() + 6)`.
 pub fn encode(bits: &[bool]) -> Vec<bool> {
     let mut out = Vec::with_capacity(2 * (bits.len() + CONSTRAINT - 1));
+    encode_into(bits, &mut out);
+    out
+}
+
+/// [`encode`] into a reused output buffer (cleared first): no heap traffic
+/// once the buffer has warmed up to the frame's coded length.
+pub fn encode_into(bits: &[bool], out: &mut Vec<bool>) {
+    out.clear();
     let mut state = 0usize;
     for &b in bits.iter().chain(std::iter::repeat_n(&false, CONSTRAINT - 1)) {
         let (o0, o1) = branch_output(state, b);
@@ -48,7 +56,6 @@ pub fn encode(bits: &[bool]) -> Vec<bool> {
         out.push(o1);
         state = next_state(state, b);
     }
-    out
 }
 
 /// Encodes without tail bits (for streaming uses where the caller manages

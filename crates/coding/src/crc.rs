@@ -7,23 +7,40 @@
 
 const POLY: u32 = 0xEDB8_8320; // reflected 0x04C11DB7
 
+/// Folds one byte into a running CRC-32 — the single implementation of
+/// the polynomial math, shared by the byte-slice and bit-slice fronts.
+#[inline]
+fn crc_fold_byte(mut crc: u32, byte: u8) -> u32 {
+    crc ^= byte as u32;
+    for _ in 0..8 {
+        let mask = (crc & 1).wrapping_neg();
+        crc = (crc >> 1) ^ (POLY & mask);
+    }
+    crc
+}
+
 /// Computes the IEEE CRC-32 of a byte slice.
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in data {
-        crc ^= byte as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (POLY & mask);
-        }
-    }
-    !crc
+    !data.iter().fold(0xFFFF_FFFFu32, |crc, &byte| crc_fold_byte(crc, byte))
 }
 
 /// Computes the CRC-32 of a bit slice (bits packed LSB-first into bytes,
 /// trailing partial byte zero-padded).
+///
+/// Packs on the fly — no heap allocation — but is bit-identical to
+/// `crc32(&pack_bits(bits))`, zero padding included.
 pub fn crc32_bits(bits: &[bool]) -> u32 {
-    crc32(&pack_bits(bits))
+    let mut crc = 0xFFFF_FFFFu32;
+    for chunk in bits.chunks(8) {
+        let mut byte = 0u8;
+        for (k, &b) in chunk.iter().enumerate() {
+            if b {
+                byte |= 1 << k;
+            }
+        }
+        crc = crc_fold_byte(crc, byte);
+    }
+    !crc
 }
 
 /// Packs bits LSB-first into bytes (zero-padding the final byte).
@@ -54,16 +71,23 @@ pub fn append_crc(bits: &[bool]) -> Vec<bool> {
 /// Verifies and strips a trailing CRC appended by [`append_crc`]. Returns
 /// the payload when the CRC matches, `None` otherwise.
 pub fn check_crc(bits: &[bool]) -> Option<Vec<bool>> {
-    if bits.len() < 32 {
-        return None;
-    }
-    let (payload, tail) = bits.split_at(bits.len() - 32);
-    let got = tail.iter().enumerate().fold(0u32, |acc, (k, &b)| acc | ((b as u32) << k));
-    if got == crc32_bits(payload) {
-        Some(payload.to_vec())
+    if check_crc_ok(bits) {
+        Some(bits[..bits.len() - 32].to_vec())
     } else {
         None
     }
+}
+
+/// Verifies a trailing CRC appended by [`append_crc`] without allocating
+/// or copying the payload — `check_crc(bits).is_some()` in a form fit for
+/// the allocation-free receive chain.
+pub fn check_crc_ok(bits: &[bool]) -> bool {
+    if bits.len() < 32 {
+        return false;
+    }
+    let (payload, tail) = bits.split_at(bits.len() - 32);
+    let got = tail.iter().enumerate().fold(0u32, |acc, (k, &b)| acc | ((b as u32) << k));
+    got == crc32_bits(payload)
 }
 
 #[cfg(test)]

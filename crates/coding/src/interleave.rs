@@ -69,14 +69,40 @@ impl Interleaver {
     /// # Panics
     /// Panics unless the length is a multiple of `n_cbps`.
     pub fn interleave_stream(&self, bits: &[bool]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.interleave_stream_into(bits, &mut out);
+        out
+    }
+
+    /// [`Interleaver::interleave_stream`] into a reused output buffer
+    /// (cleared first): the scatter writes directly into `out`, so a warm
+    /// buffer makes the call allocation-free.
+    pub fn interleave_stream_into(&self, bits: &[bool], out: &mut Vec<bool>) {
         assert_eq!(bits.len() % self.n_cbps, 0);
-        bits.chunks(self.n_cbps).flat_map(|c| self.interleave(c)).collect()
+        out.clear();
+        out.resize(bits.len(), false);
+        for (chunk_in, chunk_out) in bits.chunks(self.n_cbps).zip(out.chunks_mut(self.n_cbps)) {
+            for (k, &b) in chunk_in.iter().enumerate() {
+                chunk_out[self.map_index(k)] = b;
+            }
+        }
     }
 
     /// Inverse of [`Interleaver::interleave_stream`].
     pub fn deinterleave_stream(&self, bits: &[bool]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.deinterleave_stream_into(bits, &mut out);
+        out
+    }
+
+    /// [`Interleaver::deinterleave_stream`] into a reused output buffer
+    /// (cleared first).
+    pub fn deinterleave_stream_into(&self, bits: &[bool], out: &mut Vec<bool>) {
         assert_eq!(bits.len() % self.n_cbps, 0);
-        bits.chunks(self.n_cbps).flat_map(|c| self.deinterleave(c)).collect()
+        out.clear();
+        for chunk in bits.chunks(self.n_cbps) {
+            out.extend((0..self.n_cbps).map(|k| chunk[self.map_index(k)]));
+        }
     }
 }
 
@@ -160,8 +186,23 @@ impl Interleaver {
 
     /// Stream version of [`Interleaver::deinterleave_values`].
     pub fn deinterleave_values_stream<T: Copy + Default>(&self, values: &[T]) -> Vec<T> {
+        let mut out = Vec::new();
+        self.deinterleave_values_stream_into(values, &mut out);
+        out
+    }
+
+    /// [`Interleaver::deinterleave_values_stream`] into a reused output
+    /// buffer (cleared first).
+    pub fn deinterleave_values_stream_into<T: Copy + Default>(
+        &self,
+        values: &[T],
+        out: &mut Vec<T>,
+    ) {
         assert_eq!(values.len() % self.n_cbps, 0);
-        values.chunks(self.n_cbps).flat_map(|c| self.deinterleave_values(c)).collect()
+        out.clear();
+        for chunk in values.chunks(self.n_cbps) {
+            out.extend((0..self.n_cbps).map(|k| chunk[self.map_index(k)]));
+        }
     }
 }
 

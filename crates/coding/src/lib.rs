@@ -29,11 +29,14 @@ pub mod scramble;
 pub mod viterbi;
 
 pub use bcjr::{siso_decode, SisoOutput};
-pub use crc::{append_crc, check_crc, crc32, pack_bits, unpack_bits};
+pub use crc::{append_crc, check_crc, check_crc_ok, crc32, pack_bits, unpack_bits};
 pub use interleave::Interleaver;
-pub use puncture::{depuncture, depuncture_soft, puncture, CodeRate};
+pub use puncture::{
+    depuncture, depuncture_into, depuncture_soft, depuncture_soft_into, puncture, puncture_into,
+    CodeRate,
+};
 pub use scramble::Scrambler;
-pub use viterbi::CodedBit;
+pub use viterbi::{CodedBit, ViterbiWorkspace};
 
 /// Box–Muller Gaussian used only by in-crate tests (kept here so the crate
 /// stays dependency-free outside dev builds).

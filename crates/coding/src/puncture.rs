@@ -62,15 +62,35 @@ impl CodeRate {
 
 /// Removes punctured positions from a rate-1/2 coded stream.
 pub fn puncture(coded: &[bool], rate: CodeRate) -> Vec<bool> {
+    let mut out = Vec::new();
+    puncture_into(coded, rate, &mut out);
+    out
+}
+
+/// [`puncture`] into a reused output buffer (cleared first).
+pub fn puncture_into(coded: &[bool], rate: CodeRate, out: &mut Vec<bool>) {
     let pat = rate.pattern();
-    coded.iter().enumerate().filter(|(k, _)| pat[k % pat.len()]).map(|(_, &b)| b).collect()
+    out.clear();
+    out.extend(coded.iter().enumerate().filter(|(k, _)| pat[k % pat.len()]).map(|(_, &b)| b));
 }
 
 /// Reinserts erasures at punctured positions, restoring the rate-1/2 stream
 /// length (`mother_len` = the pre-puncturing length).
 pub fn depuncture(received: &[bool], rate: CodeRate, mother_len: usize) -> Vec<CodedBit> {
-    let pat = rate.pattern();
     let mut out = Vec::with_capacity(mother_len);
+    depuncture_into(received, rate, mother_len, &mut out);
+    out
+}
+
+/// [`depuncture`] into a reused output buffer (cleared first).
+pub fn depuncture_into(
+    received: &[bool],
+    rate: CodeRate,
+    mother_len: usize,
+    out: &mut Vec<CodedBit>,
+) {
+    let pat = rate.pattern();
+    out.clear();
     let mut it = received.iter();
     for k in 0..mother_len {
         if pat[k % pat.len()] {
@@ -81,7 +101,6 @@ pub fn depuncture(received: &[bool], rate: CodeRate, mother_len: usize) -> Vec<C
         }
     }
     assert!(it.next().is_none(), "received stream longer than pattern implies");
-    out
 }
 
 #[cfg(test)]
@@ -145,8 +164,20 @@ mod tests {
 /// Reinserts zero LLRs (erasures) at punctured positions of a soft
 /// (log-likelihood-ratio) stream.
 pub fn depuncture_soft(received: &[f64], rate: CodeRate, mother_len: usize) -> Vec<f64> {
-    let pat = rate.pattern();
     let mut out = Vec::with_capacity(mother_len);
+    depuncture_soft_into(received, rate, mother_len, &mut out);
+    out
+}
+
+/// [`depuncture_soft`] into a reused output buffer (cleared first).
+pub fn depuncture_soft_into(
+    received: &[f64],
+    rate: CodeRate,
+    mother_len: usize,
+    out: &mut Vec<f64>,
+) {
+    let pat = rate.pattern();
+    out.clear();
     let mut it = received.iter();
     for k in 0..mother_len {
         if pat[k % pat.len()] {
@@ -157,7 +188,6 @@ pub fn depuncture_soft(received: &[f64], rate: CodeRate, mother_len: usize) -> V
         }
     }
     assert!(it.next().is_none(), "received stream longer than pattern implies");
-    out
 }
 
 #[cfg(test)]

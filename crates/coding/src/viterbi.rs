@@ -65,25 +65,65 @@ fn output_table() -> [u8; 2 * NUM_STATES] {
     table
 }
 
+/// Reusable trellis scratch for the Viterbi decoders: hard/soft path
+/// metrics plus the flat survivor slab. Hold one per receiver and pass it
+/// to [`decode_with_erasures_into`]/[`decode_soft_into`] — after the first
+/// frame of a given length, decoding performs zero heap allocations.
+#[derive(Clone, Debug, Default)]
+pub struct ViterbiWorkspace {
+    metric_u: Vec<u32>,
+    next_u: Vec<u32>,
+    metric_f: Vec<f64>,
+    next_f: Vec<f64>,
+    survivors: Vec<u8>,
+}
+
+impl ViterbiWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Decodes a terminated, rate-1/2 coded stream that may contain erasures.
 ///
 /// # Panics
 /// Panics when the stream length is odd or shorter than the tail.
 pub fn decode_with_erasures(coded: &[CodedBit]) -> Vec<bool> {
+    let mut ws = ViterbiWorkspace::new();
+    let mut out = Vec::new();
+    decode_with_erasures_into(coded, &mut ws, &mut out);
+    out
+}
+
+/// [`decode_with_erasures`] with the trellis state and the output buffer
+/// reused in place — bit-identical output, zero heap allocations once the
+/// workspace has warmed up to the stream length.
+///
+/// # Panics
+/// Panics when the stream length is odd or shorter than the tail.
+pub fn decode_with_erasures_into(
+    coded: &[CodedBit],
+    ws: &mut ViterbiWorkspace,
+    out: &mut Vec<bool>,
+) {
     assert_eq!(coded.len() % 2, 0, "rate-1/2 stream must have even length");
     let steps = coded.len() / 2;
     assert!(steps >= CONSTRAINT - 1, "stream shorter than the termination tail");
     let outputs = output_table();
 
     const INF: u32 = u32::MAX / 2;
-    let mut metric = vec![INF; NUM_STATES];
-    metric[0] = 0;
+    ws.metric_u.clear();
+    ws.metric_u.resize(NUM_STATES, INF);
+    ws.metric_u[0] = 0;
     // survivors[t*NUM_STATES + state] = predecessor input bit packed with
     // predecessor state: bit 7 = input, low 6 bits = previous state. One
     // flat slab for the whole trellis — no per-step allocation.
-    let mut survivors = vec![0u8; steps * NUM_STATES];
+    ws.survivors.clear();
+    ws.survivors.resize(steps * NUM_STATES, 0);
 
-    let mut next = vec![INF; NUM_STATES];
+    ws.next_u.clear();
+    ws.next_u.resize(NUM_STATES, INF);
     for t in 0..steps {
         let rx0 = coded[2 * t];
         let rx1 = coded[2 * t + 1];
@@ -95,10 +135,10 @@ pub fn decode_with_erasures(coded: &[CodedBit]) -> Vec<bool> {
             rx0.cost(false) + rx1.cost(true),
             rx0.cost(true) + rx1.cost(true),
         ];
-        next.iter_mut().for_each(|m| *m = INF);
-        let surv = &mut survivors[t * NUM_STATES..(t + 1) * NUM_STATES];
+        ws.next_u.iter_mut().for_each(|m| *m = INF);
+        let surv = &mut ws.survivors[t * NUM_STATES..(t + 1) * NUM_STATES];
         for state in 0..NUM_STATES {
-            let m = metric[state];
+            let m = ws.metric_u[state];
             if m >= INF {
                 continue;
             }
@@ -106,26 +146,26 @@ pub fn decode_with_erasures(coded: &[CodedBit]) -> Vec<bool> {
                 let out = outputs[(state << 1) | input as usize];
                 let cost = m + branch_cost[out as usize];
                 let ns = next_state(state, input);
-                if cost < next[ns] {
-                    next[ns] = cost;
+                if cost < ws.next_u[ns] {
+                    ws.next_u[ns] = cost;
                     surv[ns] = ((input as u8) << 7) | state as u8;
                 }
             }
         }
-        std::mem::swap(&mut metric, &mut next);
+        std::mem::swap(&mut ws.metric_u, &mut ws.next_u);
     }
 
-    // Terminated trellis: trace back from state 0.
+    // Terminated trellis: trace back from state 0, writing each step's bit
+    // straight to its final position.
     let mut state = 0usize;
-    let mut bits_rev = Vec::with_capacity(steps);
+    out.clear();
+    out.resize(steps, false);
     for t in (0..steps).rev() {
-        let s = survivors[t * NUM_STATES + state];
-        bits_rev.push(s & 0x80 != 0);
+        let s = ws.survivors[t * NUM_STATES + state];
+        out[t] = s & 0x80 != 0;
         state = (s & 0x3f) as usize;
     }
-    bits_rev.reverse();
-    bits_rev.truncate(steps - (CONSTRAINT - 1)); // drop tail bits
-    bits_rev
+    out.truncate(steps - (CONSTRAINT - 1)); // drop tail bits
 }
 
 #[cfg(test)]
@@ -220,6 +260,19 @@ mod tests {
 /// # Panics
 /// Panics when the stream length is odd or shorter than the tail.
 pub fn decode_soft(llrs: &[f64]) -> Vec<bool> {
+    let mut ws = ViterbiWorkspace::new();
+    let mut out = Vec::new();
+    decode_soft_into(llrs, &mut ws, &mut out);
+    out
+}
+
+/// [`decode_soft`] with the trellis state and the output buffer reused in
+/// place — bit-identical output, zero heap allocations once the workspace
+/// has warmed up to the stream length.
+///
+/// # Panics
+/// Panics when the stream length is odd or shorter than the tail.
+pub fn decode_soft_into(llrs: &[f64], ws: &mut ViterbiWorkspace, out: &mut Vec<bool>) {
     assert_eq!(llrs.len() % 2, 0, "rate-1/2 stream must have even length");
     let steps = llrs.len() / 2;
     assert!(steps >= CONSTRAINT - 1, "stream shorter than the termination tail");
@@ -237,11 +290,14 @@ pub fn decode_soft(llrs: &[f64]) -> Vec<bool> {
 
     let outputs = output_table();
     const INF: f64 = f64::INFINITY;
-    let mut metric = vec![INF; NUM_STATES];
-    metric[0] = 0.0;
+    ws.metric_f.clear();
+    ws.metric_f.resize(NUM_STATES, INF);
+    ws.metric_f[0] = 0.0;
     // Flat survivor slab, as in `decode_with_erasures`.
-    let mut survivors = vec![0u8; steps * NUM_STATES];
-    let mut next = vec![INF; NUM_STATES];
+    ws.survivors.clear();
+    ws.survivors.resize(steps * NUM_STATES, 0);
+    ws.next_f.clear();
+    ws.next_f.resize(NUM_STATES, INF);
 
     for t in 0..steps {
         let l0 = llrs[2 * t];
@@ -252,10 +308,10 @@ pub fn decode_soft(llrs: &[f64]) -> Vec<bool> {
             cost(l0, false) + cost(l1, true),
             cost(l0, true) + cost(l1, true),
         ];
-        next.iter_mut().for_each(|m| *m = INF);
-        let surv = &mut survivors[t * NUM_STATES..(t + 1) * NUM_STATES];
+        ws.next_f.iter_mut().for_each(|m| *m = INF);
+        let surv = &mut ws.survivors[t * NUM_STATES..(t + 1) * NUM_STATES];
         for state in 0..NUM_STATES {
-            let m = metric[state];
+            let m = ws.metric_f[state];
             if !m.is_finite() {
                 continue;
             }
@@ -263,25 +319,24 @@ pub fn decode_soft(llrs: &[f64]) -> Vec<bool> {
                 let out = outputs[(state << 1) | input as usize];
                 let c = m + branch_cost[out as usize];
                 let ns = next_state(state, input);
-                if c < next[ns] {
-                    next[ns] = c;
+                if c < ws.next_f[ns] {
+                    ws.next_f[ns] = c;
                     surv[ns] = ((input as u8) << 7) | state as u8;
                 }
             }
         }
-        std::mem::swap(&mut metric, &mut next);
+        std::mem::swap(&mut ws.metric_f, &mut ws.next_f);
     }
 
     let mut state = 0usize;
-    let mut bits_rev = Vec::with_capacity(steps);
+    out.clear();
+    out.resize(steps, false);
     for t in (0..steps).rev() {
-        let s = survivors[t * NUM_STATES + state];
-        bits_rev.push(s & 0x80 != 0);
+        let s = ws.survivors[t * NUM_STATES + state];
+        out[t] = s & 0x80 != 0;
         state = (s & 0x3f) as usize;
     }
-    bits_rev.reverse();
-    bits_rev.truncate(steps - (CONSTRAINT - 1));
-    bits_rev
+    out.truncate(steps - (CONSTRAINT - 1));
 }
 
 #[cfg(test)]

@@ -23,9 +23,11 @@
 //! and per-channel QR factors are reused across every job the worker
 //! processes — zero heap allocations per symbol after warmup.
 
-use crate::detector::{Detection, MimoDetector};
+use crate::detector::{Detection, DetectorWorkspace, MimoDetector};
 use gs_linalg::{Complex, Matrix};
 use gs_modulation::Constellation;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
 
 /// One detection problem inside a batch: an index into the batch's shared
 /// channel table plus the received vector.
@@ -179,6 +181,277 @@ impl<'a, D: MimoDetector + ?Sized> BatchDetector<'a, D> {
     }
 }
 
+/// A **persistent** detection worker pool: threads are spawned once and
+/// reused across frames, unlike [`BatchDetector`], whose scoped threads are
+/// respawned (and whose closures are reallocated) on every call.
+///
+/// This is the multi-worker engine of the allocation-free frame pipeline
+/// (`gs-phy`'s `FrameWorkspace`): per frame, the caller *lends* its channel
+/// table and job buffers to the pool ([`DetectionPool::run`] swaps them in
+/// and back out — no copies), workers detect their chunks through
+/// [`MimoDetector::detect_batch_indexed_with`] into per-worker output slots
+/// whose buffers they recycle frame over frame, and the caller reads the
+/// results in place via [`DetectionPool::for_each_result`]. After one
+/// warmup frame of a given shape, a frame costs **zero heap allocations**
+/// on every thread involved (enforced by `tests/alloc_regression.rs`).
+///
+/// Jobs are dispatched in channel-grouped order (a stable permutation by
+/// channel index, computed in place), so each worker re-factorizes each
+/// distinct channel at most once per frame — the same amortization
+/// [`BatchDetector`] performs, with bit-identical results: detection is a
+/// pure per-job function and results are scattered back by job index.
+///
+/// The detector is installed per frame as an `Arc` clone (a refcount bump,
+/// not an allocation), so one pool can serve different detectors over its
+/// lifetime.
+pub struct DetectionPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    n_workers: usize,
+}
+
+struct PoolShared {
+    signal: Mutex<PoolSignal>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    data: RwLock<PoolData>,
+    /// Per-worker result slots: each worker writes only its own slot, the
+    /// main thread reads them between frames. Slot buffers persist, so
+    /// workers recycle their `Detection` symbol vectors via their own
+    /// workspace on the next frame.
+    slots: Vec<Mutex<Vec<Detection>>>,
+}
+
+#[derive(Default)]
+struct PoolSignal {
+    epoch: u64,
+    remaining: usize,
+    shutdown: bool,
+    /// Set when a worker unwound mid-frame; [`DetectionPool::run`]
+    /// propagates it as a panic instead of returning partial results.
+    worker_panicked: bool,
+}
+
+/// Poison-tolerant mutex lock: a panicked sibling must not cascade —
+/// the pool's own `worker_panicked` flag carries the failure instead.
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Decrements `remaining` (and records unwinding workers) even if the
+/// frame's detection panicked, so [`DetectionPool::run`] can never hang
+/// waiting on a dead worker.
+struct FrameDoneGuard<'a> {
+    shared: &'a PoolShared,
+}
+
+impl Drop for FrameDoneGuard<'_> {
+    fn drop(&mut self) {
+        let mut sig = lock_ignoring_poison(&self.shared.signal);
+        if std::thread::panicking() {
+            sig.worker_panicked = true;
+        }
+        sig.remaining -= 1;
+        let done = sig.remaining == 0;
+        drop(sig);
+        if done {
+            self.shared.done_cv.notify_all();
+        }
+    }
+}
+
+struct PoolData {
+    detector: Option<Arc<dyn MimoDetector>>,
+    channels: Vec<Matrix>,
+    jobs: Vec<DetectionJob>,
+    n_jobs: usize,
+    c: Constellation,
+    /// Channel-grouped dispatch order over `0..n_jobs`.
+    order: Vec<usize>,
+    /// Per-worker `[lo, hi)` index ranges into `order`.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl Default for PoolData {
+    fn default() -> Self {
+        PoolData {
+            detector: None,
+            channels: Vec::new(),
+            jobs: Vec::new(),
+            n_jobs: 0,
+            c: Constellation::Qpsk,
+            order: Vec::new(),
+            ranges: Vec::new(),
+        }
+    }
+}
+
+impl DetectionPool {
+    /// Spawns a pool of exactly `workers.max(1)` threads.
+    ///
+    /// Unlike [`BatchDetector::new`], the count is **not** clamped to the
+    /// machine's parallelism: a long-lived receiver sizes its pool once,
+    /// and correctness (and the zero-allocation contract) hold at any
+    /// count — oversubscription only costs wall-clock.
+    pub fn new(workers: usize) -> Self {
+        let n_workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            signal: Mutex::new(PoolSignal::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            data: RwLock::new(PoolData::default()),
+            slots: (0..n_workers).map(|_| Mutex::new(Vec::new())).collect(),
+        });
+        let handles = (0..n_workers)
+            .map(|wid| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || pool_worker_loop(&shared, wid))
+            })
+            .collect();
+        DetectionPool { shared, handles, n_workers }
+    }
+
+    /// The pool's thread count.
+    pub fn workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Detects `jobs[..n_jobs]` against `channels` across the pool,
+    /// blocking until every worker finishes.
+    ///
+    /// `channels` and `jobs` are lent to the pool for the duration of the
+    /// call (swapped in and back out; their contents are untouched). Read
+    /// the detections with [`DetectionPool::for_each_result`] — they stay
+    /// in the per-worker slots so the buffers can be recycled next frame.
+    pub fn run(
+        &mut self,
+        detector: &Arc<dyn MimoDetector>,
+        channels: &mut Vec<Matrix>,
+        jobs: &mut Vec<DetectionJob>,
+        n_jobs: usize,
+        c: Constellation,
+    ) {
+        assert!(n_jobs <= jobs.len(), "n_jobs exceeds the job buffer");
+        {
+            let mut guard = self.shared.data.write().expect("pool data lock");
+            let data = &mut *guard;
+            data.detector = Some(Arc::clone(detector));
+            std::mem::swap(&mut data.channels, channels);
+            std::mem::swap(&mut data.jobs, jobs);
+            data.n_jobs = n_jobs;
+            data.c = c;
+
+            // Channel-grouped dispatch order. Keys (channel, index) are
+            // unique, so the in-place unstable sort is deterministic and
+            // equals the stable grouping BatchDetector uses. Skip the sort
+            // when jobs already arrive grouped (the flat-channel case).
+            data.order.clear();
+            data.order.extend(0..n_jobs);
+            let grouped = data.jobs[..n_jobs].windows(2).all(|w| w[0].channel <= w[1].channel);
+            if !grouped {
+                let jobs = &data.jobs;
+                data.order.sort_unstable_by_key(|&i| (jobs[i].channel, i));
+            }
+
+            let chunk = n_jobs.div_ceil(self.n_workers).max(1);
+            data.ranges.clear();
+            data.ranges.extend(
+                (0..self.n_workers)
+                    .map(|w| ((w * chunk).min(n_jobs), ((w + 1) * chunk).min(n_jobs))),
+            );
+        }
+        {
+            let mut sig = lock_ignoring_poison(&self.shared.signal);
+            assert!(!sig.worker_panicked, "DetectionPool is dead: a worker panicked earlier");
+            sig.epoch += 1;
+            sig.remaining = self.n_workers;
+        }
+        self.shared.work_cv.notify_all();
+        {
+            let mut sig = lock_ignoring_poison(&self.shared.signal);
+            while sig.remaining > 0 {
+                sig = self
+                    .shared
+                    .done_cv
+                    .wait(sig)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            // Propagate a worker's panic instead of returning a frame with
+            // silently missing detections (scoped-thread parity).
+            assert!(!sig.worker_panicked, "DetectionPool worker panicked during detection");
+        }
+        {
+            let mut guard = self.shared.data.write().expect("pool data lock");
+            let data = &mut *guard;
+            std::mem::swap(&mut data.channels, channels);
+            std::mem::swap(&mut data.jobs, jobs);
+            // Release the per-frame detector clone (refcount drop only).
+            data.detector = None;
+        }
+    }
+
+    /// Visits every detection of the last [`DetectionPool::run`] as
+    /// `(job_index, &Detection)`, in per-worker dispatch order. Job indices
+    /// cover `0..n_jobs` exactly once; callers scatter by index.
+    pub fn for_each_result(&self, mut f: impl FnMut(usize, &Detection)) {
+        let data = self.shared.data.read().expect("pool data lock");
+        for (wid, slot) in self.shared.slots.iter().enumerate() {
+            let out = lock_ignoring_poison(slot);
+            let (lo, hi) = data.ranges[wid];
+            debug_assert!(out.len() >= hi - lo, "worker {wid} under-filled its slot");
+            for (&job_idx, det) in data.order[lo..hi].iter().zip(out.iter()) {
+                f(job_idx, det);
+            }
+        }
+    }
+}
+
+impl Drop for DetectionPool {
+    fn drop(&mut self) {
+        lock_ignoring_poison(&self.shared.signal).shutdown = true;
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn pool_worker_loop(shared: &PoolShared, wid: usize) {
+    let mut last_epoch = 0u64;
+    let mut ws = DetectorWorkspace::new();
+    loop {
+        {
+            let mut sig = lock_ignoring_poison(&shared.signal);
+            loop {
+                if sig.shutdown {
+                    return;
+                }
+                if sig.epoch != last_epoch {
+                    last_epoch = sig.epoch;
+                    break;
+                }
+                sig = shared.work_cv.wait(sig).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        // From here the frame counts as claimed: the guard decrements
+        // `remaining` on every exit path, including a panicking detector,
+        // so the coordinator can never deadlock on a dead worker.
+        let _done = FrameDoneGuard { shared };
+        let data = shared.data.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (lo, hi) = data.ranges[wid];
+        if lo < hi {
+            let detector = data.detector.as_ref().expect("work installed").as_ref();
+            let batch = DetectionBatch {
+                channels: &data.channels,
+                jobs: &data.jobs[..data.n_jobs],
+                c: data.c,
+            };
+            let mut out = lock_ignoring_poison(&shared.slots[wid]);
+            detector.detect_batch_indexed_with(&batch, &data.order[lo..hi], &mut ws, &mut out);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +547,91 @@ mod tests {
         let reference = batch.detect_serial(&det);
         for (p, r) in out.iter().zip(&reference) {
             assert_eq!(p.symbols, r.symbols);
+        }
+    }
+
+    #[test]
+    fn pool_matches_serial_reference_across_frames() {
+        let c = Constellation::Qam16;
+        let (channels, jobs) = random_batch(303, c, 4, 4, 6, 48, 0.05);
+        let batch = DetectionBatch { channels: &channels, jobs: &jobs, c };
+        let det = geosphere_decoder();
+        let reference = batch.detect_serial(&det);
+        let arc: Arc<dyn MimoDetector> = Arc::new(det);
+        for workers in [1usize, 3, 5] {
+            let mut pool = DetectionPool::new(workers);
+            assert_eq!(pool.workers(), workers);
+            let mut ch = channels.clone();
+            let mut jb = jobs.clone();
+            // Reuse the same pool for several frames, including a short one
+            // (n_jobs < jobs.len()) to exercise shrinking dispatch.
+            for n in [jb.len(), jb.len() / 2, jb.len()] {
+                pool.run(&arc, &mut ch, &mut jb, n, c);
+                assert_eq!(ch.len(), channels.len(), "buffers returned");
+                assert_eq!(jb.len(), jobs.len(), "buffers returned");
+                let mut seen = vec![false; n];
+                pool.for_each_result(|idx, det| {
+                    assert!(!seen[idx], "job {idx} visited twice");
+                    seen[idx] = true;
+                    assert_eq!(det.symbols, reference[idx].symbols, "workers {workers} job {idx}");
+                    assert_eq!(det.stats, reference[idx].stats, "workers {workers} job {idx}");
+                });
+                assert!(seen.iter().all(|&s| s), "workers {workers}: every job covered");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_propagates_worker_panic_instead_of_hanging() {
+        /// A detector whose batch path always panics.
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct PanickyDetector;
+        impl MimoDetector for PanickyDetector {
+            fn detect(&self, _: &Matrix, _: &[Complex], _: Constellation) -> Detection {
+                panic!("intentional test panic");
+            }
+            fn name(&self) -> &'static str {
+                "panicky"
+            }
+        }
+
+        let c = Constellation::Qpsk;
+        let (channels, jobs) = random_batch(305, c, 2, 2, 1, 6, 0.01);
+        let mut pool = DetectionPool::new(2);
+        let arc: Arc<dyn MimoDetector> = Arc::new(PanickyDetector);
+        let mut ch = channels;
+        let mut jb = jobs;
+        let n = jb.len();
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&arc, &mut ch, &mut jb, n, c);
+        }));
+        assert!(run.is_err(), "a worker panic must surface as a coordinator panic, not a hang");
+        // The pool is dead; further use must fail fast, and dropping it
+        // (joining the surviving workers) must not hang either.
+        let reuse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&arc, &mut ch, &mut jb, n, c);
+        }));
+        assert!(reuse.is_err(), "a dead pool must refuse further frames");
+        drop(pool);
+    }
+
+    #[test]
+    fn pool_serves_changing_detectors() {
+        let c = Constellation::Qpsk;
+        let (channels, jobs) = random_batch(304, c, 2, 2, 2, 12, 0.02);
+        let batch = DetectionBatch { channels: &channels, jobs: &jobs, c };
+        let mut pool = DetectionPool::new(2);
+        let mut ch = channels.clone();
+        let mut jb = jobs.clone();
+        let detectors: Vec<Arc<dyn MimoDetector>> =
+            vec![Arc::new(geosphere_decoder()), Arc::new(ZfDetector), Arc::new(ethsd_decoder())];
+        for arc in &detectors {
+            let reference = batch.detect_serial(arc.as_ref());
+            let n = jb.len();
+            pool.run(arc, &mut ch, &mut jb, n, c);
+            pool.for_each_result(|idx, det| {
+                assert_eq!(det.symbols, reference[idx].symbols, "{}", arc.name());
+            });
         }
     }
 

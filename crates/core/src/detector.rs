@@ -10,6 +10,7 @@
 use crate::stats::DetectorStats;
 use gs_linalg::{Complex, Matrix};
 use gs_modulation::{Constellation, GridPoint};
+use std::any::Any;
 
 /// The result of detecting one received vector.
 #[derive(Clone, Debug)]
@@ -18,6 +19,43 @@ pub struct Detection {
     pub symbols: Vec<GridPoint>,
     /// Operation counts for this detection.
     pub stats: DetectorStats,
+}
+
+/// Opaque per-worker scratch for the allocation-free batched detection
+/// entry points ([`MimoDetector::detect_batch_with`]).
+///
+/// Each detector family stores its own concrete state inside — the sphere
+/// decoders a [`SearchWorkspace`](crate::SearchWorkspace), the linear/SIC
+/// detectors a [`FilterCache`](crate::FilterCache) — and retrieves it with
+/// [`DetectorWorkspace::get_or_insert`]. A workspace created by one
+/// detector type and later handed to another is simply re-seeded (one
+/// warmup allocation), so long-lived receivers can hold a single
+/// `DetectorWorkspace` regardless of which detector runs.
+#[derive(Default)]
+pub struct DetectorWorkspace {
+    inner: Option<Box<dyn Any + Send>>,
+}
+
+impl DetectorWorkspace {
+    /// Creates an empty workspace; the owning detector seeds it on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrows the contained `T`, replacing whatever is inside (nothing, or
+    /// another detector's state) with `make()` when it is not already a `T`.
+    pub fn get_or_insert<T: Send + 'static>(&mut self, make: impl FnOnce() -> T) -> &mut T {
+        let needs_seed = !matches!(&self.inner, Some(b) if b.is::<T>());
+        if needs_seed {
+            self.inner = Some(Box::new(make()));
+        }
+        self.inner
+            .as_mut()
+            .expect("workspace just seeded")
+            .downcast_mut::<T>()
+            .expect("workspace holds the requested type")
+    }
 }
 
 /// A hard-output MIMO detector.
@@ -37,39 +75,82 @@ pub trait MimoDetector: Send + Sync {
 
     /// Detects every job of a batch, in job order.
     ///
-    /// The default loops [`MimoDetector::detect`]. Detectors with
-    /// per-channel preprocessing (QR factorization in the sphere decoders)
-    /// override this to compute it once per distinct channel in the
-    /// batch's table instead of once per job — with bit-identical results.
-    /// **An override here must be paired with a
-    /// [`MimoDetector::detect_batch_indexed`] override**: the worker pool
-    /// dispatches non-channel-grouped batches through the indexed form, and
-    /// its default gets no amortization.
+    /// The default routes through a fresh workspace and
+    /// [`MimoDetector::detect_batch_with`], whose own default loops
+    /// [`MimoDetector::detect`] — so detectors that override the `_with`
+    /// pair (per-channel preprocessing: QR in the sphere decoders, filter
+    /// caching in the linear/SIC detectors) get whole-batch amortization
+    /// here for free, with bit-identical per-job results.
     fn detect_batch(&self, batch: &crate::batch::DetectionBatch) -> Vec<Detection> {
-        batch.detect_serial(self)
+        let mut ws = self.make_batch_workspace();
+        let mut out = Vec::with_capacity(batch.jobs.len());
+        self.detect_batch_with(batch, &mut ws, &mut out);
+        out
     }
 
     /// Detects the jobs selected by `indices` (results in `indices` order).
     ///
     /// This is the scattered-dispatch form [`crate::BatchDetector`] uses to
     /// hand workers channel-grouped job subsets without materializing a
-    /// cloned, reordered job list. The default loops
-    /// [`MimoDetector::detect`]; detectors with per-channel preprocessing
-    /// must override it alongside [`MimoDetector::detect_batch`] (same
-    /// amortization — `indices` arrive channel-grouped — and bit-identical
-    /// per-job results in both cases).
+    /// cloned, reordered job list. Like [`MimoDetector::detect_batch`], the
+    /// default delegates to the `_with` form, so one override serves both.
     fn detect_batch_indexed(
         &self,
         batch: &crate::batch::DetectionBatch,
         indices: &[usize],
     ) -> Vec<Detection> {
-        indices
-            .iter()
-            .map(|&ix| {
-                let job = &batch.jobs[ix];
-                self.detect(&batch.channels[job.channel], &job.y, batch.c)
-            })
-            .collect()
+        let mut ws = self.make_batch_workspace();
+        let mut out = Vec::with_capacity(indices.len());
+        self.detect_batch_indexed_with(batch, indices, &mut ws, &mut out);
+        out
+    }
+
+    /// Creates a reusable opaque workspace for the `_with` batch entry
+    /// points. The default is empty (the default `_with` implementations
+    /// need no state); detectors with per-channel preprocessing return a
+    /// workspace that their overrides recognize and reuse.
+    fn make_batch_workspace(&self) -> DetectorWorkspace {
+        DetectorWorkspace::new()
+    }
+
+    /// Detects every job of a batch into a recycled output vector, reusing
+    /// `ws` across calls — the allocation-free counterpart of
+    /// [`MimoDetector::detect_batch`], bit-identical to it.
+    ///
+    /// `out` is cleared and refilled in job order. The default loops
+    /// [`MimoDetector::detect`]; detectors with per-channel preprocessing
+    /// override this (and [`MimoDetector::detect_batch_indexed_with`]) so
+    /// that a warmed workspace makes the whole call allocation-free.
+    fn detect_batch_with(
+        &self,
+        batch: &crate::batch::DetectionBatch,
+        ws: &mut DetectorWorkspace,
+        out: &mut Vec<Detection>,
+    ) {
+        let _ = ws;
+        out.clear();
+        out.extend(
+            batch.jobs.iter().map(|job| self.detect(&batch.channels[job.channel], &job.y, batch.c)),
+        );
+    }
+
+    /// Detects the jobs selected by `indices` into a recycled output vector
+    /// (results in `indices` order), reusing `ws` across calls — the
+    /// allocation-free counterpart of
+    /// [`MimoDetector::detect_batch_indexed`], bit-identical to it.
+    fn detect_batch_indexed_with(
+        &self,
+        batch: &crate::batch::DetectionBatch,
+        indices: &[usize],
+        ws: &mut DetectorWorkspace,
+        out: &mut Vec<Detection>,
+    ) {
+        let _ = ws;
+        out.clear();
+        out.extend(indices.iter().map(|&ix| {
+            let job = &batch.jobs[ix];
+            self.detect(&batch.channels[job.channel], &job.y, batch.c)
+        }));
     }
 
     /// A short display name ("ZF", "Geosphere", "ETH-SD", …).
@@ -79,8 +160,25 @@ pub trait MimoDetector: Send + Sync {
 /// Computes `y = h·s + noise`-free transmit hypothesis `h·s` for a grid
 /// symbol vector — shared by the exhaustive detector and the tests.
 pub fn apply_channel(h: &Matrix, s: &[GridPoint]) -> Vec<Complex> {
-    let sv: Vec<Complex> = s.iter().map(|p| p.to_complex()).collect();
-    h.mul_vec(&sv)
+    let mut out = Vec::with_capacity(h.rows());
+    apply_channel_into(h, s, &mut out);
+    out
+}
+
+/// [`apply_channel`] into a reused output buffer (cleared first) —
+/// bit-identical, without the per-call symbol-vector and output
+/// allocations. The frame planner's per-(symbol, subcarrier) inner loop
+/// runs on this.
+pub fn apply_channel_into(h: &Matrix, s: &[GridPoint], out: &mut Vec<Complex>) {
+    assert_eq!(s.len(), h.cols(), "symbol count must match channel columns");
+    out.clear();
+    for r in 0..h.rows() {
+        let mut acc = Complex::ZERO;
+        for (c, p) in s.iter().enumerate() {
+            acc += h[(r, c)] * p.to_complex();
+        }
+        out.push(acc);
+    }
 }
 
 /// Squared residual `‖y − h·s‖²` of a hypothesis.

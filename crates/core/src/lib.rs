@@ -33,6 +33,7 @@
 
 pub mod batch;
 pub mod detector;
+pub mod filter_cache;
 pub mod fsd;
 pub mod geoprune;
 pub mod hybrid;
@@ -46,8 +47,12 @@ pub mod sphere;
 pub mod statprune;
 pub mod stats;
 
-pub use batch::{BatchDetector, DetectionBatch, DetectionJob};
-pub use detector::{apply_channel, residual_norm_sqr, slice_vector, Detection, MimoDetector};
+pub use batch::{BatchDetector, DetectionBatch, DetectionJob, DetectionPool};
+pub use detector::{
+    apply_channel, apply_channel_into, residual_norm_sqr, slice_vector, Detection,
+    DetectorWorkspace, MimoDetector,
+};
+pub use filter_cache::{FilterCache, PicGram, SicFilters};
 pub use fsd::FsdDetector;
 pub use hybrid::HybridDetector;
 pub use kbest::KBestDetector;

@@ -6,30 +6,117 @@
 //! Geosphere exists to avoid. MMSE (paper §6, "Linear filtering")
 //! regularizes the inverse by the noise power, trading residual
 //! inter-stream interference against amplification.
+//!
+//! Filter construction goes through [`FilterCache`]: a single detection
+//! builds (and immediately uses) one entry, while the batch entry points
+//! share one cache across the batch so each distinct channel's
+//! pseudo-inverse is computed once per batch instead of once per
+//! detection — with bit-identical outputs either way.
 
-use crate::detector::{slice_vector, Detection, MimoDetector};
+use crate::detector::{slice_vector, Detection, DetectorWorkspace, MimoDetector};
+use crate::filter_cache::{compute_linear_filter, FilterCache};
 use crate::stats::DetectorStats;
-use gs_linalg::{pseudo_inverse, regularized_pseudo_inverse, Complex, Matrix};
+use gs_linalg::{Complex, Matrix};
 use gs_modulation::Constellation;
 
+/// Scratch owned by the linear detectors' batch workspace: the shared
+/// filter cache plus the filtered-estimate buffer.
+#[derive(Default)]
+pub(crate) struct LinearScratch {
+    pub(crate) cache: FilterCache,
+    pub(crate) est: Vec<Complex>,
+}
+
+/// A single uncached linear detection: builds the filter for this call
+/// only (no snapshot, no cache bookkeeping) — the serial `detect` path.
+fn detect_linear_oneshot(
+    h: &Matrix,
+    y: &[Complex],
+    c: Constellation,
+    lambda: Option<f64>,
+) -> Detection {
+    let mut stats = DetectorStats::default();
+    stats.complex_mults += (h.rows() * h.cols()) as u64;
+    let w = compute_linear_filter(h, lambda);
+    let symbols = slice_vector(&w.mul_vec(y), c, &mut stats);
+    Detection { symbols, stats }
+}
+
+/// One cached-filter linear detection: applies `W y` and slices. The
+/// filter application cost is `nt × nr` complex multiplications — the
+/// figure the paper quotes ("zero-forcing requires nt×nr = 8 complex
+/// multiplications" for 2x4) — counted identically to the seed
+/// implementation.
+fn detect_linear(
+    h: &Matrix,
+    y: &[Complex],
+    c: Constellation,
+    lambda: Option<f64>,
+    channel_idx: usize,
+    scratch: &mut LinearScratch,
+) -> Detection {
+    let mut stats = DetectorStats::default();
+    stats.complex_mults += (h.rows() * h.cols()) as u64;
+    let LinearScratch { cache, est } = scratch;
+    let w = cache.linear_filter(channel_idx, h, lambda);
+    w.mul_vec_into(y, est);
+    let symbols = slice_vector(est, c, &mut stats);
+    Detection { symbols, stats }
+}
+
+/// Runs a batch (or an indexed subset) through [`detect_linear`] with one
+/// shared cache — the common body of both linear detectors' batch
+/// overrides.
+fn detect_batch_linear<'j>(
+    batch: &crate::batch::DetectionBatch,
+    jobs: impl Iterator<Item = &'j crate::batch::DetectionJob>,
+    lambda: Option<f64>,
+    ws: &mut DetectorWorkspace,
+    out: &mut Vec<Detection>,
+) {
+    let scratch = ws.get_or_insert(LinearScratch::default);
+    out.clear();
+    for job in jobs {
+        out.push(detect_linear(
+            &batch.channels[job.channel],
+            &job.y,
+            batch.c,
+            lambda,
+            job.channel,
+            scratch,
+        ));
+    }
+}
+
 /// The zero-forcing detector: slice `H⁺ y`.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ZfDetector;
 
 impl MimoDetector for ZfDetector {
     fn detect(&self, h: &Matrix, y: &[Complex], c: Constellation) -> Detection {
-        let mut stats = DetectorStats::default();
-        // nt x nr complex multiplications to apply the precomputed filter —
-        // the figure the paper quotes ("zero-forcing requires nt×nr = 8
-        // complex multiplications" for 2x4).
-        stats.complex_mults += (h.rows() * h.cols()) as u64;
-        let symbols = match pseudo_inverse(h) {
-            Ok(pinv) => slice_vector(&pinv.mul_vec(y), c, &mut stats),
-            // Singular channel: fall back to matched-filter decisions so the
-            // detector still returns (the frame will fail its CRC).
-            Err(_) => slice_vector(&h.hermitian().mul_vec(y), c, &mut stats),
-        };
-        Detection { symbols, stats }
+        // Singular channels fall back to matched-filter decisions inside
+        // the filter build, so the detector still returns (the frame will
+        // fail its CRC).
+        detect_linear_oneshot(h, y, c, None)
+    }
+
+    fn detect_batch_with(
+        &self,
+        batch: &crate::batch::DetectionBatch,
+        ws: &mut DetectorWorkspace,
+        out: &mut Vec<Detection>,
+    ) {
+        detect_batch_linear(batch, batch.jobs.iter(), None, ws, out);
+    }
+
+    fn detect_batch_indexed_with(
+        &self,
+        batch: &crate::batch::DetectionBatch,
+        indices: &[usize],
+        ws: &mut DetectorWorkspace,
+        out: &mut Vec<Detection>,
+    ) {
+        detect_batch_linear(batch, indices.iter().map(|&ix| &batch.jobs[ix]), None, ws, out);
     }
 
     fn name(&self) -> &'static str {
@@ -39,7 +126,7 @@ impl MimoDetector for ZfDetector {
 
 /// The (unbiased-decision) MMSE detector: slice `(H*H + λI)⁻¹H* y` with
 /// `λ = σ²/E_s` for grid-domain symbol energy `E_s`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MmseDetector {
     /// Physical complex noise variance `σ²` (unit-signal-power convention).
     pub noise_variance: f64,
@@ -60,13 +147,32 @@ impl MmseDetector {
 
 impl MimoDetector for MmseDetector {
     fn detect(&self, h: &Matrix, y: &[Complex], c: Constellation) -> Detection {
-        let mut stats = DetectorStats::default();
-        stats.complex_mults += (h.rows() * h.cols()) as u64;
-        let symbols = match regularized_pseudo_inverse(h, self.lambda(c)) {
-            Ok(w) => slice_vector(&w.mul_vec(y), c, &mut stats),
-            Err(_) => slice_vector(&h.hermitian().mul_vec(y), c, &mut stats),
-        };
-        Detection { symbols, stats }
+        detect_linear_oneshot(h, y, c, Some(self.lambda(c)))
+    }
+
+    fn detect_batch_with(
+        &self,
+        batch: &crate::batch::DetectionBatch,
+        ws: &mut DetectorWorkspace,
+        out: &mut Vec<Detection>,
+    ) {
+        detect_batch_linear(batch, batch.jobs.iter(), Some(self.lambda(batch.c)), ws, out);
+    }
+
+    fn detect_batch_indexed_with(
+        &self,
+        batch: &crate::batch::DetectionBatch,
+        indices: &[usize],
+        ws: &mut DetectorWorkspace,
+        out: &mut Vec<Detection>,
+    ) {
+        detect_batch_linear(
+            batch,
+            indices.iter().map(|&ix| &batch.jobs[ix]),
+            Some(self.lambda(batch.c)),
+            ws,
+            out,
+        );
     }
 
     fn name(&self) -> &'static str {
@@ -172,5 +278,42 @@ mod tests {
         let det = ZfDetector.detect(&h, &y, Constellation::Qpsk);
         assert_eq!(det.stats.complex_mults, 16);
         assert_eq!(det.stats.slices, 4);
+    }
+
+    #[test]
+    fn batch_with_matches_per_call_detect() {
+        // Cached-filter batch detection must be bit-identical to plain
+        // per-call detection, entry reuse and CSI invalidation included.
+        let mut rng = StdRng::seed_from_u64(114);
+        let c = Constellation::Qam16;
+        let channels: Vec<Matrix> = (0..3)
+            .map(|_| RayleighChannel::new(4, 3).sample_matrix(&mut rng).scale(c.scale()))
+            .collect();
+        let jobs: Vec<crate::batch::DetectionJob> = (0..12)
+            .map(|j| {
+                let channel = j % 3;
+                let s = random_symbols(&mut rng, c, 3);
+                let mut y = apply_channel(&channels[channel], &s);
+                for v in y.iter_mut() {
+                    *v += sample_cn(&mut rng, 0.05);
+                }
+                crate::batch::DetectionJob { channel, y }
+            })
+            .collect();
+        let batch = crate::batch::DetectionBatch { channels: &channels, jobs: &jobs, c };
+        for det in [&ZfDetector as &dyn MimoDetector, &MmseDetector::new(0.05)] {
+            let reference = batch.detect_serial(det);
+            let mut ws = det.make_batch_workspace();
+            let mut out = Vec::new();
+            // Two passes through the same warm workspace: the second runs
+            // entirely on cached filters.
+            for pass in 0..2 {
+                det.detect_batch_with(&batch, &mut ws, &mut out);
+                for (k, (a, b)) in out.iter().zip(&reference).enumerate() {
+                    assert_eq!(a.symbols, b.symbols, "{} pass {pass} job {k}", det.name());
+                    assert_eq!(a.stats, b.stats, "{} pass {pass} job {k}", det.name());
+                }
+            }
+        }
     }
 }

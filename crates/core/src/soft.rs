@@ -15,7 +15,7 @@
 use crate::sphere::geosphere_enum::GeosphereEnumerator;
 use crate::sphere::{GeosphereFactory, SearchWorkspace, SphereDecoder};
 use crate::stats::DetectorStats;
-use gs_linalg::{qr_decompose_into, vec_dist_sqr, Complex, Matrix, Qr, QrWorkspace};
+use gs_linalg::{qr_decompose_into, Complex, Matrix, Qr, QrWorkspace};
 use gs_modulation::{Constellation, GridPoint};
 
 /// Soft detection output.
@@ -166,14 +166,21 @@ impl SoftGeosphereDetector {
             }
         }
 
-        debug_assert!(
-            (vec_dist_sqr(
-                &ws.yhat[..nc],
-                &ws.qr.r.mul_vec(&out.symbols.iter().map(|p| p.to_complex()).collect::<Vec<_>>())
-            ) - ml_dist)
-                .abs()
-                < 1e-6 * ml_dist.max(1.0)
-        );
+        // Cross-check the ML metric without allocating (this path must stay
+        // allocation-free even in debug builds, where the frame-chain
+        // alloc-regression test runs).
+        #[cfg(debug_assertions)]
+        {
+            let mut resid = 0.0;
+            for r in 0..nc {
+                let mut acc = ws.yhat[r];
+                for (j, p) in out.symbols.iter().enumerate() {
+                    acc -= ws.qr.r[(r, j)] * p.to_complex();
+                }
+                resid += acc.norm_sqr();
+            }
+            debug_assert!((resid - ml_dist).abs() < 1e-6 * ml_dist.max(1.0));
+        }
 
         out.stats = stats;
     }

@@ -26,7 +26,7 @@ use gs_linalg::{qr_decompose_into, sorted_qr_decompose_into, Complex, Matrix, Qr
 use gs_modulation::{Constellation, GridPoint};
 
 /// A depth-first sphere decoder built from an enumerator family.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SphereDecoder<F> {
     factory: F,
     /// Use column-norm sorted QR preprocessing (V-BLAST-style ordering).
@@ -334,42 +334,52 @@ impl<F: EnumeratorFactory> MimoDetector for SphereDecoder<F> {
         self.detect_prepared(&prep.expect("prep just refreshed"), h.cols(), y, c, &mut ws)
     }
 
-    /// Batched detection with per-channel QR amortization: the
-    /// factorization is computed once per entry of the batch's channel
-    /// table and reused by every job referencing it. An OFDM frame reuses
-    /// each subcarrier's channel across all its OFDM symbols, so this
-    /// removes an `n_ofdm_symbols×` redundancy — with output bit-identical
-    /// to per-job [`MimoDetector::detect`], since QR is deterministic and
-    /// uncounted by [`DetectorStats`].
-    ///
-    /// One [`SearchWorkspace`] serves the whole batch (it is created here,
-    /// on the calling worker thread), so per-node and per-symbol search
-    /// state is reused across every job in the batch.
-    fn detect_batch(&self, batch: &crate::batch::DetectionBatch) -> Vec<Detection> {
-        let mut ws = self.make_workspace();
-        let mut out = Vec::new();
-        self.detect_batch_into(batch, &mut ws, &mut out);
-        out
+    /// Seeds the opaque workspace with this decoder's
+    /// [`SearchWorkspace`], so the `_with` entry points below (and the
+    /// `detect_batch`/`detect_batch_indexed` trait defaults that route
+    /// through them) run the allocation-free
+    /// [`SphereDecoder::detect_batch_into`] path.
+    fn make_batch_workspace(&self) -> crate::detector::DetectorWorkspace {
+        let mut ws = crate::detector::DetectorWorkspace::new();
+        ws.get_or_insert(SearchWorkspace::<F::Enumerator>::new);
+        ws
     }
 
-    /// Indexed batched detection (see [`MimoDetector::detect_batch_indexed`])
-    /// with the same per-channel QR amortization and workspace reuse as
-    /// [`MimoDetector::detect_batch`].
-    fn detect_batch_indexed(
+    /// [`SphereDecoder::detect_batch_into`] behind the type-erased
+    /// workspace: per-channel QR amortization (one factorization per entry
+    /// of the batch's channel table — an OFDM frame reuses each
+    /// subcarrier's channel across all its OFDM symbols), with zero heap
+    /// allocations per symbol once `ws` and `out` have warmed up. Output is
+    /// bit-identical to per-job [`MimoDetector::detect`]: QR is
+    /// deterministic and uncounted by [`DetectorStats`].
+    fn detect_batch_with(
+        &self,
+        batch: &crate::batch::DetectionBatch,
+        ws: &mut crate::detector::DetectorWorkspace,
+        out: &mut Vec<Detection>,
+    ) {
+        let sws = ws.get_or_insert(SearchWorkspace::<F::Enumerator>::new);
+        self.detect_batch_into(batch, sws, out);
+    }
+
+    /// Indexed variant of [`MimoDetector::detect_batch_with`], used by the
+    /// persistent worker pool: same amortization, same zero-allocation
+    /// steady state.
+    fn detect_batch_indexed_with(
         &self,
         batch: &crate::batch::DetectionBatch,
         indices: &[usize],
-    ) -> Vec<Detection> {
-        let mut ws = self.make_workspace();
-        let mut out = Vec::new();
+        ws: &mut crate::detector::DetectorWorkspace,
+        out: &mut Vec<Detection>,
+    ) {
+        let sws = ws.get_or_insert(SearchWorkspace::<F::Enumerator>::new);
         self.detect_jobs_into(
             batch.channels,
             indices.iter().map(|&ix| &batch.jobs[ix]),
             batch.c,
-            &mut ws,
-            &mut out,
+            sws,
+            out,
         );
-        out
     }
 
     fn name(&self) -> &'static str {

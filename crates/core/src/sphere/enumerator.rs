@@ -61,8 +61,10 @@ pub trait NodeEnumerator {
 /// satisfy the [`crate::MimoDetector`] thread-safety contract; factories
 /// are stateless configuration, so this costs nothing.
 pub trait EnumeratorFactory: Send + Sync {
-    /// The enumerator type produced.
-    type Enumerator: NodeEnumerator + Send;
+    /// The enumerator type produced. `'static` lets a
+    /// [`SearchWorkspace`](crate::SearchWorkspace) of this enumerator live
+    /// inside a type-erased [`DetectorWorkspace`](crate::DetectorWorkspace).
+    type Enumerator: NodeEnumerator + Send + 'static;
 
     /// Creates an enumerator for a node with received symbol `center`
     /// (`ỹ_l`, constellation space) and level gain `gain = |r_ll|²`.
@@ -121,7 +123,7 @@ pub trait EnumeratorFactory: Send + Sync {
 /// (allocating) sort — it is exempt from the zero-allocation invariant the
 /// production enumerators uphold, though `reset` still reuses its child
 /// buffer.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ExhaustiveSortFactory;
 
 /// Enumerator produced by [`ExhaustiveSortFactory`].

@@ -25,7 +25,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Factory for Geosphere enumerators.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GeosphereFactory {
     /// Enables the §3.2 geometric pruning bound (the paper's "Full"
     /// variant). Disabled = the "2D zigzag only" ablation of §5.3.2.

@@ -18,7 +18,7 @@ use gs_linalg::Complex;
 use gs_modulation::{AxisZigzag, Constellation, GridPoint};
 
 /// Factory for ETH-SD (Hess) enumerators.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct HessFactory;
 
 /// Per-row state: the row's current head candidate and its 1-D zigzag.

@@ -132,6 +132,33 @@ impl Matrix {
         Matrix::from_fn(self.rows, self.cols, |r, c| self[(r, c)].scale(k))
     }
 
+    /// Makes `self` an entry-wise scaled copy of `src` (`self = k·src`),
+    /// reusing storage — the in-place counterpart of [`Matrix::scale`],
+    /// bit-identical to it entry by entry.
+    pub fn scale_from(&mut self, src: &Matrix, k: f64) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend(src.data.iter().map(|z| z.scale(k)));
+    }
+
+    /// Matrix-vector product written into a reused output buffer —
+    /// bit-identical to [`Matrix::mul_vec`] without its allocation.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != self.cols()`.
+    pub fn mul_vec_into(&self, x: &[Complex], out: &mut Vec<Complex>) {
+        assert_eq!(x.len(), self.cols, "matrix-vector dimension mismatch");
+        out.clear();
+        for r in 0..self.rows {
+            let mut acc = Complex::ZERO;
+            for c in 0..self.cols {
+                acc += self[(r, c)] * x[c];
+            }
+            out.push(acc);
+        }
+    }
+
     /// Reshapes `self` into an all-zero `rows × cols` matrix, reusing the
     /// existing storage (no heap traffic once capacity suffices).
     pub fn reset_zeros(&mut self, rows: usize, cols: usize) {

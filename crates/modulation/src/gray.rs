@@ -40,11 +40,17 @@ pub fn map_bits(c: Constellation, bits: &[bool]) -> GridPoint {
 
 /// Recovers the `Q` bits (MSB-first) of an exact constellation point.
 pub fn unmap_point(c: Constellation, p: GridPoint) -> Vec<bool> {
-    let half = c.bits_per_axis();
     let mut bits = Vec::with_capacity(c.bits_per_symbol());
-    axis_to_bits(c, p.i, half, &mut bits);
-    axis_to_bits(c, p.q, half, &mut bits);
+    unmap_point_into(c, p, &mut bits);
     bits
+}
+
+/// Appends the `Q` bits (MSB-first) of an exact constellation point to a
+/// caller-owned buffer — the allocation-free form of [`unmap_point`].
+pub fn unmap_point_into(c: Constellation, p: GridPoint, out: &mut Vec<bool>) {
+    let half = c.bits_per_axis();
+    axis_to_bits(c, p.i, half, out);
+    axis_to_bits(c, p.q, half, out);
 }
 
 fn axis_from_bits(c: Constellation, bits: &[bool]) -> i32 {
@@ -68,18 +74,35 @@ fn axis_to_bits(c: Constellation, coord: i32, nbits: usize, out: &mut Vec<bool>)
 /// # Panics
 /// Panics unless `bits.len()` is a multiple of `Q`.
 pub fn map_bitstream(c: Constellation, bits: &[bool]) -> Vec<GridPoint> {
+    let mut out = Vec::with_capacity(bits.len() / c.bits_per_symbol().max(1));
+    map_bitstream_into(c, bits, &mut out);
+    out
+}
+
+/// [`map_bitstream`] into a reused output buffer (cleared first).
+///
+/// # Panics
+/// Panics unless `bits.len()` is a multiple of `Q`.
+pub fn map_bitstream_into(c: Constellation, bits: &[bool], out: &mut Vec<GridPoint>) {
     let q = c.bits_per_symbol();
     assert_eq!(bits.len() % q, 0, "bitstream not a multiple of {q} bits");
-    bits.chunks(q).map(|chunk| map_bits(c, chunk)).collect()
+    out.clear();
+    out.extend(bits.chunks(q).map(|chunk| map_bits(c, chunk)));
 }
 
 /// Recovers the bitstream from a sequence of constellation points.
 pub fn unmap_points(c: Constellation, points: &[GridPoint]) -> Vec<bool> {
     let mut out = Vec::with_capacity(points.len() * c.bits_per_symbol());
-    for &p in points {
-        out.extend(unmap_point(c, p));
-    }
+    unmap_points_into(c, points, &mut out);
     out
+}
+
+/// [`unmap_points`] into a reused output buffer (cleared first).
+pub fn unmap_points_into(c: Constellation, points: &[GridPoint], out: &mut Vec<bool>) {
+    out.clear();
+    for &p in points {
+        unmap_point_into(c, p, out);
+    }
 }
 
 #[cfg(test)]

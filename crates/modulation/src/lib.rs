@@ -27,5 +27,8 @@ pub mod zigzag;
 
 pub use bits::{bit_of_point, pack_point_bits, BitTable};
 pub use constellation::{Constellation, GridPoint};
-pub use gray::{gray_decode, gray_encode, map_bits, map_bitstream, unmap_point, unmap_points};
+pub use gray::{
+    gray_decode, gray_encode, map_bits, map_bitstream, map_bitstream_into, unmap_point,
+    unmap_point_into, unmap_points, unmap_points_into,
+};
 pub use zigzag::AxisZigzag;

@@ -1,0 +1,182 @@
+//! Frame-level reusable workspace: the allocation-free receive loop.
+//!
+//! PR 2 made the per-symbol detection hot path zero-alloc behind
+//! `SearchWorkspace`; this module extends the same ownership discipline one
+//! layer up, to whole frames. [`FrameWorkspace`] owns every buffer an
+//! uplink frame exchange touches — the transmit-chain scratch, the planned
+//! per-client symbol grids, the pooled [`DetectionJob`] `y` buffers, the
+//! detection outputs, the per-client LLR streams of the soft path, and the
+//! receive-chain (deinterleave/depuncture/Viterbi) scratch — plus the
+//! persistent [`DetectionPool`] for multi-worker decoding.
+//!
+//! ## Ownership model
+//!
+//! **One `FrameWorkspace` per receive loop, one
+//! [`SearchWorkspace`](geosphere_core::SearchWorkspace) per worker.** A
+//! long-lived receiver holds one `FrameWorkspace` across frames and drives
+//! [`decode_frame_batched_into`](crate::txrx::decode_frame_batched_into)
+//! (hard path) or
+//! [`uplink_frame_soft_into`](crate::soft_rx::uplink_frame_soft_into)
+//! (soft path): after one warmup frame of a given shape, a frame performs
+//! **zero heap allocations** end to end — planning, detection (at any
+//! worker count: pool threads recycle their own search state and output
+//! buffers), and payload recovery. `tests/alloc_regression.rs` enforces
+//! this with a counting global allocator; `tests/frame_workspace_reuse.rs`
+//! proves reuse is bit-identical to fresh-workspace decoding, shrinking
+//! and growing frame shapes included.
+//!
+//! Buffers only ever grow: a smaller frame reuses the prefix of a larger
+//! frame's buffers, so alternating shapes stay allocation-free once the
+//! largest has been seen.
+
+use crate::iterative::IterScratch;
+use crate::txrx::UplinkOutcome;
+use geosphere_core::{
+    Detection, DetectionJob, DetectionPool, DetectorWorkspace, MimoDetector, SoftDetection,
+    SoftWorkspace,
+};
+use gs_coding::{CodedBit, ViterbiWorkspace};
+use gs_linalg::{Complex, Matrix};
+use gs_modulation::GridPoint;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Transmit-chain scratch shared by all clients of a frame (each client's
+/// chain runs start-to-finish before the next client's).
+#[derive(Default)]
+pub(crate) struct TxScratch {
+    /// Payload + CRC + pad (scrambled in place).
+    pub(crate) info: Vec<bool>,
+    /// Mother-code output.
+    pub(crate) mother: Vec<bool>,
+    /// Punctured stream.
+    pub(crate) coded: Vec<bool>,
+    /// Interleaved stream.
+    pub(crate) interleaved: Vec<bool>,
+}
+
+/// Receive-chain scratch shared by all clients of a frame.
+#[derive(Default)]
+pub(crate) struct RxScratch {
+    /// Hard demapped bits (transmitted order).
+    pub(crate) bits: Vec<bool>,
+    /// Deinterleaved hard bits.
+    pub(crate) deint: Vec<bool>,
+    /// Depunctured mother stream.
+    pub(crate) mother_cb: Vec<CodedBit>,
+    /// Deinterleaved LLRs (soft path).
+    pub(crate) llr_deint: Vec<f64>,
+    /// Depunctured soft mother stream.
+    pub(crate) mother_soft: Vec<f64>,
+    /// Decoded information bits (truncated to payload + CRC).
+    pub(crate) info: Vec<bool>,
+    /// Viterbi trellis scratch (hard and soft paths).
+    pub(crate) vit: ViterbiWorkspace,
+}
+
+/// The detector identity installed into the worker pool: the caller's
+/// concrete detector value (for change detection) plus the type-erased
+/// `Arc` the pool workers hold.
+pub(crate) struct PoolDetector {
+    src: Box<dyn Any + Send + Sync>,
+    arc: Arc<dyn MimoDetector>,
+}
+
+/// Reusable whole-frame state for the uplink receive loop. See the module
+/// docs for the ownership model; create with [`FrameWorkspace::new`] and
+/// pass to the `_into` frame entry points in [`crate::txrx`],
+/// [`crate::soft_rx`], [`crate::iterative`], and [`crate::measure`].
+#[derive(Default)]
+pub struct FrameWorkspace {
+    // --- frame plan (filled by `plan_uplink_frame_into`) ---
+    /// Per-client payload bits.
+    pub(crate) payloads: Vec<Vec<bool>>,
+    /// Per-client planned grid symbols, flattened `[t * n_subcarriers + k]`.
+    pub(crate) symbols: Vec<Vec<GridPoint>>,
+    pub(crate) tx: TxScratch,
+    /// Grid-domain air channels (constellation scale folded in).
+    pub(crate) grid_channels: Vec<Matrix>,
+    /// The detector's channel view (genie or CSI), same scaling.
+    pub(crate) rx_channels: Vec<Matrix>,
+    /// Valid prefix lengths of the two channel tables (the buffers only
+    /// grow; stale entries beyond these lengths are ignored).
+    pub(crate) n_grid_channels: usize,
+    pub(crate) n_rx_channels: usize,
+    /// Pooled detection jobs; entry `y` buffers are refilled in place.
+    pub(crate) jobs: Vec<DetectionJob>,
+    pub(crate) n_jobs: usize,
+    pub(crate) n_sym: usize,
+    pub(crate) n_clients: usize,
+    /// Per-job stacked symbol scratch.
+    pub(crate) s_buf: Vec<GridPoint>,
+    /// Per-resource-element receive scratch (soft/iterative paths).
+    pub(crate) y_buf: Vec<Complex>,
+
+    // --- detection ---
+    /// Detector workspace for the single-worker inline path.
+    pub(crate) det_ws: DetectorWorkspace,
+    /// Detection outputs of the single-worker inline path (recycled).
+    pub(crate) det_out: Vec<Detection>,
+    /// Persistent multi-worker pool, built on first multi-worker decode.
+    pub(crate) pool: Option<DetectionPool>,
+    /// The detector currently installed for the pool.
+    pub(crate) pool_detector: Option<PoolDetector>,
+
+    // --- soft path ---
+    pub(crate) soft_ws: SoftWorkspace,
+    pub(crate) soft_out: SoftDetection,
+    /// Per-client LLR streams (frame order).
+    pub(crate) llrs: Vec<Vec<f64>>,
+
+    // --- iterative (turbo) path ---
+    pub(crate) iter: IterScratch,
+
+    // --- assembly ---
+    /// Per-client detected symbols, flattened like `symbols`.
+    pub(crate) detected: Vec<Vec<GridPoint>>,
+    pub(crate) rx: RxScratch,
+    /// The frame outcome, rebuilt in place every frame.
+    pub(crate) out: UplinkOutcome,
+}
+
+impl FrameWorkspace {
+    /// Creates an empty workspace; every buffer grows on first use and is
+    /// reused forever after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The outcome of the last frame decoded through this workspace.
+    pub fn outcome(&self) -> &UplinkOutcome {
+        &self.out
+    }
+
+    /// The `Arc` handle for `detector`, rebuilding it only when the
+    /// detector value (or type) changed since the pool last saw it — a
+    /// refcount bump per frame in steady state, never an allocation.
+    pub(crate) fn pool_detector_for<D>(&mut self, detector: &D) -> Arc<dyn MimoDetector>
+    where
+        D: MimoDetector + Clone + PartialEq + 'static,
+    {
+        let fresh = matches!(
+            &self.pool_detector,
+            Some(pd) if pd.src.downcast_ref::<D>() == Some(detector)
+        );
+        if !fresh {
+            let arc: Arc<dyn MimoDetector> = Arc::new(detector.clone());
+            self.pool_detector =
+                Some(PoolDetector { src: Box::new(detector.clone()), arc: Arc::clone(&arc) });
+        }
+        Arc::clone(&self.pool_detector.as_ref().expect("detector just installed").arc)
+    }
+
+    /// The persistent pool sized to `workers`, (re)built only when the
+    /// worker count changes.
+    pub(crate) fn pool_with_workers(&mut self, workers: usize) -> &mut DetectionPool {
+        let workers = workers.max(1);
+        if !matches!(&self.pool, Some(p) if p.workers() == workers) {
+            self.pool = Some(DetectionPool::new(workers));
+        }
+        self.pool.as_mut().expect("pool just built")
+    }
+}

@@ -9,20 +9,64 @@
 //!
 //! Iteration 0 (no priors) reduces to plain soft MMSE detection, so any
 //! improvement across iterations is pure turbo gain.
+//!
+//! The covariance assembly runs on cached per-stream column outer
+//! products (`FilterCache::pic_gram`): the products `h_r1,cl · h*_r2,cl`
+//! depend only on the channel, so one build per subcarrier serves every
+//! OFDM symbol and every turbo iteration of the frame — bit-identically
+//! to recomputing them per resource element
+//! (`tests/filter_cache_conformance.rs`).
 
 use crate::config::PhyConfig;
-use crate::txrx::{transmit_frame, UplinkOutcome};
-use geosphere_core::DetectorStats;
+use crate::frame::FrameWorkspace;
+use crate::txrx::{plan_transmit_into, UplinkOutcome};
+use geosphere_core::{apply_channel_into, DetectorStats, FilterCache};
 use gs_channel::{sample_cn, MimoChannel};
-use gs_coding::{bcjr, depuncture_soft, interleave::Interleaver, scramble::Scrambler};
+use gs_coding::{bcjr, depuncture_soft_into, interleave::Interleaver, scramble::Scrambler};
 use gs_linalg::{invert, Complex, Matrix};
-use gs_modulation::{BitTable, Constellation, GridPoint};
+use gs_modulation::{BitTable, Constellation};
 use rand::Rng;
 
 /// Per-symbol prior statistics derived from coded-bit LLRs.
+#[derive(Clone, Copy)]
 struct SymbolPrior {
     mean: Complex,
     variance: f64,
+}
+
+/// Reusable scratch for the iterative receiver, owned by
+/// [`FrameWorkspace`]: the received grid, prior/LLR streams, the
+/// covariance matrices, and the per-channel Gram cache.
+#[derive(Default)]
+pub(crate) struct IterScratch {
+    /// Received vectors, flattened `[(t * n_subcarriers + k) * na ..][..na]`.
+    received: Vec<Complex>,
+    /// Per-client coded-bit priors in transmitted order.
+    priors: Vec<Vec<f64>>,
+    /// Per-client posterior channel LLRs (transmitted order).
+    channel_llrs: Vec<Vec<f64>>,
+    /// Per-subcarrier cached column outer products.
+    cache: FilterCache,
+    sp: Vec<SymbolPrior>,
+    cov: Matrix,
+    cov_cl: Matrix,
+    yc: Vec<Complex>,
+    h_cl: Vec<Complex>,
+    /// Deinterleaved LLRs / depunctured soft mother stream (decode pass).
+    deint: Vec<f64>,
+    soft: Vec<f64>,
+    /// Decoder hard decisions (scrambled back, truncated).
+    info: Vec<bool>,
+    /// Punctured extrinsics before re-interleaving.
+    kept: Vec<f64>,
+    /// Extrinsics in transmitted order (swapped into `priors`).
+    tx_order: Vec<f64>,
+    /// `fetched[k]` = transmitted position feeding logical position `k` of
+    /// one OFDM symbol, cached per `(n_cbps, bits_per_symbol)` — both
+    /// parameters shape the permutation.
+    fetched: Vec<f64>,
+    ident: Vec<f64>,
+    cached_interleaver: Option<(usize, usize)>,
 }
 
 /// Soft symbol statistics from per-bit priors (`Q` LLRs, positive = 0).
@@ -89,6 +133,22 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
     iterations: usize,
     rng: &mut R,
 ) -> UplinkOutcome {
+    let mut ws = FrameWorkspace::new();
+    uplink_frame_iterative_into(cfg, channel, snr_db, iterations, rng, &mut ws).clone()
+}
+
+/// [`uplink_frame_iterative`] recycling a [`FrameWorkspace`] across frames:
+/// bit-identical for the same `rng` state, with the received grid, prior
+/// and LLR streams, covariance scratch, and the per-subcarrier Gram cache
+/// reused in place (the cache self-invalidates when the channel changes).
+pub fn uplink_frame_iterative_into<'w, R: Rng + ?Sized>(
+    cfg: &PhyConfig,
+    channel: &MimoChannel,
+    snr_db: f64,
+    iterations: usize,
+    rng: &mut R,
+    ws: &'w mut FrameWorkspace,
+) -> &'w UplinkOutcome {
     assert!(iterations >= 1);
     let nc = channel.num_tx();
     let na = channel.num_rx();
@@ -98,63 +158,91 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
     let es = c.energy();
     let sigma2 = gs_channel::noise_variance_for_snr_db(snr_db);
 
-    // Transmit.
-    let frames: Vec<_> = (0..nc)
-        .map(|_| {
-            let payload: Vec<bool> = (0..cfg.payload_bits).map(|_| rng.gen_bool(0.5)).collect();
-            transmit_frame(cfg, &payload)
-        })
-        .collect();
-    let n_sym = frames[0].symbols.len();
-    let grid_channels: Vec<Matrix> = channel.iter().map(|m| m.scale(c.scale())).collect();
+    // Transmit: payload draws + transmit chains + grid-channel refresh,
+    // in the seed RNG order shared with the hard and soft paths.
+    let (n_sym, n_grid) = plan_transmit_into(cfg, channel, rng, ws);
 
-    // Air: one received vector per (OFDM symbol, subcarrier).
-    let mut received: Vec<Vec<Vec<Complex>>> = Vec::with_capacity(n_sym);
+    // Air: one received vector per (OFDM symbol, subcarrier), flattened.
+    ws.iter.received.clear();
     for t in 0..n_sym {
-        let mut row = Vec::with_capacity(cfg.n_subcarriers);
         for k in 0..cfg.n_subcarriers {
-            let h = &grid_channels[k % grid_channels.len()];
-            let s: Vec<GridPoint> = (0..nc).map(|cl| frames[cl].symbols[t][k]).collect();
-            let mut y = geosphere_core::apply_channel(h, &s);
-            for v in y.iter_mut() {
+            let FrameWorkspace { symbols, grid_channels, s_buf, y_buf, iter, .. } = ws;
+            let h = &grid_channels[k % n_grid];
+            s_buf.clear();
+            s_buf.extend((0..nc).map(|cl| symbols[cl][t * cfg.n_subcarriers + k]));
+            apply_channel_into(h, s_buf, y_buf);
+            for v in y_buf.iter_mut() {
                 *v += sample_cn(rng, sigma2);
             }
-            row.push(y);
+            iter.received.extend_from_slice(y_buf);
         }
-        received.push(row);
+    }
+
+    // The transmitted-position map of one OFDM symbol: `fetched[k]` = tx
+    // index feeding logical `k`. The permutation depends on both the
+    // symbol length and the bits-per-subcarrier rotation, so the cache is
+    // keyed on the full (n_cbps, Q) pair.
+    let il = Interleaver::new(cfg.n_cbps(), q);
+    if ws.iter.cached_interleaver != Some((cfg.n_cbps(), q)) {
+        ws.iter.ident.clear();
+        ws.iter.ident.extend((0..cfg.n_cbps()).map(|v| v as f64));
+        let IterScratch { ident, fetched, .. } = &mut ws.iter;
+        il.deinterleave_values_stream_into(ident, fetched);
+        ws.iter.cached_interleaver = Some((cfg.n_cbps(), q));
     }
 
     // Iterate. priors[cl] = coded-bit LLRs in *transmitted* (interleaved)
     // order; zeros initially.
-    let il = Interleaver::new(cfg.n_cbps(), q);
     let bits_per_frame = n_sym * cfg.n_cbps();
-    let mut priors: Vec<Vec<f64>> = vec![vec![0.0; bits_per_frame]; nc];
+    if ws.iter.priors.len() < nc {
+        ws.iter.priors.resize_with(nc, Vec::new);
+    }
+    if ws.iter.channel_llrs.len() < nc {
+        ws.iter.channel_llrs.resize_with(nc, Vec::new);
+    }
+    for p in ws.iter.priors.iter_mut().take(nc) {
+        p.clear();
+        p.resize(bits_per_frame, 0.0);
+    }
     let mut stats = DetectorStats::default();
     let mut detections = 0u64;
-    let mut client_ok = vec![false; nc];
-
-    // Per-resource-element scratch, hoisted so the detection inner loop
-    // reuses buffers instead of allocating per (symbol, subcarrier, stream)
-    // — the same memory discipline as the sphere path's SearchWorkspace.
-    let mut sp: Vec<SymbolPrior> = Vec::with_capacity(nc);
-    let mut cov = Matrix::default();
-    let mut cov_cl = Matrix::default();
-    let mut yc: Vec<Complex> = Vec::with_capacity(na);
-    let mut h_cl: Vec<Complex> = Vec::with_capacity(na);
+    ws.out.client_ok.clear();
+    ws.out.client_ok.resize(nc, false);
 
     for _iter in 0..iterations {
         // Detection pass: soft-PIC MMSE per (t, k), producing posterior
         // channel LLRs per bit in transmitted order.
-        let mut channel_llrs: Vec<Vec<f64>> = vec![Vec::with_capacity(bits_per_frame); nc];
+        for l in ws.iter.channel_llrs.iter_mut().take(nc) {
+            l.clear();
+        }
         for t in 0..n_sym {
             for k in 0..cfg.n_subcarriers {
-                let h = &grid_channels[k % grid_channels.len()];
-                let y = &received[t][k];
+                let FrameWorkspace { grid_channels, iter, .. } = ws;
+                let IterScratch {
+                    cache,
+                    received,
+                    priors,
+                    channel_llrs,
+                    sp,
+                    cov,
+                    cov_cl,
+                    yc,
+                    h_cl,
+                    ..
+                } = iter;
+                let h = &grid_channels[k % n_grid];
+                // Cached column outer products for this subcarrier:
+                // gram[cl][(r1, r2)] = h[(r1, cl)] · h[(r2, cl)]*.
+                let gram = &cache.pic_gram(k % n_grid, h).outer;
+                let re_idx = t * cfg.n_subcarriers + k;
+                let y = &received[re_idx * na..(re_idx + 1) * na];
                 detections += 1;
                 // Symbol priors for every stream at this resource element.
-                let base = (t * cfg.n_subcarriers + k) * q;
+                let base = re_idx * q;
                 sp.clear();
-                sp.extend((0..nc).map(|cl| symbol_stats(c, &table, &priors[cl][base..base + q])));
+                sp.extend(
+                    priors[..nc].iter().map(|pr| symbol_stats(c, &table, &pr[base..base + q])),
+                );
                 // Covariance of the residual: H V H* + σ² I, with V the
                 // per-stream residual variances (grid domain folded into h).
                 cov.reset_zeros(na, na);
@@ -162,7 +250,7 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
                     for r2 in 0..na {
                         let mut acc = Complex::ZERO;
                         for cl in 0..nc {
-                            acc += h[(r1, cl)] * h[(r2, cl)].conj() * sp[cl].variance;
+                            acc += gram[cl][(r1, r2)] * sp[cl].variance;
                         }
                         if r1 == r2 {
                             acc += Complex::real(sigma2);
@@ -185,24 +273,25 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
                     }
                     // Per-stream MMSE filter: w = (cov + h_cl(Es−v_cl)h_cl*)⁻¹h_cl
                     // — adjust cov for this stream's full symbol energy.
-                    cov_cl.copy_from(&cov);
+                    cov_cl.copy_from(cov);
                     let delta = es - sp[cl].variance;
                     for r1 in 0..na {
                         for r2 in 0..na {
-                            cov_cl[(r1, r2)] += h[(r1, cl)] * h[(r2, cl)].conj() * delta;
+                            cov_cl[(r1, r2)] += gram[cl][(r1, r2)] * delta;
                         }
                     }
                     h_cl.clear();
                     h_cl.extend((0..na).map(|r| h[(r, cl)]));
-                    let w = match invert(&cov_cl) {
-                        Ok(inv) => inv.mul_vec(&h_cl),
+                    let w = match invert(cov_cl) {
+                        Ok(inv) => inv.mul_vec(h_cl),
                         Err(_) => h_cl.clone(),
                     };
                     stats.complex_mults += (na * na) as u64;
                     // z = w* yc ; effective gain mu = w* h_cl (real by
                     // construction up to numerical noise).
-                    let z: Complex = w.iter().zip(&yc).map(|(&wr, &yr)| wr.conj() * yr).sum();
-                    let mu: Complex = w.iter().zip(&h_cl).map(|(&wr, &hr)| wr.conj() * hr).sum();
+                    let z: Complex = w.iter().zip(yc.iter()).map(|(&wr, &yr)| wr.conj() * yr).sum();
+                    let mu: Complex =
+                        w.iter().zip(h_cl.iter()).map(|(&wr, &hr)| wr.conj() * hr).sum();
                     let mu = mu.re.max(1e-12);
                     // Exact post-filter disturbance power: w*·M·w with
                     // M = cov_cl − Es·h_cl h_cl* (everything except the
@@ -210,7 +299,7 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
                     let mut v_eff = 0.0;
                     for r1 in 0..na {
                         for r2 in 0..na {
-                            let m = cov_cl[(r1, r2)] - h_cl[r1] * h_cl[r2].conj() * es;
+                            let m = cov_cl[(r1, r2)] - gram[cl][(r1, r2)] * es;
                             v_eff += (w[r1].conj() * m * w[r2]).re;
                         }
                     }
@@ -225,68 +314,65 @@ pub fn uplink_frame_iterative<R: Rng + ?Sized>(
         // Decoding pass per client: deinterleave, depuncture, SISO decode,
         // re-interleave extrinsics into priors for the next round.
         for cl in 0..nc {
-            let deint = il.deinterleave_values_stream(&channel_llrs[cl]);
+            let FrameWorkspace { payloads, iter, out, .. } = ws;
+            il.deinterleave_values_stream_into(&iter.channel_llrs[cl], &mut iter.deint);
             let mother_len = 2 * cfg.total_info_bits();
-            let soft = depuncture_soft(&deint, cfg.code_rate, mother_len);
-            let siso = bcjr::siso_decode(&soft);
+            depuncture_soft_into(&iter.deint, cfg.code_rate, mother_len, &mut iter.soft);
+            let siso = bcjr::siso_decode(&iter.soft);
 
             // CRC check on this iteration's hard decisions.
-            let mut info = siso.info_bits.clone();
-            Scrambler::default_seed().apply_in_place(&mut info);
-            info.truncate(cfg.payload_bits + 32);
-            if let Some(payload) = gs_coding::check_crc(&info) {
-                if payload == frames[cl].payload {
-                    client_ok[cl] = true;
-                }
+            iter.info.clear();
+            iter.info.extend_from_slice(&siso.info_bits);
+            Scrambler::default_seed().apply_in_place(&mut iter.info);
+            iter.info.truncate(cfg.payload_bits + 32);
+            if gs_coding::check_crc_ok(&iter.info)
+                && iter.info[..cfg.payload_bits] == payloads[cl][..]
+            {
+                out.client_ok[cl] = true;
             }
 
             // Extrinsics (mother domain) → puncture → interleave → priors.
             let pat = cfg.code_rate.keep_pattern();
-            let kept: Vec<f64> = siso
-                .coded_extrinsic
-                .iter()
-                .enumerate()
-                .filter(|(k, _)| pat[k % pat.len()])
-                .map(|(_, &l)| l)
-                .collect();
+            iter.kept.clear();
+            iter.kept.extend(
+                siso.coded_extrinsic
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| pat[k % pat.len()])
+                    .map(|(_, &l)| l),
+            );
             // Interleave positionally: transmitted[j] = kept[k] where
-            // j = map(k); realize via the value interleaver's inverse twice.
-            let mut tx_order = vec![0.0f64; kept.len()];
-            // deinterleave_values maps tx→logical; to go logical→tx, place
-            // each logical value where deinterleave would fetch it from.
-            for chunk_start in (0..kept.len()).step_by(cfg.n_cbps()) {
-                let chunk = &kept[chunk_start..chunk_start + cfg.n_cbps()];
-                // Build inverse: for logical position k, tx position is
-                // il.map; emulate with a probe-free approach: interleave a
-                // tagged chunk using the bool path per bit is O(n²); instead
-                // use deinterleave on identity indices once.
-                let idx: Vec<usize> = (0..cfg.n_cbps()).collect();
-                let fetched = il
-                    .deinterleave_values_stream(&idx.iter().map(|&v| v as f64).collect::<Vec<_>>());
-                // fetched[k] = tx index feeding logical k ⇒ tx[fetched[k]] = chunk[k].
-                for (k, &src) in fetched.iter().enumerate() {
-                    tx_order[chunk_start + src as usize] = chunk[k];
+            // j = map(k); realized with the cached per-symbol `fetched` map:
+            // fetched[k] = tx index feeding logical k ⇒ tx[fetched[k]] = kept[k].
+            iter.tx_order.clear();
+            iter.tx_order.resize(iter.kept.len(), 0.0);
+            for chunk_start in (0..iter.kept.len()).step_by(cfg.n_cbps()) {
+                for (k, &src) in iter.fetched.iter().enumerate() {
+                    iter.tx_order[chunk_start + src as usize] = iter.kept[chunk_start + k];
                 }
             }
-            priors[cl] = tx_order;
+            std::mem::swap(&mut iter.priors[cl], &mut iter.tx_order);
             if std::env::var("GS_TURBO_DEBUG").is_ok() {
-                let maxp = priors[cl].iter().fold(0.0f64, |a, &b| a.max(b.abs()));
-                let nz = priors[cl].iter().filter(|&&v| v.abs() > 1e-9).count();
+                let maxp = iter.priors[cl].iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+                let nz = iter.priors[cl].iter().filter(|&&v| v.abs() > 1e-9).count();
                 eprintln!(
                     "iter {_iter} client {cl}: max|prior| {maxp:.2}, nonzero {nz}/{}",
-                    priors[cl].len()
+                    iter.priors[cl].len()
                 );
             }
         }
     }
 
-    UplinkOutcome { client_ok, stats, detections }
+    ws.out.stats = stats;
+    ws.out.detections = detections;
+    &ws.out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gs_channel::{ChannelModel, RayleighChannel};
+    use gs_modulation::GridPoint;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -334,6 +420,23 @@ mod tests {
         let ch = RayleighChannel::new(4, 2).realize(&mut rng);
         let out = uplink_frame_iterative(&cfg(), &ch, 30.0, 1, &mut rng);
         assert!(out.client_ok.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical() {
+        let model = RayleighChannel::new(4, 2);
+        let mut ws = FrameWorkspace::new();
+        for trial in 0..3 {
+            let mut rng = StdRng::seed_from_u64(7100 + trial);
+            let ch = model.realize(&mut rng);
+            let fresh = uplink_frame_iterative(&cfg(), &ch, 16.0, 2, &mut rng);
+            let mut rng = StdRng::seed_from_u64(7100 + trial);
+            let ch = model.realize(&mut rng);
+            let reused = uplink_frame_iterative_into(&cfg(), &ch, 16.0, 2, &mut rng, &mut ws);
+            assert_eq!(reused.client_ok, fresh.client_ok, "trial {trial}");
+            assert_eq!(reused.stats, fresh.stats, "trial {trial}");
+            assert_eq!(reused.detections, fresh.detections, "trial {trial}");
+        }
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! per-subcarrier detector complexity.
 
 use crate::config::PhyConfig;
-use crate::txrx::{decode_frame_batched, uplink_frame};
+use crate::frame::FrameWorkspace;
+use crate::txrx::{
+    decode_frame_batched_into, decode_frame_scoped_into, uplink_frame_with_csi_into,
+};
 use geosphere_core::{AverageStats, DetectorStats, MimoDetector};
 use gs_channel::ChannelModel;
 use rand::Rng;
@@ -71,6 +74,37 @@ where
     measure_impl(cfg, model, detector, snr_db, frames, rng, Some(workers))
 }
 
+/// [`measure_batched`] recycling a caller-held [`FrameWorkspace`] through
+/// [`decode_frame_batched_into`]: after the first frame, each further
+/// frame's *decode* (plan, detection via the persistent worker pool,
+/// receive chain) performs zero heap allocations — only the per-frame
+/// channel realization still allocates. Bit-identical to
+/// [`measure_batched`] for the same `rng` state.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_batched_into<R, M, D>(
+    cfg: &PhyConfig,
+    model: &M,
+    detector: &D,
+    snr_db: f64,
+    frames: usize,
+    rng: &mut R,
+    workers: usize,
+    ws: &mut FrameWorkspace,
+) -> Measurement
+where
+    R: Rng + ?Sized,
+    M: ChannelModel,
+    D: MimoDetector + Clone + PartialEq + 'static,
+{
+    let mut acc = MeasureAccum::new(model.num_tx());
+    for _ in 0..frames {
+        let ch = model.realize(rng);
+        let out = decode_frame_batched_into(cfg, &ch, detector, snr_db, rng, workers, ws);
+        acc.absorb(out);
+    }
+    acc.finish(cfg, frames)
+}
+
 fn measure_impl<R, M, D>(
     cfg: &PhyConfig,
     model: &M,
@@ -85,38 +119,65 @@ where
     M: ChannelModel,
     D: MimoDetector + ?Sized,
 {
-    let clients = model.num_tx();
-    let mut ok_count = vec![0usize; clients];
-    let mut stats = DetectorStats::default();
-    let mut detections = 0u64;
-
+    let mut acc = MeasureAccum::new(model.num_tx());
+    // One workspace for the whole measurement: plan and receive-chain
+    // buffers are recycled across every frame (and, for `workers == 1`,
+    // the detection path is allocation-free after the first frame).
+    let mut ws = FrameWorkspace::new();
     for _ in 0..frames {
         let ch = model.realize(rng);
         let out = match workers {
-            Some(w) => decode_frame_batched(cfg, &ch, detector, snr_db, rng, w),
-            None => uplink_frame(cfg, &ch, detector, snr_db, rng),
+            Some(w) => decode_frame_scoped_into(cfg, &ch, detector, snr_db, rng, w, &mut ws),
+            None => uplink_frame_with_csi_into(cfg, &ch, None, detector, snr_db, rng, &mut ws),
         };
-        for (k, &ok) in out.client_ok.iter().enumerate() {
-            if ok {
-                ok_count[k] += 1;
-            }
+        acc.absorb(out);
+    }
+    acc.finish(cfg, frames)
+}
+
+/// Accumulates per-frame outcomes into a [`Measurement`].
+struct MeasureAccum {
+    clients: usize,
+    ok_count: Vec<usize>,
+    stats: DetectorStats,
+    detections: u64,
+}
+
+impl MeasureAccum {
+    fn new(clients: usize) -> Self {
+        MeasureAccum {
+            clients,
+            ok_count: vec![0; clients],
+            stats: DetectorStats::default(),
+            detections: 0,
         }
-        stats += out.stats;
-        detections += out.detections;
     }
 
-    let client_fer: Vec<f64> = ok_count.iter().map(|&ok| 1.0 - ok as f64 / frames as f64).collect();
-    let total_ok: usize = ok_count.iter().sum();
-    let fer = 1.0 - total_ok as f64 / (frames * clients) as f64;
-    let delivered_bits = (total_ok * cfg.payload_bits) as f64;
-    let airtime = frames as f64 * cfg.airtime_seconds();
-    Measurement {
-        frames,
-        clients,
-        client_fer,
-        fer,
-        throughput_mbps: delivered_bits / airtime / 1e6,
-        per_subcarrier: AverageStats::from_total(stats, detections),
+    fn absorb(&mut self, out: &crate::txrx::UplinkOutcome) {
+        for (k, &ok) in out.client_ok.iter().enumerate() {
+            if ok {
+                self.ok_count[k] += 1;
+            }
+        }
+        self.stats += out.stats;
+        self.detections += out.detections;
+    }
+
+    fn finish(self, cfg: &PhyConfig, frames: usize) -> Measurement {
+        let client_fer: Vec<f64> =
+            self.ok_count.iter().map(|&ok| 1.0 - ok as f64 / frames as f64).collect();
+        let total_ok: usize = self.ok_count.iter().sum();
+        let fer = 1.0 - total_ok as f64 / (frames * self.clients) as f64;
+        let delivered_bits = (total_ok * cfg.payload_bits) as f64;
+        let airtime = frames as f64 * cfg.airtime_seconds();
+        Measurement {
+            frames,
+            clients: self.clients,
+            client_fer,
+            fer,
+            throughput_mbps: delivered_bits / airtime / 1e6,
+            per_subcarrier: AverageStats::from_total(self.stats, self.detections),
+        }
     }
 }
 
@@ -263,6 +324,27 @@ mod tests {
         assert_eq!(m.clients, 3);
         for f in &m.client_fer {
             assert!((0.0..=1.0).contains(f));
+        }
+    }
+
+    #[test]
+    fn measure_batched_into_matches_measure_batched() {
+        let cfg = small_cfg(Constellation::Qam16);
+        let model = RayleighChannel::new(4, 2);
+        let det = geosphere_decoder();
+        let mut ws = FrameWorkspace::new();
+        for workers in [1usize, 3] {
+            let mut rng = StdRng::seed_from_u64(185);
+            let reference = measure_batched(&cfg, &model, &det, 20.0, 4, &mut rng, workers);
+            let mut rng = StdRng::seed_from_u64(185);
+            let pooled =
+                measure_batched_into(&cfg, &model, &det, 20.0, 4, &mut rng, workers, &mut ws);
+            assert_eq!(pooled.client_fer, reference.client_fer, "workers {workers}");
+            assert_eq!(pooled.fer, reference.fer, "workers {workers}");
+            assert_eq!(
+                pooled.per_subcarrier.ped_calcs, reference.per_subcarrier.ped_calcs,
+                "workers {workers}"
+            );
         }
     }
 

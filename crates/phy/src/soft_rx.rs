@@ -5,13 +5,21 @@
 //! the soft-output Geosphere detector all the way through deinterleaving
 //! and soft depuncturing into a soft Viterbi decode — the paper's §7
 //! direction, worth 1–2 dB of coding gain over hard decisions.
+//!
+//! [`uplink_frame_soft_into`] is the steady-state form: one
+//! [`FrameWorkspace`] owns the per-client LLR streams, the soft search
+//! workspace, and the soft Viterbi scratch, so a warmed receive loop
+//! performs zero heap allocations per frame (enforced by
+//! `tests/alloc_regression.rs`).
 
 use crate::config::PhyConfig;
-use crate::txrx::{transmit_frame, UplinkOutcome};
-use geosphere_core::{DetectorStats, SoftDetection, SoftGeosphereDetector};
+use crate::frame::{FrameWorkspace, RxScratch};
+use crate::txrx::{plan_transmit_into, UplinkOutcome};
+use geosphere_core::{apply_channel_into, DetectorStats, SoftGeosphereDetector};
 use gs_channel::{sample_cn, MimoChannel};
-use gs_coding::{conv, depuncture_soft, interleave::Interleaver, scramble::Scrambler, viterbi};
-use gs_linalg::Complex;
+use gs_coding::{
+    check_crc_ok, conv, depuncture_soft_into, interleave::Interleaver, scramble::Scrambler, viterbi,
+};
 use rand::Rng;
 
 /// Decodes one client's LLR stream (frame order) back to a verified
@@ -20,15 +28,28 @@ use rand::Rng;
 /// `llrs` must hold `n_ofdm_symbols × n_cbps` entries in transmitted bit
 /// order (symbol-major, `Q` bits per subcarrier symbol, MSB first).
 pub fn receive_frame_soft(cfg: &PhyConfig, llrs: &[f64]) -> Option<Vec<bool>> {
+    let mut rx = RxScratch::default();
+    if receive_frame_soft_into(cfg, llrs, &mut rx) {
+        rx.info.truncate(cfg.payload_bits);
+        Some(rx.info)
+    } else {
+        None
+    }
+}
+
+/// The soft receive chain with every intermediate in reused scratch.
+/// Returns whether the CRC verified; the decoded information bits
+/// (payload + CRC) are left in `rx.info`.
+pub(crate) fn receive_frame_soft_into(cfg: &PhyConfig, llrs: &[f64], rx: &mut RxScratch) -> bool {
     let c = cfg.constellation;
     let il = Interleaver::new(cfg.n_cbps(), c.bits_per_symbol());
-    let deinterleaved = il.deinterleave_values_stream(llrs);
+    il.deinterleave_values_stream_into(llrs, &mut rx.llr_deint);
     let mother_len = 2 * cfg.total_info_bits();
-    let soft = depuncture_soft(&deinterleaved, cfg.code_rate, mother_len);
-    let mut info = viterbi::decode_soft(&soft);
-    Scrambler::default_seed().apply_in_place(&mut info);
-    info.truncate(cfg.payload_bits + 32);
-    gs_coding::check_crc(&info)
+    depuncture_soft_into(&rx.llr_deint, cfg.code_rate, mother_len, &mut rx.mother_soft);
+    viterbi::decode_soft_into(&rx.mother_soft, &mut rx.vit, &mut rx.info);
+    Scrambler::default_seed().apply_in_place(&mut rx.info);
+    rx.info.truncate(cfg.payload_bits + 32);
+    check_crc_ok(&rx.info)
 }
 
 /// Simulates one uplink frame with **soft** detection and decoding.
@@ -42,64 +63,82 @@ pub fn uplink_frame_soft<R: Rng + ?Sized>(
     snr_db: f64,
     rng: &mut R,
 ) -> UplinkOutcome {
+    let mut ws = FrameWorkspace::new();
+    uplink_frame_soft_into(cfg, channel, snr_db, rng, &mut ws).clone()
+}
+
+/// [`uplink_frame_soft`] recycling a [`FrameWorkspace`]: bit-identical for
+/// the same `rng` state, and allocation-free per frame after warmup — the
+/// transmit plan, the per-symbol soft searches (via the workspace's
+/// [`SoftWorkspace`](geosphere_core::SoftWorkspace)), the per-client LLR
+/// streams, and the soft Viterbi decode all reuse the workspace's buffers.
+pub fn uplink_frame_soft_into<'w, R: Rng + ?Sized>(
+    cfg: &PhyConfig,
+    channel: &MimoChannel,
+    snr_db: f64,
+    rng: &mut R,
+    ws: &'w mut FrameWorkspace,
+) -> &'w UplinkOutcome {
     let nc = channel.num_tx();
     let c = cfg.constellation;
     let q = c.bits_per_symbol();
-    assert!(
-        channel.num_subcarriers() == 1 || channel.num_subcarriers() == cfg.n_subcarriers,
-        "channel subcarrier count must be 1 or {}",
-        cfg.n_subcarriers
-    );
-
-    let frames: Vec<_> = (0..nc)
-        .map(|_| {
-            let payload: Vec<bool> = (0..cfg.payload_bits).map(|_| rng.gen_bool(0.5)).collect();
-            transmit_frame(cfg, &payload)
-        })
-        .collect();
-    let n_sym = frames[0].symbols.len();
-
+    // Payload draws + transmit chains + grid-channel refresh, in the seed
+    // RNG order shared with the hard and iterative paths.
+    let (n_sym, n_grid) = plan_transmit_into(cfg, channel, rng, ws);
     let sigma2 = gs_channel::noise_variance_for_snr_db(snr_db);
-    let grid_channels: Vec<gs_linalg::Matrix> =
-        channel.iter().map(|m| m.scale(c.scale())).collect();
     let detector = SoftGeosphereDetector::new(sigma2);
 
     let mut stats = DetectorStats::default();
     let mut detections = 0u64;
-    let mut llr_streams: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sym * cfg.n_cbps()); nc];
+    if ws.llrs.len() < nc {
+        ws.llrs.resize_with(nc, Vec::new);
+    }
+    for l in ws.llrs.iter_mut().take(nc) {
+        l.clear();
+    }
 
     // One workspace + output pair for the whole frame: every per-symbol
     // soft detection reuses the same search state, QR factors, and LLR
     // buffers (bit-identical to per-call `detect_soft`, without its
     // allocations).
-    let mut ws = detector.make_workspace();
-    let mut soft = SoftDetection::default();
     for t in 0..n_sym {
         for k in 0..cfg.n_subcarriers {
-            let h = &grid_channels[k % grid_channels.len()];
-            let s: Vec<_> = (0..nc).map(|cl| frames[cl].symbols[t][k]).collect();
-            let mut y: Vec<Complex> = geosphere_core::apply_channel(h, &s);
-            for v in y.iter_mut() {
+            let FrameWorkspace {
+                symbols,
+                grid_channels,
+                s_buf,
+                y_buf,
+                soft_ws,
+                soft_out,
+                llrs,
+                ..
+            } = ws;
+            let h = &grid_channels[k % n_grid];
+            s_buf.clear();
+            s_buf.extend((0..nc).map(|cl| symbols[cl][t * cfg.n_subcarriers + k]));
+            apply_channel_into(h, s_buf, y_buf);
+            for v in y_buf.iter_mut() {
                 *v += sample_cn(rng, sigma2);
             }
-            detector.detect_soft_into(h, &y, c, &mut ws, &mut soft);
-            stats += soft.stats;
+            detector.detect_soft_into(h, y_buf, c, soft_ws, soft_out);
+            stats += soft_out.stats;
             detections += 1;
             for cl in 0..nc {
-                llr_streams[cl].extend_from_slice(&soft.llrs[cl * q..(cl + 1) * q]);
+                llrs[cl].extend_from_slice(&soft_out.llrs[cl * q..(cl + 1) * q]);
             }
         }
     }
 
-    let client_ok: Vec<bool> = (0..nc)
-        .map(|cl| {
-            receive_frame_soft(cfg, &llr_streams[cl])
-                .map(|p| p == frames[cl].payload)
-                .unwrap_or(false)
-        })
-        .collect();
-
-    UplinkOutcome { client_ok, stats, detections }
+    ws.out.client_ok.clear();
+    for cl in 0..nc {
+        let FrameWorkspace { payloads, llrs, rx, out, .. } = ws;
+        let ok = receive_frame_soft_into(cfg, &llrs[cl], rx)
+            && rx.info[..cfg.payload_bits] == payloads[cl][..];
+        out.client_ok.push(ok);
+    }
+    ws.out.stats = stats;
+    ws.out.detections = detections;
+    &ws.out
 }
 
 /// The `conv` re-import keeps the mother-length arithmetic near its
@@ -111,7 +150,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::txrx::uplink_frame;
+    use crate::txrx::{transmit_frame, uplink_frame};
     use geosphere_core::geosphere_decoder;
     use gs_channel::{ChannelModel, RayleighChannel};
     use gs_modulation::{unmap_points, Constellation};
@@ -141,6 +180,24 @@ mod tests {
         let ch = RayleighChannel::new(4, 2).realize(&mut rng);
         let out = uplink_frame_soft(&cfg, &ch, 32.0, &mut rng);
         assert!(out.client_ok.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn soft_into_reused_workspace_is_bit_identical() {
+        let cfg = cfg(Constellation::Qam16);
+        let model = RayleighChannel::new(4, 2);
+        let mut ws = FrameWorkspace::new();
+        for trial in 0..3 {
+            let mut rng = StdRng::seed_from_u64(520 + trial);
+            let ch = model.realize(&mut rng);
+            let fresh = uplink_frame_soft(&cfg, &ch, 20.0, &mut rng);
+            let mut rng = StdRng::seed_from_u64(520 + trial);
+            let ch = model.realize(&mut rng);
+            let reused = uplink_frame_soft_into(&cfg, &ch, 20.0, &mut rng, &mut ws);
+            assert_eq!(reused.client_ok, fresh.client_ok, "trial {trial}");
+            assert_eq!(reused.stats, fresh.stats, "trial {trial}");
+            assert_eq!(reused.detections, fresh.detections, "trial {trial}");
+        }
     }
 
     #[test]

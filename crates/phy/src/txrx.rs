@@ -9,17 +9,26 @@
 //! subcarrier) on the stacked clients' symbols, then inverts the chain per
 //! client and checks the CRC — frame success is what the throughput
 //! figures count.
+//!
+//! Every pipeline stage writes into buffers owned by a
+//! [`FrameWorkspace`]: the public one-shot entry points
+//! ([`uplink_frame`], [`decode_frame_batched`]) wrap a fresh workspace,
+//! while long-lived receivers hold one and call the `_into` variants —
+//! [`decode_frame_batched_into`] performs **zero heap allocations per
+//! frame** after warmup, at any worker count.
 
 use crate::config::PhyConfig;
+use crate::frame::{FrameWorkspace, RxScratch, TxScratch};
 use geosphere_core::{
-    BatchDetector, Detection, DetectionBatch, DetectionJob, DetectorStats, MimoDetector,
+    apply_channel_into, BatchDetector, DetectionBatch, DetectionJob, DetectorStats, MimoDetector,
 };
 use gs_channel::{sample_cn, MimoChannel};
 use gs_coding::{
-    conv, depuncture, interleave::Interleaver, puncture, scramble::Scrambler, viterbi,
+    check_crc_ok, conv, crc::crc32_bits, depuncture_into, interleave::Interleaver, puncture_into,
+    scramble::Scrambler, viterbi,
 };
-use gs_linalg::Complex;
-use gs_modulation::{map_bitstream, unmap_points, GridPoint};
+use gs_linalg::Matrix;
+use gs_modulation::{map_bitstream_into, unmap_points_into, GridPoint};
 use rand::Rng;
 
 /// A transmitted client frame: the original payload and the grid-domain
@@ -37,50 +46,85 @@ pub struct TxFrame {
 /// # Panics
 /// Panics when `payload.len() != cfg.payload_bits`.
 pub fn transmit_frame(cfg: &PhyConfig, payload: &[bool]) -> TxFrame {
+    let mut tx = TxScratch::default();
+    let mut flat = Vec::new();
+    transmit_symbols_into(cfg, payload, &mut tx, &mut flat);
+    let symbols: Vec<Vec<GridPoint>> =
+        flat.chunks(cfg.n_subcarriers).map(|ch| ch.to_vec()).collect();
+    TxFrame { payload: payload.to_vec(), symbols }
+}
+
+/// The transmit chain into a flat symbol buffer (`[t * n_subcarriers + k]`),
+/// all intermediates in reused scratch: allocation-free once warm.
+///
+/// # Panics
+/// Panics when `payload.len() != cfg.payload_bits`.
+pub(crate) fn transmit_symbols_into(
+    cfg: &PhyConfig,
+    payload: &[bool],
+    tx: &mut TxScratch,
+    out: &mut Vec<GridPoint>,
+) {
     assert_eq!(payload.len(), cfg.payload_bits, "payload length mismatch");
     let c = cfg.constellation;
 
     // Payload + CRC + pad, scrambled (the tail is appended by the encoder
     // and must stay zero, so scrambling covers only the data region).
-    let mut info = gs_coding::append_crc(payload);
-    info.extend(std::iter::repeat_n(false, cfg.pad_bits()));
-    Scrambler::default_seed().apply_in_place(&mut info);
+    tx.info.clear();
+    tx.info.extend_from_slice(payload);
+    let crc = crc32_bits(payload);
+    tx.info.extend((0..32).map(|k| crc >> k & 1 == 1));
+    tx.info.extend(std::iter::repeat_n(false, cfg.pad_bits()));
+    Scrambler::default_seed().apply_in_place(&mut tx.info);
 
     // Convolutional code (appends the 6-bit tail), then puncturing.
-    let mother = conv::encode(&info);
-    let coded = puncture(&mother, cfg.code_rate);
-    debug_assert_eq!(coded.len(), cfg.n_ofdm_symbols() * cfg.n_cbps());
+    conv::encode_into(&tx.info, &mut tx.mother);
+    puncture_into(&tx.mother, cfg.code_rate, &mut tx.coded);
+    debug_assert_eq!(tx.coded.len(), cfg.n_ofdm_symbols() * cfg.n_cbps());
 
     // Per-OFDM-symbol interleaving, then Gray mapping.
     let il = Interleaver::new(cfg.n_cbps(), c.bits_per_symbol());
-    let interleaved = il.interleave_stream(&coded);
-    let points = map_bitstream(c, &interleaved);
-
-    let symbols: Vec<Vec<GridPoint>> =
-        points.chunks(cfg.n_subcarriers).map(|ch| ch.to_vec()).collect();
-    TxFrame { payload: payload.to_vec(), symbols }
+    il.interleave_stream_into(&tx.coded, &mut tx.interleaved);
+    map_bitstream_into(c, &tx.interleaved, out);
 }
 
 /// Decodes one client's detected grid symbols back to a payload, returning
 /// `Some(payload)` only when the CRC verifies.
 pub fn receive_frame(cfg: &PhyConfig, detected: &[Vec<GridPoint>]) -> Option<Vec<bool>> {
-    let c = cfg.constellation;
     let flat: Vec<GridPoint> = detected.iter().flatten().copied().collect();
-    let bits = unmap_points(c, &flat);
+    let mut rx = RxScratch::default();
+    if receive_frame_flat_into(cfg, &flat, &mut rx) {
+        rx.info.truncate(cfg.payload_bits);
+        Some(rx.info)
+    } else {
+        None
+    }
+}
+
+/// The hard receive chain over a flat symbol stream, every intermediate in
+/// reused scratch. Returns whether the CRC verified; the decoded
+/// information bits (payload + CRC) are left in `rx.info`.
+pub(crate) fn receive_frame_flat_into(
+    cfg: &PhyConfig,
+    detected: &[GridPoint],
+    rx: &mut RxScratch,
+) -> bool {
+    let c = cfg.constellation;
+    unmap_points_into(c, detected, &mut rx.bits);
     let il = Interleaver::new(cfg.n_cbps(), c.bits_per_symbol());
-    let deinterleaved = il.deinterleave_stream(&bits);
+    il.deinterleave_stream_into(&rx.bits, &mut rx.deint);
     // `total_info_bits` already includes the 6-bit tail, so the mother
     // (rate-1/2) stream is exactly twice it.
     let mother_len = 2 * cfg.total_info_bits();
-    let symbols = depuncture(&deinterleaved, cfg.code_rate, mother_len);
-    let mut info = viterbi::decode_with_erasures(&symbols);
-    Scrambler::default_seed().apply_in_place(&mut info);
-    info.truncate(cfg.payload_bits + 32); // drop pad
-    gs_coding::check_crc(&info)
+    depuncture_into(&rx.deint, cfg.code_rate, mother_len, &mut rx.mother_cb);
+    viterbi::decode_with_erasures_into(&rx.mother_cb, &mut rx.vit, &mut rx.info);
+    Scrambler::default_seed().apply_in_place(&mut rx.info);
+    rx.info.truncate(cfg.payload_bits + 32); // drop pad
+    check_crc_ok(&rx.info)
 }
 
 /// Result of one multi-user uplink frame exchange.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct UplinkOutcome {
     /// Per-client frame success (CRC verified).
     pub client_ok: Vec<bool>,
@@ -118,22 +162,40 @@ pub fn uplink_frame_with_csi<R: Rng + ?Sized, D: MimoDetector + ?Sized>(
     snr_db: f64,
     rng: &mut R,
 ) -> UplinkOutcome {
-    let plan = plan_uplink_frame(cfg, channel, csi, snr_db, rng);
-    // The serial reference path: fresh preprocessing per detection, exactly
-    // as a subcarrier-at-a-time receiver would run.
-    let batch =
-        DetectionBatch { channels: &plan.rx_channels, jobs: &plan.jobs, c: cfg.constellation };
-    let detections = batch.detect_serial(detector);
-    assemble_outcome(cfg, &plan, detections)
+    let mut ws = FrameWorkspace::new();
+    uplink_frame_with_csi_into(cfg, channel, csi, detector, snr_db, rng, &mut ws).clone()
+}
+
+/// [`uplink_frame_with_csi`] recycling a [`FrameWorkspace`]: the serial
+/// *reference* receive path (fresh preprocessing per detection, exactly as
+/// a subcarrier-at-a-time receiver would run) with the frame plan and the
+/// receive chain reusing the workspace's buffers. Bit-identical to
+/// [`uplink_frame_with_csi`].
+#[allow(clippy::too_many_arguments)]
+pub fn uplink_frame_with_csi_into<'w, R: Rng + ?Sized, D: MimoDetector + ?Sized>(
+    cfg: &PhyConfig,
+    channel: &MimoChannel,
+    csi: Option<&MimoChannel>,
+    detector: &D,
+    snr_db: f64,
+    rng: &mut R,
+    ws: &'w mut FrameWorkspace,
+) -> &'w UplinkOutcome {
+    plan_uplink_frame_into(cfg, channel, csi, snr_db, rng, ws);
+    let mut stats = DetectorStats::default();
+    begin_assemble(ws);
+    for idx in 0..ws.n_jobs {
+        let job = &ws.jobs[idx];
+        let det = detector.detect(&ws.rx_channels[job.channel], &job.y, cfg.constellation);
+        absorb_detection(&mut ws.detected, &mut stats, idx, &det);
+    }
+    finish_outcome(cfg, ws, stats)
 }
 
 /// Like [`uplink_frame`] but fans the frame's per-subcarrier sphere
 /// searches out across `workers` threads (`0` = machine parallelism) and
 /// amortizes per-subcarrier channel preprocessing across the frame's OFDM
-/// symbols via [`MimoDetector::detect_batch`]. Each worker owns one search
-/// workspace for its whole job chunk (see
-/// [`geosphere_core::SearchWorkspace`]), so the frame's inner decode loop
-/// performs no per-symbol heap allocation after warmup.
+/// symbols via [`MimoDetector::detect_batch`].
 ///
 /// Output is **bit-identical** to [`uplink_frame`] for the same `rng`
 /// state, at every worker count: all randomness (payloads, then noise in
@@ -148,36 +210,139 @@ pub fn decode_frame_batched<R: Rng + ?Sized, D: MimoDetector + ?Sized>(
     rng: &mut R,
     workers: usize,
 ) -> UplinkOutcome {
-    let plan = plan_uplink_frame(cfg, channel, None, snr_db, rng);
-    let batch =
-        DetectionBatch { channels: &plan.rx_channels, jobs: &plan.jobs, c: cfg.constellation };
-    let detections = BatchDetector::new(detector, workers).detect_batch(&batch);
-    assemble_outcome(cfg, &plan, detections)
+    let mut ws = FrameWorkspace::new();
+    decode_frame_scoped_into(cfg, channel, detector, snr_db, rng, workers, &mut ws).clone()
 }
 
-/// Everything about one uplink frame except the detections: the per-client
-/// transmitted frames, the detector's channel table, and one detection job
-/// per (OFDM symbol, subcarrier) in OFDM-symbol-major order.
-struct UplinkPlan {
-    frames: Vec<TxFrame>,
-    rx_channels: Vec<gs_linalg::Matrix>,
-    jobs: Vec<DetectionJob>,
-    n_sym: usize,
-}
-
-/// Draws every random quantity of the frame — client payloads, then
-/// per-(symbol, subcarrier) noise — in the fixed order both the serial and
-/// batched receive paths share, and packages the resulting detection
-/// problems.
-fn plan_uplink_frame<R: Rng + ?Sized>(
+/// The generic batched decode over a recycled workspace: single-worker
+/// frames run inline through the detector's reusable batch workspace;
+/// multi-worker frames fan out through [`BatchDetector`]'s scoped threads
+/// (respawned per frame — callers that can name their detector type should
+/// prefer [`decode_frame_batched_into`] and its persistent pool). Used by
+/// [`crate::measure::measure_batched`] so the per-frame plan and receive
+/// chain reuse one workspace across a whole measurement.
+pub(crate) fn decode_frame_scoped_into<'w, R: Rng + ?Sized, D: MimoDetector + ?Sized>(
     cfg: &PhyConfig,
     channel: &MimoChannel,
-    csi: Option<&MimoChannel>,
+    detector: &D,
     snr_db: f64,
     rng: &mut R,
-) -> UplinkPlan {
+    workers: usize,
+    ws: &'w mut FrameWorkspace,
+) -> &'w UplinkOutcome {
+    plan_uplink_frame_into(cfg, channel, None, snr_db, rng, ws);
+    let mut stats = DetectorStats::default();
+    if workers == 1 {
+        detect_planned_inline(cfg, detector, ws, &mut stats);
+    } else {
+        let batch = DetectionBatch {
+            channels: &ws.rx_channels[..ws.n_rx_channels],
+            jobs: &ws.jobs[..ws.n_jobs],
+            c: cfg.constellation,
+        };
+        let detections = BatchDetector::new(detector, workers).detect_batch(&batch);
+        begin_assemble(ws);
+        for (idx, det) in detections.iter().enumerate() {
+            absorb_detection(&mut ws.detected, &mut stats, idx, det);
+        }
+    }
+    finish_outcome(cfg, ws, stats)
+}
+
+/// [`decode_frame_batched`] recycling a [`FrameWorkspace`] — the
+/// steady-state receive loop. Bit-identical to [`decode_frame_batched`]
+/// for the same `rng` state at every worker count, and **allocation-free
+/// per frame** after one warmup frame of the same shape:
+///
+/// * the frame plan refills pooled payload/symbol/job buffers,
+/// * `workers <= 1` detects inline through the workspace's
+///   [`DetectorWorkspace`](geosphere_core::DetectorWorkspace) with
+///   recycled outputs,
+/// * `workers > 1` dispatches through the workspace's persistent
+///   [`DetectionPool`](geosphere_core::DetectionPool) (`0` = machine
+///   parallelism, resolved once) — job and channel buffers are lent to the
+///   pool and returned, results are read in place,
+/// * the receive chain decodes into reused Viterbi/deinterleave scratch.
+///
+/// The detector must be `Clone + PartialEq` so the pool can keep a cheap
+/// `Arc` of it and rebuild only when the detector actually changes.
+#[allow(clippy::too_many_arguments)]
+pub fn decode_frame_batched_into<'w, R, D>(
+    cfg: &PhyConfig,
+    channel: &MimoChannel,
+    detector: &D,
+    snr_db: f64,
+    rng: &mut R,
+    workers: usize,
+    ws: &'w mut FrameWorkspace,
+) -> &'w UplinkOutcome
+where
+    R: Rng + ?Sized,
+    D: MimoDetector + Clone + PartialEq + 'static,
+{
+    plan_uplink_frame_into(cfg, channel, None, snr_db, rng, ws);
+    let mut stats = DetectorStats::default();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
+    };
+    if workers <= 1 {
+        detect_planned_inline(cfg, detector, ws, &mut stats);
+    } else {
+        let arc = ws.pool_detector_for(detector);
+        ws.pool_with_workers(workers);
+        // Detach the pool so the result visitor below can borrow the rest
+        // of the workspace mutably (a pointer move, not an allocation).
+        let mut pool = ws.pool.take().expect("pool just ensured");
+        pool.run(&arc, &mut ws.rx_channels, &mut ws.jobs, ws.n_jobs, cfg.constellation);
+        begin_assemble(ws);
+        pool.for_each_result(|idx, det| absorb_detection(&mut ws.detected, &mut stats, idx, det));
+        ws.pool = Some(pool);
+    }
+    finish_outcome(cfg, ws, stats)
+}
+
+/// Single-worker amortized detection on the calling thread: the batch runs
+/// through the detector's reusable workspace with recycled outputs.
+fn detect_planned_inline<D: MimoDetector + ?Sized>(
+    cfg: &PhyConfig,
+    detector: &D,
+    ws: &mut FrameWorkspace,
+    stats: &mut DetectorStats,
+) {
+    {
+        let n_rx = ws.n_rx_channels;
+        let n_jobs = ws.n_jobs;
+        let FrameWorkspace { rx_channels, jobs, det_ws, det_out, .. } = ws;
+        let batch = DetectionBatch {
+            channels: &rx_channels[..n_rx],
+            jobs: &jobs[..n_jobs],
+            c: cfg.constellation,
+        };
+        detector.detect_batch_with(&batch, det_ws, det_out);
+    }
+    begin_assemble(ws);
+    let FrameWorkspace { det_out, detected, .. } = ws;
+    for (idx, det) in det_out.iter().enumerate() {
+        absorb_detection(detected, stats, idx, det);
+    }
+}
+
+/// The frame-plan prologue shared by the hard, soft, and iterative entry
+/// points: draws every client payload (the first RNG consumer, client by
+/// client — the draw order all paths' bit-identity rests on), runs the
+/// transmit chains into the workspace's flat symbol grids, and refreshes
+/// the grid-domain channel table (constellation scale folded in so grid
+/// symbols fly at unit average power). Returns `(n_sym, n_grid)`.
+/// Allocation-free once the workspace has warmed up to this frame shape.
+pub(crate) fn plan_transmit_into<R: Rng + ?Sized>(
+    cfg: &PhyConfig,
+    channel: &MimoChannel,
+    rng: &mut R,
+    ws: &mut FrameWorkspace,
+) -> (usize, usize) {
     let nc = channel.num_tx();
-    let na = channel.num_rx();
     let c = cfg.constellation;
     assert!(
         channel.num_subcarriers() == 1 || channel.num_subcarriers() == cfg.n_subcarriers,
@@ -186,74 +351,149 @@ fn plan_uplink_frame<R: Rng + ?Sized>(
     );
 
     // Per-client frames with random payloads.
-    let frames: Vec<TxFrame> = (0..nc)
-        .map(|_| {
-            let payload: Vec<bool> = (0..cfg.payload_bits).map(|_| rng.gen_bool(0.5)).collect();
-            transmit_frame(cfg, &payload)
-        })
-        .collect();
-    let n_sym = frames[0].symbols.len();
+    if ws.payloads.len() < nc {
+        ws.payloads.resize_with(nc, Vec::new);
+    }
+    if ws.symbols.len() < nc {
+        ws.symbols.resize_with(nc, Vec::new);
+    }
+    for cl in 0..nc {
+        let FrameWorkspace { payloads, symbols, tx, .. } = ws;
+        let payload = &mut payloads[cl];
+        payload.clear();
+        payload.extend((0..cfg.payload_bits).map(|_| rng.gen_bool(0.5)));
+        transmit_symbols_into(cfg, payload, tx, &mut symbols[cl]);
+    }
+    let n_sym = ws.symbols[0].len() / cfg.n_subcarriers;
 
-    // Grid-domain channel: fold the constellation scale into H so grid
-    // symbols fly at unit average power.
+    let n_grid = channel.num_subcarriers();
+    if ws.grid_channels.len() < n_grid {
+        ws.grid_channels.resize_with(n_grid, Matrix::default);
+    }
+    for (k, m) in channel.iter().enumerate() {
+        ws.grid_channels[k].scale_from(m, c.scale());
+    }
+    (n_sym, n_grid)
+}
+
+/// Draws every random quantity of the frame — client payloads, then
+/// per-(symbol, subcarrier) noise — in the fixed order all receive paths
+/// share, and packages the resulting detection problems into the
+/// workspace's pooled buffers. Allocation-free once the workspace has
+/// warmed up to this frame shape.
+pub(crate) fn plan_uplink_frame_into<R: Rng + ?Sized>(
+    cfg: &PhyConfig,
+    channel: &MimoChannel,
+    csi: Option<&MimoChannel>,
+    snr_db: f64,
+    rng: &mut R,
+    ws: &mut FrameWorkspace,
+) {
+    let nc = channel.num_tx();
+    let na = channel.num_rx();
+    let c = cfg.constellation;
+    let (n_sym, n_grid) = plan_transmit_into(cfg, channel, rng, ws);
     let sigma2 = gs_channel::noise_variance_for_snr_db(snr_db);
-    let grid_channels: Vec<gs_linalg::Matrix> =
-        channel.iter().map(|m| m.scale(c.scale())).collect();
+    ws.n_grid_channels = n_grid;
     // The detector's view of the channel: genie (the truth) or supplied CSI.
-    let rx_channels: Vec<gs_linalg::Matrix> = match csi {
+    let n_rx = match csi {
         Some(est) => {
             assert_eq!(est.num_rx(), na, "CSI antenna mismatch");
             assert_eq!(est.num_tx(), nc, "CSI stream mismatch");
-            est.iter().map(|m| m.scale(c.scale())).collect()
+            let n = est.num_subcarriers();
+            if ws.rx_channels.len() < n {
+                ws.rx_channels.resize_with(n, Matrix::default);
+            }
+            for (k, m) in est.iter().enumerate() {
+                ws.rx_channels[k].scale_from(m, c.scale());
+            }
+            n
         }
-        None => grid_channels.clone(),
+        None => {
+            if ws.rx_channels.len() < n_grid {
+                ws.rx_channels.resize_with(n_grid, Matrix::default);
+            }
+            for k in 0..n_grid {
+                let FrameWorkspace { grid_channels, rx_channels, .. } = ws;
+                rx_channels[k].copy_from(&grid_channels[k]);
+            }
+            n_grid
+        }
     };
+    ws.n_rx_channels = n_rx;
 
-    let mut jobs = Vec::with_capacity(n_sym * cfg.n_subcarriers);
+    let n_jobs = n_sym * cfg.n_subcarriers;
+    if ws.jobs.len() < n_jobs {
+        ws.jobs.resize_with(n_jobs, || DetectionJob { channel: 0, y: Vec::new() });
+    }
+    let mut idx = 0;
     for t in 0..n_sym {
         for k in 0..cfg.n_subcarriers {
-            let h = &grid_channels[k % grid_channels.len()];
-            let s: Vec<GridPoint> = (0..nc).map(|cl| frames[cl].symbols[t][k]).collect();
-            let mut y: Vec<Complex> = geosphere_core::apply_channel(h, &s);
-            for v in y.iter_mut() {
+            let FrameWorkspace { symbols, grid_channels, jobs, s_buf, .. } = ws;
+            let h = &grid_channels[k % n_grid];
+            s_buf.clear();
+            s_buf.extend((0..nc).map(|cl| symbols[cl][t * cfg.n_subcarriers + k]));
+            let job = &mut jobs[idx];
+            job.channel = k % n_rx;
+            apply_channel_into(h, s_buf, &mut job.y);
+            for v in job.y.iter_mut() {
                 *v += sample_cn(rng, sigma2);
             }
-            debug_assert_eq!(y.len(), na);
-            jobs.push(DetectionJob { channel: k % rx_channels.len(), y });
+            debug_assert_eq!(job.y.len(), na);
+            idx += 1;
         }
     }
 
-    UplinkPlan { frames, rx_channels, jobs, n_sym }
+    ws.n_jobs = n_jobs;
+    ws.n_sym = n_sym;
+    ws.n_clients = nc;
 }
 
-/// Inverts the per-client receive chains over the detected symbols and
-/// aggregates detector statistics (job order, so counts are reproducible).
-fn assemble_outcome(
-    cfg: &PhyConfig,
-    plan: &UplinkPlan,
-    detections: Vec<Detection>,
-) -> UplinkOutcome {
-    let nc = plan.frames.len();
-    let n_detections = detections.len() as u64;
-    let mut stats = DetectorStats::default();
-    let mut detected: Vec<Vec<Vec<GridPoint>>> =
-        vec![vec![Vec::with_capacity(cfg.n_subcarriers); plan.n_sym]; nc];
-
-    for (idx, Detection { symbols, stats: st }) in detections.into_iter().enumerate() {
-        let t = idx / cfg.n_subcarriers;
-        stats += st;
-        for cl in 0..nc {
-            detected[cl][t].push(symbols[cl]);
-        }
+/// Sizes the per-client detected-symbol buffers for the planned frame.
+pub(crate) fn begin_assemble(ws: &mut FrameWorkspace) {
+    let nc = ws.n_clients;
+    if ws.detected.len() < nc {
+        ws.detected.resize_with(nc, Vec::new);
     }
+    for d in ws.detected.iter_mut().take(nc) {
+        d.clear();
+        d.resize(ws.n_jobs, GridPoint::default());
+    }
+}
 
-    let client_ok: Vec<bool> = (0..nc)
-        .map(|cl| {
-            receive_frame(cfg, &detected[cl]).map(|p| p == plan.frames[cl].payload).unwrap_or(false)
-        })
-        .collect();
+/// Scatters one detection's symbols to the per-client buffers and
+/// accumulates its operation counts.
+pub(crate) fn absorb_detection(
+    detected: &mut [Vec<GridPoint>],
+    stats: &mut DetectorStats,
+    idx: usize,
+    det: &geosphere_core::Detection,
+) {
+    *stats += det.stats;
+    for (cl, &p) in det.symbols.iter().enumerate() {
+        detected[cl][idx] = p;
+    }
+}
 
-    UplinkOutcome { client_ok, stats, detections: n_detections }
+/// Inverts the per-client receive chains over the scattered detections and
+/// writes the frame outcome into the workspace.
+pub(crate) fn finish_outcome<'w>(
+    cfg: &PhyConfig,
+    ws: &'w mut FrameWorkspace,
+    stats: DetectorStats,
+) -> &'w UplinkOutcome {
+    let nc = ws.n_clients;
+    let n_jobs = ws.n_jobs;
+    ws.out.client_ok.clear();
+    for cl in 0..nc {
+        let FrameWorkspace { detected, payloads, rx, out, .. } = ws;
+        let ok = receive_frame_flat_into(cfg, &detected[cl][..n_jobs], rx)
+            && rx.info[..cfg.payload_bits] == payloads[cl][..];
+        out.client_ok.push(ok);
+    }
+    ws.out.stats = stats;
+    ws.out.detections = ws.n_jobs as u64;
+    &ws.out
 }
 
 #[cfg(test)]
@@ -324,7 +564,8 @@ mod tests {
     #[test]
     fn batched_decode_bit_identical_to_serial() {
         // Same RNG seed → serial and batched paths must agree exactly, at
-        // every worker count, including op counts.
+        // every worker count, including op counts — through both the
+        // one-shot and workspace-recycling entry points.
         let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(Constellation::Qam16) };
         let mut chan_rng = StdRng::seed_from_u64(271);
         let ch = RayleighChannel::new(4, 2).realize(&mut chan_rng);
@@ -332,12 +573,20 @@ mod tests {
 
         let mut rng = StdRng::seed_from_u64(272);
         let serial = uplink_frame(&cfg, &ch, &det, 18.0, &mut rng);
+        let mut ws = FrameWorkspace::new();
         for workers in [1, 2, 4] {
             let mut rng = StdRng::seed_from_u64(272);
             let batched = decode_frame_batched(&cfg, &ch, &det, 18.0, &mut rng, workers);
             assert_eq!(batched.client_ok, serial.client_ok, "workers {workers}");
             assert_eq!(batched.stats, serial.stats, "workers {workers}");
             assert_eq!(batched.detections, serial.detections, "workers {workers}");
+
+            let mut rng = StdRng::seed_from_u64(272);
+            let pooled =
+                decode_frame_batched_into(&cfg, &ch, &det, 18.0, &mut rng, workers, &mut ws);
+            assert_eq!(pooled.client_ok, serial.client_ok, "pooled workers {workers}");
+            assert_eq!(pooled.stats, serial.stats, "pooled workers {workers}");
+            assert_eq!(pooled.detections, serial.detections, "pooled workers {workers}");
         }
     }
 

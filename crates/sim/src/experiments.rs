@@ -34,7 +34,10 @@ pub struct ExperimentParams {
     /// `>1` = fan per-subcarrier detections out via
     /// [`gs_phy::decode_frame_batched`] (`0` = machine parallelism).
     /// Measured numbers are bit-identical either way; only wall-clock
-    /// changes.
+    /// changes. Every measurement recycles one
+    /// [`gs_phy::FrameWorkspace`] across its frames (inside
+    /// [`gs_phy::measure`]/[`gs_phy::measure_batched`]), so per-frame
+    /// planning and receive-chain buffers are reused for the whole run.
     pub workers: usize,
 }
 

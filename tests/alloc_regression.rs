@@ -18,12 +18,20 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 thread_local! {
     /// Armed only on the measuring thread, only around the measured region.
     static COUNTING: Cell<bool> = const { Cell::new(false) };
 }
+
+/// Armed around regions where **every** thread's allocations count — used
+/// by the frame-chain case to also catch allocator traffic on the
+/// persistent detection-pool workers. Only sound while nothing else in the
+/// process allocates concurrently, which holds here: this file has a
+/// single `#[test]`, so the only live threads are the libtest runner
+/// (parked in `join`) and the pool workers under test.
+static COUNT_ALL_THREADS: AtomicBool = AtomicBool::new(false);
 
 /// Counts allocations (and reallocations) made by threads that have armed
 /// the counter.
@@ -33,6 +41,10 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 fn count_if_armed() {
+    if COUNT_ALL_THREADS.load(Ordering::Relaxed) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
     // `try_with`: TLS may be unavailable during thread teardown; those
     // allocations are by definition outside a measured region.
     let _ = COUNTING.try_with(|armed| {
@@ -73,13 +85,25 @@ fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
     (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
 }
 
+/// Runs `f` with **all threads'** allocation counting armed, returning how
+/// many allocations the whole process made — the measurement mode for the
+/// multi-worker frame chain.
+fn allocations_during_all_threads<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNT_ALL_THREADS.store(true, Ordering::SeqCst);
+    let result = f();
+    COUNT_ALL_THREADS.store(false, Ordering::SeqCst);
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
 use geosphere_core::{
     apply_channel, ethsd_decoder, geosphere_decoder, DetectionBatch, DetectionJob, DetectorStats,
     MimoDetector,
 };
-use gs_channel::{sample_cn, RayleighChannel};
+use gs_channel::{sample_cn, ChannelModel, RayleighChannel, SelectiveRayleighChannel};
 use gs_linalg::{qr_decompose, Complex, Matrix, Qr};
 use gs_modulation::{Constellation, GridPoint};
+use gs_phy::{decode_frame_batched_into, uplink_frame_soft_into, FrameWorkspace, PhyConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -210,8 +234,80 @@ fn assert_detect_batch_into_allocation_free() {
     }
 }
 
+/// The whole hard-decision frame chain — payload drawing, transmit
+/// encoding, channel application + noise, batched sphere detection (inline
+/// or across the persistent worker pool), and the per-client
+/// deinterleave/depuncture/Viterbi/CRC receive chain — must not touch the
+/// allocator per frame once a [`FrameWorkspace`] has warmed up.
+///
+/// Counting is process-wide, so the pool's worker threads are measured
+/// too, not just the coordinating thread.
+fn assert_hard_frame_chain_allocation_free(workers: usize) {
+    let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(Constellation::Qam16) };
+    // A frequency-selective channel so the plan carries one matrix per
+    // subcarrier: exercises per-channel QR refresh, the channel-grouped
+    // dispatch sort, and multi-entry prep slabs.
+    let model = SelectiveRayleighChannel {
+        n_fft: 64,
+        n_subcarriers: cfg.n_subcarriers,
+        ..SelectiveRayleighChannel::indoor(4, 4)
+    };
+    let ch = model.realize(&mut StdRng::seed_from_u64(9100));
+    let det = geosphere_decoder();
+    let mut ws = FrameWorkspace::new();
+    let mut rng = StdRng::seed_from_u64(9101);
+
+    // Two warmup frames: the first grows every plan/search/receive buffer,
+    // the second warms the detection-output recycling pools (spare buffers
+    // only exist after a previous frame's outputs are reclaimed). Buffer
+    // high-water marks depend only on the frame shape, not on the noise, so
+    // a third frame needs nothing new.
+    for _ in 0..2 {
+        decode_frame_batched_into(&cfg, &ch, &det, 22.0, &mut rng, workers, &mut ws);
+    }
+
+    let (delta, detections) = allocations_during_all_threads(|| {
+        decode_frame_batched_into(&cfg, &ch, &det, 22.0, &mut rng, workers, &mut ws).detections
+    });
+    assert_eq!(
+        delta, 0,
+        "hard frame chain ({workers} workers) allocated {delta} times for one warmed frame"
+    );
+    assert!(detections > 0, "the frame must actually have been detected");
+    assert!(
+        ws.outcome().client_ok.iter().any(|&ok| ok),
+        "22 dB 16-QAM should deliver at least one frame"
+    );
+}
+
+/// The soft frame chain — soft-output Geosphere per resource element, LLR
+/// accumulation, and the soft Viterbi receive chain — under the same
+/// zero-allocation contract.
+fn assert_soft_frame_chain_allocation_free() {
+    let cfg = PhyConfig { payload_bits: 256, ..PhyConfig::new(Constellation::Qpsk) };
+    let model = RayleighChannel::new(2, 2);
+    let ch = model.realize(&mut StdRng::seed_from_u64(9200));
+    let mut ws = FrameWorkspace::new();
+    let mut rng = StdRng::seed_from_u64(9201);
+
+    for _ in 0..2 {
+        uplink_frame_soft_into(&cfg, &ch, 18.0, &mut rng, &mut ws);
+    }
+
+    let (delta, ()) = allocations_during(|| {
+        uplink_frame_soft_into(&cfg, &ch, 18.0, &mut rng, &mut ws);
+    });
+    assert_eq!(delta, 0, "soft frame chain allocated {delta} times for one warmed frame");
+    assert!(ws.outcome().stats.visited_nodes > 0, "soft searches must actually have run");
+}
+
 #[test]
 fn detection_hot_path_is_allocation_free_after_warmup() {
     assert_detect_with_qr_allocation_free();
     assert_detect_batch_into_allocation_free();
+    // Frame chain (tentpole of the FrameWorkspace refactor): hard path at
+    // one worker (inline) and four workers (persistent pool), soft path.
+    assert_hard_frame_chain_allocation_free(1);
+    assert_hard_frame_chain_allocation_free(4);
+    assert_soft_frame_chain_allocation_free();
 }

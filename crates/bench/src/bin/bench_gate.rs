@@ -1,0 +1,212 @@
+//! The CI bench-regression gate for the `frame_decode` hot path.
+//!
+//! Times the same scenario as the `decode_throughput/frame_decode` bench —
+//! one 64-subcarrier 4×4 64-QAM uplink frame at 28 dB through the
+//! Geosphere decoder — across the decode modes (serial reference, batched
+//! at several worker counts, and the steady-state reused-workspace path),
+//! then:
+//!
+//! 1. writes the results as JSON (`BENCH_pr4.json` by default, uploaded as
+//!    a CI artifact), one `{mean_ms, min_ms}` entry per mode, and
+//! 2. gates the `batched_1w` mean against the committed baseline
+//!    (`crates/bench/baselines/pr4_frame_decode.json`), **failing** (exit
+//!    code 1) on a regression of more than 10%.
+//!
+//! The gate is **machine-relative**: what is compared is the ratio
+//! `batched_1w / serial`, both measured in the same process, against the
+//! same ratio from the baseline file. Absolute milliseconds vary with the
+//! runner's silicon (ephemeral CI machines span CPU generations); the
+//! ratio cancels the hardware term, so the gate trips on code regressions
+//! in the batched path rather than on runner lottery. The absolute means
+//! are still recorded in the JSON for human inspection.
+//!
+//! The mean is trimmed (middle half of the sorted samples) so one noisy
+//! scheduler hiccup on a shared runner cannot fail the gate by itself;
+//! an improvement beyond the baseline prints a hint to refresh it.
+//!
+//! Flags: `--out <path>`, `--baseline <path>`, `--samples <n>`,
+//! `--write-baseline` (regenerate the committed baseline instead of
+//! gating — run on a quiet machine).
+
+use geosphere_core::geosphere_decoder;
+use gs_channel::{ChannelModel, SelectiveRayleighChannel};
+use gs_modulation::Constellation;
+use gs_phy::{
+    decode_frame_batched, decode_frame_batched_into, uplink_frame, FrameWorkspace, PhyConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Allowed regression of the gated ratio vs the baseline's ratio.
+const MAX_REGRESSION: f64 = 0.10;
+/// The mode the gate compares (the steady single-worker batched decode).
+const GATED_MODE: &str = "batched_1w";
+/// The in-run reference that cancels the hardware term.
+const REFERENCE_MODE: &str = "serial";
+
+struct ModeResult {
+    name: &'static str,
+    mean_ms: f64,
+    min_ms: f64,
+}
+
+/// Trimmed mean (middle half) and min of raw per-frame times, in ms.
+fn summarize(mut samples: Vec<f64>) -> (f64, f64) {
+    samples.sort_by(f64::total_cmp);
+    let min = samples[0];
+    let lo = samples.len() / 4;
+    let hi = samples.len() - lo;
+    let mid = &samples[lo..hi];
+    (mid.iter().sum::<f64>() / mid.len() as f64 * 1e3, min * 1e3)
+}
+
+fn time_mode(samples: usize, mut f: impl FnMut() -> u64) -> (f64, f64) {
+    // Two warmup frames grow every workspace/pool buffer before timing.
+    std::hint::black_box(f());
+    std::hint::black_box(f());
+    let raw: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    summarize(raw)
+}
+
+fn run_all(samples: usize) -> Vec<ModeResult> {
+    let cfg =
+        PhyConfig { n_subcarriers: 64, payload_bits: 2048, ..PhyConfig::new(Constellation::Qam64) };
+    let snr_db = 28.0;
+    let model = SelectiveRayleighChannel {
+        n_fft: 64,
+        n_subcarriers: 64,
+        ..SelectiveRayleighChannel::indoor(4, 4)
+    };
+    let ch = model.realize(&mut StdRng::seed_from_u64(2014));
+    let det = geosphere_decoder();
+
+    let mut out = Vec::new();
+    let (mean, min) = time_mode(samples, || {
+        let mut rng = StdRng::seed_from_u64(77);
+        uplink_frame(&cfg, &ch, &det, snr_db, &mut rng).stats.ped_calcs
+    });
+    out.push(ModeResult { name: "serial", mean_ms: mean, min_ms: min });
+
+    for (name, workers) in [("batched_1w", 1usize), ("batched_2w", 2), ("batched_4w", 4)] {
+        let (mean, min) = time_mode(samples, || {
+            let mut rng = StdRng::seed_from_u64(77);
+            decode_frame_batched(&cfg, &ch, &det, snr_db, &mut rng, workers).stats.ped_calcs
+        });
+        out.push(ModeResult { name, mean_ms: mean, min_ms: min });
+    }
+
+    for (name, workers) in [("batched_into_1w", 1usize), ("batched_into_4w", 4)] {
+        let mut ws = FrameWorkspace::new();
+        let (mean, min) = time_mode(samples, || {
+            let mut rng = StdRng::seed_from_u64(77);
+            decode_frame_batched_into(&cfg, &ch, &det, snr_db, &mut rng, workers, &mut ws)
+                .stats
+                .ped_calcs
+        });
+        out.push(ModeResult { name, mean_ms: mean, min_ms: min });
+    }
+    out
+}
+
+fn render_json(results: &[ModeResult], samples: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"frame_decode_4x4_qam64_64sc\",");
+    let _ = writeln!(s, "  \"samples\": {samples},");
+    let _ = writeln!(s, "  \"simd_tier\": \"{}\",", gs_linalg::simd::active_tier().name());
+    let _ = writeln!(s, "  \"modes\": {{");
+    for (k, r) in results.iter().enumerate() {
+        let comma = if k + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    \"{}\": {{\"mean_ms\": {:.6}, \"min_ms\": {:.6}}}{comma}",
+            r.name, r.mean_ms, r.min_ms
+        );
+    }
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Minimal extractor for our own JSON format: the number following
+/// `"mode" : {"mean_ms":` — no general JSON parser needed (or available
+/// offline).
+fn extract_mean(json: &str, mode: &str) -> Option<f64> {
+    let key = format!("\"{mode}\"");
+    let after_mode = &json[json.find(&key)? + key.len()..];
+    let after_field = &after_mode[after_mode.find("\"mean_ms\":")? + "\"mean_ms\":".len()..];
+    let num: String = after_field
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|p| args.get(p + 1).cloned())
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_pr4.json".into());
+    let baseline_path = flag_value("--baseline")
+        .unwrap_or_else(|| "crates/bench/baselines/pr4_frame_decode.json".into());
+    let samples: usize = flag_value("--samples").and_then(|v| v.parse().ok()).unwrap_or(12);
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+
+    let results = run_all(samples);
+    let json = render_json(&results, samples);
+    for r in &results {
+        println!("{:<18} mean {:8.3} ms   min {:8.3} ms", r.name, r.mean_ms, r.min_ms);
+    }
+
+    if write_baseline {
+        std::fs::write(&baseline_path, &json).expect("write baseline");
+        println!("baseline written to {baseline_path}");
+        return;
+    }
+
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("results written to {out_path}");
+
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("no committed baseline at {baseline_path}: {e}"));
+    let mean_of = |results: &[ModeResult], mode: &str| -> f64 {
+        results.iter().find(|r| r.name == mode).map(|r| r.mean_ms).expect("mode measured")
+    };
+    let base_gated = extract_mean(&baseline, GATED_MODE)
+        .unwrap_or_else(|| panic!("baseline is missing {GATED_MODE}.mean_ms"));
+    let base_ref = extract_mean(&baseline, REFERENCE_MODE)
+        .unwrap_or_else(|| panic!("baseline is missing {REFERENCE_MODE}.mean_ms"));
+    let base_ratio = base_gated / base_ref;
+    let cur_ratio = mean_of(&results, GATED_MODE) / mean_of(&results, REFERENCE_MODE);
+
+    let limit = base_ratio * (1.0 + MAX_REGRESSION);
+    println!(
+        "gate: {GATED_MODE}/{REFERENCE_MODE} ratio {cur_ratio:.4} vs baseline \
+         {base_ratio:.4} (limit {limit:.4})"
+    );
+    if cur_ratio > limit {
+        eprintln!(
+            "BENCH REGRESSION: {GATED_MODE}/{REFERENCE_MODE} ratio {cur_ratio:.4} exceeds \
+             the baseline ratio {base_ratio:.4} by more than {:.0}%",
+            MAX_REGRESSION * 100.0
+        );
+        std::process::exit(1);
+    }
+    if cur_ratio < base_ratio * (1.0 - MAX_REGRESSION) {
+        println!(
+            "note: {GATED_MODE} is now >{:.0}% faster relative to {REFERENCE_MODE} than \
+             the baseline — consider refreshing it with --write-baseline",
+            MAX_REGRESSION * 100.0
+        );
+    }
+}

@@ -16,7 +16,7 @@ pub const G1: u32 = 0o171;
 
 /// Parity (mod-2 sum of bits) of `x`.
 #[inline]
-fn parity(x: u32) -> bool {
+const fn parity(x: u32) -> bool {
     x.count_ones() % 2 == 1
 }
 
@@ -26,10 +26,26 @@ fn parity(x: u32) -> bool {
 /// recent in the MSB (bit 5). The generator taps see `[input, state]` as a
 /// 7-bit window with the input in bit 6.
 #[inline]
-pub fn branch_output(state: usize, input: bool) -> (bool, bool) {
+pub const fn branch_output(state: usize, input: bool) -> (bool, bool) {
     let window = ((input as u32) << 6) | state as u32;
     (parity(window & G0), parity(window & G1))
 }
+
+/// Branch outputs for every `(state, input)`, packed as `o0 | o1 << 1` and
+/// indexed by `(state << 1) | input` — the encoder's and the Viterbi
+/// decoders' shared transition table, built at compile time.
+pub const OUTPUT_TABLE: [u8; 2 * NUM_STATES] = {
+    let mut table = [0u8; 2 * NUM_STATES];
+    let mut state = 0;
+    while state < NUM_STATES {
+        let (z0, z1) = branch_output(state, false);
+        table[state << 1] = z0 as u8 | ((z1 as u8) << 1);
+        let (o0, o1) = branch_output(state, true);
+        table[(state << 1) | 1] = o0 as u8 | ((o1 as u8) << 1);
+        state += 1;
+    }
+    table
+};
 
 /// Next shift-register state after feeding `input`.
 #[inline]
@@ -51,9 +67,9 @@ pub fn encode_into(bits: &[bool], out: &mut Vec<bool>) {
     out.clear();
     let mut state = 0usize;
     for &b in bits.iter().chain(std::iter::repeat_n(&false, CONSTRAINT - 1)) {
-        let (o0, o1) = branch_output(state, b);
-        out.push(o0);
-        out.push(o1);
+        let packed = OUTPUT_TABLE[(state << 1) | b as usize];
+        out.push(packed & 1 == 1);
+        out.push(packed & 2 == 2);
         state = next_state(state, b);
     }
 }

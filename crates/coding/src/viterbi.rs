@@ -5,7 +5,7 @@
 //! [`crate::conv`]; decoding assumes the encoder appended the 6 zero tail
 //! bits (terminated trellis).
 
-use crate::conv::{branch_output, next_state, CONSTRAINT, NUM_STATES};
+use crate::conv::{CONSTRAINT, NUM_STATES, OUTPUT_TABLE};
 
 /// A received coded bit: a hard decision or an erasure (from depuncturing).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,21 +49,42 @@ pub fn decode(coded: &[bool]) -> Vec<bool> {
     decode_with_erasures(&symbols)
 }
 
-/// Branch outputs for every (state, input), packed as `o0 | o1 << 1`.
+/// Half the butterfly count: destinations `k` and `k + HALF` share the
+/// predecessor pair `{2k, 2k+1}`.
+const HALF: usize = NUM_STATES / 2;
+
+/// Per-butterfly branch-output bits, hoisted from [`OUTPUT_TABLE`] at
+/// compile time so the add-compare-select loop is pure contiguous
+/// arithmetic — no per-transition table gathers, which is what lets the
+/// compiler vectorize it.
 ///
-/// Precomputing the table once per decode keeps the add-compare-select
-/// inner loop free of the per-transition parity computations (two popcounts
-/// per branch otherwise — the dominant cost of the frame receive chain).
-fn output_table() -> [u8; 2 * NUM_STATES] {
-    let mut table = [0u8; 2 * NUM_STATES];
-    for state in 0..NUM_STATES {
-        for input in [false, true] {
-            let (o0, o1) = branch_output(state, input);
-            table[(state << 1) | input as usize] = (o0 as u8) | ((o1 as u8) << 1);
-        }
-    }
-    table
+/// `BFLY[input][src]` with `input ∈ {0, 1}` (the destination's new bit)
+/// and `src ∈ {0, 1}` (lower/upper predecessor `2k`/`2k+1`) holds, per
+/// butterfly index `k`, the two output bits as 0/1 words: `.0[k]` = first
+/// generator bit, `.1[k]` = second.
+struct ButterflyBits {
+    o0: [u32; HALF],
+    o1: [u32; HALF],
 }
+
+const fn butterfly_bits(src_odd: usize, input: usize) -> ButterflyBits {
+    let mut b = ButterflyBits { o0: [0; HALF], o1: [0; HALF] };
+    let mut k = 0;
+    while k < HALF {
+        let state = 2 * k + src_odd;
+        let packed = OUTPUT_TABLE[(state << 1) | input];
+        b.o0[k] = (packed & 1) as u32;
+        b.o1[k] = ((packed >> 1) & 1) as u32;
+        k += 1;
+    }
+    b
+}
+
+/// Transition bits for (lower predecessor, input 0) … (upper, input 1).
+const B_LO_IN0: ButterflyBits = butterfly_bits(0, 0);
+const B_HI_IN0: ButterflyBits = butterfly_bits(1, 0);
+const B_LO_IN1: ButterflyBits = butterfly_bits(0, 1);
+const B_HI_IN1: ButterflyBits = butterfly_bits(1, 1);
 
 /// Reusable trellis scratch for the Viterbi decoders: hard/soft path
 /// metrics plus the flat survivor slab. Hold one per receiver and pass it
@@ -110,7 +131,6 @@ pub fn decode_with_erasures_into(
     assert_eq!(coded.len() % 2, 0, "rate-1/2 stream must have even length");
     let steps = coded.len() / 2;
     assert!(steps >= CONSTRAINT - 1, "stream shorter than the termination tail");
-    let outputs = output_table();
 
     const INF: u32 = u32::MAX / 2;
     ws.metric_u.clear();
@@ -123,34 +143,55 @@ pub fn decode_with_erasures_into(
     ws.survivors.resize(steps * NUM_STATES, 0);
 
     ws.next_u.clear();
-    ws.next_u.resize(NUM_STATES, INF);
+    ws.next_u.resize(NUM_STATES, 0);
     for t in 0..steps {
         let rx0 = coded[2 * t];
         let rx1 = coded[2 * t + 1];
-        // Branch metric for each packed output pair against this step's
-        // received pair: 4 values cover all 128 transitions.
-        let branch_cost = [
-            rx0.cost(false) + rx1.cost(false),
-            rx0.cost(true) + rx1.cost(false),
-            rx0.cost(false) + rx1.cost(true),
-            rx0.cost(true) + rx1.cost(true),
-        ];
-        ws.next_u.iter_mut().for_each(|m| *m = INF);
+        // Branch metric components: a transition emitting bits (o0, o1)
+        // costs `c0f + o0·d0 + c1f + o1·d1` — pure 0/1-mask arithmetic,
+        // identical to the four-entry table the scalar loop used.
+        let c0f = rx0.cost(false);
+        let c1f = rx1.cost(false);
+        let d0 = rx0.cost(true).wrapping_sub(c0f);
+        let d1 = rx1.cost(true).wrapping_sub(c1f);
+        let base = c0f + c1f;
         let surv = &mut ws.survivors[t * NUM_STATES..(t + 1) * NUM_STATES];
-        for state in 0..NUM_STATES {
-            let m = ws.metric_u[state];
-            if m >= INF {
-                continue;
-            }
-            for input in [false, true] {
-                let out = outputs[(state << 1) | input as usize];
-                let cost = m + branch_cost[out as usize];
-                let ns = next_state(state, input);
-                if cost < ws.next_u[ns] {
-                    ws.next_u[ns] = cost;
-                    surv[ns] = ((input as u8) << 7) | state as u8;
-                }
-            }
+        let (surv_in0, surv_in1) = surv.split_at_mut(HALF);
+        let (next_in0, next_in1) = ws.next_u.split_at_mut(HALF);
+        // Destination-major butterflies: dest k (new bit 0) and k + HALF
+        // (new bit 1) both choose between predecessors 2k and 2k+1 —
+        // branchless, every destination written exactly once. Unreachable
+        // predecessors carry metrics ≥ INF and lose every comparison that
+        // matters (real path metrics are bounded by 2·steps), so outputs
+        // match the old skip-INF source-major loop bit for bit, including
+        // its tie-breaking (the lower predecessor was enumerated first and
+        // only a strictly better cost replaced it).
+        for k in 0..HALF {
+            let m0 = ws.metric_u[2 * k];
+            let m1 = ws.metric_u[2 * k + 1];
+            let bc_lo0 = base
+                .wrapping_add(B_LO_IN0.o0[k].wrapping_mul(d0))
+                .wrapping_add(B_LO_IN0.o1[k].wrapping_mul(d1));
+            let bc_hi0 = base
+                .wrapping_add(B_HI_IN0.o0[k].wrapping_mul(d0))
+                .wrapping_add(B_HI_IN0.o1[k].wrapping_mul(d1));
+            let c0 = m0 + bc_lo0;
+            let c1 = m1 + bc_hi0;
+            let take_hi = (c1 < c0) as u32;
+            next_in0[k] = if c1 < c0 { c1 } else { c0 };
+            surv_in0[k] = (2 * k) as u8 + take_hi as u8;
+
+            let bc_lo1 = base
+                .wrapping_add(B_LO_IN1.o0[k].wrapping_mul(d0))
+                .wrapping_add(B_LO_IN1.o1[k].wrapping_mul(d1));
+            let bc_hi1 = base
+                .wrapping_add(B_HI_IN1.o0[k].wrapping_mul(d0))
+                .wrapping_add(B_HI_IN1.o1[k].wrapping_mul(d1));
+            let c0 = m0 + bc_lo1;
+            let c1 = m1 + bc_hi1;
+            let take_hi = (c1 < c0) as u32;
+            next_in1[k] = if c1 < c0 { c1 } else { c0 };
+            surv_in1[k] = 0x80 | ((2 * k) as u8 + take_hi as u8);
         }
         std::mem::swap(&mut ws.metric_u, &mut ws.next_u);
     }
@@ -288,7 +329,6 @@ pub fn decode_soft_into(llrs: &[f64], ws: &mut ViterbiWorkspace, out: &mut Vec<b
         }
     }
 
-    let outputs = output_table();
     const INF: f64 = f64::INFINITY;
     ws.metric_f.clear();
     ws.metric_f.resize(NUM_STATES, INF);
@@ -297,33 +337,48 @@ pub fn decode_soft_into(llrs: &[f64], ws: &mut ViterbiWorkspace, out: &mut Vec<b
     ws.survivors.clear();
     ws.survivors.resize(steps * NUM_STATES, 0);
     ws.next_f.clear();
-    ws.next_f.resize(NUM_STATES, INF);
+    ws.next_f.resize(NUM_STATES, 0.0);
 
     for t in 0..steps {
         let l0 = llrs[2 * t];
         let l1 = llrs[2 * t + 1];
-        let branch_cost = [
-            cost(l0, false) + cost(l1, false),
-            cost(l0, true) + cost(l1, false),
-            cost(l0, false) + cost(l1, true),
-            cost(l0, true) + cost(l1, true),
-        ];
-        ws.next_f.iter_mut().for_each(|m| *m = INF);
+        let c0f = cost(l0, false);
+        let c0t = cost(l0, true);
+        let c1f = cost(l1, false);
+        let c1t = cost(l1, true);
         let surv = &mut ws.survivors[t * NUM_STATES..(t + 1) * NUM_STATES];
-        for state in 0..NUM_STATES {
-            let m = ws.metric_f[state];
-            if !m.is_finite() {
-                continue;
-            }
-            for input in [false, true] {
-                let out = outputs[(state << 1) | input as usize];
-                let c = m + branch_cost[out as usize];
-                let ns = next_state(state, input);
-                if c < ws.next_f[ns] {
-                    ws.next_f[ns] = c;
-                    surv[ns] = ((input as u8) << 7) | state as u8;
-                }
-            }
+        let (surv_in0, surv_in1) = surv.split_at_mut(HALF);
+        let (next_in0, next_in1) = ws.next_f.split_at_mut(HALF);
+        // The same destination-major butterfly as the hard path, with
+        // branchless selects instead of mask arithmetic (f64 selection must
+        // stay exact). A transition emitting (o0, o1) costs
+        // `sel(o0) + sel(o1)` — the one addition the old four-entry table
+        // performed, so metrics are bit-identical. Unreachable predecessors
+        // carry `+∞` and lose every comparison that matters; the old loop's
+        // tie-breaking (lower predecessor first, strict improvement only)
+        // is preserved by `take_hi = c1 < c0`.
+        for k in 0..HALF {
+            let m0 = ws.metric_f[2 * k];
+            let m1 = ws.metric_f[2 * k + 1];
+            let bc_lo0 = (if B_LO_IN0.o0[k] == 1 { c0t } else { c0f })
+                + (if B_LO_IN0.o1[k] == 1 { c1t } else { c1f });
+            let bc_hi0 = (if B_HI_IN0.o0[k] == 1 { c0t } else { c0f })
+                + (if B_HI_IN0.o1[k] == 1 { c1t } else { c1f });
+            let c0 = m0 + bc_lo0;
+            let c1 = m1 + bc_hi0;
+            let take_hi = c1 < c0;
+            next_in0[k] = if take_hi { c1 } else { c0 };
+            surv_in0[k] = (2 * k) as u8 + take_hi as u8;
+
+            let bc_lo1 = (if B_LO_IN1.o0[k] == 1 { c0t } else { c0f })
+                + (if B_LO_IN1.o1[k] == 1 { c1t } else { c1f });
+            let bc_hi1 = (if B_HI_IN1.o0[k] == 1 { c0t } else { c0f })
+                + (if B_HI_IN1.o1[k] == 1 { c1t } else { c1f });
+            let c0 = m0 + bc_lo1;
+            let c1 = m1 + bc_hi1;
+            let take_hi = c1 < c0;
+            next_in1[k] = if take_hi { c1 } else { c0 };
+            surv_in1[k] = 0x80 | ((2 * k) as u8 + take_hi as u8);
         }
         std::mem::swap(&mut ws.metric_f, &mut ws.next_f);
     }

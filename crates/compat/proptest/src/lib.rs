@@ -196,7 +196,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Acceptable size arguments for [`vec`]: an exact length or a range.
+    /// Acceptable size arguments for [`vec()`]: an exact length or a range.
     pub trait IntoSizeRange {
         /// Converts to a half-open `[min, max)` length range.
         fn into_size_range(self) -> Range<usize>;

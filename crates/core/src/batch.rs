@@ -287,14 +287,28 @@ impl Default for PoolData {
 }
 
 impl DetectionPool {
-    /// Spawns a pool of exactly `workers.max(1)` threads.
+    /// Spawns a pool of exactly `workers.max(1)` threads, pinned
+    /// round-robin to cores unless `GS_NO_PIN` is set (see
+    /// [`crate::affinity`] — the workers are long-lived, so stable
+    /// placement keeps each worker's search workspace in one core's
+    /// cache).
     ///
     /// Unlike [`BatchDetector::new`], the count is **not** clamped to the
     /// machine's parallelism: a long-lived receiver sizes its pool once,
     /// and correctness (and the zero-allocation contract) hold at any
     /// count — oversubscription only costs wall-clock.
     pub fn new(workers: usize) -> Self {
+        Self::new_with_pinning(workers, !crate::affinity::pinning_disabled_by_env())
+    }
+
+    /// [`DetectionPool::new`] with explicit control over worker pinning
+    /// (the env-independent form, used by tests and by embedders that
+    /// manage placement themselves). Worker `i` is pinned to the `i mod
+    /// n`-th CPU of the process's **allowed** set (so `taskset`/cpuset
+    /// restrictions are respected rather than fought), best-effort.
+    pub fn new_with_pinning(workers: usize, pin: bool) -> Self {
         let n_workers = workers.max(1);
+        let cpus = if pin { crate::affinity::allowed_cpus() } else { Vec::new() };
         let shared = Arc::new(PoolShared {
             signal: Mutex::new(PoolSignal::default()),
             work_cv: Condvar::new(),
@@ -305,7 +319,15 @@ impl DetectionPool {
         let handles = (0..n_workers)
             .map(|wid| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || pool_worker_loop(&shared, wid))
+                let cpu = if cpus.is_empty() { None } else { Some(cpus[wid % cpus.len()]) };
+                std::thread::spawn(move || {
+                    if let Some(cpu) = cpu {
+                        // Best-effort: a rejected mask just leaves the
+                        // worker unpinned.
+                        crate::affinity::pin_current_thread(cpu);
+                    }
+                    pool_worker_loop(&shared, wid)
+                })
             })
             .collect();
         DetectionPool { shared, handles, n_workers }
@@ -613,6 +635,29 @@ mod tests {
         }));
         assert!(reuse.is_err(), "a dead pool must refuse further frames");
         drop(pool);
+    }
+
+    #[test]
+    fn pool_detects_identically_pinned_and_unpinned() {
+        // Affinity is a placement hint; detection results must not depend
+        // on it (and pinning must not wedge the pool on any machine size).
+        let c = Constellation::Qam16;
+        let (channels, jobs) = random_batch(306, c, 4, 4, 4, 24, 0.05);
+        let batch = DetectionBatch { channels: &channels, jobs: &jobs, c };
+        let det = geosphere_decoder();
+        let reference = batch.detect_serial(&det);
+        let arc: Arc<dyn MimoDetector> = Arc::new(det);
+        for pin in [true, false] {
+            let mut pool = DetectionPool::new_with_pinning(3, pin);
+            let mut ch = channels.clone();
+            let mut jb = jobs.clone();
+            let n = jb.len();
+            pool.run(&arc, &mut ch, &mut jb, n, c);
+            pool.for_each_result(|idx, d| {
+                assert_eq!(d.symbols, reference[idx].symbols, "pin {pin} job {idx}");
+                assert_eq!(d.stats, reference[idx].stats, "pin {pin} job {idx}");
+            });
+        }
     }
 
     #[test]

@@ -25,12 +25,15 @@
 //! assert_eq!(det.symbols, s);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied everywhere except the thread-affinity shim, which
+// needs one libc syscall (`sched_setaffinity`); see `affinity`.
+#![deny(unsafe_code)]
 // Trellis/detector inner loops index several arrays by the same state or
 // stream variable; iterator rewrites obscure the recurrences.
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod batch;
 pub mod detector;
 pub mod filter_cache;

@@ -50,9 +50,9 @@ fn apply_sic(
         let remaining = nc - stage;
         stats.complex_mults += (na * remaining) as u64;
         // Estimate of the strongest remaining stream: the stage's filter
-        // row applied to the current residual.
-        let est: Complex =
-            row.iter().zip(residual.iter()).fold(Complex::ZERO, |acc, (&a, &b)| acc + a * b);
+        // row applied to the current residual, through the lane-ordered
+        // dot kernel (bit-identical at every SIMD tier).
+        let est = gs_linalg::simd::cdot(row, &residual[..row.len()]);
         let stream = filters.order[stage];
         let decided = c.slice(est);
         stats.slices += 1;

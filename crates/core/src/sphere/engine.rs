@@ -131,6 +131,7 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
         let nc = r.cols();
         debug_assert_eq!(yhat.len(), nc, "ŷ must already be Q*-rotated and truncated");
         ws.prepare_levels(nc);
+        ws.load_r_soa(r);
         if constraint.is_some() {
             ws.ensure_bit_table(c);
         }
@@ -138,7 +139,17 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
         // the candidate vector, and the best-solution buffer can be borrowed
         // simultaneously.
         let SearchWorkspace {
-            enumerators, dist_above, chosen, best, solution_len, bit_table, ..
+            enumerators,
+            dist_above,
+            chosen,
+            chosen_re,
+            chosen_im,
+            r_re,
+            r_im,
+            best,
+            solution_len,
+            bit_table,
+            ..
         } = ws;
         let bit_table = bit_table.as_ref().map(|(_, t)| t);
         let mut radius = initial_radius_sqr;
@@ -147,17 +158,24 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
         *solution_len = 0;
 
         // Opens level i: compute ỹ_i from ŷ and the symbols chosen above
-        // (Eq. 8), then reset the level's slab enumerator for the node.
+        // (Eq. 8) — the interference dot runs on the workspace's split
+        // re/im slabs through the lane-ordered SIMD kernel — then reset
+        // the level's slab enumerator for the node.
         let open_level = |i: usize,
                           da: f64,
-                          chosen: &[GridPoint],
+                          chosen_re: &[f64],
+                          chosen_im: &[f64],
                           enumerators: &mut [Option<F::Enumerator>],
                           dist_above: &mut [f64],
                           stats: &mut DetectorStats| {
-            let mut acc = yhat[i];
-            for j in (i + 1)..nc {
-                acc -= r[(i, j)] * chosen[j].to_complex();
-            }
+            let row = i * nc;
+            let interference = gs_linalg::simd::cdot_soa(
+                &r_re[row + i + 1..row + nc],
+                &r_im[row + i + 1..row + nc],
+                &chosen_re[i + 1..nc],
+                &chosen_im[i + 1..nc],
+            );
+            let acc = yhat[i] - interference;
             stats.complex_mults += (nc - 1 - i) as u64;
             let rll = r[(i, i)].re; // real ≥ 0 by QR normalization
             let center = if rll > f64::EPSILON { acc / rll } else { Complex::ZERO };
@@ -167,7 +185,7 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
         };
 
         let mut i = nc - 1; // current level (nc-1 = tree root)
-        open_level(i, 0.0, chosen, enumerators, dist_above, stats);
+        open_level(i, 0.0, chosen_re, chosen_im, enumerators, dist_above, stats);
         let mut local_nodes = 0u64;
 
         loop {
@@ -191,6 +209,8 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
                     stats.visited_nodes += 1;
                     let dist = dist_above[i] + child.cost;
                     chosen[i] = child.point;
+                    chosen_re[i] = child.point.i as f64;
+                    chosen_im[i] = child.point.q as f64;
                     if i == 0 {
                         // Leaf: new best solution, shrink the sphere.
                         radius = dist;
@@ -201,7 +221,7 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
                         // the next sibling under the new radius.
                     } else {
                         i -= 1;
-                        open_level(i, dist, chosen, enumerators, dist_above, stats);
+                        open_level(i, dist, chosen_re, chosen_im, enumerators, dist_above, stats);
                     }
                 }
                 // Sorted enumeration: a child at or beyond the radius, or an

@@ -167,7 +167,12 @@ impl GeosphereEnumerator {
                 return false;
             }
         }
-        let cost = self.gain * point.dist_sqr(self.center);
+        // One exact PED through the shared per-point unit — the same
+        // expression `ped_soa` evaluates per lane, so Geosphere's lazy
+        // one-at-a-time enumeration and ETH-SD's row-head batches agree
+        // bit for bit on every cost.
+        let cost =
+            gs_linalg::simd::ped_point(point.i as f64, point.q as f64, self.center, self.gain);
         stats.ped_calcs += 1;
         self.queue.push(Reverse(Candidate { cost, point, column }));
         true

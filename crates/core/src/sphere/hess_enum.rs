@@ -40,23 +40,48 @@ pub struct HessEnumerator {
     c: Constellation,
     center: Complex,
     gain: f64,
+    /// SoA scratch for the row-head PED batch (reused across resets):
+    /// every head shares the sliced I coordinate, the Q coordinate walks
+    /// the rows.
+    head_re: Vec<f64>,
+    head_im: Vec<f64>,
+    head_cost: Vec<f64>,
 }
 
 impl HessEnumerator {
     fn init(&mut self, stats: &mut DetectorStats) {
         // One slice for the in-phase axis; each row head shares the sliced
-        // I coordinate but needs its own distance computation. Levels are
-        // walked by index (not via `axis_levels()`, which materializes a
-        // Vec) so a node visit stays allocation-free.
+        // I coordinate but needs its own distance computation — the √|O|
+        // upfront PEDs the paper charges this scheme for, evaluated as one
+        // `ped_soa` batch over the rows' (constant-I, per-row-Q) points.
+        // Levels are walked by index (not via `axis_levels()`, which
+        // materializes a Vec) so a node visit stays allocation-free.
         stats.slices += 1;
-        for qi in 0..self.c.side() {
+        let side = self.c.side();
+        let mut head_iter = AxisZigzag::new(self.c, self.center.re);
+        let head_i = head_iter.next().expect("nonempty axis");
+        self.head_re.clear();
+        self.head_re.resize(side, head_i as f64);
+        self.head_im.clear();
+        self.head_im.extend((0..side).map(|qi| self.c.coord_of_index(qi) as f64));
+        self.head_cost.clear();
+        self.head_cost.resize(side, 0.0);
+        gs_linalg::simd::ped_soa(
+            &self.head_re,
+            &self.head_im,
+            self.center,
+            self.gain,
+            &mut self.head_cost,
+        );
+        stats.ped_calcs += side as u64;
+        for qi in 0..side {
             let q = self.c.coord_of_index(qi);
+            // Each row owns its zigzag, advanced past the shared head.
             let mut iter = AxisZigzag::new(self.c, self.center.re);
             let i = iter.next().expect("nonempty axis");
+            debug_assert_eq!(i, head_i);
             let point = GridPoint { i, q };
-            let cost = self.gain * point.dist_sqr(self.center);
-            stats.ped_calcs += 1;
-            self.rows.push(Row { q, iter, head: Some((point, cost)) });
+            self.rows.push(Row { q, iter, head: Some((point, self.head_cost[qi])) });
         }
         self.initialized = true;
     }
@@ -97,7 +122,16 @@ impl EnumeratorFactory for HessFactory {
         gain: f64,
         _stats: &mut DetectorStats,
     ) -> HessEnumerator {
-        HessEnumerator { rows: Vec::with_capacity(c.side()), initialized: false, c, center, gain }
+        HessEnumerator {
+            rows: Vec::with_capacity(c.side()),
+            initialized: false,
+            c,
+            center,
+            gain,
+            head_re: Vec::new(),
+            head_im: Vec::new(),
+            head_cost: Vec::new(),
+        }
     }
 
     fn reset(

@@ -57,6 +57,18 @@ pub struct SearchWorkspace<E> {
     pub(crate) dist_above: Vec<f64>,
     /// The current partial symbol vector (entry `i` = choice at level `i`).
     pub(crate) chosen: Vec<GridPoint>,
+    /// Split re/im (SoA) mirror of `chosen` in the grid domain, kept in
+    /// lockstep with it so the interference accumulation's SIMD lanes load
+    /// contiguously (`gs_linalg::simd::cdot_soa`).
+    pub(crate) chosen_re: Vec<f64>,
+    /// Imaginary half of the `chosen` mirror.
+    pub(crate) chosen_im: Vec<f64>,
+    /// Split re/im (SoA) copy of the search's upper-triangular factor `R`
+    /// (row-major `nc × nc`), reloaded per search by
+    /// [`SearchWorkspace::load_r_soa`].
+    pub(crate) r_re: Vec<f64>,
+    /// Imaginary half of the `R` mirror.
+    pub(crate) r_im: Vec<f64>,
     /// The best full solution found by the last search.
     pub(crate) best: Vec<GridPoint>,
     /// Number of valid entries in `best` after the last search.
@@ -98,6 +110,10 @@ impl<E> SearchWorkspace<E> {
             enumerators: Vec::new(),
             dist_above: Vec::new(),
             chosen: Vec::new(),
+            chosen_re: Vec::new(),
+            chosen_im: Vec::new(),
+            r_re: Vec::new(),
+            r_im: Vec::new(),
             best: Vec::new(),
             solution_len: 0,
             yhat: Vec::new(),
@@ -134,8 +150,30 @@ impl<E> SearchWorkspace<E> {
         if self.chosen.len() < nc {
             self.chosen.resize(nc, GridPoint::default());
         }
+        if self.chosen_re.len() < nc {
+            self.chosen_re.resize(nc, 0.0);
+        }
+        if self.chosen_im.len() < nc {
+            self.chosen_im.resize(nc, 0.0);
+        }
         if self.best.len() < nc {
             self.best.resize(nc, GridPoint::default());
+        }
+    }
+
+    /// Loads the top `nc × nc` block of `r` into the workspace's split
+    /// re/im slabs (row-major), so the per-level interference accumulation
+    /// reads `R`'s rows as contiguous SIMD lanes. Reuses slab storage —
+    /// allocation-free once capacity has warmed up.
+    pub(crate) fn load_r_soa(&mut self, r: &gs_linalg::Matrix) {
+        let nc = r.cols();
+        self.r_re.clear();
+        self.r_im.clear();
+        for i in 0..nc {
+            for &z in &r.row(i)[..nc] {
+                self.r_re.push(z.re);
+                self.r_im.push(z.im);
+            }
         }
     }
 

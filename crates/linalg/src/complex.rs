@@ -10,7 +10,12 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number `re + i·im` with `f64` components.
+///
+/// `repr(C)` guarantees the `(re, im)` interleaved layout the SIMD kernels
+/// ([`crate::simd`]) rely on when viewing `&[Complex]` as packed `f64`
+/// pairs.
 #[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex {
     /// Real (in-phase) component.
     pub re: f64,

@@ -143,7 +143,8 @@ impl Matrix {
     }
 
     /// Matrix-vector product written into a reused output buffer —
-    /// bit-identical to [`Matrix::mul_vec`] without its allocation.
+    /// bit-identical to [`Matrix::mul_vec`] without its allocation (both
+    /// run every row through the same [`crate::simd::cdot`] kernel).
     ///
     /// # Panics
     /// Panics when `x.len() != self.cols()`.
@@ -151,11 +152,7 @@ impl Matrix {
         assert_eq!(x.len(), self.cols, "matrix-vector dimension mismatch");
         out.clear();
         for r in 0..self.rows {
-            let mut acc = Complex::ZERO;
-            for c in 0..self.cols {
-                acc += self[(r, c)] * x[c];
-            }
-            out.push(acc);
+            out.push(crate::simd::cdot(self.row(r), x));
         }
     }
 
@@ -210,15 +207,14 @@ impl Matrix {
         out
     }
 
-    /// Matrix-vector product `A x`.
+    /// Matrix-vector product `A x`, each row through the lane-ordered
+    /// [`crate::simd::cdot`] kernel.
     ///
     /// # Panics
     /// Panics when `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[Complex]) -> Vec<Complex> {
         assert_eq!(x.len(), self.cols, "matrix-vector dimension mismatch");
-        (0..self.rows)
-            .map(|r| self.row(r).iter().zip(x).fold(Complex::ZERO, |acc, (&a, &b)| acc + a * b))
-            .collect()
+        (0..self.rows).map(|r| crate::simd::cdot(self.row(r), x)).collect()
     }
 
     /// Frobenius norm `sqrt(Σ |a_ij|²)`.
@@ -345,10 +341,11 @@ pub fn vec_norm_sqr(a: &[Complex]) -> f64 {
     a.iter().map(|z| z.norm_sqr()).sum()
 }
 
-/// Inner product `⟨a, b⟩ = Σ conj(a_i)·b_i`.
+/// Inner product `⟨a, b⟩ = Σ conj(a_i)·b_i`, through the lane-ordered
+/// [`crate::simd::cdotc`] kernel.
 pub fn vec_dot(a: &[Complex], b: &[Complex]) -> Complex {
     assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| x.conj() * y).sum()
+    crate::simd::cdotc(a, b)
 }
 
 #[cfg(test)]

@@ -44,12 +44,13 @@ impl Qr {
     pub fn rotate_into(&self, y: &[Complex], out: &mut Vec<Complex>) {
         assert_eq!(y.len(), self.q.rows(), "rotate dimension mismatch");
         out.clear();
-        for i in 0..self.q.cols() {
-            let mut acc = Complex::ZERO;
-            for (j, &yj) in y.iter().enumerate() {
-                acc += self.q[(j, i)].conj() * yj;
-            }
-            out.push(acc);
+        out.resize(self.q.cols(), Complex::ZERO);
+        // Accumulate row-by-row: `out[i] += conj(q[j, i]) · y_j` for j in
+        // ascending order — the same per-element accumulation order as the
+        // old column-walk, but with contiguous row loads the SIMD axpy
+        // kernel can vectorize across `i`.
+        for (j, &yj) in y.iter().enumerate() {
+            crate::simd::caxpy_conj(self.q.row(j), yj, out);
         }
     }
 
@@ -340,7 +341,10 @@ mod tests {
     #[test]
     fn rotate_into_matches_hermitian_mul() {
         // rotate_into is the hot-path form of Q*·y; it must agree exactly
-        // with the explicit Hermitian product it replaced.
+        // with its definition — `out[i] = Σ_j conj(q[j,i])·y_j` accumulated
+        // in ascending j, the order both the scalar and SIMD axpy paths
+        // follow. (The kernel-routed `hermitian().mul_vec(y)` uses the
+        // two-lane dot reduction instead, so it is only near-equal.)
         let mut rng = StdRng::seed_from_u64(21);
         for &(m, n) in &[(2, 2), (4, 4), (6, 3)] {
             let h = random_matrix(&mut rng, m, n);
@@ -348,7 +352,16 @@ mod tests {
             let y: Vec<Complex> = (0..m)
                 .map(|_| Complex::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)))
                 .collect();
-            let reference = qr.q.hermitian().mul_vec(&y);
+            let mut reference = vec![Complex::ZERO; n];
+            for (j, &yj) in y.iter().enumerate() {
+                for (i, slot) in reference.iter_mut().enumerate() {
+                    *slot += qr.q[(j, i)].conj() * yj;
+                }
+            }
+            let via_mul = qr.q.hermitian().mul_vec(&y);
+            for (a, b) in via_mul.iter().zip(&reference) {
+                assert!((*a - *b).abs() < 1e-12, "{m}x{n}: kernel dot drifted");
+            }
             let mut out = Vec::new();
             qr.rotate_into(&y, &mut out);
             assert_eq!(out.len(), reference.len());

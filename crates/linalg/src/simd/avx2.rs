@@ -1,0 +1,171 @@
+//! AVX2 backend (`x86_64`, 256-bit = 4 `f64` lanes).
+//!
+//! Implements the exact lane structure and reduction trees specified by
+//! [`super::scalar`] with vector instructions. Products use plain
+//! mul/add/sub (no FMA contraction) so every intermediate rounds once, in
+//! the same place as the scalar path — bit-identical by construction.
+//!
+//! Safety: every function is `unsafe fn` + `#[target_feature(enable =
+//! "avx2")]`; callers (the dispatch macros in [`super`]) only reach this
+//! module after runtime detection confirmed AVX2.
+
+use crate::complex::Complex;
+use std::arch::x86_64::*;
+
+/// Interleaved complex product of packed pairs `[ar, ai, …] · [br, bi, …]`:
+/// `[ar·br − ai·bi, ai·br + ar·bi, …]` — each component one mul pair and
+/// one add/sub, matching the scalar `Complex::mul` bitwise.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn cmul_pd(a: __m256d, b: __m256d) -> __m256d {
+    let bre = _mm256_movedup_pd(b); // [br0, br0, br1, br1]
+    let bim = _mm256_permute_pd(b, 0xF); // [bi0, bi0, bi1, bi1]
+    let t1 = _mm256_mul_pd(a, bre); // [ar·br, ai·br, …]
+    let aswap = _mm256_permute_pd(a, 0x5); // [ai0, ar0, ai1, ar1]
+    let t2 = _mm256_mul_pd(aswap, bim); // [ai·bi, ar·bi, …]
+    _mm256_addsub_pd(t1, t2) // [ar·br − ai·bi, ai·br + ar·bi, …]
+}
+
+/// Interleaved conjugated product `conj(a) · b`: `[ar·br + ai·bi,
+/// ar·bi − ai·br, …]` via an exact odd-lane sign flip.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn cmulc_pd(a: __m256d, b: __m256d) -> __m256d {
+    let bre = _mm256_movedup_pd(b);
+    let bim = _mm256_permute_pd(b, 0xF);
+    let t1 = _mm256_mul_pd(a, bre); // [ar·br, ai·br, …]
+    let aswap = _mm256_permute_pd(a, 0x5);
+    let t2 = _mm256_mul_pd(aswap, bim); // [ai·bi, ar·bi, …]
+                                        // Negate t1's odd lanes (exact), then add: even = ai·bi + ar·br,
+                                        // odd = ar·bi − ai·br.
+    let sign_odd = _mm256_castsi256_pd(_mm256_set_epi64x(i64::MIN, 0, i64::MIN, 0));
+    _mm256_add_pd(t2, _mm256_xor_pd(t1, sign_odd))
+}
+
+/// Reduces a register holding two complex lanes `[re0, im0, re1, im1]` to
+/// `lane0 + lane1`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn reduce_two_complex(acc: __m256d) -> Complex {
+    let lo = _mm256_castpd256_pd128(acc); // [re0, im0]
+    let hi = _mm256_extractf128_pd(acc, 1); // [re1, im1]
+    let s = _mm_add_pd(lo, hi);
+    let mut out = [0.0f64; 2];
+    _mm_storeu_pd(out.as_mut_ptr(), s);
+    Complex::new(out[0], out[1])
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn cdot(a: &[Complex], b: &[Complex]) -> Complex {
+    let n = a.len();
+    let pairs = n / 2;
+    let ap = a.as_ptr() as *const f64;
+    let bp = b.as_ptr() as *const f64;
+    let mut acc = _mm256_setzero_pd();
+    for k in 0..pairs {
+        let av = _mm256_loadu_pd(ap.add(4 * k));
+        let bv = _mm256_loadu_pd(bp.add(4 * k));
+        acc = _mm256_add_pd(acc, cmul_pd(av, bv));
+    }
+    let mut total = reduce_two_complex(acc);
+    if n % 2 == 1 {
+        total += a[n - 1] * b[n - 1];
+    }
+    total
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn cdotc(a: &[Complex], b: &[Complex]) -> Complex {
+    let n = a.len();
+    let pairs = n / 2;
+    let ap = a.as_ptr() as *const f64;
+    let bp = b.as_ptr() as *const f64;
+    let mut acc = _mm256_setzero_pd();
+    for k in 0..pairs {
+        let av = _mm256_loadu_pd(ap.add(4 * k));
+        let bv = _mm256_loadu_pd(bp.add(4 * k));
+        acc = _mm256_add_pd(acc, cmulc_pd(av, bv));
+    }
+    let mut total = reduce_two_complex(acc);
+    if n % 2 == 1 {
+        total += a[n - 1].conj() * b[n - 1];
+    }
+    total
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn cdot_soa(ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64]) -> Complex {
+    let n = ar.len();
+    let blocks = n / 4;
+    let mut accre = _mm256_setzero_pd();
+    let mut accim = _mm256_setzero_pd();
+    for k in 0..blocks {
+        let arv = _mm256_loadu_pd(ar.as_ptr().add(4 * k));
+        let aiv = _mm256_loadu_pd(ai.as_ptr().add(4 * k));
+        let brv = _mm256_loadu_pd(br.as_ptr().add(4 * k));
+        let biv = _mm256_loadu_pd(bi.as_ptr().add(4 * k));
+        // re += ar·br − ai·bi ; im += ar·bi + ai·br (one rounding each).
+        accre =
+            _mm256_add_pd(accre, _mm256_sub_pd(_mm256_mul_pd(arv, brv), _mm256_mul_pd(aiv, biv)));
+        accim =
+            _mm256_add_pd(accim, _mm256_add_pd(_mm256_mul_pd(arv, biv), _mm256_mul_pd(aiv, brv)));
+    }
+    // Half-then-horizontal tree: (l0+l2) + (l1+l3).
+    let reduce = |acc: __m256d| -> f64 {
+        let lo = _mm256_castpd256_pd128(acc); // [l0, l1]
+        let hi = _mm256_extractf128_pd(acc, 1); // [l2, l3]
+        let s = _mm_add_pd(lo, hi); // [l0+l2, l1+l3]
+        let mut out = [0.0f64; 2];
+        _mm_storeu_pd(out.as_mut_ptr(), s);
+        out[0] + out[1]
+    };
+    let mut tre = reduce(accre);
+    let mut tim = reduce(accim);
+    for j in 4 * blocks..n {
+        tre += ar[j] * br[j] - ai[j] * bi[j];
+        tim += ar[j] * bi[j] + ai[j] * br[j];
+    }
+    Complex::new(tre, tim)
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn caxpy_conj(a: &[Complex], y: Complex, out: &mut [Complex]) {
+    let n = a.len();
+    let pairs = n / 2;
+    let ap = a.as_ptr() as *const f64;
+    let op = out.as_mut_ptr() as *mut f64;
+    let vyr = _mm256_set1_pd(y.re);
+    let vyi = _mm256_set1_pd(y.im);
+    let sign_odd = _mm256_castsi256_pd(_mm256_set_epi64x(i64::MIN, 0, i64::MIN, 0));
+    for k in 0..pairs {
+        let av = _mm256_loadu_pd(ap.add(4 * k));
+        let t1 = _mm256_mul_pd(av, vyr); // [ar·yr, ai·yr, …]
+        let aswap = _mm256_permute_pd(av, 0x5); // [ai, ar, …]
+        let t2 = _mm256_mul_pd(aswap, vyi); // [ai·yi, ar·yi, …]
+                                            // conj(a)·y = [ar·yr + ai·yi, ar·yi − ai·yr] via exact odd negation.
+        let p = _mm256_add_pd(t2, _mm256_xor_pd(t1, sign_odd));
+        let ov = _mm256_loadu_pd(op.add(4 * k));
+        _mm256_storeu_pd(op.add(4 * k), _mm256_add_pd(ov, p));
+    }
+    if n % 2 == 1 {
+        out[n - 1] += a[n - 1].conj() * y;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn ped_soa(re: &[f64], im: &[f64], center: Complex, gain: f64, out: &mut [f64]) {
+    let n = re.len();
+    let blocks = n / 4;
+    let cr = _mm256_set1_pd(center.re);
+    let ci = _mm256_set1_pd(center.im);
+    let g = _mm256_set1_pd(gain);
+    for k in 0..blocks {
+        let dre = _mm256_sub_pd(_mm256_loadu_pd(re.as_ptr().add(4 * k)), cr);
+        let dim = _mm256_sub_pd(_mm256_loadu_pd(im.as_ptr().add(4 * k)), ci);
+        let d = _mm256_add_pd(_mm256_mul_pd(dre, dre), _mm256_mul_pd(dim, dim));
+        _mm256_storeu_pd(out.as_mut_ptr().add(4 * k), _mm256_mul_pd(g, d));
+    }
+    for j in 4 * blocks..n {
+        out[j] = super::ped_point(re[j], im[j], center, gain);
+    }
+}

@@ -1,0 +1,161 @@
+//! NEON backend (`aarch64`, 128-bit = 2 `f64` lanes, two registers per
+//! iteration where the spec needs four lanes).
+//!
+//! Implements the exact lane structure and reduction trees specified by
+//! [`super::scalar`] with vector instructions. Products use plain
+//! mul/add/sub (no FMA contraction) so every intermediate rounds once, in
+//! the same place as the scalar path — bit-identical by construction.
+//!
+//! Safety: every function is `unsafe fn` + `#[target_feature(enable =
+//! "neon")]`; callers (the dispatch macros in [`super`]) only reach this
+//! module after runtime detection confirmed NEON.
+
+use crate::complex::Complex;
+use std::arch::aarch64::*;
+
+/// One complex product `[ar, ai] · [br, bi] = [ar·br − ai·bi,
+/// ai·br + ar·bi]`, matching the scalar `Complex::mul` bitwise.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn cmul_f64(a: float64x2_t, b: float64x2_t) -> float64x2_t {
+    let bre = vdupq_laneq_f64(b, 0);
+    let bim = vdupq_laneq_f64(b, 1);
+    let t1 = vmulq_f64(a, bre); // [ar·br, ai·br]
+    let aswap = vextq_f64(a, a, 1); // [ai, ar]
+    let t2 = vmulq_f64(aswap, bim); // [ai·bi, ar·bi]
+                                    // [t1_0 − t2_0, t1_1 + t2_1] via exact even-lane negation of t2.
+    let t2n = vcopyq_laneq_f64(t2, 0, vnegq_f64(t2), 0); // [−ai·bi, ar·bi]
+    vaddq_f64(t1, t2n)
+}
+
+/// One conjugated product `conj([ar, ai]) · [br, bi] = [ar·br + ai·bi,
+/// ar·bi − ai·br]`, matching the scalar `conj` + `mul` bitwise.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn cmulc_f64(a: float64x2_t, b: float64x2_t) -> float64x2_t {
+    let bre = vdupq_laneq_f64(b, 0);
+    let bim = vdupq_laneq_f64(b, 1);
+    let t1 = vmulq_f64(a, bre); // [ar·br, ai·br]
+    let aswap = vextq_f64(a, a, 1); // [ai, ar]
+    let t2 = vmulq_f64(aswap, bim); // [ai·bi, ar·bi]
+                                    // [t2_0 + t1_0, t2_1 − t1_1] via exact odd-lane negation of t1.
+    let t1n = vcopyq_laneq_f64(t1, 1, vnegq_f64(t1), 1); // [ar·br, −ai·br]
+    vaddq_f64(t2, t1n)
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn cdot(a: &[Complex], b: &[Complex]) -> Complex {
+    let n = a.len();
+    let pairs = n / 2;
+    let ap = a.as_ptr() as *const f64;
+    let bp = b.as_ptr() as *const f64;
+    let mut acc0 = vdupq_n_f64(0.0);
+    let mut acc1 = vdupq_n_f64(0.0);
+    for k in 0..pairs {
+        let a0 = vld1q_f64(ap.add(4 * k));
+        let b0 = vld1q_f64(bp.add(4 * k));
+        let a1 = vld1q_f64(ap.add(4 * k + 2));
+        let b1 = vld1q_f64(bp.add(4 * k + 2));
+        acc0 = vaddq_f64(acc0, cmul_f64(a0, b0));
+        acc1 = vaddq_f64(acc1, cmul_f64(a1, b1));
+    }
+    let s = vaddq_f64(acc0, acc1); // lane0 + lane1
+    let mut total = Complex::new(vgetq_lane_f64(s, 0), vgetq_lane_f64(s, 1));
+    if n % 2 == 1 {
+        total += a[n - 1] * b[n - 1];
+    }
+    total
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn cdotc(a: &[Complex], b: &[Complex]) -> Complex {
+    let n = a.len();
+    let pairs = n / 2;
+    let ap = a.as_ptr() as *const f64;
+    let bp = b.as_ptr() as *const f64;
+    let mut acc0 = vdupq_n_f64(0.0);
+    let mut acc1 = vdupq_n_f64(0.0);
+    for k in 0..pairs {
+        let a0 = vld1q_f64(ap.add(4 * k));
+        let b0 = vld1q_f64(bp.add(4 * k));
+        let a1 = vld1q_f64(ap.add(4 * k + 2));
+        let b1 = vld1q_f64(bp.add(4 * k + 2));
+        acc0 = vaddq_f64(acc0, cmulc_f64(a0, b0));
+        acc1 = vaddq_f64(acc1, cmulc_f64(a1, b1));
+    }
+    let s = vaddq_f64(acc0, acc1);
+    let mut total = Complex::new(vgetq_lane_f64(s, 0), vgetq_lane_f64(s, 1));
+    if n % 2 == 1 {
+        total += a[n - 1].conj() * b[n - 1];
+    }
+    total
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn cdot_soa(ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64]) -> Complex {
+    let n = ar.len();
+    let blocks = n / 4;
+    // Four spec lanes as two registers per component: `a` holds lanes
+    // {0, 1}, `b` holds lanes {2, 3}.
+    let mut re_a = vdupq_n_f64(0.0);
+    let mut re_b = vdupq_n_f64(0.0);
+    let mut im_a = vdupq_n_f64(0.0);
+    let mut im_b = vdupq_n_f64(0.0);
+    for k in 0..blocks {
+        let j = 4 * k;
+        let ar0 = vld1q_f64(ar.as_ptr().add(j));
+        let ar1 = vld1q_f64(ar.as_ptr().add(j + 2));
+        let ai0 = vld1q_f64(ai.as_ptr().add(j));
+        let ai1 = vld1q_f64(ai.as_ptr().add(j + 2));
+        let br0 = vld1q_f64(br.as_ptr().add(j));
+        let br1 = vld1q_f64(br.as_ptr().add(j + 2));
+        let bi0 = vld1q_f64(bi.as_ptr().add(j));
+        let bi1 = vld1q_f64(bi.as_ptr().add(j + 2));
+        re_a = vaddq_f64(re_a, vsubq_f64(vmulq_f64(ar0, br0), vmulq_f64(ai0, bi0)));
+        re_b = vaddq_f64(re_b, vsubq_f64(vmulq_f64(ar1, br1), vmulq_f64(ai1, bi1)));
+        im_a = vaddq_f64(im_a, vaddq_f64(vmulq_f64(ar0, bi0), vmulq_f64(ai0, br0)));
+        im_b = vaddq_f64(im_b, vaddq_f64(vmulq_f64(ar1, bi1), vmulq_f64(ai1, br1)));
+    }
+    // Half-then-horizontal tree: (l0+l2) + (l1+l3).
+    let sre = vaddq_f64(re_a, re_b);
+    let sim = vaddq_f64(im_a, im_b);
+    let mut tre = vgetq_lane_f64(sre, 0) + vgetq_lane_f64(sre, 1);
+    let mut tim = vgetq_lane_f64(sim, 0) + vgetq_lane_f64(sim, 1);
+    for j in 4 * blocks..n {
+        tre += ar[j] * br[j] - ai[j] * bi[j];
+        tim += ar[j] * bi[j] + ai[j] * br[j];
+    }
+    Complex::new(tre, tim)
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn caxpy_conj(a: &[Complex], y: Complex, out: &mut [Complex]) {
+    let n = a.len();
+    let ap = a.as_ptr() as *const f64;
+    let op = out.as_mut_ptr() as *mut f64;
+    let yv = vld1q_f64([y.re, y.im].as_ptr());
+    for j in 0..n {
+        let av = vld1q_f64(ap.add(2 * j));
+        let p = cmulc_f64(av, yv);
+        let ov = vld1q_f64(op.add(2 * j));
+        vst1q_f64(op.add(2 * j), vaddq_f64(ov, p));
+    }
+}
+
+#[target_feature(enable = "neon")]
+pub(super) unsafe fn ped_soa(re: &[f64], im: &[f64], center: Complex, gain: f64, out: &mut [f64]) {
+    let n = re.len();
+    let blocks = n / 2;
+    let cr = vdupq_n_f64(center.re);
+    let ci = vdupq_n_f64(center.im);
+    let g = vdupq_n_f64(gain);
+    for k in 0..blocks {
+        let dre = vsubq_f64(vld1q_f64(re.as_ptr().add(2 * k)), cr);
+        let dim = vsubq_f64(vld1q_f64(im.as_ptr().add(2 * k)), ci);
+        let d = vaddq_f64(vmulq_f64(dre, dre), vmulq_f64(dim, dim));
+        vst1q_f64(out.as_mut_ptr().add(2 * k), vmulq_f64(g, d));
+    }
+    for j in 2 * blocks..n {
+        out[j] = super::ped_point(re[j], im[j], center, gain);
+    }
+}

@@ -85,7 +85,7 @@ pub(crate) struct PoolDetector {
 /// Reusable whole-frame state for the uplink receive loop. See the module
 /// docs for the ownership model; create with [`FrameWorkspace::new`] and
 /// pass to the `_into` frame entry points in [`crate::txrx`],
-/// [`crate::soft_rx`], [`crate::iterative`], and [`crate::measure`].
+/// [`crate::soft_rx`], [`crate::iterative`], and [`mod@crate::measure`].
 #[derive(Default)]
 pub struct FrameWorkspace {
     // --- frame plan (filled by `plan_uplink_frame_into`) ---

@@ -288,10 +288,11 @@ pub fn uplink_frame_iterative_into<'w, R: Rng + ?Sized>(
                     };
                     stats.complex_mults += (na * na) as u64;
                     // z = w* yc ; effective gain mu = w* h_cl (real by
-                    // construction up to numerical noise).
-                    let z: Complex = w.iter().zip(yc.iter()).map(|(&wr, &yr)| wr.conj() * yr).sum();
-                    let mu: Complex =
-                        w.iter().zip(h_cl.iter()).map(|(&wr, &hr)| wr.conj() * hr).sum();
+                    // construction up to numerical noise). Both are
+                    // cached-filter-row applies through the lane-ordered
+                    // conjugated dot kernel.
+                    let z = gs_linalg::simd::cdotc(&w, yc);
+                    let mu = gs_linalg::simd::cdotc(&w, h_cl);
                     let mu = mu.re.max(1e-12);
                     // Exact post-filter disturbance power: w*·M·w with
                     // M = cov_cl − Es·h_cl h_cl* (everything except the

@@ -36,7 +36,7 @@ pub struct ExperimentParams {
     /// Measured numbers are bit-identical either way; only wall-clock
     /// changes. Every measurement recycles one
     /// [`gs_phy::FrameWorkspace`] across its frames (inside
-    /// [`gs_phy::measure`]/[`gs_phy::measure_batched`]), so per-frame
+    /// [`gs_phy::measure()`]/[`gs_phy::measure_batched`]), so per-frame
     /// planning and receive-chain buffers are reused for the whole run.
     pub workers: usize,
 }

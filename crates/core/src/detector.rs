@@ -31,9 +31,12 @@ pub struct Detection {
 /// detector type and later handed to another is simply re-seeded (one
 /// warmup allocation), so long-lived receivers can hold a single
 /// `DetectorWorkspace` regardless of which detector runs.
+/// (The contents are `Send + Sync`: workspaces sit inside shared frame
+/// slots that concurrent shard workers read around — see `gs-runtime` —
+/// and every detector's scratch is plain owned data anyway.)
 #[derive(Default)]
 pub struct DetectorWorkspace {
-    inner: Option<Box<dyn Any + Send>>,
+    inner: Option<Box<dyn Any + Send + Sync>>,
 }
 
 impl DetectorWorkspace {
@@ -45,7 +48,7 @@ impl DetectorWorkspace {
 
     /// Borrows the contained `T`, replacing whatever is inside (nothing, or
     /// another detector's state) with `make()` when it is not already a `T`.
-    pub fn get_or_insert<T: Send + 'static>(&mut self, make: impl FnOnce() -> T) -> &mut T {
+    pub fn get_or_insert<T: Send + Sync + 'static>(&mut self, make: impl FnOnce() -> T) -> &mut T {
         let needs_seed = !matches!(&self.inner, Some(b) if b.is::<T>());
         if needs_seed {
             self.inner = Some(Box::new(make()));

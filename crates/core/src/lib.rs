@@ -44,11 +44,18 @@ pub mod kbest;
 pub mod linear;
 pub mod ml;
 pub mod precode;
+pub mod shard;
 pub mod sic;
 pub mod soft;
 pub mod sphere;
 pub mod statprune;
 pub mod stats;
+
+/// The shared `GS_*` env-knob parse-warn-fallback policy, re-exported
+/// from [`gs_linalg::env`] (the lowest layer that reads a knob — `GS_SIMD`
+/// — so one helper serves `GS_NO_PIN` and `GS_DOMAINS` here too without a
+/// dependency cycle).
+pub use gs_linalg::env;
 
 pub use batch::{BatchDetector, DetectionBatch, DetectionJob, DetectionPool};
 pub use detector::{
@@ -62,6 +69,7 @@ pub use kbest::KBestDetector;
 pub use linear::{MmseDetector, ZfDetector};
 pub use ml::MlDetector;
 pub use precode::{mod_tau, Precoded, VectorPerturbationPrecoder};
+pub use shard::{ShardedDetectionPool, ShardedJob, NO_DEADLINE};
 pub use sic::MmseSicDetector;
 pub use soft::{SoftDetection, SoftGeosphereDetector, SoftWorkspace};
 pub use sphere::{GeosphereFactory, HessFactory, SearchWorkspace, SphereDecoder, WorkspaceFor};

@@ -1,0 +1,585 @@
+//! Domain-sharded streaming detection dispatch.
+//!
+//! [`DetectionPool`](crate::DetectionPool) is a *frame-synchronous* engine:
+//! one coordinator lends it one frame's jobs, blocks until every worker
+//! drains its chunk, and takes the buffers back. That shape is exactly
+//! right for a single receive loop, and exactly wrong for a streaming
+//! base-station runtime where many frames are in flight at once and the
+//! workers must never idle while some other frame is being planned or
+//! recovered.
+//!
+//! [`ShardedDetectionPool`] splits that pool along the machine's **memory
+//! domains** (NUMA nodes — [`crate::affinity::memory_domains`], with a
+//! flat single-domain fallback and a `GS_DOMAINS` override):
+//!
+//! * **one job queue per shard**, so cross-domain queue traffic never sits
+//!   on a detection hot path — submission targets a shard explicitly and
+//!   workers only ever pop from their own domain's queue;
+//! * **workers pinned inside their shard's domain** (round-robin over the
+//!   domain's allowed CPUs, [`crate::affinity`] semantics, `GS_NO_PIN`
+//!   opt-out), so a worker's search workspace and its shard's channel
+//!   replica stay in domain-local memory;
+//! * **earliest-deadline-first ordering within each shard**: tasks carry a
+//!   `u64` deadline key and each shard queue is a min-heap on
+//!   `(deadline_key, arrival)`. Tasks without a deadline use
+//!   [`NO_DEADLINE`] and therefore run after every deadline-bearing task,
+//!   FIFO among themselves.
+//!
+//! The pool is deliberately **frame-agnostic**: a task is an
+//! `Arc<dyn ShardedJob>` plus an opaque `token`, and [`ShardedJob::run_shard`]
+//! does whatever "detect my shard's portion" means for the embedder
+//! (`gs-runtime` implements it over its slot table; per-shard channel-table
+//! replicas live in the embedder's per-shard portions, refreshed by the
+//! shard's own workers so first-touch places them on the right domain).
+//! Submitting clones the `Arc` (a refcount bump) and pushes into a
+//! fixed-capacity heap — **zero heap allocations per task** once the pool
+//! is constructed, which is what lets the streaming runtime keep PR 3's
+//! allocation discipline in steady state.
+//!
+//! A panicking worker poisons the pool ([`ShardedDetectionPool::is_poisoned`])
+//! instead of hanging its siblings; embedders poll the flag from their
+//! completion waits and surface the failure as a panic of their own.
+
+use crate::detector::DetectorWorkspace;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Deadline key meaning "no deadline": sorts after every real deadline, so
+/// deadline-free tasks run FIFO behind deadline-bearing ones.
+pub const NO_DEADLINE: u64 = u64::MAX;
+
+/// A unit of shard work: the embedder's view of "run my portion of shard
+/// `shard` for the frame identified by `token`".
+///
+/// Implementations must be safe to invoke from any pool worker and for
+/// several `(shard, token)` pairs concurrently — the pool guarantees only
+/// that each *submitted task* is run exactly once, on a worker pinned to
+/// the task's shard.
+pub trait ShardedJob: Send + Sync {
+    /// Runs the portion. `ws` is the worker's long-lived detector
+    /// workspace, reused across every task the worker ever runs — the
+    /// warm-up surface of the zero-allocation contract.
+    fn run_shard(&self, shard: usize, token: usize, ws: &mut DetectorWorkspace);
+}
+
+/// One queued task: EDF key, arrival tie-break, embedder token, job.
+struct Task {
+    key: u64,
+    arrival: u64,
+    token: usize,
+    job: Arc<dyn ShardedJob>,
+}
+
+impl Task {
+    #[inline]
+    fn order(&self) -> (u64, u64) {
+        (self.key, self.arrival)
+    }
+}
+
+/// A fixed-capacity binary min-heap on `(key, arrival)`. Hand-rolled so
+/// pushes never allocate: `std::collections::BinaryHeap` offers no way to
+/// cap growth, and the streaming runtime's steady state must not touch the
+/// allocator per task.
+struct EdfHeap {
+    tasks: Vec<Task>,
+}
+
+impl EdfHeap {
+    fn with_capacity(capacity: usize) -> Self {
+        EdfHeap { tasks: Vec::with_capacity(capacity) }
+    }
+
+    fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn push(&mut self, task: Task) {
+        assert!(
+            self.tasks.len() < self.tasks.capacity(),
+            "shard queue over capacity: submit more slots than the pool was sized for"
+        );
+        self.tasks.push(task);
+        let mut i = self.tasks.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.tasks[i].order() >= self.tasks[parent].order() {
+                break;
+            }
+            self.tasks.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Task> {
+        if self.tasks.is_empty() {
+            return None;
+        }
+        let last = self.tasks.len() - 1;
+        self.tasks.swap(0, last);
+        let min = self.tasks.pop();
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.tasks.len() && self.tasks[l].order() < self.tasks[smallest].order() {
+                smallest = l;
+            }
+            if r < self.tasks.len() && self.tasks[r].order() < self.tasks[smallest].order() {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.tasks.swap(i, smallest);
+            i = smallest;
+        }
+        min
+    }
+}
+
+struct ShardQueue {
+    heap: EdfHeap,
+    /// Monotone arrival counter — the EDF tie-break that keeps
+    /// equal-deadline (and deadline-free) tasks FIFO.
+    arrivals: u64,
+    shutdown: bool,
+}
+
+struct ShardState {
+    q: Mutex<ShardQueue>,
+    cv: Condvar,
+    /// Mirrors `heap.len()` so stats snapshots never contend on `q`.
+    depth: AtomicUsize,
+}
+
+/// Marks the pool poisoned even when the worker unwinds through a
+/// panicking job.
+struct PoisonOnPanic<'a>(&'a AtomicBool);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The domain-sharded streaming worker pool. See the module docs for the
+/// design; construct with [`ShardedDetectionPool::new`], target a shard
+/// with [`ShardedDetectionPool::submit`].
+pub struct ShardedDetectionPool {
+    shards: Vec<Arc<ShardState>>,
+    poisoned: Arc<AtomicBool>,
+    /// Behind a mutex so [`ShardedDetectionPool::shutdown_and_join`] can
+    /// drain them by `&self`: embedders that share the pool behind an
+    /// `Arc` must be able to join the workers from a thread of their
+    /// choosing *before* the last `Arc` drops (a worker thread must never
+    /// end up joining itself out of `Drop`).
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    n_workers: usize,
+    /// CPU list per shard (empty when unpinned) — surfaced for stats.
+    shard_cpus: Vec<Vec<usize>>,
+}
+
+impl ShardedDetectionPool {
+    /// Spawns `workers` threads (≥ 1) spread round-robin over `shards`
+    /// queues, each shard capped at `capacity` queued tasks.
+    ///
+    /// `shards == 0` resolves to one shard per discovered memory domain
+    /// ([`crate::affinity::memory_domains`], honouring `GS_DOMAINS`); any
+    /// requested count is clamped to `1..=workers` so every shard owns at
+    /// least one worker. Workers are pinned inside their shard's domain
+    /// unless `GS_NO_PIN` opts out.
+    pub fn new(shards: usize, workers: usize, capacity: usize) -> Self {
+        Self::new_with_pinning(
+            shards,
+            workers,
+            capacity,
+            !crate::affinity::pinning_disabled_by_env(),
+        )
+    }
+
+    /// [`ShardedDetectionPool::new`] with explicit pinning control (the
+    /// env-independent form for tests and embedders that place threads
+    /// themselves). Shard `s` draws its CPUs from domain `s mod n_domains`;
+    /// when several shards share one domain (more shards than domains),
+    /// the domain's CPUs are **partitioned** among those shards, so
+    /// sibling shards never pin onto the same cores while others idle.
+    /// Worker `k` of a shard is pinned to the shard's `k mod |cpus|`-th
+    /// CPU, best-effort.
+    pub fn new_with_pinning(shards: usize, workers: usize, capacity: usize, pin: bool) -> Self {
+        let n_workers = workers.max(1);
+        let domains = crate::affinity::memory_domains();
+        let n_shards = if shards == 0 { domains.len() } else { shards }.clamp(1, n_workers);
+        let n_domains = domains.len();
+        let shard_cpus: Vec<Vec<usize>> = (0..n_shards)
+            .map(|s| {
+                if !pin {
+                    return Vec::new();
+                }
+                let cpus = &domains[s % n_domains];
+                // Shards mapped to this domain, and this shard's rank
+                // among them.
+                let siblings = (n_shards - s % n_domains).div_ceil(n_domains);
+                let rank = s / n_domains;
+                shard_cpu_slice(cpus, siblings, rank)
+            })
+            .collect();
+
+        let shard_states: Vec<Arc<ShardState>> = (0..n_shards)
+            .map(|_| {
+                Arc::new(ShardState {
+                    q: Mutex::new(ShardQueue {
+                        heap: EdfHeap::with_capacity(capacity.max(1)),
+                        arrivals: 0,
+                        shutdown: false,
+                    }),
+                    cv: Condvar::new(),
+                    depth: AtomicUsize::new(0),
+                })
+            })
+            .collect();
+
+        let poisoned = Arc::new(AtomicBool::new(false));
+        let handles = (0..n_workers)
+            .map(|w| {
+                let shard = w % n_shards;
+                let state = Arc::clone(&shard_states[shard]);
+                let poisoned = Arc::clone(&poisoned);
+                let cpus = &shard_cpus[shard];
+                let cpu =
+                    if cpus.is_empty() { None } else { Some(cpus[(w / n_shards) % cpus.len()]) };
+                std::thread::spawn(move || {
+                    if let Some(cpu) = cpu {
+                        // Best-effort: a rejected mask leaves the worker
+                        // unpinned, never broken.
+                        crate::affinity::pin_current_thread(cpu);
+                    }
+                    shard_worker_loop(&state, &poisoned, shard)
+                })
+            })
+            .collect();
+
+        ShardedDetectionPool {
+            shards: shard_states,
+            poisoned,
+            handles: Mutex::new(handles),
+            n_workers,
+            shard_cpus,
+        }
+    }
+
+    /// Stops every worker and joins them from the calling thread.
+    /// Idempotent; also invoked by `Drop`. Queued tasks that no worker has
+    /// picked up yet are discarded (their `Arc`s dropped); the task a
+    /// worker is currently running finishes first.
+    ///
+    /// Must not be called from a pool worker (a worker would join itself);
+    /// pool workers only ever see the pool through [`ShardedJob`], which
+    /// offers no path here.
+    pub fn shutdown_and_join(&self) {
+        for state in &self.shards {
+            lock_ignoring_poison(&state.q).shutdown = true;
+            state.cv.notify_all();
+        }
+        let handles = std::mem::take(&mut *lock_ignoring_poison(&self.handles));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// The resolved shard count.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The pool's total worker count.
+    pub fn workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// The CPUs shard `shard`'s workers were pinned over (empty when
+    /// pinning is off or unavailable).
+    pub fn shard_cpus(&self, shard: usize) -> &[usize] {
+        &self.shard_cpus[shard]
+    }
+
+    /// Whether a worker has panicked. A poisoned pool rejects further
+    /// submissions; embedders waiting on task completions must poll this
+    /// (the dead worker's tasks will never complete).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues `(token, job)` on `shard` with EDF key `key`
+    /// ([`NO_DEADLINE`] for deadline-free FIFO). Clones the `Arc` — never
+    /// allocates.
+    ///
+    /// # Panics
+    /// Panics when the pool is poisoned or the shard queue is over its
+    /// construction-time capacity (both embedder bugs, not load
+    /// conditions: capacity must bound the embedder's in-flight frames).
+    pub fn submit(&self, shard: usize, key: u64, token: usize, job: &Arc<dyn ShardedJob>) {
+        assert!(!self.is_poisoned(), "ShardedDetectionPool is dead: a worker panicked");
+        let state = &self.shards[shard];
+        let mut q = lock_ignoring_poison(&state.q);
+        let arrival = q.arrivals;
+        q.arrivals += 1;
+        q.heap.push(Task { key, arrival, token, job: Arc::clone(job) });
+        state.depth.store(q.heap.len(), Ordering::Relaxed);
+        drop(q);
+        state.cv.notify_one();
+    }
+
+    /// Snapshot of every shard's queued-task count, written into `out`
+    /// (cleared first; allocation-free once `out` has capacity).
+    pub fn queue_depths(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.shards.iter().map(|s| s.depth.load(Ordering::Relaxed)));
+    }
+}
+
+impl Drop for ShardedDetectionPool {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The CPUs of one domain assigned to the `rank`-th of `siblings` shards
+/// sharing it: a contiguous, disjoint, non-empty slice when the domain has
+/// at least one CPU per sibling; a round-robin single CPU otherwise
+/// (overlap is then unavoidable).
+fn shard_cpu_slice(cpus: &[usize], siblings: usize, rank: usize) -> Vec<usize> {
+    if cpus.len() >= siblings {
+        let lo = rank * cpus.len() / siblings;
+        let hi = (rank + 1) * cpus.len() / siblings;
+        cpus[lo..hi].to_vec()
+    } else {
+        vec![cpus[rank % cpus.len()]]
+    }
+}
+
+fn shard_worker_loop(state: &ShardState, poisoned: &AtomicBool, shard: usize) {
+    let mut ws = DetectorWorkspace::new();
+    loop {
+        let task = {
+            let mut q = lock_ignoring_poison(&state.q);
+            loop {
+                // Shutdown wins over queued work: the contract is that
+                // un-started tasks are *discarded* on shutdown (their
+                // frames are being abandoned), not drained — only the
+                // task a worker already holds finishes.
+                if q.shutdown {
+                    return;
+                }
+                if let Some(task) = q.heap.pop_min() {
+                    state.depth.store(q.heap.len(), Ordering::Relaxed);
+                    break task;
+                }
+                q = state.cv.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // A panicking job must mark the pool dead rather than silently
+        // dropping the task (its frame would otherwise wait forever).
+        let guard = PoisonOnPanic(poisoned);
+        task.job.run_shard(shard, task.token, &mut ws);
+        drop(guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    /// Records the order tokens were executed in.
+    struct Recorder {
+        order: Mutex<Vec<usize>>,
+        ran: AtomicU64,
+        /// Blocks the first task long enough for later submissions to
+        /// queue up behind it, making the EDF pop order observable.
+        gate: Mutex<bool>,
+        gate_cv: Condvar,
+    }
+
+    impl Recorder {
+        fn new() -> Arc<Self> {
+            Arc::new(Recorder {
+                order: Mutex::new(Vec::new()),
+                ran: AtomicU64::new(0),
+                gate: Mutex::new(false),
+                gate_cv: Condvar::new(),
+            })
+        }
+
+        fn open_gate(&self) {
+            *self.gate.lock().unwrap() = true;
+            self.gate_cv.notify_all();
+        }
+
+        fn wait_ran(&self, n: u64) {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while self.ran.load(Ordering::SeqCst) < n {
+                assert!(std::time::Instant::now() < deadline, "tasks never completed");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Spin until every shard queue is drained (tasks may still be
+    /// *running*; only queue occupancy is awaited).
+    fn wait_queues_empty(pool: &ShardedDetectionPool) {
+        let mut depths = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            pool.queue_depths(&mut depths);
+            if depths.iter().all(|&d| d == 0) {
+                return;
+            }
+            assert!(std::time::Instant::now() < deadline, "queues never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    impl ShardedJob for Recorder {
+        fn run_shard(&self, _shard: usize, token: usize, _ws: &mut DetectorWorkspace) {
+            if token == usize::MAX {
+                // The gate task: park until the test opens the gate.
+                let mut open = self.gate.lock().unwrap();
+                while !*open {
+                    open = self.gate_cv.wait(open).unwrap();
+                }
+            } else {
+                self.order.lock().unwrap().push(token);
+            }
+            self.ran.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn edf_orders_within_a_shard() {
+        let pool = ShardedDetectionPool::new_with_pinning(1, 1, 16, false);
+        assert_eq!(pool.shards(), 1);
+        let rec = Recorder::new();
+        let job: Arc<dyn ShardedJob> = rec.clone();
+
+        // Occupy the single worker so the rest queue up (wait until the
+        // gate task has actually been popped, so the depths below are
+        // deterministic).
+        pool.submit(0, 0, usize::MAX, &job);
+        wait_queues_empty(&pool);
+        // Mixed submission order: late deadline, none, early deadline,
+        // another none, mid deadline.
+        pool.submit(0, 900, 1, &job);
+        pool.submit(0, NO_DEADLINE, 2, &job);
+        pool.submit(0, 100, 3, &job);
+        pool.submit(0, NO_DEADLINE, 4, &job);
+        pool.submit(0, 500, 5, &job);
+        let mut depths = Vec::new();
+        pool.queue_depths(&mut depths);
+        assert_eq!(depths, vec![5]);
+
+        rec.open_gate();
+        rec.wait_ran(6);
+        // EDF: deadlines ascending first, then deadline-free FIFO.
+        assert_eq!(*rec.order.lock().unwrap(), vec![3, 5, 1, 2, 4]);
+        let mut depths = Vec::new();
+        pool.queue_depths(&mut depths);
+        assert_eq!(depths, vec![0]);
+    }
+
+    #[test]
+    fn all_shards_execute_and_clamp_to_workers() {
+        // 5 shards requested but only 2 workers → clamped to 2 shards.
+        let pool = ShardedDetectionPool::new_with_pinning(5, 2, 8, false);
+        assert_eq!(pool.shards(), 2);
+        assert_eq!(pool.workers(), 2);
+        let rec = Recorder::new();
+        rec.open_gate();
+        let job: Arc<dyn ShardedJob> = rec.clone();
+        for t in 0..8 {
+            pool.submit(t % 2, NO_DEADLINE, t, &job);
+        }
+        rec.wait_ran(8);
+        let mut ran: Vec<usize> = rec.order.lock().unwrap().clone();
+        ran.sort_unstable();
+        assert_eq!(ran, (0..8).collect::<Vec<_>>(), "every task ran exactly once");
+    }
+
+    #[test]
+    fn sibling_shards_partition_a_shared_domain() {
+        // 8-core single domain shared by 2 shards: disjoint halves, every
+        // CPU covered — sibling shards must never stack on the same cores
+        // while others idle.
+        let cpus: Vec<usize> = (0..8).collect();
+        let a = shard_cpu_slice(&cpus, 2, 0);
+        let b = shard_cpu_slice(&cpus, 2, 1);
+        assert_eq!(a, vec![0, 1, 2, 3]);
+        assert_eq!(b, vec![4, 5, 6, 7]);
+        // Uneven split (3 siblings over 8 CPUs): disjoint, non-empty,
+        // covering.
+        let slices: Vec<Vec<usize>> = (0..3).map(|r| shard_cpu_slice(&cpus, 3, r)).collect();
+        let flat: Vec<usize> = slices.iter().flatten().copied().collect();
+        assert_eq!(flat, cpus, "partition covers every CPU exactly once, in order");
+        assert!(slices.iter().all(|s| !s.is_empty()));
+        // More siblings than CPUs: single round-robin CPU each.
+        let tiny = vec![5, 9];
+        assert_eq!(shard_cpu_slice(&tiny, 3, 0), vec![5]);
+        assert_eq!(shard_cpu_slice(&tiny, 3, 1), vec![9]);
+        assert_eq!(shard_cpu_slice(&tiny, 3, 2), vec![5]);
+    }
+
+    #[test]
+    fn auto_shards_follow_memory_domains() {
+        let pool = ShardedDetectionPool::new_with_pinning(0, 4, 4, false);
+        let domains = crate::affinity::memory_domains();
+        assert_eq!(pool.shards(), domains.len().clamp(1, 4));
+    }
+
+    #[test]
+    fn worker_panic_poisons_the_pool() {
+        struct Panicky;
+        impl ShardedJob for Panicky {
+            fn run_shard(&self, _: usize, _: usize, _: &mut DetectorWorkspace) {
+                panic!("intentional test panic");
+            }
+        }
+        let pool = ShardedDetectionPool::new_with_pinning(1, 1, 4, false);
+        let job: Arc<dyn ShardedJob> = Arc::new(Panicky);
+        pool.submit(0, NO_DEADLINE, 0, &job);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !pool.is_poisoned() {
+            assert!(std::time::Instant::now() < deadline, "poison flag never set");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let reuse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.submit(0, NO_DEADLINE, 1, &job);
+        }));
+        assert!(reuse.is_err(), "a poisoned pool must refuse further tasks");
+        drop(pool); // must not hang joining the dead worker's siblings
+    }
+
+    #[test]
+    fn heap_capacity_is_enforced() {
+        let pool = ShardedDetectionPool::new_with_pinning(1, 1, 2, false);
+        let rec = Recorder::new();
+        let job: Arc<dyn ShardedJob> = rec.clone();
+        pool.submit(0, 0, usize::MAX, &job); // parks the worker
+        wait_queues_empty(&pool); // the gate task is running, queue empty
+        pool.submit(0, 1, 1, &job);
+        pool.submit(0, 2, 2, &job);
+        let overflow = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.submit(0, 3, 3, &job);
+        }));
+        assert!(overflow.is_err(), "submitting past capacity must fail fast");
+        rec.open_gate();
+        rec.wait_ran(3);
+    }
+}

@@ -64,7 +64,7 @@ pub trait EnumeratorFactory: Send + Sync {
     /// The enumerator type produced. `'static` lets a
     /// [`SearchWorkspace`](crate::SearchWorkspace) of this enumerator live
     /// inside a type-erased [`DetectorWorkspace`](crate::DetectorWorkspace).
-    type Enumerator: NodeEnumerator + Send + 'static;
+    type Enumerator: NodeEnumerator + Send + Sync + 'static;
 
     /// Creates an enumerator for a node with received symbol `center`
     /// (`ỹ_l`, constellation space) and level gain `gain = |r_ll|²`.

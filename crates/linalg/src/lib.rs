@@ -31,6 +31,7 @@
 
 pub mod cholesky;
 pub mod complex;
+pub mod env;
 pub mod fft;
 pub mod inverse;
 pub mod matrix;

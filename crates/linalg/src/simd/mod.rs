@@ -146,35 +146,20 @@ pub fn tier_supported(tier: Tier) -> bool {
 /// stderr and takes the **scalar** path: the knob exists for debugging,
 /// and a typo of `off` must not silently re-enable vector code.
 fn tier_from_env() -> Tier {
-    let requested = match std::env::var("GS_SIMD") {
-        Ok(v) => v.trim().to_ascii_lowercase(),
-        Err(_) => String::new(),
-    };
-    match requested.as_str() {
-        "" | "on" | "auto" | "native" | "1" => detected_tier(),
-        "off" | "scalar" | "0" => Tier::Scalar,
-        "avx2" => {
-            if tier_supported(Tier::Avx2) {
-                Tier::Avx2
-            } else {
-                Tier::Scalar
-            }
-        }
-        "neon" => {
-            if tier_supported(Tier::Neon) {
-                Tier::Neon
-            } else {
-                Tier::Scalar
-            }
-        }
-        other => {
-            eprintln!(
-                "gs-linalg: unrecognized GS_SIMD value {other:?} \
-                 (expected off|scalar|avx2|neon|auto); using the scalar path"
-            );
-            Tier::Scalar
-        }
-    }
+    crate::env::env_knob(
+        "GS_SIMD",
+        "off|scalar|avx2|neon|auto",
+        "using the scalar path",
+        detected_tier(),
+        Tier::Scalar,
+        |v| match v {
+            "" | "on" | "auto" | "native" | "1" => Some(detected_tier()),
+            "off" | "scalar" | "0" => Some(Tier::Scalar),
+            "avx2" => Some(if tier_supported(Tier::Avx2) { Tier::Avx2 } else { Tier::Scalar }),
+            "neon" => Some(if tier_supported(Tier::Neon) { Tier::Neon } else { Tier::Scalar }),
+            _ => None,
+        },
+    )
 }
 
 /// The tier the kernels currently dispatch to. Resolved once from

@@ -29,15 +29,18 @@
 //! frame's buffers, so alternating shapes stay allocation-free once the
 //! largest has been seen.
 
+use crate::config::PhyConfig;
 use crate::iterative::IterScratch;
 use crate::txrx::UplinkOutcome;
 use geosphere_core::{
-    Detection, DetectionJob, DetectionPool, DetectorWorkspace, MimoDetector, SoftDetection,
-    SoftWorkspace,
+    Detection, DetectionJob, DetectionPool, DetectorStats, DetectorWorkspace, MimoDetector,
+    SoftDetection, SoftWorkspace,
 };
+use gs_channel::MimoChannel;
 use gs_coding::{CodedBit, ViterbiWorkspace};
 use gs_linalg::{Complex, Matrix};
 use gs_modulation::GridPoint;
+use rand::Rng;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -178,5 +181,76 @@ impl FrameWorkspace {
             self.pool = Some(DetectionPool::new(workers));
         }
         self.pool.as_mut().expect("pool just built")
+    }
+}
+
+/// The **staged** frame API: the three pipeline stages of
+/// [`decode_frame_batched_into`](crate::txrx::decode_frame_batched_into),
+/// exposed individually so an external scheduler (the `gs-runtime`
+/// streaming engine) can run *plan*, *detect*, and *recover* on different
+/// threads and overlap them across frames.
+///
+/// Contract (all stages allocation-free once the workspace has warmed up
+/// to the frame shape, and bit-identical to the one-call entry points):
+///
+/// 1. [`FrameWorkspace::plan_uplink`] draws the frame's randomness and
+///    fills the pooled detection jobs;
+/// 2. the caller detects [`FrameWorkspace::planned_jobs`] against
+///    [`FrameWorkspace::planned_channels`] however it likes (inline,
+///    pooled, sharded) — detection is a pure per-job function;
+/// 3. [`FrameWorkspace::begin_detection_assembly`], one
+///    [`FrameWorkspace::absorb_detection`] per job index (any order, each
+///    exactly once), then [`FrameWorkspace::finish_uplink`] runs the
+///    receive chains and leaves the result in
+///    [`FrameWorkspace::outcome`].
+impl FrameWorkspace {
+    /// Stage 1 — plans one uplink frame into this workspace: draws every
+    /// client payload and the per-resource-element noise from `rng` (the
+    /// draw order all receive paths share), runs the transmit chains, and
+    /// packages the detection jobs. Genie CSI; `channel` must have one
+    /// subcarrier (flat) or exactly `cfg.n_subcarriers`.
+    pub fn plan_uplink<R: Rng + ?Sized>(
+        &mut self,
+        cfg: &PhyConfig,
+        channel: &MimoChannel,
+        snr_db: f64,
+        rng: &mut R,
+    ) {
+        crate::txrx::plan_uplink_frame_into(cfg, channel, None, snr_db, rng, self);
+    }
+
+    /// The detection jobs of the last planned frame (one per OFDM symbol ×
+    /// subcarrier; `channel` fields index [`FrameWorkspace::planned_channels`]).
+    pub fn planned_jobs(&self) -> &[DetectionJob] {
+        &self.jobs[..self.n_jobs]
+    }
+
+    /// The channel table of the last planned frame (the detector's view,
+    /// constellation scale folded in).
+    pub fn planned_channels(&self) -> &[Matrix] {
+        &self.rx_channels[..self.n_rx_channels]
+    }
+
+    /// Stage 3 prologue — sizes the per-client detected-symbol buffers for
+    /// the planned frame. Call once before the
+    /// [`FrameWorkspace::absorb_detection`] sweep.
+    pub fn begin_detection_assembly(&mut self) {
+        crate::txrx::begin_assemble(self);
+    }
+
+    /// Stage 3 — scatters the detection for job `idx` into the per-client
+    /// symbol buffers and accumulates its operation counts into `stats`.
+    /// Every job index of the planned frame must be absorbed exactly once,
+    /// in any order (results are index-scattered, so internal reordering
+    /// cannot change the outcome).
+    pub fn absorb_detection(&mut self, stats: &mut DetectorStats, idx: usize, det: &Detection) {
+        crate::txrx::absorb_detection(&mut self.detected, stats, idx, det);
+    }
+
+    /// Stage 3 epilogue — inverts the per-client receive chains over the
+    /// absorbed detections and writes the frame outcome (also returned by
+    /// [`FrameWorkspace::outcome`] until the next frame).
+    pub fn finish_uplink(&mut self, cfg: &PhyConfig, stats: DetectorStats) -> &UplinkOutcome {
+        crate::txrx::finish_outcome(cfg, self, stats)
     }
 }

@@ -47,7 +47,29 @@ where
     M: ChannelModel,
     D: MimoDetector + ?Sized,
 {
-    measure_impl(cfg, model, detector, snr_db, frames, rng, None)
+    let mut ws = FrameWorkspace::new();
+    measure_impl(cfg, model, detector, snr_db, frames, rng, None, &mut ws)
+}
+
+/// [`measure`] recycling a caller-held [`FrameWorkspace`], so long
+/// measurement sweeps (SNR grids, constellation scans, per-group loops)
+/// stop re-warming plan/receive buffers on every point. Bit-identical to
+/// [`measure`] for the same `rng` state.
+pub fn measure_in<R, M, D>(
+    cfg: &PhyConfig,
+    model: &M,
+    detector: &D,
+    snr_db: f64,
+    frames: usize,
+    rng: &mut R,
+    ws: &mut FrameWorkspace,
+) -> Measurement
+where
+    R: Rng + ?Sized,
+    M: ChannelModel,
+    D: MimoDetector + ?Sized,
+{
+    measure_impl(cfg, model, detector, snr_db, frames, rng, None, ws)
 }
 
 /// [`measure`] with the frame decode fanned out across `workers` threads
@@ -71,7 +93,33 @@ where
     M: ChannelModel,
     D: MimoDetector + ?Sized,
 {
-    measure_impl(cfg, model, detector, snr_db, frames, rng, Some(workers))
+    let mut ws = FrameWorkspace::new();
+    measure_impl(cfg, model, detector, snr_db, frames, rng, Some(workers), &mut ws)
+}
+
+/// [`measure_batched`] recycling a caller-held [`FrameWorkspace`] — the
+/// sweep-friendly form for detectors only known as `&dyn MimoDetector`
+/// (multi-worker frames fan out through scoped threads; callers that can
+/// name the detector type should prefer [`measure_batched_into`] and its
+/// persistent pool). Bit-identical to [`measure_batched`] for the same
+/// `rng` state.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_batched_in<R, M, D>(
+    cfg: &PhyConfig,
+    model: &M,
+    detector: &D,
+    snr_db: f64,
+    frames: usize,
+    rng: &mut R,
+    workers: usize,
+    ws: &mut FrameWorkspace,
+) -> Measurement
+where
+    R: Rng + ?Sized,
+    M: ChannelModel,
+    D: MimoDetector + ?Sized,
+{
+    measure_impl(cfg, model, detector, snr_db, frames, rng, Some(workers), ws)
 }
 
 /// [`measure_batched`] recycling a caller-held [`FrameWorkspace`] through
@@ -105,6 +153,7 @@ where
     acc.finish(cfg, frames)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure_impl<R, M, D>(
     cfg: &PhyConfig,
     model: &M,
@@ -113,6 +162,11 @@ fn measure_impl<R, M, D>(
     frames: usize,
     rng: &mut R,
     workers: Option<usize>,
+    // One workspace for the whole measurement (or, via the `_in` entry
+    // points, for the caller's whole sweep): plan and receive-chain
+    // buffers are recycled across every frame (and, for `workers == 1`,
+    // the detection path is allocation-free after the first frame).
+    ws: &mut FrameWorkspace,
 ) -> Measurement
 where
     R: Rng + ?Sized,
@@ -120,15 +174,11 @@ where
     D: MimoDetector + ?Sized,
 {
     let mut acc = MeasureAccum::new(model.num_tx());
-    // One workspace for the whole measurement: plan and receive-chain
-    // buffers are recycled across every frame (and, for `workers == 1`,
-    // the detection path is allocation-free after the first frame).
-    let mut ws = FrameWorkspace::new();
     for _ in 0..frames {
         let ch = model.realize(rng);
         let out = match workers {
-            Some(w) => decode_frame_scoped_into(cfg, &ch, detector, snr_db, rng, w, &mut ws),
-            None => uplink_frame_with_csi_into(cfg, &ch, None, detector, snr_db, rng, &mut ws),
+            Some(w) => decode_frame_scoped_into(cfg, &ch, detector, snr_db, rng, w, ws),
+            None => uplink_frame_with_csi_into(cfg, &ch, None, detector, snr_db, rng, ws),
         };
         acc.absorb(out);
     }
@@ -237,9 +287,11 @@ where
 {
     let mut lo = 0.0f64;
     let mut hi = 50.0f64;
+    // One workspace across every probe of the bisection.
+    let mut ws = FrameWorkspace::new();
     for _ in 0..7 {
         let mid = (lo + hi) / 2.0;
-        let m = measure_impl(cfg, model, detector, mid, frames, rng, workers);
+        let m = measure_impl(cfg, model, detector, mid, frames, rng, workers, &mut ws);
         if m.fer > target_fer {
             lo = mid;
         } else {
@@ -345,6 +397,32 @@ mod tests {
                 pooled.per_subcarrier.ped_calcs, reference.per_subcarrier.ped_calcs,
                 "workers {workers}"
             );
+        }
+    }
+
+    #[test]
+    fn sweep_reused_workspace_matches_fresh() {
+        // A workspace carried across a whole sweep (several SNR points,
+        // serial and batched) must be bit-identical to fresh-workspace
+        // measurement at every point.
+        let cfg = small_cfg(Constellation::Qam16);
+        let model = RayleighChannel::new(4, 2);
+        let det = geosphere_decoder();
+        let mut ws = FrameWorkspace::new();
+        for snr in [10.0, 18.0, 26.0] {
+            let mut rng = StdRng::seed_from_u64(186);
+            let fresh = measure(&cfg, &model, &det, snr, 3, &mut rng);
+            let mut rng = StdRng::seed_from_u64(186);
+            let reused = measure_in(&cfg, &model, &det, snr, 3, &mut rng, &mut ws);
+            assert_eq!(reused.client_fer, fresh.client_fer, "snr {snr}");
+            assert_eq!(reused.per_subcarrier.ped_calcs, fresh.per_subcarrier.ped_calcs);
+
+            let mut rng = StdRng::seed_from_u64(187);
+            let fresh_b = measure_batched(&cfg, &model, &det, snr, 3, &mut rng, 2);
+            let mut rng = StdRng::seed_from_u64(187);
+            let reused_b = measure_batched_in(&cfg, &model, &det, snr, 3, &mut rng, 2, &mut ws);
+            assert_eq!(reused_b.client_fer, fresh_b.client_fer, "batched snr {snr}");
+            assert_eq!(reused_b.per_subcarrier.ped_calcs, fresh_b.per_subcarrier.ped_calcs);
         }
     }
 

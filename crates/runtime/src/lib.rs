@@ -1,0 +1,74 @@
+//! # gs-runtime
+//!
+//! The **streaming multi-frame base-station runtime**: the scheduling
+//! layer that turns the per-frame codec (`gs-phy` over `geosphere-core`)
+//! into a continuously-fed engine serving many concurrent uplink sources.
+//!
+//! The paper's detector is a per-subcarrier kernel; serving heavy traffic
+//! is an architecture problem layered above it. The synchronous entry
+//! point (`decode_frame_batched_into`) blocks until one frame fully
+//! drains, so its worker pool idles during planning and payload recovery.
+//! [`FrameStream`] removes that bubble with a three-stage pipeline whose
+//! stages overlap **across frames**:
+//!
+//! ```text
+//!   sources ──▶ [admission: bounded slot pool] ──▶ plan ─▶ detect ─▶ recover ──▶ recv()
+//!                (backpressure)                    │         │          │
+//!                                        planner thread(s)   │     recovery thread
+//!                                                            │
+//!                                      ShardedDetectionPool: one EDF queue +
+//!                                      channel-table replica per memory domain,
+//!                                      workers pinned inside their domain
+//! ```
+//!
+//! * **Ingress** ([`FrameStream::submit`] / [`FrameStream::try_submit`]):
+//!   any number of threads submit [`UplinkFrame`]s. Admission is bounded
+//!   by the slot pool ([`StreamConfig::capacity`]); `submit` blocks when
+//!   full (backpressure), `try_submit` refuses.
+//! * **Plan**: a planner thread seeds the frame's own RNG, runs the
+//!   transmit chains and packages detection jobs into the slot's recycled
+//!   [`gs_phy::FrameWorkspace`], then splits the channel-grouped job order
+//!   into per-shard portions.
+//! * **Detect**: `geosphere-core`'s
+//!   [`ShardedDetectionPool`](geosphere_core::ShardedDetectionPool) runs
+//!   each portion on a worker pinned in the shard's memory domain,
+//!   earliest-deadline-first within the shard, through per-worker reusable
+//!   workspaces and per-shard channel-table replicas.
+//! * **Recover**: the recovery thread scatters detections back to job
+//!   order, runs the per-client receive chains (Viterbi/CRC), accounts
+//!   deadlines, and delivers.
+//! * **Egress** ([`FrameStream::recv`]): completions arrive in **per-client
+//!   submission order** regardless of internal reordering; dropping the
+//!   [`Completed`] guard recycles the slot.
+//!
+//! ## Guarantees
+//!
+//! * **Bit-identity**: a frame's outcome is a pure function of its
+//!   [`UplinkFrame`] (seeded RNG, pure detection, pure receive chain) —
+//!   identical to serial `decode_frame_batched_into` with the same seed,
+//!   for any worker/shard/capacity configuration and any interleaving
+//!   (`tests/stream_determinism.rs`).
+//! * **Zero steady-state allocations**: slots, queues, heaps, and
+//!   per-shard replicas are bounded and recycled; once every slot has
+//!   warmed to the workload's largest frame shape, pushing a frame through
+//!   the full pipeline touches the allocator zero times on every thread
+//!   involved (same suite).
+//! * **Deadlines are scheduling hints, not admission control**: a missed
+//!   deadline is recorded ([`RuntimeStats::deadline_misses`],
+//!   [`Completed::missed_deadline`]), never dropped.
+//!
+//! ## Knobs
+//!
+//! [`StreamConfig`] sizes the engine; `GS_DOMAINS` overrides memory-domain
+//! discovery, `GS_NO_PIN` disables worker pinning, `GS_SIMD` selects the
+//! kernel tier — all under the shared warn-and-fallback policy
+//! (`geosphere_core::env`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod stream;
+
+pub use stats::RuntimeStats;
+pub use stream::{Completed, FrameStream, StreamConfig, UplinkFrame};

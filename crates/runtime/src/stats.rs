@@ -1,0 +1,45 @@
+//! Runtime observability: the [`RuntimeStats`] snapshot.
+
+use std::time::Duration;
+
+/// A point-in-time snapshot of a [`FrameStream`](crate::FrameStream)'s
+/// behaviour, taken with [`FrameStream::stats`](crate::FrameStream::stats).
+///
+/// Counters are monotone over the stream's lifetime; occupancy and queue
+/// depths are instantaneous. Taking a snapshot allocates (the per-shard
+/// depth vector) — it is an observability call, not a hot-path one.
+#[derive(Clone, Debug)]
+pub struct RuntimeStats {
+    /// Frames admitted so far (including those still in flight).
+    pub submitted: u64,
+    /// Frames fully recovered and delivered to the completion queue.
+    pub completed: u64,
+    /// Completed frames whose recovery finished after their deadline.
+    pub deadline_misses: u64,
+    /// Frames currently in flight (admitted, not yet released by the
+    /// consumer) — the occupancy of the slot pool.
+    pub in_flight: usize,
+    /// The slot-pool bound: the maximum possible `in_flight`.
+    pub capacity: usize,
+    /// Resolved shard count of the detection layer.
+    pub shards: usize,
+    /// Total detection workers across all shards.
+    pub workers: usize,
+    /// Queued detection tasks per shard, at snapshot time.
+    pub shard_queue_depths: Vec<usize>,
+    /// Wall-clock since the stream was created.
+    pub elapsed: Duration,
+    /// `completed / elapsed` — sustained delivered throughput.
+    pub frames_per_sec: f64,
+}
+
+impl RuntimeStats {
+    /// Fraction of the slot pool currently occupied, `0.0..=1.0`.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.in_flight as f64 / self.capacity as f64
+        }
+    }
+}

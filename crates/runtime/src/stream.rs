@@ -1,0 +1,1016 @@
+//! The [`FrameStream`] engine: slot pool, stage threads, ordering.
+//!
+//! See the crate docs for the architecture. This module holds the whole
+//! engine: the bounded slot pool (admission control), the planner and
+//! recovery stage threads, the [`ShardedJob`] adapter that runs the detect
+//! stage on `geosphere-core`'s domain-sharded pool, per-client in-order
+//! completion delivery, and the stats counters.
+
+use crate::stats::RuntimeStats;
+use geosphere_core::{
+    Detection, DetectionBatch, DetectorStats, DetectorWorkspace, MimoDetector,
+    ShardedDetectionPool, ShardedJob, NO_DEADLINE,
+};
+use gs_channel::MimoChannel;
+use gs_linalg::Matrix;
+use gs_phy::{FrameWorkspace, PhyConfig, UplinkOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One frame submission: everything the runtime needs to plan, detect,
+/// and recover the frame without further input from the source.
+///
+/// The frame carries its own RNG `seed` (payloads and noise are drawn
+/// from `StdRng::seed_from_u64(seed)` exactly as the serial path would),
+/// so the outcome is a pure function of the submission — bit-identical to
+/// `decode_frame_batched_into` with the same seed, regardless of how the
+/// runtime schedules it.
+#[derive(Clone, Debug)]
+pub struct UplinkFrame {
+    /// Source lane (`< StreamConfig::clients`): completions are delivered
+    /// in per-client submission order.
+    pub client: usize,
+    /// The channel realization the frame flies through (`Arc` so
+    /// submission never copies matrices).
+    pub channel: Arc<MimoChannel>,
+    /// Operating SNR in dB.
+    pub snr_db: f64,
+    /// Seed for the frame's payload and noise draws.
+    pub seed: u64,
+    /// Overrides the stream's base `payload_bits` for this frame
+    /// (`None` = the base config's length).
+    pub payload_bits: Option<usize>,
+    /// Optional completion deadline. Within a shard, detection is
+    /// scheduled earliest-deadline-first; deadline-free frames run after
+    /// all deadline-bearing ones, FIFO. A missed deadline never drops the
+    /// frame — it is recorded ([`Completed::missed_deadline`],
+    /// [`RuntimeStats::deadline_misses`]).
+    pub deadline: Option<Instant>,
+}
+
+impl UplinkFrame {
+    /// A deadline-free submission with the stream's base frame length.
+    pub fn new(client: usize, channel: Arc<MimoChannel>, snr_db: f64, seed: u64) -> Self {
+        UplinkFrame { client, channel, snr_db, seed, payload_bits: None, deadline: None }
+    }
+}
+
+/// Sizing and placement knobs for a [`FrameStream`].
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Distinct source lanes (ordering domains). Must be ≥ 1.
+    pub clients: usize,
+    /// Detection workers across all shards (`0` = machine parallelism).
+    pub workers: usize,
+    /// Detection shards (`0` = one per discovered memory domain; clamped
+    /// to `1..=workers`).
+    pub shards: usize,
+    /// Frames admitted concurrently (the slot-pool bound; `0` resolves to
+    /// `2 × workers + 2`, enough to keep every stage busy). **Admission
+    /// policy:** [`FrameStream::submit`] blocks while all slots are in
+    /// flight — backpressure propagates to sources — and
+    /// [`FrameStream::try_submit`] refuses instead, for loss-tolerant
+    /// sources. A slot is released when the consumer drops the frame's
+    /// [`Completed`] guard.
+    pub capacity: usize,
+    /// Plan-stage threads (`0` resolves to 1; planning is cheap relative
+    /// to detection, so 1 usually suffices).
+    pub planners: usize,
+    /// Pin detection workers inside their shard's memory domain (default:
+    /// on, unless `GS_NO_PIN` opts out).
+    pub pin: bool,
+}
+
+impl StreamConfig {
+    /// Defaults for `clients` source lanes: machine-sized workers, one
+    /// shard per memory domain, automatic capacity, one planner, pinning
+    /// per `GS_NO_PIN`.
+    pub fn new(clients: usize) -> Self {
+        StreamConfig {
+            clients,
+            workers: 0,
+            shards: 0,
+            capacity: 0,
+            planners: 1,
+            pin: !geosphere_core::affinity::pinning_disabled_by_env(),
+        }
+    }
+}
+
+/// Per-frame bookkeeping carried through the pipeline.
+struct SlotMeta {
+    client: usize,
+    client_seq: u64,
+    snr_db: f64,
+    seed: u64,
+    payload_bits: usize,
+    deadline: Option<Instant>,
+    deadline_key: u64,
+    channel: Option<Arc<MimoChannel>>,
+    missed_deadline: bool,
+}
+
+impl SlotMeta {
+    fn empty() -> Self {
+        SlotMeta {
+            client: 0,
+            client_seq: 0,
+            snr_db: 0.0,
+            seed: 0,
+            payload_bits: 0,
+            deadline: None,
+            deadline_key: NO_DEADLINE,
+            channel: None,
+            missed_deadline: false,
+        }
+    }
+}
+
+/// The frame's plan/assembly state: written by the planner, read by the
+/// shard workers, written again by the recovery stage. Lock order is
+/// always core-then-portion.
+struct SlotCore {
+    ws: FrameWorkspace,
+    /// Channel-grouped dispatch order over the planned jobs (scratch,
+    /// reused every frame).
+    order: Vec<usize>,
+    /// Detector operation counts accumulated during recovery.
+    stats: DetectorStats,
+}
+
+/// One shard's portion of a frame: the job indices it owns, its local
+/// channel-table replica, and its detection outputs. The replica is
+/// refreshed by the shard's *own* worker (not the planner), so first-touch
+/// places it in the shard's memory domain; all three buffers are recycled
+/// frame over frame.
+struct Portion {
+    indices: Vec<usize>,
+    channels: Vec<Matrix>,
+    n_channels: usize,
+    out: Vec<Detection>,
+}
+
+impl Portion {
+    fn empty() -> Self {
+        Portion { indices: Vec::new(), channels: Vec::new(), n_channels: 0, out: Vec::new() }
+    }
+}
+
+struct Slot {
+    meta: Mutex<SlotMeta>,
+    core: RwLock<SlotCore>,
+    portions: Vec<Mutex<Portion>>,
+    /// Shards still detecting this frame; the worker that decrements it to
+    /// zero hands the frame to recovery.
+    remaining: AtomicU64,
+}
+
+/// One client's ordering lane: sequence counters plus a parking ring for
+/// frames that completed ahead of an earlier sibling.
+struct ClientLane {
+    next_submit: u64,
+    next_deliver: u64,
+    /// `parked[seq % capacity]` holds the slot of a finished frame waiting
+    /// for its predecessors; at most `capacity` frames are in flight, so
+    /// the ring can never wrap onto an occupied cell.
+    parked: Vec<Option<usize>>,
+}
+
+struct StatsInner {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    deadline_misses: AtomicU64,
+}
+
+struct Shared {
+    base_cfg: PhyConfig,
+    detector: Arc<dyn MimoDetector>,
+    slots: Vec<Slot>,
+    n_shards: usize,
+    n_clients: usize,
+    capacity: usize,
+    pool: ShardedDetectionPool,
+    free: Mutex<Vec<usize>>,
+    free_cv: Condvar,
+    plan_q: Mutex<VecDeque<usize>>,
+    plan_cv: Condvar,
+    recover_q: Mutex<VecDeque<usize>>,
+    recover_cv: Condvar,
+    done_q: Mutex<VecDeque<usize>>,
+    done_cv: Condvar,
+    lanes: Mutex<Vec<ClientLane>>,
+    stats: StatsInner,
+    shutdown: AtomicBool,
+    /// Set when a planner or recovery thread unwound — the stage-thread
+    /// counterpart of the detection pool's poison flag, so `recv`/`submit`
+    /// fail fast instead of waiting on a frame that can never arrive.
+    stage_panicked: AtomicBool,
+    epoch: Instant,
+}
+
+impl Shared {
+    fn is_dead(&self) -> bool {
+        self.pool.is_poisoned() || self.stage_panicked.load(Ordering::SeqCst)
+    }
+}
+
+/// Marks the engine dead when a stage thread unwinds (planner assert,
+/// recovery panic, a detector panicking inside `plan`'s transmit chain…).
+struct StagePoisonOnPanic<'a>(&'a Shared);
+
+impl Drop for StagePoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.stage_panicked.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The [`ShardedJob`] the runtime submits: a weak handle so queued tasks
+/// never keep the engine alive (workers are joined before `Shared` drops;
+/// the upgrade guard is belt-and-braces for mid-teardown pops).
+struct DetectJob {
+    shared: Weak<Shared>,
+}
+
+impl ShardedJob for DetectJob {
+    fn run_shard(&self, shard: usize, token: usize, ws: &mut DetectorWorkspace) {
+        if let Some(shared) = self.shared.upgrade() {
+            shared.detect_portion(shard, token, ws);
+        }
+    }
+}
+
+impl Shared {
+    /// The detect stage for one `(frame, shard)` portion, run on a pinned
+    /// shard worker: refresh the shard's channel replica, detect its job
+    /// indices through the worker's reusable workspace, and hand the frame
+    /// to recovery when this was the last outstanding shard.
+    fn detect_portion(&self, shard: usize, slot_idx: usize, ws: &mut DetectorWorkspace) {
+        let slot = &self.slots[slot_idx];
+        {
+            let core = slot.core.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut portion = lock(&slot.portions[shard]);
+            let portion = &mut *portion;
+            if portion.indices.is_empty() {
+                portion.out.clear();
+            } else {
+                let src = core.ws.planned_channels();
+                let jobs = core.ws.planned_jobs();
+                // Refresh the shard's channel-table replica so detection
+                // reads domain-local memory. With a single shard the
+                // replica cannot improve locality (same domain as the
+                // planner's table), so the copy is skipped outright; with
+                // several, only the shard's own channel range is copied —
+                // the portion is a contiguous slice of the channel-grouped
+                // order, so its channels are exactly `c_lo..=c_hi`
+                // (entries outside stay stale and are never indexed).
+                let channels: &[Matrix] = if self.n_shards == 1 {
+                    src
+                } else {
+                    let c_lo = jobs[portion.indices[0]].channel;
+                    let c_hi = jobs[portion.indices[portion.indices.len() - 1]].channel;
+                    if portion.channels.len() < src.len() {
+                        portion.channels.resize_with(src.len(), Matrix::default);
+                    }
+                    for (dst, s) in portion.channels[c_lo..=c_hi].iter_mut().zip(&src[c_lo..=c_hi])
+                    {
+                        dst.copy_from(s);
+                    }
+                    portion.n_channels = src.len();
+                    &portion.channels[..portion.n_channels]
+                };
+                let batch = DetectionBatch {
+                    channels,
+                    jobs: core.ws.planned_jobs(),
+                    c: self.base_cfg.constellation,
+                };
+                self.detector.detect_batch_indexed_with(
+                    &batch,
+                    &portion.indices,
+                    ws,
+                    &mut portion.out,
+                );
+            }
+        }
+        if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            lock(&self.recover_q).push_back(slot_idx);
+            self.recover_cv.notify_one();
+        }
+    }
+
+    /// The plan stage for one frame, run on a planner thread.
+    fn plan_frame(&self, slot_idx: usize, job: &Arc<dyn ShardedJob>) {
+        let slot = &self.slots[slot_idx];
+        let (channel, cfg, snr_db, seed, deadline_key) = {
+            let meta = lock(&slot.meta);
+            (
+                Arc::clone(meta.channel.as_ref().expect("slot submitted without a channel")),
+                PhyConfig { payload_bits: meta.payload_bits, ..self.base_cfg },
+                meta.snr_db,
+                meta.seed,
+                meta.deadline_key,
+            )
+        };
+        {
+            let mut core = slot.core.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let core = &mut *core;
+            let mut rng = StdRng::seed_from_u64(seed);
+            core.ws.plan_uplink(&cfg, &channel, snr_db, &mut rng);
+
+            // Channel-grouped dispatch order (the same deterministic
+            // permutation `DetectionPool` uses), split into contiguous
+            // per-shard ranges so each shard re-factorizes each of its
+            // channels at most once per frame.
+            let jobs = core.ws.planned_jobs();
+            let n_jobs = jobs.len();
+            core.order.clear();
+            core.order.extend(0..n_jobs);
+            let grouped = jobs.windows(2).all(|w| w[0].channel <= w[1].channel);
+            if !grouped {
+                core.order.sort_unstable_by_key(|&i| (jobs[i].channel, i));
+            }
+            let chunk = n_jobs.div_ceil(self.n_shards).max(1);
+            for (s, portion) in slot.portions.iter().enumerate() {
+                let lo = (s * chunk).min(n_jobs);
+                let hi = ((s + 1) * chunk).min(n_jobs);
+                let mut portion = lock(portion);
+                portion.indices.clear();
+                portion.indices.extend_from_slice(&core.order[lo..hi]);
+            }
+        }
+        slot.remaining.store(self.n_shards as u64, Ordering::Release);
+        for s in 0..self.n_shards {
+            self.pool.submit(s, deadline_key, slot_idx, job);
+        }
+    }
+
+    /// The recover stage for one frame, run on the recovery thread:
+    /// scatter every shard's detections back to job order, run the
+    /// per-client receive chains, account the deadline, and deliver in
+    /// per-client submission order.
+    fn recover_frame(&self, slot_idx: usize) {
+        let slot = &self.slots[slot_idx];
+        {
+            let mut core = slot.core.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let core = &mut *core;
+            core.stats = DetectorStats::default();
+            core.ws.begin_detection_assembly();
+            for portion in &slot.portions {
+                let portion = lock(portion);
+                for (&idx, det) in portion.indices.iter().zip(portion.out.iter()) {
+                    core.ws.absorb_detection(&mut core.stats, idx, det);
+                }
+            }
+            let cfg = PhyConfig { payload_bits: lock(&slot.meta).payload_bits, ..self.base_cfg };
+            core.ws.finish_uplink(&cfg, core.stats);
+        }
+
+        let (client, seq) = {
+            let mut meta = lock(&slot.meta);
+            meta.missed_deadline = meta.deadline.is_some_and(|d| Instant::now() > d);
+            if meta.missed_deadline {
+                self.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            // Release the channel Arc now that the frame no longer needs it.
+            meta.channel = None;
+            (meta.client, meta.client_seq)
+        };
+
+        // Per-client in-order delivery: deliver this frame if it is the
+        // lane's next expected sequence (then drain any parked
+        // successors); otherwise park it.
+        let mut lanes = lock(&self.lanes);
+        let lane = &mut lanes[client];
+        if seq == lane.next_deliver {
+            self.deliver(slot_idx);
+            lane.next_deliver += 1;
+            while let Some(parked) =
+                lane.parked[(lane.next_deliver % self.capacity as u64) as usize].take()
+            {
+                self.deliver(parked);
+                lane.next_deliver += 1;
+            }
+        } else {
+            let cell = &mut lane.parked[(seq % self.capacity as u64) as usize];
+            debug_assert!(cell.is_none(), "parking ring cell already occupied");
+            *cell = Some(slot_idx);
+        }
+    }
+
+    fn deliver(&self, slot_idx: usize) {
+        lock(&self.done_q).push_back(slot_idx);
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        self.done_cv.notify_one();
+    }
+
+    fn deadline_key(&self, deadline: Option<Instant>) -> u64 {
+        match deadline {
+            None => NO_DEADLINE,
+            Some(d) => {
+                let nanos = d.checked_duration_since(self.epoch).unwrap_or_default().as_nanos();
+                u64::try_from(nanos).unwrap_or(NO_DEADLINE - 1).min(NO_DEADLINE - 1)
+            }
+        }
+    }
+}
+
+fn planner_loop(shared: &Arc<Shared>) {
+    let job: Arc<dyn ShardedJob> = Arc::new(DetectJob { shared: Arc::downgrade(shared) });
+    let _poison = StagePoisonOnPanic(shared);
+    loop {
+        let slot_idx = {
+            let mut q = lock(&shared.plan_q);
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(idx) = q.pop_front() {
+                    break idx;
+                }
+                q = shared.plan_cv.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        shared.plan_frame(slot_idx, &job);
+    }
+}
+
+fn recover_loop(shared: &Arc<Shared>) {
+    let _poison = StagePoisonOnPanic(shared);
+    loop {
+        let slot_idx = {
+            let mut q = lock(&shared.recover_q);
+            loop {
+                // Shutdown wins over queued frames — dropping the stream
+                // abandons in-flight work rather than draining it.
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(idx) = q.pop_front() {
+                    break idx;
+                }
+                q = shared.recover_cv.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        shared.recover_frame(slot_idx);
+    }
+}
+
+/// A streaming multi-frame uplink engine: admits [`UplinkFrame`]s from many
+/// concurrent sources and pipelines them through *plan → detect → recover*
+/// with cross-frame overlap. See the crate docs for the architecture and
+/// guarantees, [`StreamConfig`] for sizing, [`FrameStream::submit`] /
+/// [`FrameStream::recv`] for the ingress/egress pair.
+pub struct FrameStream {
+    shared: Arc<Shared>,
+    planners: Vec<JoinHandle<()>>,
+    recover: Option<JoinHandle<()>>,
+}
+
+impl FrameStream {
+    /// Builds a stream decoding with `detector` under the fixed PHY
+    /// `cfg` (per-frame `payload_bits` overrides aside). See
+    /// [`StreamConfig`] for sizing; workers spawn immediately.
+    pub fn new<D: MimoDetector + 'static>(cfg: PhyConfig, detector: D, sc: StreamConfig) -> Self {
+        Self::with_detector_arc(cfg, Arc::new(detector), sc)
+    }
+
+    /// [`FrameStream::new`] for an already type-erased detector.
+    pub fn with_detector_arc(
+        cfg: PhyConfig,
+        detector: Arc<dyn MimoDetector>,
+        sc: StreamConfig,
+    ) -> Self {
+        assert!(sc.clients >= 1, "a stream needs at least one client lane");
+        let workers = if sc.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            sc.workers
+        };
+        let capacity = if sc.capacity == 0 { 2 * workers + 2 } else { sc.capacity };
+        let planners = sc.planners.max(1);
+
+        // Every shard queue can hold every in-flight frame at once.
+        let pool = ShardedDetectionPool::new_with_pinning(sc.shards, workers, capacity, sc.pin);
+        let n_shards = pool.shards();
+
+        let slots: Vec<Slot> = (0..capacity)
+            .map(|_| Slot {
+                meta: Mutex::new(SlotMeta::empty()),
+                core: RwLock::new(SlotCore {
+                    ws: FrameWorkspace::new(),
+                    order: Vec::new(),
+                    stats: DetectorStats::default(),
+                }),
+                portions: (0..n_shards).map(|_| Mutex::new(Portion::empty())).collect(),
+                remaining: AtomicU64::new(0),
+            })
+            .collect();
+
+        let lanes = (0..sc.clients)
+            .map(|_| ClientLane { next_submit: 0, next_deliver: 0, parked: vec![None; capacity] })
+            .collect();
+
+        let shared = Arc::new(Shared {
+            base_cfg: cfg,
+            detector,
+            slots,
+            n_shards,
+            n_clients: sc.clients,
+            capacity,
+            pool,
+            free: Mutex::new((0..capacity).rev().collect()),
+            free_cv: Condvar::new(),
+            plan_q: Mutex::new(VecDeque::with_capacity(capacity)),
+            plan_cv: Condvar::new(),
+            recover_q: Mutex::new(VecDeque::with_capacity(capacity)),
+            recover_cv: Condvar::new(),
+            done_q: Mutex::new(VecDeque::with_capacity(capacity)),
+            done_cv: Condvar::new(),
+            lanes: Mutex::new(lanes),
+            stats: StatsInner {
+                submitted: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                deadline_misses: AtomicU64::new(0),
+            },
+            shutdown: AtomicBool::new(false),
+            stage_panicked: AtomicBool::new(false),
+            epoch: Instant::now(),
+        });
+
+        let planner_handles = (0..planners)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gs-plan-{k}"))
+                    .spawn(move || planner_loop(&shared))
+                    .expect("spawn planner thread")
+            })
+            .collect();
+        let recover = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gs-recover".into())
+                .spawn(move || recover_loop(&shared))
+                .expect("spawn recovery thread")
+        };
+
+        FrameStream { shared, planners: planner_handles, recover: Some(recover) }
+    }
+
+    /// The resolved shard count of the detect stage.
+    pub fn shards(&self) -> usize {
+        self.shared.n_shards
+    }
+
+    /// The total detection worker count.
+    pub fn workers(&self) -> usize {
+        self.shared.pool.workers()
+    }
+
+    /// The slot-pool bound (maximum frames in flight).
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Admits a frame, **blocking** while every slot is in flight — the
+    /// documented backpressure policy: sources slow to the pipeline's
+    /// sustained rate instead of growing an unbounded queue. Frames of one
+    /// client submitted concurrently are ordered by their arrival here.
+    ///
+    /// # Panics
+    /// Panics when `frame.client` is out of range or a detection worker
+    /// has panicked.
+    pub fn submit(&self, frame: UplinkFrame) {
+        // Validate before taking a slot: a panic past this point must not
+        // leak the slot it popped.
+        self.assert_admissible(&frame);
+        let slot_idx = {
+            let mut free = lock(&self.shared.free);
+            loop {
+                if let Some(idx) = free.pop() {
+                    break idx;
+                }
+                assert!(
+                    !self.shared.is_dead(),
+                    "FrameStream is dead: a worker or stage thread panicked"
+                );
+                let (guard, _) = self
+                    .shared
+                    .free_cv
+                    .wait_timeout(free, Duration::from_millis(100))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                free = guard;
+            }
+        };
+        self.install(slot_idx, frame);
+    }
+
+    /// Non-blocking admission: returns the frame back when no slot is
+    /// free, for sources that prefer dropping to stalling.
+    pub fn try_submit(&self, frame: UplinkFrame) -> Result<(), UplinkFrame> {
+        self.assert_admissible(&frame);
+        let slot_idx = match lock(&self.shared.free).pop() {
+            Some(idx) => idx,
+            None => return Err(frame),
+        };
+        self.install(slot_idx, frame);
+        Ok(())
+    }
+
+    fn assert_admissible(&self, frame: &UplinkFrame) {
+        assert!(
+            frame.client < self.shared.n_clients,
+            "client {} out of range (stream has {} lanes)",
+            frame.client,
+            self.shared.n_clients
+        );
+        // Shape errors must surface on the submitting thread, not as a
+        // planner-thread panic that would poison the whole stream.
+        let sc = frame.channel.num_subcarriers();
+        assert!(
+            sc == 1 || sc == self.shared.base_cfg.n_subcarriers,
+            "channel subcarrier count {sc} must be 1 or {}",
+            self.shared.base_cfg.n_subcarriers
+        );
+    }
+
+    fn install(&self, slot_idx: usize, frame: UplinkFrame) {
+        let shared = &*self.shared;
+        let client_seq = {
+            let mut lanes = lock(&shared.lanes);
+            let lane = &mut lanes[frame.client];
+            let seq = lane.next_submit;
+            lane.next_submit += 1;
+            seq
+        };
+        {
+            let mut meta = lock(&shared.slots[slot_idx].meta);
+            meta.client = frame.client;
+            meta.client_seq = client_seq;
+            meta.snr_db = frame.snr_db;
+            meta.seed = frame.seed;
+            meta.payload_bits = frame.payload_bits.unwrap_or(shared.base_cfg.payload_bits);
+            meta.deadline = frame.deadline;
+            meta.deadline_key = shared.deadline_key(frame.deadline);
+            meta.channel = Some(frame.channel);
+            meta.missed_deadline = false;
+        }
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        lock(&shared.plan_q).push_back(slot_idx);
+        shared.plan_cv.notify_one();
+    }
+
+    /// Receives the next completed frame, blocking until one is ready.
+    /// Frames of one client arrive in submission order (the runtime parks
+    /// internally reordered completions until their predecessors deliver);
+    /// frames of different clients interleave arbitrarily.
+    ///
+    /// Dropping the returned [`Completed`] guard releases the frame's slot
+    /// back to admission — hold it only as long as the outcome is needed.
+    ///
+    /// # Panics
+    /// Panics when a detection worker has panicked (the pipeline can no
+    /// longer complete the outstanding frames).
+    pub fn recv(&self) -> Completed<'_> {
+        let slot_idx = {
+            let mut q = lock(&self.shared.done_q);
+            loop {
+                if let Some(idx) = q.pop_front() {
+                    break idx;
+                }
+                assert!(
+                    !self.shared.is_dead(),
+                    "FrameStream is dead: a worker or stage thread panicked"
+                );
+                let (guard, _) = self
+                    .shared
+                    .done_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                q = guard;
+            }
+        };
+        self.completed(slot_idx)
+    }
+
+    /// Non-blocking [`FrameStream::recv`].
+    pub fn try_recv(&self) -> Option<Completed<'_>> {
+        let slot_idx = lock(&self.shared.done_q).pop_front()?;
+        Some(self.completed(slot_idx))
+    }
+
+    fn completed(&self, slot_idx: usize) -> Completed<'_> {
+        let slot = &self.shared.slots[slot_idx];
+        let (client, client_seq, missed_deadline) = {
+            let meta = lock(&slot.meta);
+            (meta.client, meta.client_seq, meta.missed_deadline)
+        };
+        let core = slot.core.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Completed { stream: self, slot_idx, core, client, client_seq, missed_deadline }
+    }
+
+    /// A point-in-time stats snapshot (allocates; not a hot-path call).
+    pub fn stats(&self) -> RuntimeStats {
+        let shared = &*self.shared;
+        let mut shard_queue_depths = Vec::new();
+        shared.pool.queue_depths(&mut shard_queue_depths);
+        let in_flight = shared.capacity - lock(&shared.free).len();
+        let completed = shared.stats.completed.load(Ordering::Relaxed);
+        let elapsed = shared.epoch.elapsed();
+        RuntimeStats {
+            submitted: shared.stats.submitted.load(Ordering::Relaxed),
+            completed,
+            deadline_misses: shared.stats.deadline_misses.load(Ordering::Relaxed),
+            in_flight,
+            capacity: shared.capacity,
+            shards: shared.n_shards,
+            workers: shared.pool.workers(),
+            shard_queue_depths,
+            elapsed,
+            frames_per_sec: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+impl Drop for FrameStream {
+    fn drop(&mut self) {
+        // Frames still in flight are abandoned: stop admissions/planning,
+        // join the planners (no new detect tasks after this), join the
+        // detection workers from *this* thread (a worker must never be the
+        // one dropping `Shared`, or it would join itself), then the
+        // recovery thread.
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.plan_cv.notify_all();
+        for h in self.planners.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.pool.shutdown_and_join();
+        self.shared.recover_cv.notify_all();
+        if let Some(h) = self.recover.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A completed frame, borrowed from the stream. Dropping it releases the
+/// frame's slot for re-admission; the outcome reference is valid for the
+/// guard's lifetime.
+pub struct Completed<'a> {
+    stream: &'a FrameStream,
+    slot_idx: usize,
+    core: RwLockReadGuard<'a, SlotCore>,
+    client: usize,
+    client_seq: u64,
+    missed_deadline: bool,
+}
+
+impl Completed<'_> {
+    /// The decoded frame outcome (per-client CRC verdicts, operation
+    /// counts, detection count).
+    pub fn outcome(&self) -> &UplinkOutcome {
+        self.core.ws.outcome()
+    }
+
+    /// The submitting client lane.
+    pub fn client(&self) -> usize {
+        self.client
+    }
+
+    /// The frame's per-client sequence number (0-based submission order;
+    /// [`FrameStream::recv`] delivers each client's frames in exactly this
+    /// order).
+    pub fn seq(&self) -> u64 {
+        self.client_seq
+    }
+
+    /// Whether recovery finished after the frame's deadline.
+    pub fn missed_deadline(&self) -> bool {
+        self.missed_deadline
+    }
+}
+
+impl Drop for Completed<'_> {
+    fn drop(&mut self) {
+        let shared = &*self.stream.shared;
+        lock(&shared.free).push(self.slot_idx);
+        shared.free_cv.notify_one();
+        // The core read guard releases right after this body; a planner
+        // that races onto the freed slot blocks those few instructions on
+        // the write lock, never deadlocks (this thread holds nothing else).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosphere_core::geosphere_decoder;
+    use gs_channel::{ChannelModel, RayleighChannel};
+    use gs_modulation::Constellation;
+    use gs_phy::decode_frame_batched_into;
+
+    fn small_cfg() -> PhyConfig {
+        PhyConfig { payload_bits: 256, ..PhyConfig::new(Constellation::Qam16) }
+    }
+
+    fn channels(n: usize, seed: u64) -> Vec<Arc<MimoChannel>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Arc::new(RayleighChannel::new(4, 2).realize(&mut rng))).collect()
+    }
+
+    /// The serial reference for one submission.
+    fn serial_outcome(cfg: &PhyConfig, f: &UplinkFrame, ws: &mut FrameWorkspace) -> UplinkOutcome {
+        let cfg = PhyConfig { payload_bits: f.payload_bits.unwrap_or(cfg.payload_bits), ..*cfg };
+        let mut rng = StdRng::seed_from_u64(f.seed);
+        decode_frame_batched_into(&cfg, &f.channel, &geosphere_decoder(), f.snr_db, &mut rng, 1, ws)
+            .clone()
+    }
+
+    #[test]
+    fn stream_matches_serial_and_orders_per_client() {
+        let cfg = small_cfg();
+        let chans = channels(3, 41);
+        let mut sc = StreamConfig::new(2);
+        sc.workers = 3;
+        sc.shards = 2;
+        sc.capacity = 4;
+        let stream = FrameStream::new(cfg, geosphere_decoder(), sc);
+        assert!(stream.shards() >= 1 && stream.shards() <= 2);
+        assert_eq!(stream.capacity(), 4);
+
+        // Interleaved submissions across two clients.
+        let frames: Vec<UplinkFrame> = (0..10)
+            .map(|k| UplinkFrame::new(k % 2, Arc::clone(&chans[k % 3]), 20.0, 9000 + k as u64))
+            .collect();
+        let mut ws = FrameWorkspace::new();
+        let reference: Vec<UplinkOutcome> =
+            frames.iter().map(|f| serial_outcome(&cfg, f, &mut ws)).collect();
+
+        // Submit from a separate source thread: with capacity 4 < 10
+        // frames, blocking `submit` exercises real backpressure while the
+        // main thread consumes.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for f in &frames {
+                    stream.submit(f.clone());
+                }
+            });
+            let mut next_seq = [0u64; 2];
+            let mut seen = 0;
+            while seen < frames.len() {
+                let done = stream.recv();
+                let client = done.client();
+                assert_eq!(done.seq(), next_seq[client], "per-client delivery order");
+                next_seq[client] += 1;
+                // Submission k of client c is the (2*seq + c)-th overall frame.
+                let k = (2 * done.seq() + client as u64) as usize;
+                assert_eq!(done.outcome().client_ok, reference[k].client_ok, "frame {k}");
+                assert_eq!(done.outcome().stats, reference[k].stats, "frame {k}");
+                assert_eq!(done.outcome().detections, reference[k].detections, "frame {k}");
+                seen += 1;
+            }
+        });
+        let stats = stream.stats();
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.completed, 10);
+        assert_eq!(stats.in_flight, 0, "all slots released");
+        assert_eq!(stats.shard_queue_depths.len(), stream.shards());
+    }
+
+    #[test]
+    fn try_submit_refuses_when_full_and_recovers() {
+        let cfg = small_cfg();
+        let chans = channels(1, 42);
+        let mut sc = StreamConfig::new(1);
+        sc.workers = 1;
+        sc.capacity = 2;
+        let stream = FrameStream::new(cfg, geosphere_decoder(), sc);
+
+        // Saturate admission faster than the pipeline can drain; at some
+        // point try_submit must refuse (capacity 2, 8 rapid submissions),
+        // and the refused frame must come back intact. Every refusal is
+        // resolved by consuming one completion (which frees a slot) and
+        // retrying through the blocking path.
+        let mut refused = 0;
+        let mut received = 0u64;
+        for k in 0..8u64 {
+            let f = UplinkFrame::new(0, Arc::clone(&chans[0]), 20.0, k);
+            match stream.try_submit(f) {
+                Ok(()) => {}
+                Err(back) => {
+                    assert_eq!(back.seed, k, "refused frame returned unchanged");
+                    refused += 1;
+                    // recv frees a slot, proving the pipeline still flows,
+                    // then blocking submit applies backpressure instead.
+                    drop(stream.recv());
+                    received += 1;
+                    stream.submit(back);
+                }
+            }
+        }
+        assert!(refused > 0, "capacity 2 must refuse at least one of 8 rapid submissions");
+        while received < 8 {
+            drop(stream.recv());
+            received += 1;
+        }
+        let stats = stream.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn deadlines_are_recorded_not_dropped() {
+        let cfg = small_cfg();
+        let chans = channels(1, 43);
+        let mut sc = StreamConfig::new(1);
+        sc.workers = 2;
+        sc.capacity = 3;
+        let stream = FrameStream::new(cfg, geosphere_decoder(), sc);
+
+        // An already-expired deadline must still complete, flagged missed;
+        // a far-future deadline must complete unflagged.
+        let mut expired = UplinkFrame::new(0, Arc::clone(&chans[0]), 20.0, 1);
+        expired.deadline = Some(Instant::now() - Duration::from_secs(1));
+        let mut roomy = UplinkFrame::new(0, Arc::clone(&chans[0]), 20.0, 2);
+        roomy.deadline = Some(Instant::now() + Duration::from_secs(3600));
+        stream.submit(expired);
+        stream.submit(roomy);
+
+        let first = stream.recv();
+        assert_eq!(first.seq(), 0);
+        assert!(first.missed_deadline(), "expired deadline must be flagged");
+        drop(first);
+        let second = stream.recv();
+        assert!(!second.missed_deadline(), "one-hour deadline cannot be missed");
+        drop(second);
+        assert_eq!(stream.stats().deadline_misses, 1);
+    }
+
+    #[test]
+    fn bad_channel_shape_fails_on_the_submitting_thread() {
+        // A shape error must surface as a submit-side panic, not as a
+        // planner-thread death that would leave recv() hanging.
+        let cfg = small_cfg(); // 48 subcarriers
+        let mut sc = StreamConfig::new(1);
+        sc.workers = 1;
+        let stream = FrameStream::new(cfg, geosphere_decoder(), sc);
+        let bad = Arc::new(
+            gs_channel::SelectiveRayleighChannel {
+                n_fft: 64,
+                n_subcarriers: 7,
+                ..gs_channel::SelectiveRayleighChannel::indoor(4, 2)
+            }
+            .realize(&mut StdRng::seed_from_u64(9)),
+        );
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stream.submit(UplinkFrame::new(0, bad, 20.0, 1));
+        }));
+        assert!(res.is_err(), "mismatched subcarrier count must be rejected at submission");
+        // The stream is still fully operational afterwards.
+        let good = channels(1, 45);
+        stream.submit(UplinkFrame::new(0, Arc::clone(&good[0]), 20.0, 2));
+        let done = stream.recv();
+        assert_eq!(done.seq(), 0);
+    }
+
+    #[test]
+    fn per_frame_payload_override_matches_serial() {
+        let cfg = small_cfg();
+        let chans = channels(2, 44);
+        let mut sc = StreamConfig::new(1);
+        sc.workers = 2;
+        sc.shards = 2;
+        let stream = FrameStream::new(cfg, geosphere_decoder(), sc);
+        let mut ws = FrameWorkspace::new();
+        // Alternate frame lengths (shrinking and growing) through one stream.
+        let frames: Vec<UplinkFrame> = [512usize, 128, 384, 128]
+            .iter()
+            .enumerate()
+            .map(|(k, &bits)| {
+                let mut f = UplinkFrame::new(0, Arc::clone(&chans[k % 2]), 22.0, 500 + k as u64);
+                f.payload_bits = Some(bits);
+                f
+            })
+            .collect();
+        let reference: Vec<UplinkOutcome> =
+            frames.iter().map(|f| serial_outcome(&cfg, f, &mut ws)).collect();
+        for f in &frames {
+            stream.submit(f.clone());
+        }
+        for r in &reference {
+            let done = stream.recv();
+            assert_eq!(done.outcome().client_ok, r.client_ok);
+            assert_eq!(done.outcome().stats, r.stats);
+        }
+    }
+}

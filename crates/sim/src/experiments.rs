@@ -13,8 +13,8 @@ use geosphere_core::{
 use gs_channel::{noise_variance_for_snr_db, Cdf, RayleighChannel, Testbed};
 use gs_modulation::Constellation;
 use gs_phy::{
-    measure, measure_batched, snr_for_target_fer, snr_for_target_fer_batched, Measurement,
-    PhyConfig,
+    measure_batched_in, measure_in, snr_for_target_fer, snr_for_target_fer_batched, FrameWorkspace,
+    Measurement, PhyConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,10 +34,11 @@ pub struct ExperimentParams {
     /// `>1` = fan per-subcarrier detections out via
     /// [`gs_phy::decode_frame_batched`] (`0` = machine parallelism).
     /// Measured numbers are bit-identical either way; only wall-clock
-    /// changes. Every measurement recycles one
-    /// [`gs_phy::FrameWorkspace`] across its frames (inside
-    /// [`gs_phy::measure()`]/[`gs_phy::measure_batched`]), so per-frame
-    /// planning and receive-chain buffers are reused for the whole run.
+    /// changes. Each experiment holds one [`gs_phy::FrameWorkspace`] for
+    /// its *entire* sweep (every SNR point, constellation, and group) and
+    /// routes it through [`measure_in`]/[`measure_batched_in`], so
+    /// per-frame planning and receive-chain buffers warm up once per run,
+    /// not once per point.
     pub workers: usize,
 }
 
@@ -65,7 +66,9 @@ impl ExperimentParams {
     }
 
     /// Routes one measurement through the serial or batched decode path
-    /// according to [`ExperimentParams::workers`].
+    /// according to [`ExperimentParams::workers`], recycling the
+    /// experiment's sweep-long workspace.
+    #[allow(clippy::too_many_arguments)]
     fn measure<M: gs_channel::ChannelModel, D: MimoDetector + ?Sized>(
         &self,
         cfg: &PhyConfig,
@@ -74,11 +77,12 @@ impl ExperimentParams {
         snr_db: f64,
         frames: usize,
         rng: &mut StdRng,
+        ws: &mut FrameWorkspace,
     ) -> Measurement {
         if self.workers == 1 {
-            measure(cfg, model, detector, snr_db, frames, rng)
+            measure_in(cfg, model, detector, snr_db, frames, rng, ws)
         } else {
-            measure_batched(cfg, model, detector, snr_db, frames, rng, self.workers)
+            measure_batched_in(cfg, model, detector, snr_db, frames, rng, self.workers, ws)
         }
     }
 
@@ -204,6 +208,8 @@ pub fn testbed_throughput(
 ) -> ThroughputPoint {
     let groups = select_groups(tb, n_clients, snr_db, 5.0, params.groups_per_point);
     let mut best: Option<(Constellation, Vec<Measurement>)> = None;
+    // One workspace across every (constellation, group) measurement.
+    let mut ws = FrameWorkspace::new();
     for c in Constellation::ALL {
         let cfg = params.cfg(c);
         let det = detector.build(snr_db);
@@ -219,6 +225,7 @@ pub fn testbed_throughput(
                     snr_db,
                     params.frames_per_point,
                     &mut rng,
+                    &mut ws,
                 )
             })
             .collect();
@@ -257,6 +264,8 @@ pub fn rayleigh_throughput(
 ) -> ThroughputPoint {
     let model = RayleighChannel::new(ap_antennas, n_clients);
     let mut best: Option<(Constellation, Measurement)> = None;
+    // One workspace across the constellation scan.
+    let mut ws = FrameWorkspace::new();
     for c in Constellation::ALL {
         let cfg = params.cfg(c);
         let det = detector.build(snr_db);
@@ -268,6 +277,7 @@ pub fn rayleigh_throughput(
             snr_db,
             params.frames_per_point * params.groups_per_point,
             &mut rng,
+            &mut ws,
         );
         let better = match &best {
             None => true,
@@ -351,6 +361,8 @@ pub fn complexity_at_target_fer(
         }
     };
 
+    // One workspace across all three decoders' measurements.
+    let mut ws = FrameWorkspace::new();
     [DetectorKind::EthSd, DetectorKind::GeosphereZigzagOnly, DetectorKind::Geosphere]
         .into_iter()
         .map(|kind| {
@@ -370,6 +382,7 @@ pub fn complexity_at_target_fer(
                         snr_db,
                         params.frames_per_point,
                         &mut rng,
+                        &mut ws,
                     )
                 }
                 None => {
@@ -381,6 +394,7 @@ pub fn complexity_at_target_fer(
                         snr_db,
                         params.frames_per_point,
                         &mut rng,
+                        &mut ws,
                     )
                 }
             };

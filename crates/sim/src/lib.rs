@@ -4,7 +4,9 @@
 //! evaluation (§5): SNR-band user selection over the emulated office
 //! testbed, oracle rate adaptation, and one runner per figure — throughput
 //! comparisons (Figs. 11–13), complexity comparisons (Figs. 14–15), and the
-//! channel-conditioning CDFs (Figs. 9–10).
+//! channel-conditioning CDFs (Figs. 9–10). Beyond the paper, [`traffic`]
+//! drives Poisson multi-client arrivals through the `gs-runtime` streaming
+//! engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,6 +15,7 @@ pub mod distributed;
 pub mod experiments;
 pub mod rate_adapt;
 pub mod selection;
+pub mod traffic;
 
 pub use distributed::{DistributedChannel, DistributedCluster};
 pub use experiments::{
@@ -21,3 +24,4 @@ pub use experiments::{
 };
 pub use rate_adapt::{decoding_threshold_db, RateAdapter};
 pub use selection::{select_groups, UserGroup};
+pub use traffic::{run_poisson_uplink, PoissonParams, TrafficReport};

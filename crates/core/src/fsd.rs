@@ -14,7 +14,7 @@ use gs_linalg::{qr_decompose, Complex, Matrix};
 use gs_modulation::{Constellation, GridPoint};
 
 /// The fixed-complexity sphere decoder.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FsdDetector {
     /// Number of top tree levels that are fully expanded (`p` in the
     /// paper's description). `p = 1` is the common configuration.

@@ -15,7 +15,7 @@ use gs_linalg::{qr_decompose, Complex, Matrix};
 use gs_modulation::{Constellation, GridPoint};
 
 /// The K-best breadth-first detector.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct KBestDetector {
     /// Number of surviving partial vectors per level.
     pub k: usize,

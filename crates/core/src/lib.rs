@@ -50,6 +50,7 @@ pub mod soft;
 pub mod sphere;
 pub mod statprune;
 pub mod stats;
+pub mod tier;
 
 /// The shared `GS_*` env-knob parse-warn-fallback policy, re-exported
 /// from [`gs_linalg::env`] (the lowest layer that reads a knob — `GS_SIMD`
@@ -75,6 +76,7 @@ pub use soft::{SoftDetection, SoftGeosphereDetector, SoftWorkspace};
 pub use sphere::{GeosphereFactory, HessFactory, SearchWorkspace, SphereDecoder, WorkspaceFor};
 pub use statprune::StatisticalPruningDetector;
 pub use stats::{AverageStats, DetectorStats};
+pub use tier::{DetectorLadder, DetectorTier};
 
 /// The full Geosphere decoder (2-D zigzag + geometric pruning), the
 /// system's headline configuration.

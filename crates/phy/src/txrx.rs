@@ -133,6 +133,12 @@ pub struct UplinkOutcome {
     /// Number of detector invocations (OFDM symbols × subcarriers) —
     /// divide `stats` by this for the paper's per-subcarrier averages.
     pub detections: u64,
+    /// The control-plane detector tier stamped on the frame
+    /// ([`FrameWorkspace::set_detector_tier`]): which rung of a
+    /// [`geosphere_core::DetectorLadder`] decoded it. Entry points that
+    /// never stamp a tier leave the workspace default
+    /// ([`geosphere_core::DetectorTier::Sphere`]).
+    pub tier: geosphere_core::DetectorTier,
 }
 
 /// Simulates one uplink frame: every client transmits simultaneously
@@ -493,6 +499,7 @@ pub(crate) fn finish_outcome<'w>(
     }
     ws.out.stats = stats;
     ws.out.detections = ws.n_jobs as u64;
+    ws.out.tier = ws.tier;
     &ws.out
 }
 

@@ -57,6 +57,19 @@
 //!   deadline is recorded ([`RuntimeStats::deadline_misses`],
 //!   [`Completed::missed_deadline`]), never dropped.
 //!
+//! ## Adaptive control plane
+//!
+//! The detect stage is not welded to one detector: the stream holds a
+//! [`DetectorLadder`] (sphere → FSD → MMSE by default) and consults an
+//! [`AdaptationPolicy`] once per admission, stamping the chosen
+//! [`DetectorTier`] on the frame. The default
+//! [`HysteresisPolicy`] degrades under deadline
+//! pressure (shard-queue depth, slot-pool occupancy, the windowed miss
+//! rate) and climbs back as the queue drains; [`FrameStream::new`] is the
+//! degenerate case (uniform ladder, pinned top tier). Completions report
+//! the tier that decoded them ([`Completed::tier`]), so determinism is
+//! checkable per pinned tier. See [`policy`].
+//!
 //! ## Knobs
 //!
 //! [`StreamConfig`] sizes the engine; `GS_DOMAINS` overrides memory-domain
@@ -67,8 +80,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod policy;
 pub mod stats;
 pub mod stream;
 
+pub use geosphere_core::{DetectorLadder, DetectorTier};
+pub use policy::{AdaptationPolicy, HysteresisPolicy, PinnedPolicy, PressureSignal};
 pub use stats::RuntimeStats;
 pub use stream::{Completed, FrameStream, StreamConfig, UplinkFrame};

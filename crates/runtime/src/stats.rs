@@ -1,21 +1,45 @@
 //! Runtime observability: the [`RuntimeStats`] snapshot.
 
+use geosphere_core::DetectorTier;
 use std::time::Duration;
 
 /// A point-in-time snapshot of a [`FrameStream`](crate::FrameStream)'s
 /// behaviour, taken with [`FrameStream::stats`](crate::FrameStream::stats).
 ///
-/// Counters are monotone over the stream's lifetime; occupancy and queue
-/// depths are instantaneous. Taking a snapshot allocates (the per-shard
-/// depth vector) — it is an observability call, not a hot-path one.
+/// Counters are monotone over the stream's lifetime; occupancy, queue
+/// depths, and the windowed rates are instantaneous. Taking a snapshot
+/// allocates (the per-shard depth vector) — it is an observability call,
+/// not a hot-path one.
+///
+/// Two throughput figures are reported on purpose:
+/// [`RuntimeStats::frames_per_sec`] is the lifetime average (total
+/// completions over total elapsed — a summary figure that decays while
+/// the stream idles), while [`RuntimeStats::windowed_frames_per_sec`]
+/// counts only the trailing window and is what the control plane (and any
+/// live dashboard) should read.
 #[derive(Clone, Debug)]
 pub struct RuntimeStats {
     /// Frames admitted so far (including those still in flight).
     pub submitted: u64,
     /// Frames fully recovered and delivered to the completion queue.
     pub completed: u64,
-    /// Completed frames whose recovery finished after their deadline.
+    /// Delivered frames that became observable after their deadline
+    /// (accounted at delivery, so time parked behind a slow predecessor
+    /// counts).
     pub deadline_misses: u64,
+    /// Frames the plan stage has dispatched to the detection shards.
+    pub planned: u64,
+    /// Frames whose last shard finished detecting.
+    pub detected: u64,
+    /// Frames whose receive chains have run (recovery complete; the frame
+    /// is delivered or parked for per-client ordering).
+    pub recovered: u64,
+    /// Admissions per detector tier, indexed by
+    /// [`DetectorTier::index`]. A fixed-detector stream counts
+    /// everything under [`DetectorTier::Sphere`].
+    pub tier_admissions: [u64; DetectorTier::COUNT],
+    /// The tier the control plane chose most recently.
+    pub current_tier: DetectorTier,
     /// Frames currently in flight (admitted, not yet released by the
     /// consumer) — the occupancy of the slot pool.
     pub in_flight: usize,
@@ -29,8 +53,18 @@ pub struct RuntimeStats {
     pub shard_queue_depths: Vec<usize>,
     /// Wall-clock since the stream was created.
     pub elapsed: Duration,
-    /// `completed / elapsed` — sustained delivered throughput.
+    /// Lifetime-average delivered throughput (`completed / elapsed`;
+    /// `0.0` before the first completion). Decays while the stream
+    /// idles — prefer [`RuntimeStats::windowed_frames_per_sec`] for
+    /// "what is it doing now".
     pub frames_per_sec: f64,
+    /// Delivered throughput over the trailing one-second window — the
+    /// rate the control plane consumes.
+    pub windowed_frames_per_sec: f64,
+    /// Fraction of deliveries in the trailing one-second window that
+    /// missed their deadline (`0.0` when the window is empty) — the miss
+    /// signal the control plane consumes.
+    pub windowed_miss_rate: f64,
 }
 
 impl RuntimeStats {

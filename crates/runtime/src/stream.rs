@@ -6,10 +6,11 @@
 //! stage on `geosphere-core`'s domain-sharded pool, per-client in-order
 //! completion delivery, and the stats counters.
 
+use crate::policy::{AdaptationPolicy, PinnedPolicy, PressureSignal};
 use crate::stats::RuntimeStats;
 use geosphere_core::{
-    Detection, DetectionBatch, DetectorStats, DetectorWorkspace, MimoDetector,
-    ShardedDetectionPool, ShardedJob, NO_DEADLINE,
+    Detection, DetectionBatch, DetectorLadder, DetectorStats, DetectorTier, DetectorWorkspace,
+    MimoDetector, ShardedDetectionPool, ShardedJob, NO_DEADLINE,
 };
 use gs_channel::MimoChannel;
 use gs_linalg::Matrix;
@@ -17,7 +18,7 @@ use gs_phy::{FrameWorkspace, PhyConfig, UplinkOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -113,6 +114,8 @@ struct SlotMeta {
     deadline_key: u64,
     channel: Option<Arc<MimoChannel>>,
     missed_deadline: bool,
+    /// The detector tier the policy chose at admission.
+    tier: DetectorTier,
 }
 
 impl SlotMeta {
@@ -127,6 +130,7 @@ impl SlotMeta {
             deadline_key: NO_DEADLINE,
             channel: None,
             missed_deadline: false,
+            tier: DetectorTier::Sphere,
         }
     }
 }
@@ -185,11 +189,86 @@ struct StatsInner {
     submitted: AtomicU64,
     completed: AtomicU64,
     deadline_misses: AtomicU64,
+    /// Per-stage progress counters: frames planned, frames whose last
+    /// shard finished detecting, frames whose receive chains ran.
+    planned: AtomicU64,
+    detected: AtomicU64,
+    recovered: AtomicU64,
+    /// Admissions per detector tier, indexed by `DetectorTier::index()`.
+    tier_admissions: [AtomicU64; DetectorTier::COUNT],
+    /// The most recently selected tier (`DetectorTier` discriminant), for
+    /// snapshots.
+    last_tier: AtomicU8,
+}
+
+/// Recent deliveries observed: `capacity`-bounded bookkeeping for the last
+/// [`WINDOW_EVENTS`] deliveries, each `(when, missed_deadline)`. The
+/// windowed rates ([`DeliveryWindow::rates`]) count only events within the
+/// trailing [`WINDOW_SPAN`], so an idle stream decays to zero throughput
+/// and a drained stream sheds stale misses — the signals the control
+/// plane consumes.
+struct DeliveryWindow {
+    events: Vec<(Instant, bool)>,
+    /// Oldest entry once the ring is full; next write position.
+    head: usize,
+}
+
+/// Ring capacity: if deliveries outpace this within [`WINDOW_SPAN`], the
+/// rates under-count uniformly (oldest events evicted first).
+const WINDOW_EVENTS: usize = 128;
+/// The trailing horizon of the windowed rates.
+const WINDOW_SPAN: Duration = Duration::from_secs(1);
+
+impl DeliveryWindow {
+    fn new() -> Self {
+        DeliveryWindow { events: Vec::with_capacity(WINDOW_EVENTS), head: 0 }
+    }
+
+    /// Records one delivery; allocation-free (the ring is preallocated).
+    fn record(&mut self, at: Instant, missed: bool) {
+        if self.events.len() < WINDOW_EVENTS {
+            self.events.push((at, missed));
+        } else {
+            self.events[self.head] = (at, missed);
+            self.head = (self.head + 1) % WINDOW_EVENTS;
+        }
+    }
+
+    /// `(frames_per_sec, miss_rate)` over the deliveries within
+    /// [`WINDOW_SPAN`] of `now`; `(0.0, 0.0)` when none.
+    fn rates(&self, now: Instant) -> (f64, f64) {
+        let mut n = 0u64;
+        let mut missed = 0u64;
+        for &(at, m) in &self.events {
+            // `duration_since` saturates to zero for future instants.
+            if now.duration_since(at) <= WINDOW_SPAN {
+                n += 1;
+                if m {
+                    missed += 1;
+                }
+            }
+        }
+        let fps = n as f64 / WINDOW_SPAN.as_secs_f64();
+        let miss_rate = if n == 0 { 0.0 } else { missed as f64 / n as f64 };
+        (fps, miss_rate)
+    }
 }
 
 struct Shared {
     base_cfg: PhyConfig,
-    detector: Arc<dyn MimoDetector>,
+    /// One detector per tier; `detect_portion` dispatches at the tier
+    /// stamped on the frame. A fixed-detector stream is the uniform
+    /// ladder.
+    ladder: DetectorLadder,
+    /// Consulted once per admission, on the submitting thread.
+    policy: Mutex<Box<dyn AdaptationPolicy>>,
+    /// Preallocated scratch for the admission-path queue-depth read, so
+    /// `select_tier` stays allocation-free.
+    depth_scratch: Mutex<Vec<usize>>,
+    /// Recent-delivery ring backing the windowed rates. Lock order: this
+    /// is a leaf (taken under `lanes` in the delivery path, alone
+    /// elsewhere); never take another stream lock while holding it.
+    window: Mutex<DeliveryWindow>,
     slots: Vec<Slot>,
     n_shards: usize,
     n_clients: usize,
@@ -294,7 +373,8 @@ impl Shared {
                     jobs: core.ws.planned_jobs(),
                     c: self.base_cfg.constellation,
                 };
-                self.detector.detect_batch_indexed_with(
+                self.ladder.detect_batch_indexed_with(
+                    core.ws.detector_tier(),
                     &batch,
                     &portion.indices,
                     ws,
@@ -303,6 +383,7 @@ impl Shared {
             }
         }
         if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.stats.detected.fetch_add(1, Ordering::Relaxed);
             lock(&self.recover_q).push_back(slot_idx);
             self.recover_cv.notify_one();
         }
@@ -311,7 +392,7 @@ impl Shared {
     /// The plan stage for one frame, run on a planner thread.
     fn plan_frame(&self, slot_idx: usize, job: &Arc<dyn ShardedJob>) {
         let slot = &self.slots[slot_idx];
-        let (channel, cfg, snr_db, seed, deadline_key) = {
+        let (channel, cfg, snr_db, seed, deadline_key, tier) = {
             let meta = lock(&slot.meta);
             (
                 Arc::clone(meta.channel.as_ref().expect("slot submitted without a channel")),
@@ -319,6 +400,7 @@ impl Shared {
                 meta.snr_db,
                 meta.seed,
                 meta.deadline_key,
+                meta.tier,
             )
         };
         {
@@ -326,6 +408,10 @@ impl Shared {
             let core = &mut *core;
             let mut rng = StdRng::seed_from_u64(seed);
             core.ws.plan_uplink(&cfg, &channel, snr_db, &mut rng);
+            // Stamp the admission-time tier on the staged frame: the shard
+            // workers dispatch at it, and `finish_uplink` reports it in
+            // the outcome.
+            core.ws.set_detector_tier(tier);
 
             // Channel-grouped dispatch order (the same deterministic
             // permutation `DetectionPool` uses), split into contiguous
@@ -349,6 +435,7 @@ impl Shared {
             }
         }
         slot.remaining.store(self.n_shards as u64, Ordering::Release);
+        self.stats.planned.fetch_add(1, Ordering::Relaxed);
         for s in 0..self.n_shards {
             self.pool.submit(s, deadline_key, slot_idx, job);
         }
@@ -356,8 +443,9 @@ impl Shared {
 
     /// The recover stage for one frame, run on the recovery thread:
     /// scatter every shard's detections back to job order, run the
-    /// per-client receive chains, account the deadline, and deliver in
-    /// per-client submission order.
+    /// per-client receive chains, and deliver in per-client submission
+    /// order. Deadline accounting happens in [`Shared::deliver`], not
+    /// here — a frame parked behind a slow predecessor can still miss.
     fn recover_frame(&self, slot_idx: usize) {
         let slot = &self.slots[slot_idx];
         {
@@ -375,12 +463,9 @@ impl Shared {
             core.ws.finish_uplink(&cfg, core.stats);
         }
 
+        self.stats.recovered.fetch_add(1, Ordering::Relaxed);
         let (client, seq) = {
             let mut meta = lock(&slot.meta);
-            meta.missed_deadline = meta.deadline.is_some_and(|d| Instant::now() > d);
-            if meta.missed_deadline {
-                self.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
-            }
             // Release the channel Arc now that the frame no longer needs it.
             meta.channel = None;
             (meta.client, meta.client_seq)
@@ -402,12 +487,32 @@ impl Shared {
             }
         } else {
             let cell = &mut lane.parked[(seq % self.capacity as u64) as usize];
-            debug_assert!(cell.is_none(), "parking ring cell already occupied");
+            // A hard assert, not a debug one: an occupied cell means a
+            // sequencing bug is about to overwrite (lose) a completed
+            // frame. Panicking here trips `StagePoisonOnPanic` — the
+            // recovery thread unwinds and the stream reports dead, the
+            // same fail-fast discipline as the detection pool's
+            // panic-poisoning.
+            assert!(cell.is_none(), "parking ring cell already occupied (seq {seq})");
             *cell = Some(slot_idx);
         }
     }
 
+    /// Makes one frame observable: accounts its deadline **now** (a frame
+    /// that waited in the parking ring past its deadline missed it, even
+    /// though its own recovery finished in time), feeds the delivery
+    /// window the control plane reads, and queues the completion.
     fn deliver(&self, slot_idx: usize) {
+        let now = Instant::now();
+        let missed = {
+            let mut meta = lock(&self.slots[slot_idx].meta);
+            meta.missed_deadline = meta.deadline.is_some_and(|d| now > d);
+            meta.missed_deadline
+        };
+        if missed {
+            self.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        lock(&self.window).record(now, missed);
         lock(&self.done_q).push_back(slot_idx);
         self.stats.completed.fetch_add(1, Ordering::Relaxed);
         self.done_cv.notify_one();
@@ -421,6 +526,29 @@ impl Shared {
                 u64::try_from(nanos).unwrap_or(NO_DEADLINE - 1).min(NO_DEADLINE - 1)
             }
         }
+    }
+
+    /// Consults the policy for the admission being installed. Runs on the
+    /// submitting thread; allocation-free (preallocated depth scratch, no
+    /// policy may allocate on its steady-state path).
+    fn select_tier(&self) -> DetectorTier {
+        let tier = {
+            let mut depths = lock(&self.depth_scratch);
+            self.pool.queue_depths(&mut depths);
+            let in_flight = self.capacity - lock(&self.free).len();
+            let (_, miss_rate) = lock(&self.window).rates(Instant::now());
+            let signal = PressureSignal {
+                shard_queue_depths: &depths,
+                miss_rate,
+                occupancy: in_flight as f64 / self.capacity as f64,
+                in_flight,
+                capacity: self.capacity,
+            };
+            lock(&self.policy).select_tier(&signal)
+        };
+        self.stats.tier_admissions[tier.index()].fetch_add(1, Ordering::Relaxed);
+        self.stats.last_tier.store(tier as u8, Ordering::Relaxed);
+        tier
     }
 }
 
@@ -480,6 +608,11 @@ impl FrameStream {
     /// Builds a stream decoding with `detector` under the fixed PHY
     /// `cfg` (per-frame `payload_bits` overrides aside). See
     /// [`StreamConfig`] for sizing; workers spawn immediately.
+    ///
+    /// Internally this is the degenerate control plane — the uniform
+    /// ladder pinned to [`DetectorTier::Sphere`] — so every frame runs
+    /// `detector` and the stream stays a pure function of its
+    /// submissions.
     pub fn new<D: MimoDetector + 'static>(cfg: PhyConfig, detector: D, sc: StreamConfig) -> Self {
         Self::with_detector_arc(cfg, Arc::new(detector), sc)
     }
@@ -488,6 +621,36 @@ impl FrameStream {
     pub fn with_detector_arc(
         cfg: PhyConfig,
         detector: Arc<dyn MimoDetector>,
+        sc: StreamConfig,
+    ) -> Self {
+        Self::adaptive(
+            cfg,
+            DetectorLadder::uniform(detector),
+            PinnedPolicy(DetectorTier::Sphere),
+            sc,
+        )
+    }
+
+    /// Builds an **adaptive** stream: each admission consults `policy`
+    /// (see [`crate::policy`]) and detects at the chosen rung of
+    /// `ladder`. With [`PinnedPolicy`] this degenerates to a fixed
+    /// detector; with
+    /// [`HysteresisPolicy`](crate::policy::HysteresisPolicy) the stream
+    /// degrades sphere → FSD → MMSE under deadline pressure and climbs
+    /// back as the queue drains.
+    pub fn adaptive<P: AdaptationPolicy + 'static>(
+        cfg: PhyConfig,
+        ladder: DetectorLadder,
+        policy: P,
+        sc: StreamConfig,
+    ) -> Self {
+        Self::build(cfg, ladder, Box::new(policy), sc)
+    }
+
+    fn build(
+        cfg: PhyConfig,
+        ladder: DetectorLadder,
+        policy: Box<dyn AdaptationPolicy>,
         sc: StreamConfig,
     ) -> Self {
         assert!(sc.clients >= 1, "a stream needs at least one client lane");
@@ -522,7 +685,10 @@ impl FrameStream {
 
         let shared = Arc::new(Shared {
             base_cfg: cfg,
-            detector,
+            ladder,
+            policy: Mutex::new(policy),
+            depth_scratch: Mutex::new(Vec::with_capacity(n_shards)),
+            window: Mutex::new(DeliveryWindow::new()),
             slots,
             n_shards,
             n_clients: sc.clients,
@@ -541,6 +707,11 @@ impl FrameStream {
                 submitted: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 deadline_misses: AtomicU64::new(0),
+                planned: AtomicU64::new(0),
+                detected: AtomicU64::new(0),
+                recovered: AtomicU64::new(0),
+                tier_admissions: std::array::from_fn(|_| AtomicU64::new(0)),
+                last_tier: AtomicU8::new(DetectorTier::Sphere as u8),
             },
             shutdown: AtomicBool::new(false),
             stage_panicked: AtomicBool::new(false),
@@ -646,6 +817,9 @@ impl FrameStream {
 
     fn install(&self, slot_idx: usize, frame: UplinkFrame) {
         let shared = &*self.shared;
+        // One policy consultation per admission, before the frame enters
+        // the plan queue, so the tier reflects pressure at admission time.
+        let tier = shared.select_tier();
         let client_seq = {
             let mut lanes = lock(&shared.lanes);
             let lane = &mut lanes[frame.client];
@@ -664,6 +838,7 @@ impl FrameStream {
             meta.deadline_key = shared.deadline_key(frame.deadline);
             meta.channel = Some(frame.channel);
             meta.missed_deadline = false;
+            meta.tier = tier;
         }
         shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
         lock(&shared.plan_q).push_back(slot_idx);
@@ -711,12 +886,12 @@ impl FrameStream {
 
     fn completed(&self, slot_idx: usize) -> Completed<'_> {
         let slot = &self.shared.slots[slot_idx];
-        let (client, client_seq, missed_deadline) = {
+        let (client, client_seq, missed_deadline, tier) = {
             let meta = lock(&slot.meta);
-            (meta.client, meta.client_seq, meta.missed_deadline)
+            (meta.client, meta.client_seq, meta.missed_deadline, meta.tier)
         };
         let core = slot.core.read().unwrap_or_else(std::sync::PoisonError::into_inner);
-        Completed { stream: self, slot_idx, core, client, client_seq, missed_deadline }
+        Completed { stream: self, slot_idx, core, client, client_seq, missed_deadline, tier }
     }
 
     /// A point-in-time stats snapshot (allocates; not a hot-path call).
@@ -727,17 +902,37 @@ impl FrameStream {
         let in_flight = shared.capacity - lock(&shared.free).len();
         let completed = shared.stats.completed.load(Ordering::Relaxed);
         let elapsed = shared.epoch.elapsed();
+        let (windowed_frames_per_sec, windowed_miss_rate) =
+            lock(&shared.window).rates(Instant::now());
         RuntimeStats {
             submitted: shared.stats.submitted.load(Ordering::Relaxed),
             completed,
             deadline_misses: shared.stats.deadline_misses.load(Ordering::Relaxed),
+            planned: shared.stats.planned.load(Ordering::Relaxed),
+            detected: shared.stats.detected.load(Ordering::Relaxed),
+            recovered: shared.stats.recovered.load(Ordering::Relaxed),
+            tier_admissions: std::array::from_fn(|i| {
+                shared.stats.tier_admissions[i].load(Ordering::Relaxed)
+            }),
+            current_tier: DetectorTier::from_index(
+                shared.stats.last_tier.load(Ordering::Relaxed) as usize
+            )
+            .unwrap_or_default(),
             in_flight,
             capacity: shared.capacity,
             shards: shared.n_shards,
             workers: shared.pool.workers(),
             shard_queue_depths,
             elapsed,
-            frames_per_sec: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+            // Lifetime average: completes/elapsed, zero before the first
+            // delivery rather than an absurd early-snapshot spike.
+            frames_per_sec: if completed == 0 {
+                0.0
+            } else {
+                completed as f64 / elapsed.as_secs_f64().max(1e-9)
+            },
+            windowed_frames_per_sec,
+            windowed_miss_rate,
         }
     }
 }
@@ -772,6 +967,7 @@ pub struct Completed<'a> {
     client: usize,
     client_seq: u64,
     missed_deadline: bool,
+    tier: DetectorTier,
 }
 
 impl Completed<'_> {
@@ -793,9 +989,17 @@ impl Completed<'_> {
         self.client_seq
     }
 
-    /// Whether recovery finished after the frame's deadline.
+    /// Whether the frame became observable (was delivered) after its
+    /// deadline — including time spent parked behind slower predecessors.
     pub fn missed_deadline(&self) -> bool {
         self.missed_deadline
+    }
+
+    /// The detector tier that decoded this frame (the control plane's
+    /// admission-time choice; also stamped on
+    /// [`UplinkOutcome::tier`](gs_phy::UplinkOutcome)).
+    pub fn tier(&self) -> DetectorTier {
+        self.tier
     }
 }
 

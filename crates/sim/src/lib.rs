@@ -15,6 +15,7 @@ pub mod distributed;
 pub mod experiments;
 pub mod rate_adapt;
 pub mod selection;
+pub mod storm;
 pub mod traffic;
 
 pub use distributed::{DistributedChannel, DistributedCluster};
@@ -24,4 +25,7 @@ pub use experiments::{
 };
 pub use rate_adapt::{decoding_threshold_db, RateAdapter};
 pub use selection::{select_groups, UserGroup};
+pub use storm::{
+    run_deadline_storm, run_drain_recovery, DrainRecoveryReport, StormComparison, StormConfig,
+};
 pub use traffic::{run_poisson_uplink, PoissonParams, TrafficReport};

@@ -9,7 +9,9 @@
 //! [`gs_phy::decode_frame_batched_into`] decoding the same
 //! [`gs_runtime::UplinkFrame`] (same seed, same channel), and each
 //! client's frames must arrive in submission order. Scenarios are sampled
-//! through the proptest [`Strategy`] machinery.
+//! through the proptest [`Strategy`] machinery. The same contract holds
+//! per detector tier: an adaptive stream pinned to any single rung of the
+//! default ladder matches serial decoding with that rung's detector.
 //!
 //! **Zero steady-state allocations.** With the pipeline full and every
 //! slot warmed, pushing further frames end to end (submit → plan → sharded
@@ -64,11 +66,13 @@ fn allocations_during_all_threads<R>(f: impl FnOnce() -> R) -> (u64, R) {
     (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
 }
 
-use geosphere_core::geosphere_decoder;
-use gs_channel::{ChannelModel, MimoChannel, RayleighChannel, SelectiveRayleighChannel};
+use geosphere_core::{geosphere_decoder, DetectorTier, FsdDetector, MmseDetector};
+use gs_channel::{
+    noise_variance_for_snr_db, ChannelModel, MimoChannel, RayleighChannel, SelectiveRayleighChannel,
+};
 use gs_modulation::Constellation;
 use gs_phy::{decode_frame_batched_into, FrameWorkspace, PhyConfig, UplinkOutcome};
-use gs_runtime::{FrameStream, StreamConfig, UplinkFrame};
+use gs_runtime::{DetectorLadder, FrameStream, PinnedPolicy, StreamConfig, UplinkFrame};
 use proptest::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -229,6 +233,105 @@ fn check_stream_matches_serial(sc: &Scenario) {
     assert_eq!(stats.in_flight, 0, "{sc:?}: all slots released");
 }
 
+/// Pinned-tier bit-identity: with the control plane pinned to a single
+/// rung, an adaptive stream over the default ladder must be bit-identical
+/// to serial decoding with that rung's own detector — the determinism
+/// guarantee holds per tier, not just for the sphere default. Also checks
+/// the tier stamp on the completion and the outcome.
+fn check_pinned_tiers_match_serial() {
+    let cfg = base_cfg();
+    let snr_db = 18.0;
+    let sigma2 = noise_variance_for_snr_db(snr_db);
+    let mut rng = StdRng::seed_from_u64(0x71E7);
+    let channels: Vec<Arc<MimoChannel>> =
+        (0..3).map(|_| Arc::new(RayleighChannel::new(4, 2).realize(&mut rng))).collect();
+    let frames: Vec<UplinkFrame> = (0..8)
+        .map(|k| {
+            let mut f = UplinkFrame::new(
+                0,
+                Arc::clone(&channels[k % channels.len()]),
+                snr_db,
+                7_000 + k as u64,
+            );
+            f.payload_bits = Some(PAYLOAD_CHOICES[k % PAYLOAD_CHOICES.len()]);
+            f
+        })
+        .collect();
+
+    let mut ws = FrameWorkspace::new();
+    for tier in DetectorTier::ALL {
+        // Serial reference through the rung's own concrete detector.
+        let reference: Vec<_> = frames
+            .iter()
+            .map(|f| {
+                let fcfg =
+                    PhyConfig { payload_bits: f.payload_bits.unwrap_or(cfg.payload_bits), ..cfg };
+                let mut frng = StdRng::seed_from_u64(f.seed);
+                match tier {
+                    DetectorTier::Sphere => outcome_key(decode_frame_batched_into(
+                        &fcfg,
+                        &f.channel,
+                        &geosphere_decoder(),
+                        f.snr_db,
+                        &mut frng,
+                        1,
+                        &mut ws,
+                    )),
+                    DetectorTier::Fsd => outcome_key(decode_frame_batched_into(
+                        &fcfg,
+                        &f.channel,
+                        &FsdDetector::new(),
+                        f.snr_db,
+                        &mut frng,
+                        1,
+                        &mut ws,
+                    )),
+                    DetectorTier::Mmse => outcome_key(decode_frame_batched_into(
+                        &fcfg,
+                        &f.channel,
+                        &MmseDetector::new(sigma2),
+                        f.snr_db,
+                        &mut frng,
+                        1,
+                        &mut ws,
+                    )),
+                }
+            })
+            .collect();
+
+        let mut stream_sc = StreamConfig::new(1);
+        stream_sc.workers = 2;
+        stream_sc.shards = 2;
+        stream_sc.capacity = 3;
+        let stream = FrameStream::adaptive(
+            cfg,
+            DetectorLadder::geosphere_default(sigma2),
+            PinnedPolicy(tier),
+            stream_sc,
+        );
+
+        let mut got = Vec::with_capacity(frames.len());
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for f in &frames {
+                    stream.submit(f.clone());
+                }
+            });
+            for _ in 0..frames.len() {
+                let done = stream.recv();
+                assert_eq!(done.seq() as usize, got.len(), "{tier:?}: frames out of order");
+                assert_eq!(done.tier(), tier, "{tier:?}: completion mis-stamped");
+                assert_eq!(done.outcome().tier, tier, "{tier:?}: outcome mis-stamped");
+                got.push(outcome_key(done.outcome()));
+            }
+        });
+        assert_eq!(got, reference, "{tier:?}: pinned stream diverges from serial decode");
+        let stats = stream.stats();
+        assert_eq!(stats.tier_admissions[tier.index()], frames.len() as u64, "{tier:?}");
+        assert_eq!(stats.current_tier, tier);
+    }
+}
+
 /// Steady-state allocation case: with every slot and worker warmed and the
 /// pipeline kept full, a frame costs zero allocations end to end, on every
 /// thread.
@@ -300,6 +403,9 @@ fn stream_is_deterministic_and_allocation_free() {
         check_stream_matches_serial(&sc);
     }
 
-    // Part 2: the steady-state allocation contract.
+    // Part 2: pinned-tier bit-identity against each rung's own detector.
+    check_pinned_tiers_match_serial();
+
+    // Part 3: the steady-state allocation contract.
     assert_stream_steady_state_allocation_free();
 }

@@ -1,6 +1,6 @@
 //! The CI bench-regression gates for the frame hot paths.
 //!
-//! Three modes, selected by `--mode`:
+//! Four modes, selected by `--mode`:
 //!
 //! * `frame_decode` (default, PR 4): times one 64-subcarrier 4×4 64-QAM
 //!   uplink frame at 28 dB through the Geosphere decoder across the decode
@@ -42,8 +42,18 @@
 //!   (miss rates are load-sensitive across runner generations; the
 //!   headroom keeps the gate about regressions, not runner lottery).
 //!   Writes `BENCH_pr6.json`.
+//! * `multi_symbol` (PR 7): times the same frame through the full batched
+//!   decode twice in-process — once with the multi-symbol sphere lockstep
+//!   and the multi-stream Viterbi disengaged (`single_sym`, the pre-batch
+//!   per-symbol path) and once with the defaults (`multi_sym`) — writes
+//!   `BENCH_pr7.json`, and gates the `multi_sym / single_sym` ratio
+//!   against `crates/bench/baselines/pr7_multi_symbol.json`. Both sides of
+//!   this ratio are in-process timings with independent co-tenancy noise
+//!   tails, so this mode gates on per-mode **minima** (noise is strictly
+//!   additive; the min is the stable estimator) with a 15% band instead
+//!   of the trimmed-mean/10% pairing the other timing modes use.
 //!
-//! All three gates are **machine-relative**: the timing modes compare the
+//! All four gates are **machine-relative**: the timing modes compare the
 //! ratio of two modes measured in the same process against the same ratio
 //! from the committed baseline, and the storm mode calibrates its
 //! deadline from in-process measurements. Absolute milliseconds vary with
@@ -57,7 +67,7 @@
 //! scheduler hiccup on a shared runner cannot fail the gate by itself;
 //! an improvement beyond the baseline prints a hint to refresh it.
 //!
-//! Flags: `--mode frame_decode|frame_stream|deadline_storm`,
+//! Flags: `--mode frame_decode|frame_stream|multi_symbol|deadline_storm`,
 //! `--out <path>`, `--baseline <path>`, `--samples <n>`,
 //! `--write-baseline` (regenerate the committed baseline instead of
 //! gating — run on a quiet machine).
@@ -78,6 +88,10 @@ use std::time::{Duration, Instant};
 
 /// Allowed regression of the gated ratio vs the baseline's ratio.
 const MAX_REGRESSION: f64 = 0.10;
+/// The multi_symbol gate carries independent noise in both sides of its
+/// in-process ratio (see the min-based gating comment in `main`), so it
+/// gets a slightly wider band than the single-noise-term mode gates.
+const MULTI_SYMBOL_MAX_REGRESSION: f64 = 0.15;
 
 struct ModeResult {
     name: &'static str,
@@ -109,6 +123,21 @@ fn time_mode(samples: usize, mut f: impl FnMut() -> u64) -> (f64, f64) {
     summarize(raw)
 }
 
+/// The one timing harness every mode goes through (PR 4–6 each grew a
+/// copy of this loop; they now share it): two warmups, `samples` timed
+/// calls, trimmed mean + min, normalized to per-frame ms when one call
+/// covers `frames_per_call` frames.
+fn measure_mode(
+    name: &'static str,
+    samples: usize,
+    frames_per_call: usize,
+    f: impl FnMut() -> u64,
+) -> ModeResult {
+    let (mean, min) = time_mode(samples, f);
+    let n = frames_per_call as f64;
+    ModeResult { name, mean_ms: mean / n, min_ms: min / n }
+}
+
 /// The shared scenario of both modes: one 64-subcarrier 4×4 64-QAM uplink
 /// frame at 28 dB through the Geosphere decoder over a frequency-selective
 /// indoor channel.
@@ -129,29 +158,55 @@ fn run_all(samples: usize) -> Vec<ModeResult> {
     let det = geosphere_decoder();
 
     let mut out = Vec::new();
-    let (mean, min) = time_mode(samples, || {
+    out.push(measure_mode("serial", samples, 1, || {
         let mut rng = StdRng::seed_from_u64(77);
         uplink_frame(&cfg, &ch, &det, snr_db, &mut rng).stats.ped_calcs
-    });
-    out.push(ModeResult { name: "serial", mean_ms: mean, min_ms: min });
+    }));
 
     for (name, workers) in [("batched_1w", 1usize), ("batched_2w", 2), ("batched_4w", 4)] {
-        let (mean, min) = time_mode(samples, || {
+        out.push(measure_mode(name, samples, 1, || {
             let mut rng = StdRng::seed_from_u64(77);
             decode_frame_batched(&cfg, &ch, &det, snr_db, &mut rng, workers).stats.ped_calcs
-        });
-        out.push(ModeResult { name, mean_ms: mean, min_ms: min });
+        }));
     }
 
     for (name, workers) in [("batched_into_1w", 1usize), ("batched_into_4w", 4)] {
         let mut ws = FrameWorkspace::new();
-        let (mean, min) = time_mode(samples, || {
+        out.push(measure_mode(name, samples, 1, || {
             let mut rng = StdRng::seed_from_u64(77);
             decode_frame_batched_into(&cfg, &ch, &det, snr_db, &mut rng, workers, &mut ws)
                 .stats
                 .ped_calcs
-        });
-        out.push(ModeResult { name, mean_ms: mean, min_ms: min });
+        }));
+    }
+    out
+}
+
+/// `multi_symbol` mode (PR 7): the same frame as `frame_decode`, one
+/// worker, decoded with every multi-symbol batching knob off
+/// (`single_sym`: per-job sphere searches, per-client Viterbi) and with
+/// the defaults on (`multi_sym`: lockstep sphere descents through
+/// `cdot_soa_multi`, one SoA Viterbi pass across the frame's clients).
+/// Both produce bit-identical frames; the gate is purely about speed.
+fn run_multi(samples: usize) -> Vec<ModeResult> {
+    let (cfg, snr_db, ch) = scenario();
+    let mut out = Vec::new();
+    {
+        let det = geosphere_decoder().with_single_symbol();
+        let mut ws = FrameWorkspace::new();
+        ws.set_per_client_viterbi(true);
+        out.push(measure_mode("single_sym", samples, 1, || {
+            let mut rng = StdRng::seed_from_u64(77);
+            decode_frame_batched_into(&cfg, &ch, &det, snr_db, &mut rng, 1, &mut ws).stats.ped_calcs
+        }));
+    }
+    {
+        let det = geosphere_decoder();
+        let mut ws = FrameWorkspace::new();
+        out.push(measure_mode("multi_sym", samples, 1, || {
+            let mut rng = StdRng::seed_from_u64(77);
+            decode_frame_batched_into(&cfg, &ch, &det, snr_db, &mut rng, 1, &mut ws).stats.ped_calcs
+        }));
     }
     out
 }
@@ -189,14 +244,13 @@ fn run_stream(samples: usize) -> Vec<ModeResult> {
     let (cfg, snr_db, ch) = scenario();
     let ch = Arc::new(ch);
     let det = geosphere_decoder();
-    let frames = STREAM_FRAMES_PER_SAMPLE as f64;
     let mut out = Vec::new();
 
     // Serial baseline: back-to-back single-worker frames through one
     // recycled workspace — the exact loop a non-streaming receiver runs.
     {
         let mut ws = FrameWorkspace::new();
-        let (mean, min) = time_mode(samples, || {
+        out.push(measure_mode("serial", samples, STREAM_FRAMES_PER_SAMPLE, || {
             let mut acc = 0u64;
             for k in 0..STREAM_FRAMES_PER_SAMPLE {
                 let mut rng = StdRng::seed_from_u64(77 + k as u64);
@@ -205,8 +259,7 @@ fn run_stream(samples: usize) -> Vec<ModeResult> {
                     .ped_calcs;
             }
             acc
-        });
-        out.push(ModeResult { name: "serial", mean_ms: mean / frames, min_ms: min / frames });
+        }));
     }
 
     for (name, workers) in [("stream_2w", 2usize), ("stream_4w", 4)] {
@@ -214,9 +267,9 @@ fn run_stream(samples: usize) -> Vec<ModeResult> {
         sc.workers = workers;
         sc.capacity = 8;
         let stream = FrameStream::new(cfg, det, sc);
-        let (mean, min) =
-            time_mode(samples, || drive_stream(&stream, &ch, snr_db, STREAM_FRAMES_PER_SAMPLE));
-        out.push(ModeResult { name, mean_ms: mean / frames, min_ms: min / frames });
+        out.push(measure_mode(name, samples, STREAM_FRAMES_PER_SAMPLE, || {
+            drive_stream(&stream, &ch, snr_db, STREAM_FRAMES_PER_SAMPLE)
+        }));
     }
     out
 }
@@ -272,14 +325,14 @@ fn run_storm_gate(samples: usize) -> StormGateResult {
     let ch = model.realize(&mut StdRng::seed_from_u64(2014));
     let mut ws = FrameWorkspace::new();
     let serial_frame = |det: &dyn Fn(&mut FrameWorkspace) -> u64, ws: &mut FrameWorkspace| {
-        let (mean, _) = time_mode(samples, || {
+        measure_mode("calibration", samples, 4, || {
             let mut acc = 0u64;
             for _ in 0..4 {
                 acc += det(ws);
             }
             acc
-        });
-        mean / 4.0
+        })
+        .mean_ms
     };
     let sphere = geosphere_decoder();
     let serial_frame_ms = serial_frame(
@@ -450,13 +503,19 @@ fn storm_gate_main(out_path: &str, baseline_path: &str, samples: usize, write_ba
     }
 }
 
-fn render_json(results: &[ModeResult], bench: &str, samples: usize) -> String {
+fn render_json(
+    results: &[ModeResult],
+    bench: &str,
+    samples: usize,
+    stage_profile: Option<&str>,
+) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"{bench}\",");
     let _ = writeln!(s, "  \"samples\": {samples},");
     let _ = writeln!(s, "  \"simd_tier\": \"{}\",", gs_linalg::simd::active_tier().name());
     let _ = writeln!(s, "  \"parallelism\": {},", machine_parallelism());
+    let modes_comma = if stage_profile.is_some() { "," } else { "" };
     let _ = writeln!(s, "  \"modes\": {{");
     for (k, r) in results.iter().enumerate() {
         let comma = if k + 1 == results.len() { "" } else { "," };
@@ -466,8 +525,101 @@ fn render_json(results: &[ModeResult], bench: &str, samples: usize) -> String {
             r.name, r.mean_ms, r.min_ms
         );
     }
-    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "  }}{modes_comma}");
+    if let Some(frag) = stage_profile {
+        s.push_str(frag);
+    }
     let _ = writeln!(s, "}}");
+    s
+}
+
+/// How many single-worker frames the profiled bracket decodes. Enough
+/// that per-frame attribution is stable; small enough to add <1 s.
+const PROFILE_FRAMES: usize = 16;
+
+/// Decode `PROFILE_FRAMES` frames with one worker between two profiler
+/// snapshots; returns the bracketed per-stage delta and the wall-clock
+/// envelope in seconds. The single warmup frame before the bracket grows
+/// every buffer and registers the thread tables, so the measured frames
+/// reflect the steady state.
+fn profile_frames() -> (gs_prof::StageProfile, f64) {
+    let (cfg, snr_db, ch) = scenario();
+    let det = geosphere_decoder();
+    let mut ws = FrameWorkspace::new();
+    let decode = |seed: u64, ws: &mut FrameWorkspace| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        decode_frame_batched_into(&cfg, &ch, &det, snr_db, &mut rng, 1, ws).stats.ped_calcs
+    };
+    std::hint::black_box(decode(77, &mut ws));
+    let before = gs_prof::snapshot();
+    let t0 = Instant::now();
+    for k in 0..PROFILE_FRAMES {
+        std::hint::black_box(decode(77 + k as u64, &mut ws));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    (gs_prof::snapshot().delta(&before), wall)
+}
+
+/// Print the per-stage table to stdout and return the `"stage_profile"`
+/// JSON fragment for [`render_json`]. Cycles are self-time (scopes nest
+/// without double-counting), so the `pct` column partitions the table
+/// total and `coverage` is table-total ÷ wall-clock — the fraction of
+/// frame time the taxonomy reaches.
+fn dump_stage_profile(p: &gs_prof::StageProfile, wall_secs: f64) -> String {
+    let tps = gs_prof::ticks_per_sec();
+    let frames = PROFILE_FRAMES as f64;
+    let total = p.total_cycles() as f64;
+    let coverage = if wall_secs > 0.0 { (total / tps) / wall_secs } else { 0.0 };
+    println!();
+    println!(
+        "stage profile ({PROFILE_FRAMES} frames, 1 worker, self-time; tick clock {:.2} GHz):",
+        tps / 1e9
+    );
+    println!(
+        "  {:<13} {:>9} {:>12} {:>12} {:>6}",
+        "stage", "ms/frame", "invocations", "bytes", "pct"
+    );
+    for r in p.stages.iter() {
+        if r.cycles == 0 && r.invocations == 0 && r.bytes == 0 {
+            continue;
+        }
+        println!(
+            "  {:<13} {:>9.4} {:>12} {:>12} {:>5.1}%",
+            r.stage.name(),
+            (r.cycles as f64 / tps) * 1e3 / frames,
+            r.invocations,
+            r.bytes,
+            if total > 0.0 { 100.0 * r.cycles as f64 / total } else { 0.0 },
+        );
+    }
+    let top = p.top_stage().map(|s| s.name()).unwrap_or("none");
+    println!(
+        "  coverage {:.1}% of {:.3} ms/frame wall; top stage: {top}",
+        coverage * 100.0,
+        wall_secs * 1e3 / frames
+    );
+
+    let mut s = String::new();
+    let _ = writeln!(s, "  \"stage_profile\": {{");
+    let _ = writeln!(s, "    \"frames\": {PROFILE_FRAMES},");
+    let _ = writeln!(s, "    \"ticks_per_sec\": {tps:.0},");
+    let _ = writeln!(s, "    \"wall_ms_per_frame\": {:.6},", wall_secs * 1e3 / frames);
+    let _ = writeln!(s, "    \"coverage\": {coverage:.4},");
+    let _ = writeln!(s, "    \"top_stage\": \"{top}\",");
+    let _ = writeln!(s, "    \"stages\": {{");
+    for (k, r) in p.stages.iter().enumerate() {
+        let comma = if k + 1 == p.stages.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "      \"{}\": {{\"cycles\": {}, \"invocations\": {}, \"bytes\": {}}}{comma}",
+            r.stage.name(),
+            r.cycles,
+            r.invocations,
+            r.bytes
+        );
+    }
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "  }}");
     s
 }
 
@@ -487,11 +639,11 @@ fn number_after(json: &str, key: &str) -> Option<f64> {
     num.parse().ok()
 }
 
-/// The number following `"mode" : {"mean_ms":`.
-fn extract_mean(json: &str, mode: &str) -> Option<f64> {
+/// The number following `"mode" : {... "field":`.
+fn extract_field(json: &str, mode: &str, field: &str) -> Option<f64> {
     let key = format!("\"{mode}\"");
     let after_mode = &json[json.find(&key)? + key.len()..];
-    number_after(after_mode, "\"mean_ms\":")
+    number_after(after_mode, &format!("\"{field}\":"))
 }
 
 fn main() {
@@ -513,32 +665,58 @@ fn main() {
         return;
     }
 
-    // Per-mode defaults: (bench label, out, baseline, gated mode — the
-    // in-run reference cancelling the hardware term is "serial" in both).
-    let (bench, default_out, default_baseline, gated_mode) = match mode.as_str() {
+    // Per-mode defaults: (bench label, out, baseline, gated mode,
+    // in-run reference mode — the denominator cancelling the hardware
+    // term: "serial" for the PR 4/5 gates, "single_sym" for PR 7's).
+    let (bench, default_out, default_baseline, gated_mode, reference_mode) = match mode.as_str() {
         "frame_decode" => (
             "frame_decode_4x4_qam64_64sc",
             "BENCH_pr4.json",
             "crates/bench/baselines/pr4_frame_decode.json",
             "batched_1w",
+            "serial",
         ),
         "frame_stream" => (
             "frame_stream_4x4_qam64_64sc",
             "BENCH_pr5.json",
             "crates/bench/baselines/pr5_frame_stream.json",
             "stream_4w",
+            "serial",
+        ),
+        "multi_symbol" => (
+            "multi_symbol_4x4_qam64_64sc",
+            "BENCH_pr7.json",
+            "crates/bench/baselines/pr7_multi_symbol.json",
+            "multi_sym",
+            "single_sym",
         ),
         other => {
-            panic!("unknown --mode {other:?} (expected frame_decode|frame_stream|deadline_storm)")
+            panic!(
+                "unknown --mode {other:?} \
+                 (expected frame_decode|frame_stream|multi_symbol|deadline_storm)"
+            )
         }
     };
-    const REFERENCE_MODE: &str = "serial";
     let out_path = flag_value("--out").unwrap_or_else(|| default_out.into());
     let baseline_path = flag_value("--baseline").unwrap_or_else(|| default_baseline.into());
     let samples: usize = samples_flag.unwrap_or(12);
 
-    let results = if mode == "frame_stream" { run_stream(samples) } else { run_all(samples) };
-    let json = render_json(&results, bench, samples);
+    let results = match mode.as_str() {
+        "frame_stream" => run_stream(samples),
+        "multi_symbol" => run_multi(samples),
+        _ => run_all(samples),
+    };
+    // The per-stage attribution table rides along whenever the binary was
+    // built with `--features profile`; without it the instrumentation is
+    // compiled out and there is nothing to dump.
+    let stage_fragment = if gs_prof::enabled() {
+        let (profile, wall) = profile_frames();
+        Some(dump_stage_profile(&profile, wall))
+    } else {
+        println!("stage profile: compiled out (rebuild with --features profile to dump it)");
+        None
+    };
+    let json = render_json(&results, bench, samples, stage_fragment.as_deref());
     for r in &results {
         println!("{:<18} mean {:8.3} ms   min {:8.3} ms", r.name, r.mean_ms, r.min_ms);
     }
@@ -588,7 +766,7 @@ fn main() {
             // regression from sailing through green on a runner whose
             // core count doesn't match the committed baseline.
             const STREAM_OVERHEAD_CEILING: f64 = 1.25;
-            let cur_ratio = mean_of(&results, gated_mode) / mean_of(&results, REFERENCE_MODE);
+            let cur_ratio = mean_of(&results, gated_mode) / mean_of(&results, reference_mode);
             println!(
                 "tight gate skipped: baseline parallelism {} vs this machine's {cur_par} — \
                  the stream/serial ratio is only comparable on matching core counts; \
@@ -599,7 +777,7 @@ fn main() {
             );
             if cur_ratio > STREAM_OVERHEAD_CEILING {
                 eprintln!(
-                    "BENCH REGRESSION: {gated_mode}/{REFERENCE_MODE} ratio {cur_ratio:.4} \
+                    "BENCH REGRESSION: {gated_mode}/{reference_mode} ratio {cur_ratio:.4} \
                      exceeds the core-count-independent ceiling {STREAM_OVERHEAD_CEILING}"
                 );
                 std::process::exit(1);
@@ -607,31 +785,52 @@ fn main() {
             return;
         }
     }
-    let base_gated = extract_mean(&baseline, gated_mode)
-        .unwrap_or_else(|| panic!("baseline is missing {gated_mode}.mean_ms"));
-    let base_ref = extract_mean(&baseline, REFERENCE_MODE)
-        .unwrap_or_else(|| panic!("baseline is missing {REFERENCE_MODE}.mean_ms"));
+    // The multi_symbol gate compares on per-mode minima instead of the
+    // trimmed means the other modes use. Its ratio has two in-process
+    // timing measurements, each carrying an independent co-tenancy noise
+    // tail; at a 10% tolerance the mean-based ratio flakes on busy
+    // runners. Scheduler interference is strictly additive, so the
+    // minimum over the sample set is the stable estimator of the
+    // undisturbed frame time and holds the ratio steady to a few
+    // percent. A slightly wider tolerance absorbs what two-sided min
+    // jitter remains.
+    let (metric_field, tolerance) = if mode == "multi_symbol" {
+        ("min_ms", MULTI_SYMBOL_MAX_REGRESSION)
+    } else {
+        ("mean_ms", MAX_REGRESSION)
+    };
+    let metric_of = |results: &[ModeResult], mode: &str| -> f64 {
+        results
+            .iter()
+            .find(|r| r.name == mode)
+            .map(|r| if metric_field == "min_ms" { r.min_ms } else { r.mean_ms })
+            .expect("mode measured")
+    };
+    let base_gated = extract_field(&baseline, gated_mode, metric_field)
+        .unwrap_or_else(|| panic!("baseline is missing {gated_mode}.{metric_field}"));
+    let base_ref = extract_field(&baseline, reference_mode, metric_field)
+        .unwrap_or_else(|| panic!("baseline is missing {reference_mode}.{metric_field}"));
     let base_ratio = base_gated / base_ref;
-    let cur_ratio = mean_of(&results, gated_mode) / mean_of(&results, REFERENCE_MODE);
+    let cur_ratio = metric_of(&results, gated_mode) / metric_of(&results, reference_mode);
 
-    let limit = base_ratio * (1.0 + MAX_REGRESSION);
+    let limit = base_ratio * (1.0 + tolerance);
     println!(
-        "gate: {gated_mode}/{REFERENCE_MODE} ratio {cur_ratio:.4} vs baseline \
+        "gate: {gated_mode}/{reference_mode} ratio {cur_ratio:.4} vs baseline \
          {base_ratio:.4} (limit {limit:.4})"
     );
     if cur_ratio > limit {
         eprintln!(
-            "BENCH REGRESSION: {gated_mode}/{REFERENCE_MODE} ratio {cur_ratio:.4} exceeds \
+            "BENCH REGRESSION: {gated_mode}/{reference_mode} ratio {cur_ratio:.4} exceeds \
              the baseline ratio {base_ratio:.4} by more than {:.0}%",
-            MAX_REGRESSION * 100.0
+            tolerance * 100.0
         );
         std::process::exit(1);
     }
-    if cur_ratio < base_ratio * (1.0 - MAX_REGRESSION) {
+    if cur_ratio < base_ratio * (1.0 - tolerance) {
         println!(
-            "note: {gated_mode} is now >{:.0}% faster relative to {REFERENCE_MODE} than \
+            "note: {gated_mode} is now >{:.0}% faster relative to {reference_mode} than \
              the baseline — consider refreshing it with --write-baseline",
-            MAX_REGRESSION * 100.0
+            tolerance * 100.0
         );
     }
 }

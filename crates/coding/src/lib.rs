@@ -14,7 +14,10 @@
 //! assert_eq!(viterbi::decode(&coded), info);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the multi-stream Viterbi butterfly has an
+// AVX2 backend that locally re-allows `unsafe` for intrinsics, exactly as
+// the `gs-linalg` SIMD backends do.
+#![deny(unsafe_code)]
 // Trellis/detector inner loops index several arrays by the same state or
 // stream variable; iterator rewrites obscure the recurrences.
 #![allow(clippy::needless_range_loop)]
@@ -36,7 +39,7 @@ pub use puncture::{
     CodeRate,
 };
 pub use scramble::Scrambler;
-pub use viterbi::{CodedBit, ViterbiWorkspace};
+pub use viterbi::{decode_multi_with_erasures_into, CodedBit, ViterbiWorkspace};
 
 /// Box–Muller Gaussian used only by in-crate tests (kept here so the crate
 /// stays dependency-free outside dev builds).

@@ -86,6 +86,25 @@ const B_HI_IN0: ButterflyBits = butterfly_bits(1, 0);
 const B_LO_IN1: ButterflyBits = butterfly_bits(0, 1);
 const B_HI_IN1: ButterflyBits = butterfly_bits(1, 1);
 
+/// A transition's output pair packed as a branch-cost index `o0·2 + o1`
+/// into the four-entry per-stream cost row `{base, base+d1, base+d0,
+/// base+d0+d1}` the multi-stream decoder builds each step.
+const fn pattern_indices(b: &ButterflyBits) -> [u8; HALF] {
+    let mut out = [0u8; HALF];
+    let mut k = 0;
+    while k < HALF {
+        out[k] = (b.o0[k] * 2 + b.o1[k]) as u8;
+        k += 1;
+    }
+    out
+}
+
+/// Branch-cost indices per butterfly for the four transition kinds.
+const IDX_LO0: [u8; HALF] = pattern_indices(&B_LO_IN0);
+const IDX_HI0: [u8; HALF] = pattern_indices(&B_HI_IN0);
+const IDX_LO1: [u8; HALF] = pattern_indices(&B_LO_IN1);
+const IDX_HI1: [u8; HALF] = pattern_indices(&B_HI_IN1);
+
 /// Reusable trellis scratch for the Viterbi decoders: hard/soft path
 /// metrics plus the flat survivor slab. Hold one per receiver and pass it
 /// to [`decode_with_erasures_into`]/[`decode_soft_into`] — after the first
@@ -97,6 +116,9 @@ pub struct ViterbiWorkspace {
     metric_f: Vec<f64>,
     next_f: Vec<f64>,
     survivors: Vec<u8>,
+    /// Per-step branch-cost table for the multi-stream decoder:
+    /// `cost[idx · n + s]` for pattern `idx ∈ 0..4` and stream `s`.
+    cost: Vec<u32>,
 }
 
 impl ViterbiWorkspace {
@@ -131,6 +153,8 @@ pub fn decode_with_erasures_into(
     assert_eq!(coded.len() % 2, 0, "rate-1/2 stream must have even length");
     let steps = coded.len() / 2;
     assert!(steps >= CONSTRAINT - 1, "stream shorter than the termination tail");
+    let _prof = gs_prof::scope(gs_prof::Stage::Viterbi);
+    _prof.add_bytes(steps as u64 / 8);
 
     const INF: u32 = u32::MAX / 2;
     ws.metric_u.clear();
@@ -207,6 +231,201 @@ pub fn decode_with_erasures_into(
         state = (s & 0x3f) as usize;
     }
     out.truncate(steps - (CONSTRAINT - 1)); // drop tail bits
+}
+
+/// Decodes `n_streams` equal-length terminated rate-1/2 streams in one
+/// lockstep trellis pass — the multi-symbol SoA form of
+/// [`decode_with_erasures_into`].
+///
+/// `streams` is stream-major flat: stream `s` occupies
+/// `s·len..(s+1)·len` where `len = streams.len() / n_streams`. `out` is
+/// filled stream-major with `steps − (K−1)` information bits per stream
+/// (`steps = len / 2`), so stream `s`'s bits are
+/// `out[s·info_len..(s+1)·info_len]`.
+///
+/// Path metrics live in stream-interleaved SoA rows (`metric[state·n + s]`)
+/// so the 32-butterfly add-compare-select inner loop walks contiguous
+/// slabs — one pass advances every stream's trellis, and with four streams
+/// on `x86_64`/AVX2 each butterfly is a handful of 128-bit integer ops.
+/// Every stream's metrics, tie-breaks, and traceback are the *same
+/// arithmetic* as the single-stream decoder (exact integer ops, identical
+/// `c1 < c0` selection), so output is bit-identical per stream.
+///
+/// # Panics
+/// Panics when `n_streams` is zero, `streams.len()` is not divisible by
+/// `n_streams`, or the per-stream length is odd or shorter than the tail.
+pub fn decode_multi_with_erasures_into(
+    streams: &[CodedBit],
+    n_streams: usize,
+    ws: &mut ViterbiWorkspace,
+    out: &mut Vec<bool>,
+) {
+    let n = n_streams;
+    assert!(n > 0, "need at least one stream");
+    assert_eq!(streams.len() % n, 0, "streams must share one length");
+    let len = streams.len() / n;
+    assert_eq!(len % 2, 0, "rate-1/2 stream must have even length");
+    let steps = len / 2;
+    assert!(steps >= CONSTRAINT - 1, "stream shorter than the termination tail");
+    let _prof = gs_prof::scope(gs_prof::Stage::Viterbi);
+    _prof.add_bytes((n * steps) as u64 / 8);
+
+    const INF: u32 = u32::MAX / 2;
+    ws.metric_u.clear();
+    ws.metric_u.resize(NUM_STATES * n, INF);
+    ws.metric_u[..n].fill(0); // state 0, every stream
+    ws.next_u.clear();
+    ws.next_u.resize(NUM_STATES * n, 0);
+    // survivors[t·NUM_STATES·n + state·n + s], packed as in the
+    // single-stream decoder (bit 7 = input, low 6 bits = predecessor).
+    ws.survivors.clear();
+    ws.survivors.resize(steps * NUM_STATES * n, 0);
+    ws.cost.clear();
+    ws.cost.resize(4 * n, 0);
+
+    #[cfg(target_arch = "x86_64")]
+    let use_avx2 = n == 4 && std::arch::is_x86_feature_detected!("avx2");
+
+    for t in 0..steps {
+        // Per-stream branch-cost row: a transition emitting (o0, o1) costs
+        // cost[(o0·2 + o1)·n + s] — the same wrapping `base + o·d` sums the
+        // single-stream loop forms, precomputed once per step.
+        for s in 0..n {
+            let rx0 = streams[s * len + 2 * t];
+            let rx1 = streams[s * len + 2 * t + 1];
+            let c0f = rx0.cost(false);
+            let c1f = rx1.cost(false);
+            let d0 = rx0.cost(true).wrapping_sub(c0f);
+            let d1 = rx1.cost(true).wrapping_sub(c1f);
+            let base = c0f + c1f;
+            ws.cost[s] = base;
+            ws.cost[n + s] = base.wrapping_add(d1);
+            ws.cost[2 * n + s] = base.wrapping_add(d0);
+            ws.cost[3 * n + s] = base.wrapping_add(d0).wrapping_add(d1);
+        }
+        let surv = &mut ws.survivors[t * NUM_STATES * n..(t + 1) * NUM_STATES * n];
+        #[cfg(target_arch = "x86_64")]
+        if use_avx2 {
+            // Safety: AVX2 confirmed by runtime detection above.
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::acs_step_n4(&ws.metric_u, &mut ws.next_u, &ws.cost, surv)
+            };
+            std::mem::swap(&mut ws.metric_u, &mut ws.next_u);
+            continue;
+        }
+        let (surv_in0, surv_in1) = surv.split_at_mut(HALF * n);
+        let (next_in0, next_in1) = ws.next_u.split_at_mut(HALF * n);
+        // The single-stream destination-major butterfly with streams as the
+        // innermost (contiguous) axis; identical metric arithmetic and
+        // tie-breaking per stream.
+        for k in 0..HALF {
+            let row0 = &ws.metric_u[2 * k * n..(2 * k + 1) * n];
+            let row1 = &ws.metric_u[(2 * k + 1) * n..(2 * k + 2) * n];
+            let lo0 = &ws.cost[IDX_LO0[k] as usize * n..][..n];
+            let hi0 = &ws.cost[IDX_HI0[k] as usize * n..][..n];
+            let lo1 = &ws.cost[IDX_LO1[k] as usize * n..][..n];
+            let hi1 = &ws.cost[IDX_HI1[k] as usize * n..][..n];
+            for s in 0..n {
+                let m0 = row0[s];
+                let m1 = row1[s];
+                let c0 = m0 + lo0[s];
+                let c1 = m1 + hi0[s];
+                let take_hi = c1 < c0;
+                next_in0[k * n + s] = if take_hi { c1 } else { c0 };
+                surv_in0[k * n + s] = (2 * k) as u8 + take_hi as u8;
+
+                let c0 = m0 + lo1[s];
+                let c1 = m1 + hi1[s];
+                let take_hi = c1 < c0;
+                next_in1[k * n + s] = if take_hi { c1 } else { c0 };
+                surv_in1[k * n + s] = 0x80 | ((2 * k) as u8 + take_hi as u8);
+            }
+        }
+        std::mem::swap(&mut ws.metric_u, &mut ws.next_u);
+    }
+
+    // Per-stream traceback from state 0 (terminated trellis), writing each
+    // stream's bits to its slice of the flat output.
+    let info_len = steps - (CONSTRAINT - 1);
+    out.clear();
+    out.resize(n * info_len, false);
+    for s in 0..n {
+        let mut state = 0usize;
+        for t in (0..steps).rev() {
+            let sv = ws.survivors[t * NUM_STATES * n + state * n + s];
+            if t < info_len {
+                out[s * info_len + t] = sv & 0x80 != 0;
+            }
+            state = (sv & 0x3f) as usize;
+        }
+    }
+}
+
+/// AVX2 backend for the four-stream add-compare-select step. Same safety
+/// contract as the `gs-linalg` SIMD backends: `unsafe fn` +
+/// `#[target_feature]`, reached only after runtime detection.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use super::{HALF, IDX_HI0, IDX_HI1, IDX_LO0, IDX_LO1};
+    use std::arch::x86_64::*;
+
+    /// One trellis step for exactly four streams: `metric`/`next` are
+    /// `NUM_STATES·4` stream-interleaved u32 rows, `cost` the 4×4 branch
+    /// table, `surv` the step's `NUM_STATES·4` survivor bytes.
+    ///
+    /// Per butterfly `k` one 256-bit load yields both predecessor rows ×
+    /// four streams; unsigned `min` and a `min == c0` compare reproduce
+    /// the scalar `c1 < c0` selection exactly (ties keep the lower
+    /// predecessor in both).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn acs_step_n4(
+        metric: &[u32],
+        next: &mut [u32],
+        cost: &[u32],
+        surv: &mut [u8],
+    ) {
+        debug_assert_eq!(metric.len(), HALF * 8);
+        debug_assert_eq!(next.len(), HALF * 8);
+        debug_assert_eq!(cost.len(), 16);
+        debug_assert_eq!(surv.len(), HALF * 8);
+        let costs: [__m128i; 4] = [
+            _mm_loadu_si128(cost.as_ptr().cast()),
+            _mm_loadu_si128(cost.as_ptr().add(4).cast()),
+            _mm_loadu_si128(cost.as_ptr().add(8).cast()),
+            _mm_loadu_si128(cost.as_ptr().add(12).cast()),
+        ];
+        // Low byte of each 32-bit lane → bytes 0..4 of the vector.
+        let pack = _mm_set_epi8(-1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 12, 8, 4, 0);
+        let one = _mm_set1_epi32(1);
+        let in1_flag = _mm_set1_epi32(0x80);
+        for k in 0..HALF {
+            let m = _mm256_loadu_si256(metric.as_ptr().add(8 * k).cast());
+            let m0 = _mm256_castsi256_si128(m);
+            let m1 = _mm256_extracti128_si256::<1>(m);
+            let base = _mm_set1_epi32(2 * k as i32);
+
+            let c0 = _mm_add_epi32(m0, costs[IDX_LO0[k] as usize]);
+            let c1 = _mm_add_epi32(m1, costs[IDX_HI0[k] as usize]);
+            let best = _mm_min_epu32(c0, c1);
+            _mm_storeu_si128(next.as_mut_ptr().add(4 * k).cast(), best);
+            // take_hi ⇔ best ≠ c0 (a tie keeps the lower predecessor).
+            let keep_lo = _mm_cmpeq_epi32(best, c0);
+            let sv = _mm_add_epi32(base, _mm_andnot_si128(keep_lo, one));
+            let packed = _mm_cvtsi128_si32(_mm_shuffle_epi8(sv, pack)) as u32;
+            surv.as_mut_ptr().add(4 * k).cast::<u32>().write_unaligned(packed.to_le());
+
+            let c0 = _mm_add_epi32(m0, costs[IDX_LO1[k] as usize]);
+            let c1 = _mm_add_epi32(m1, costs[IDX_HI1[k] as usize]);
+            let best = _mm_min_epu32(c0, c1);
+            _mm_storeu_si128(next.as_mut_ptr().add(4 * (k + HALF)).cast(), best);
+            let keep_lo = _mm_cmpeq_epi32(best, c0);
+            let sv = _mm_or_si128(in1_flag, _mm_add_epi32(base, _mm_andnot_si128(keep_lo, one)));
+            let packed = _mm_cvtsi128_si32(_mm_shuffle_epi8(sv, pack)) as u32;
+            surv.as_mut_ptr().add(4 * (k + HALF)).cast::<u32>().write_unaligned(packed.to_le());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +507,73 @@ mod tests {
     fn odd_length_panics() {
         decode(&[true; 15]);
     }
+
+    /// Corrupts a coded stream with bit flips and erasures, seeded per
+    /// stream so lockstep siblings genuinely differ.
+    fn noisy_stream(rng: &mut StdRng, bits: &[bool]) -> Vec<CodedBit> {
+        let coded = encode(bits);
+        coded
+            .iter()
+            .map(|&b| {
+                if rng.gen_bool(0.03) {
+                    CodedBit::Erased
+                } else if rng.gen_bool(0.04) {
+                    CodedBit::from_bool(!b)
+                } else {
+                    CodedBit::from_bool(b)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_stream_matches_single_stream_bitwise() {
+        // The batching contract: for every stream count (scalar fallback
+        // and the 4-stream AVX2 path alike), lockstep decoding returns
+        // exactly what per-stream decoding returns — survivors, ties, and
+        // all — on noisy, erasure-bearing, disagreeing streams.
+        let mut rng = StdRng::seed_from_u64(46);
+        let mut ws = ViterbiWorkspace::new();
+        let mut out = Vec::new();
+        for n in 1..=6usize {
+            for len in [80usize, 257] {
+                let per: Vec<Vec<bool>> = (0..n).map(|_| random_bits(&mut rng, len)).collect();
+                let streams: Vec<Vec<CodedBit>> =
+                    per.iter().map(|bits| noisy_stream(&mut rng, bits)).collect();
+                let flat: Vec<CodedBit> = streams.concat();
+                decode_multi_with_erasures_into(&flat, n, &mut ws, &mut out);
+                let info_len = out.len() / n;
+                for (s, coded) in streams.iter().enumerate() {
+                    let single = decode_with_erasures(coded);
+                    assert_eq!(
+                        &out[s * info_len..(s + 1) * info_len],
+                        &single[..],
+                        "n={n} len={len} stream {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_stream_recovers_clean_payloads() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let n = 4;
+        let per: Vec<Vec<bool>> = (0..n).map(|_| random_bits(&mut rng, 120)).collect();
+        let flat: Vec<CodedBit> = per
+            .iter()
+            .flat_map(|bits| {
+                encode(bits).iter().map(|&b| CodedBit::from_bool(b)).collect::<Vec<_>>()
+            })
+            .collect();
+        let mut ws = ViterbiWorkspace::new();
+        let mut out = Vec::new();
+        decode_multi_with_erasures_into(&flat, n, &mut ws, &mut out);
+        let info_len = out.len() / n;
+        for (s, bits) in per.iter().enumerate() {
+            assert_eq!(&out[s * info_len..s * info_len + 120], &bits[..], "stream {s}");
+        }
+    }
 }
 
 /// Decodes a terminated rate-1/2 stream from per-bit log-likelihood
@@ -317,6 +603,8 @@ pub fn decode_soft_into(llrs: &[f64], ws: &mut ViterbiWorkspace, out: &mut Vec<b
     assert_eq!(llrs.len() % 2, 0, "rate-1/2 stream must have even length");
     let steps = llrs.len() / 2;
     assert!(steps >= CONSTRAINT - 1, "stream shorter than the termination tail");
+    let _prof = gs_prof::scope(gs_prof::Stage::Viterbi);
+    _prof.add_bytes(steps as u64 / 8);
 
     #[inline]
     fn cost(llr: f64, tx: bool) -> f64 {

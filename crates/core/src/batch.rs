@@ -270,6 +270,10 @@ struct PoolData {
     order: Vec<usize>,
     /// Per-worker `[lo, hi)` index ranges into `order`.
     ranges: Vec<(usize, usize)>,
+    /// Profiling stamp ([`gs_prof::ticks`] when the epoch was published;
+    /// `0` with profiling compiled out) — each waking worker attributes
+    /// its wakeup latency to [`gs_prof::Stage::Queue`].
+    submitted_at: u64,
 }
 
 impl Default for PoolData {
@@ -282,6 +286,7 @@ impl Default for PoolData {
             c: Constellation::Qpsk,
             order: Vec::new(),
             ranges: Vec::new(),
+            submitted_at: 0,
         }
     }
 }
@@ -381,6 +386,7 @@ impl DetectionPool {
                 (0..self.n_workers)
                     .map(|w| ((w * chunk).min(n_jobs), ((w + 1) * chunk).min(n_jobs))),
             );
+            data.submitted_at = gs_prof::ticks();
         }
         {
             let mut sig = lock_ignoring_poison(&self.shared.signal);
@@ -460,6 +466,12 @@ fn pool_worker_loop(shared: &PoolShared, wid: usize) {
         // so the coordinator can never deadlock on a dead worker.
         let _done = FrameDoneGuard { shared };
         let data = shared.data.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        gs_prof::record(
+            gs_prof::Stage::Queue,
+            gs_prof::ticks().saturating_sub(data.submitted_at),
+            1,
+            0,
+        );
         let (lo, hi) = data.ranges[wid];
         if lo < hi {
             let detector = data.detector.as_ref().expect("work installed").as_ref();

@@ -143,6 +143,7 @@ impl FilterCache {
             Some(e) if e.lambda == lambda && e.snapshot == *h && matches_kind(&e.kind)
         );
         if stale {
+            let _prof = gs_prof::scope(gs_prof::Stage::Filter);
             *slot = Some(FilterEntry { snapshot: h.clone(), lambda, kind: build() });
         }
         slot.as_ref().expect("entry just ensured")

@@ -69,6 +69,11 @@ struct Task {
     arrival: u64,
     token: usize,
     job: Arc<dyn ShardedJob>,
+    /// Profiling stamp ([`gs_prof::ticks`] at submit; `0` with profiling
+    /// compiled out) — the popping worker attributes the submit→pop wall
+    /// time to [`gs_prof::Stage::Queue`], preserving per-frame attribution
+    /// across the cross-thread handoff.
+    submitted_at: u64,
 }
 
 impl Task {
@@ -327,7 +332,8 @@ impl ShardedDetectionPool {
         let mut q = lock_ignoring_poison(&state.q);
         let arrival = q.arrivals;
         q.arrivals += 1;
-        q.heap.push(Task { key, arrival, token, job: Arc::clone(job) });
+        let submitted_at = gs_prof::ticks();
+        q.heap.push(Task { key, arrival, token, job: Arc::clone(job), submitted_at });
         state.depth.store(q.heap.len(), Ordering::Relaxed);
         drop(q);
         state.cv.notify_one();
@@ -385,6 +391,12 @@ fn shard_worker_loop(state: &ShardState, poisoned: &AtomicBool, shard: usize) {
                 q = state.cv.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
+        gs_prof::record(
+            gs_prof::Stage::Queue,
+            gs_prof::ticks().saturating_sub(task.submitted_at),
+            1,
+            0,
+        );
         // A panicking job must mark the pool dead rather than silently
         // dropping the task (its frame would otherwise wait forever).
         let guard = PoisonOnPanic(poisoned);

@@ -39,6 +39,14 @@ pub struct SphereDecoder<F> {
     /// a triggered budget almost always coincides with operating points
     /// whose frames would fail anyway (hopeless SNR/constellation pairs).
     pub max_visited_nodes: u64,
+    /// Batched paths: walk sibling jobs sharing one channel's QR through
+    /// their first descents in lockstep, one [`gs_linalg::simd::cdot_soa_multi`]
+    /// interference kernel per tree level across all of them (default
+    /// `true`). Bit-identical to the per-job search — symbols and stats —
+    /// so this is a diagnostic/bench knob, not a quality trade-off. Only
+    /// engaged when the search is unconstrained (infinite initial radius,
+    /// no node budget); otherwise the per-job path runs regardless.
+    pub multi_symbol: bool,
 }
 
 impl<F: EnumeratorFactory> SphereDecoder<F> {
@@ -49,12 +57,20 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
             sorted_qr: false,
             initial_radius_sqr: f64::INFINITY,
             max_visited_nodes: u64::MAX,
+            multi_symbol: true,
         }
     }
 
     /// Enables sorted-QR preprocessing.
     pub fn with_sorted_qr(mut self) -> Self {
         self.sorted_qr = true;
+        self
+    }
+
+    /// Disables multi-symbol lockstep batching (the per-job reference
+    /// path) — used by benches and identity tests.
+    pub fn with_single_symbol(mut self) -> Self {
+        self.multi_symbol = false;
         self
     }
 
@@ -130,6 +146,7 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
     ) -> Option<f64> {
         let nc = r.cols();
         debug_assert_eq!(yhat.len(), nc, "ŷ must already be Q*-rotated and truncated");
+        let _prof = gs_prof::scope(gs_prof::Stage::Enumerate);
         ws.prepare_levels(nc);
         ws.load_r_soa(r);
         if constraint.is_some() {
@@ -152,96 +169,165 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
             ..
         } = ws;
         let bit_table = bit_table.as_ref().map(|(_, t)| t);
-        let mut radius = initial_radius_sqr;
-        let mut found = false;
-        let mut best_dist = 0.0f64;
         *solution_len = 0;
-
-        // Opens level i: compute ỹ_i from ŷ and the symbols chosen above
-        // (Eq. 8) — the interference dot runs on the workspace's split
-        // re/im slabs through the lane-ordered SIMD kernel — then reset
-        // the level's slab enumerator for the node.
-        let open_level = |i: usize,
-                          da: f64,
-                          chosen_re: &[f64],
-                          chosen_im: &[f64],
-                          enumerators: &mut [Option<F::Enumerator>],
-                          dist_above: &mut [f64],
-                          stats: &mut DetectorStats| {
-            let row = i * nc;
-            let interference = gs_linalg::simd::cdot_soa(
-                &r_re[row + i + 1..row + nc],
-                &r_im[row + i + 1..row + nc],
-                &chosen_re[i + 1..nc],
-                &chosen_im[i + 1..nc],
-            );
-            let acc = yhat[i] - interference;
-            stats.complex_mults += (nc - 1 - i) as u64;
-            let rll = r[(i, i)].re; // real ≥ 0 by QR normalization
-            let center = if rll > f64::EPSILON { acc / rll } else { Complex::ZERO };
-            let gain = rll * rll;
-            self.factory.make_in(&mut enumerators[i], c, center, gain, stats);
-            dist_above[i] = da;
-        };
-
-        let mut i = nc - 1; // current level (nc-1 = tree root)
-        open_level(i, 0.0, chosen_re, chosen_im, enumerators, dist_above, stats);
-        let mut local_nodes = 0u64;
-
-        loop {
-            if local_nodes >= self.max_visited_nodes {
-                break; // runtime budget exhausted: return best-so-far
-            }
-            let budget = radius - dist_above[i];
-            let step =
-                enumerators[i].as_mut().expect("current level open").next_child(budget, stats);
-            match step {
-                Some(child) if dist_above[i] + child.cost < radius => {
-                    local_nodes += 1;
-                    // Constrained search: skip children whose required bit
-                    // disagrees (the enumeration stays sorted, so skipping
-                    // is just a filter — no soundness impact).
-                    if let Some((cl, ck, cv)) = constraint {
-                        if cl == i && bit_table.expect("table built").bit(child.point, ck) != cv {
-                            continue;
-                        }
-                    }
-                    stats.visited_nodes += 1;
-                    let dist = dist_above[i] + child.cost;
-                    chosen[i] = child.point;
-                    chosen_re[i] = child.point.i as f64;
-                    chosen_im[i] = child.point.q as f64;
-                    if i == 0 {
-                        // Leaf: new best solution, shrink the sphere.
-                        radius = dist;
-                        best_dist = dist;
-                        best[..nc].copy_from_slice(&chosen[..nc]);
-                        found = true;
-                        // Stay at this level; Schnorr–Euchner continues with
-                        // the next sibling under the new radius.
-                    } else {
-                        i -= 1;
-                        open_level(i, dist, chosen_re, chosen_im, enumerators, dist_above, stats);
-                    }
-                }
-                // Sorted enumeration: a child at or beyond the radius, or an
-                // exhausted node, closes this level (sibling pruning). The
-                // slab enumerator stays allocated for reuse.
-                _ => {
-                    if i == nc - 1 {
-                        break;
-                    }
-                    i += 1;
-                }
-            }
-        }
-
-        if found {
+        let ctx = SearchCtx { factory: &self.factory, r, yhat, c, nc, r_re, r_im };
+        open_level(&ctx, nc - 1, 0.0, chosen_re, chosen_im, enumerators, dist_above, stats);
+        let res = run_search_loop(
+            &ctx,
+            constraint,
+            bit_table,
+            self.max_visited_nodes,
+            0,
+            SearchState { i: nc - 1, radius: initial_radius_sqr, found: false, best_dist: 0.0 },
+            &mut enumerators[..nc],
+            &mut dist_above[..nc],
+            &mut chosen[..nc],
+            &mut chosen_re[..nc],
+            &mut chosen_im[..nc],
+            &mut best[..nc],
+            stats,
+        );
+        if res.is_some() {
             *solution_len = nc;
-            Some(best_dist)
-        } else {
-            None
         }
+        res
+    }
+}
+
+/// The immutable search problem: factorization, rotated receive vector,
+/// constellation, and the workspace's split-`R` mirror. Bundled so the
+/// depth-first loop can be entered both from scratch
+/// ([`SphereDecoder::search_with_qr`]) and from a lockstep first descent's
+/// post-leaf state ([`SphereDecoder::detect_jobs_multi`]'s resume).
+struct SearchCtx<'a, F> {
+    factory: &'a F,
+    r: &'a Matrix,
+    yhat: &'a [Complex],
+    c: Constellation,
+    nc: usize,
+    r_re: &'a [f64],
+    r_im: &'a [f64],
+}
+
+/// Resumable position inside the depth-first loop.
+struct SearchState {
+    /// Current level (`nc - 1` = tree root).
+    i: usize,
+    /// Current squared sphere radius.
+    radius: f64,
+    /// Whether a full solution has been recorded in `best`.
+    found: bool,
+    /// Squared distance of that solution.
+    best_dist: f64,
+}
+
+/// Opens level `i`: compute ỹ_i from ŷ and the symbols chosen above
+/// (Eq. 8) — the interference dot runs on the workspace's split re/im
+/// slabs through the lane-ordered SIMD kernel — then reset the level's
+/// slab enumerator for the node.
+// The arguments are the search context plus the disjoint workspace slab
+// borrows the caller already split; a struct would just rename them.
+#[allow(clippy::too_many_arguments)]
+fn open_level<F: EnumeratorFactory>(
+    ctx: &SearchCtx<'_, F>,
+    i: usize,
+    da: f64,
+    chosen_re: &[f64],
+    chosen_im: &[f64],
+    enumerators: &mut [Option<F::Enumerator>],
+    dist_above: &mut [f64],
+    stats: &mut DetectorStats,
+) {
+    let nc = ctx.nc;
+    let row = i * nc;
+    let interference = gs_linalg::simd::cdot_soa(
+        &ctx.r_re[row + i + 1..row + nc],
+        &ctx.r_im[row + i + 1..row + nc],
+        &chosen_re[i + 1..nc],
+        &chosen_im[i + 1..nc],
+    );
+    let acc = ctx.yhat[i] - interference;
+    stats.complex_mults += (nc - 1 - i) as u64;
+    let rll = ctx.r[(i, i)].re; // real ≥ 0 by QR normalization
+    let center = if rll > f64::EPSILON { acc / rll } else { Complex::ZERO };
+    let gain = rll * rll;
+    ctx.factory.make_in(&mut enumerators[i], ctx.c, center, gain, stats);
+    dist_above[i] = da;
+}
+
+/// The depth-first Schnorr–Euchner loop, entered at an arbitrary
+/// [`SearchState`]. All slices are exactly `nc` long; `local_nodes` seeds
+/// the visited-node budget counter (non-zero when a lockstep descent
+/// already consumed part of it). Returns the best squared distance, with
+/// the solution in `best`, or `None` when nothing lay within the radius.
+#[allow(clippy::too_many_arguments)]
+fn run_search_loop<F: EnumeratorFactory>(
+    ctx: &SearchCtx<'_, F>,
+    constraint: Option<(usize, usize, bool)>,
+    bit_table: Option<&gs_modulation::BitTable>,
+    max_visited_nodes: u64,
+    mut local_nodes: u64,
+    st: SearchState,
+    enumerators: &mut [Option<F::Enumerator>],
+    dist_above: &mut [f64],
+    chosen: &mut [GridPoint],
+    chosen_re: &mut [f64],
+    chosen_im: &mut [f64],
+    best: &mut [GridPoint],
+    stats: &mut DetectorStats,
+) -> Option<f64> {
+    let nc = ctx.nc;
+    let SearchState { mut i, mut radius, mut found, mut best_dist } = st;
+    loop {
+        if local_nodes >= max_visited_nodes {
+            break; // runtime budget exhausted: return best-so-far
+        }
+        let budget = radius - dist_above[i];
+        let step = enumerators[i].as_mut().expect("current level open").next_child(budget, stats);
+        match step {
+            Some(child) if dist_above[i] + child.cost < radius => {
+                local_nodes += 1;
+                // Constrained search: skip children whose required bit
+                // disagrees (the enumeration stays sorted, so skipping
+                // is just a filter — no soundness impact).
+                if let Some((cl, ck, cv)) = constraint {
+                    if cl == i && bit_table.expect("table built").bit(child.point, ck) != cv {
+                        continue;
+                    }
+                }
+                stats.visited_nodes += 1;
+                let dist = dist_above[i] + child.cost;
+                chosen[i] = child.point;
+                chosen_re[i] = child.point.i as f64;
+                chosen_im[i] = child.point.q as f64;
+                if i == 0 {
+                    // Leaf: new best solution, shrink the sphere.
+                    radius = dist;
+                    best_dist = dist;
+                    best[..nc].copy_from_slice(&chosen[..nc]);
+                    found = true;
+                    // Stay at this level; Schnorr–Euchner continues with
+                    // the next sibling under the new radius.
+                } else {
+                    i -= 1;
+                    open_level(ctx, i, dist, chosen_re, chosen_im, enumerators, dist_above, stats);
+                }
+            }
+            // Sorted enumeration: a child at or beyond the radius, or an
+            // exhausted node, closes this level (sibling pruning). The
+            // slab enumerator stays allocated for reuse.
+            _ => {
+                if i == nc - 1 {
+                    break;
+                }
+                i += 1;
+            }
+        }
+    }
+    if found {
+        Some(best_dist)
+    } else {
+        None
     }
 }
 
@@ -317,20 +403,37 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
         ws: &mut SearchWorkspace<F::Enumerator>,
         out: &mut Vec<Detection>,
     ) {
-        self.detect_jobs_into(batch.channels, batch.jobs.iter(), batch.c, ws, out);
+        self.detect_jobs_into(batch.channels, batch.jobs, None, batch.c, ws, out);
     }
 
-    fn detect_jobs_into<'j>(
+    /// Whether the lockstep multi-symbol path may run: it models the
+    /// unconstrained search's first descent as a straight line (with an
+    /// infinite radius and no node budget the cheapest child is always
+    /// accepted), which a finite radius or budget would falsify.
+    fn multi_symbol_eligible(&self, n_jobs: usize) -> bool {
+        self.multi_symbol
+            && n_jobs >= 2
+            && self.initial_radius_sqr == f64::INFINITY
+            && self.max_visited_nodes == u64::MAX
+    }
+
+    fn detect_jobs_into(
         &self,
         channels: &[Matrix],
-        jobs: impl Iterator<Item = &'j DetectionJob>,
+        jobs: &[DetectionJob],
+        indices: Option<&[usize]>,
         c: Constellation,
         ws: &mut SearchWorkspace<F::Enumerator>,
         out: &mut Vec<Detection>,
     ) {
         ws.recycle(out);
         ws.begin_batch(channels.len());
-        for job in jobs {
+        let n = indices.map_or(jobs.len(), <[usize]>::len);
+        if self.multi_symbol_eligible(n) {
+            return self.detect_jobs_multi(channels, jobs, indices, c, ws, out);
+        }
+        for t in 0..n {
+            let job = &jobs[indices.map_or(t, |ix| ix[t])];
             let h = &channels[job.channel];
             // Take the prep out of its slot so the workspace stays
             // borrowable during the search; put it back afterwards.
@@ -344,7 +447,256 @@ impl<F: EnumeratorFactory> SphereDecoder<F> {
             ws.preps[job.channel] = Some(prep);
         }
     }
+
+    /// The lockstep multi-symbol batch path: jobs are grouped by channel,
+    /// and each group's first descents run level-by-level together — one
+    /// [`gs_linalg::simd::cdot_soa_multi`] interference kernel per tree
+    /// level across the whole group — before each job resumes the standard
+    /// Schnorr–Euchner loop from its post-leaf state.
+    ///
+    /// Bit-identical to the per-job path, symbols and stats: with an
+    /// infinite radius and no budget (checked by
+    /// [`SphereDecoder::multi_symbol_eligible`]) the per-job first descent
+    /// never backtracks, every floating-point expression is evaluated in
+    /// the same order per job ([`gs_linalg::simd::cdot_soa_multi`] output
+    /// `s` equals `cdot_soa` on job `s`'s column bitwise), and stats are
+    /// per-job, so the interleaving is invisible.
+    fn detect_jobs_multi(
+        &self,
+        channels: &[Matrix],
+        jobs: &[DetectionJob],
+        indices: Option<&[usize]>,
+        c: Constellation,
+        ws: &mut SearchWorkspace<F::Enumerator>,
+        out: &mut Vec<Detection>,
+    ) {
+        let n = indices.map_or(jobs.len(), <[usize]>::len);
+        let job_at = |slot: usize| -> &DetectionJob { &jobs[indices.map_or(slot, |ix| ix[slot])] };
+        // Group output slots by channel. Keys are unique (slot breaks
+        // ties), so the in-place unstable sort is a stable grouping.
+        ws.order.clear();
+        for t in 0..n {
+            ws.order.push((job_at(t).channel as u32, t as u32));
+        }
+        ws.order.sort_unstable();
+        // Results land out of submission order; pre-fill `out` with
+        // recycled placeholders so each detection writes into its slot.
+        for _ in 0..n {
+            let symbols = ws.take_spare();
+            out.push(Detection { symbols, stats: DetectorStats::default() });
+        }
+        let mut g = 0;
+        while g < n {
+            let ch = ws.order[g].0 as usize;
+            let mut e = g;
+            while e < n && ws.order[e].0 as usize == ch {
+                e += 1;
+            }
+            let h = &channels[ch];
+            let nc = h.cols();
+            let mut prep = ws.preps[ch].take();
+            if !ws.prep_fresh[ch] {
+                Self::refresh_prep(&mut prep, self.sorted_qr, h, &mut ws.qr_ws);
+                ws.prep_fresh[ch] = true;
+            }
+            let prep = prep.expect("prep just refreshed");
+            let mut s0 = g;
+            while s0 < e {
+                let k = (e - s0).min(MAX_LOCKSTEP);
+                if k >= 2 {
+                    let mut slots = [0u32; MAX_LOCKSTEP];
+                    for (dst, t) in slots.iter_mut().zip(s0..s0 + k) {
+                        *dst = ws.order[t].1;
+                    }
+                    self.lockstep_chunk(&prep, nc, c, &slots[..k], jobs, indices, ws, out);
+                } else {
+                    let slot = ws.order[s0].1 as usize;
+                    let det = self.detect_prepared(&prep, nc, &job_at(slot).y, c, ws);
+                    let old = std::mem::replace(&mut out[slot], det);
+                    ws.spare.push(old.symbols);
+                }
+                s0 += k;
+            }
+            ws.preps[ch] = Some(prep);
+            g = e;
+        }
+    }
+
+    /// Runs one lockstep chunk: the shared first descent, then each job's
+    /// resumed search, writing detections into their `out` slots.
+    #[allow(clippy::too_many_arguments)]
+    fn lockstep_chunk(
+        &self,
+        prep: &Prep,
+        nc: usize,
+        c: Constellation,
+        slots: &[u32],
+        jobs: &[DetectionJob],
+        indices: Option<&[usize]>,
+        ws: &mut SearchWorkspace<F::Enumerator>,
+        out: &mut [Detection],
+    ) {
+        let k = slots.len();
+        let _prof = gs_prof::scope(gs_prof::Stage::Enumerate);
+        ws.prepare_levels(nc);
+        ws.prepare_multi(k, nc);
+        let (qr, sorted) = match prep {
+            Prep::Plain(qr) => (qr, None),
+            Prep::Sorted(sqr) => (&sqr.qr, Some(sqr)),
+        };
+        ws.load_r_soa(&qr.r);
+        let r = &qr.r;
+        // Rotate each job's receive vector into its ŷ slab entry — one
+        // Rotate scope for the whole chunk (per-vector scopes would cost
+        // more than the 4×4 rotations they bracket).
+        {
+            let _rot = gs_prof::scope(gs_prof::Stage::Rotate);
+            for (s, &slot) in slots.iter().enumerate() {
+                let job = &jobs[indices.map_or(slot as usize, |ix| ix[slot as usize])];
+                qr.rotate_into_unscoped(&job.y, &mut ws.yhat);
+                ws.m_yhat[s * nc..s * nc + nc].copy_from_slice(&ws.yhat[..nc]);
+            }
+        }
+        let mut diverged = false;
+        {
+            let SearchWorkspace {
+                m_enum,
+                m_dist,
+                m_chosen,
+                m_chosen_re,
+                m_chosen_im,
+                m_best,
+                m_yhat,
+                il_re,
+                il_im,
+                ix_re,
+                ix_im,
+                m_radius,
+                m_stats,
+                r_re,
+                r_im,
+                ..
+            } = ws;
+            m_stats[..k].fill(DetectorStats::default());
+            m_radius[..k].fill(0.0);
+            // Lockstep first descent: per level, one batched interference
+            // kernel, then each job opens the level and takes its cheapest
+            // child (always accepted — the radius is infinite).
+            for i in (0..nc).rev() {
+                let m = nc - 1 - i;
+                if m > 0 {
+                    let row = i * nc;
+                    gs_linalg::simd::cdot_soa_multi(
+                        &r_re[row + i + 1..row + nc],
+                        &r_im[row + i + 1..row + nc],
+                        &il_re[(i + 1) * k..nc * k],
+                        &il_im[(i + 1) * k..nc * k],
+                        k,
+                        &mut ix_re[..k],
+                        &mut ix_im[..k],
+                    );
+                } else {
+                    ix_re[..k].fill(0.0);
+                    ix_im[..k].fill(0.0);
+                }
+                let rll = r[(i, i)].re; // real ≥ 0 by QR normalization
+                let gain = rll * rll;
+                for s in 0..k {
+                    if m_radius[s].is_nan() {
+                        continue; // diverged: re-run serially below
+                    }
+                    let stats = &mut m_stats[s];
+                    let acc = m_yhat[s * nc + i] - Complex::new(ix_re[s], ix_im[s]);
+                    stats.complex_mults += m as u64;
+                    let center = if rll > f64::EPSILON { acc / rll } else { Complex::ZERO };
+                    self.factory.make_in(&mut m_enum[s * nc + i], c, center, gain, stats);
+                    m_dist[s * nc + i] = m_radius[s];
+                    match m_enum[s * nc + i]
+                        .as_mut()
+                        .expect("level just opened")
+                        .next_child(f64::INFINITY, stats)
+                    {
+                        Some(child) => {
+                            stats.visited_nodes += 1;
+                            let re = child.point.i as f64;
+                            let im = child.point.q as f64;
+                            m_chosen[s * nc + i] = child.point;
+                            m_chosen_re[s * nc + i] = re;
+                            m_chosen_im[s * nc + i] = im;
+                            il_re[i * k + s] = re;
+                            il_im[i * k + s] = im;
+                            m_radius[s] = m_dist[s * nc + i] + child.cost;
+                        }
+                        None => {
+                            // An exhausted fresh node under an infinite
+                            // budget — pathological, but the per-job path
+                            // handles it, so fall back to it exactly.
+                            m_radius[s] = f64::NAN;
+                            diverged = true;
+                        }
+                    }
+                }
+            }
+            // Resume each job's standard loop from its post-leaf state:
+            // level 0, radius shrunk to the leaf distance, solution found.
+            for s in 0..k {
+                if m_radius[s].is_nan() {
+                    continue;
+                }
+                let leaf = m_radius[s];
+                m_best[s * nc..s * nc + nc].copy_from_slice(&m_chosen[s * nc..s * nc + nc]);
+                let ctx = SearchCtx {
+                    factory: &self.factory,
+                    r,
+                    yhat: &m_yhat[s * nc..s * nc + nc],
+                    c,
+                    nc,
+                    r_re,
+                    r_im,
+                };
+                let res = run_search_loop(
+                    &ctx,
+                    None,
+                    None,
+                    u64::MAX,
+                    nc as u64,
+                    SearchState { i: 0, radius: leaf, found: true, best_dist: leaf },
+                    &mut m_enum[s * nc..s * nc + nc],
+                    &mut m_dist[s * nc..s * nc + nc],
+                    &mut m_chosen[s * nc..s * nc + nc],
+                    &mut m_chosen_re[s * nc..s * nc + nc],
+                    &mut m_chosen_im[s * nc..s * nc + nc],
+                    &mut m_best[s * nc..s * nc + nc],
+                    &mut m_stats[s],
+                );
+                debug_assert!(res.is_some(), "resume starts from a found solution");
+                let det = &mut out[slots[s] as usize];
+                det.symbols.clear();
+                match sorted {
+                    None => det.symbols.extend_from_slice(&m_best[s * nc..s * nc + nc]),
+                    Some(sqr) => sqr.unpermute_into(&m_best[s * nc..s * nc + nc], &mut det.symbols),
+                }
+                det.stats = m_stats[s];
+            }
+        }
+        if diverged {
+            for (s, &slot) in slots.iter().enumerate() {
+                if !ws.m_radius[s].is_nan() {
+                    continue;
+                }
+                let job = &jobs[indices.map_or(slot as usize, |ix| ix[slot as usize])];
+                let det = self.detect_prepared(prep, nc, &job.y, c, ws);
+                let old = std::mem::replace(&mut out[slot as usize], det);
+                ws.spare.push(old.symbols);
+            }
+        }
+    }
 }
+
+/// Upper bound on jobs walked per lockstep chunk — bounds the enumerator
+/// slab (`MAX_LOCKSTEP × nc` slots) while comfortably covering a frame's
+/// OFDM symbols per subcarrier.
+const MAX_LOCKSTEP: usize = 16;
 
 impl<F: EnumeratorFactory> MimoDetector for SphereDecoder<F> {
     fn detect(&self, h: &Matrix, y: &[Complex], c: Constellation) -> Detection {
@@ -393,13 +745,7 @@ impl<F: EnumeratorFactory> MimoDetector for SphereDecoder<F> {
         out: &mut Vec<Detection>,
     ) {
         let sws = ws.get_or_insert(SearchWorkspace::<F::Enumerator>::new);
-        self.detect_jobs_into(
-            batch.channels,
-            indices.iter().map(|&ix| &batch.jobs[ix]),
-            batch.c,
-            sws,
-            out,
-        );
+        self.detect_jobs_into(batch.channels, batch.jobs, Some(indices), batch.c, sws, out);
     }
 
     fn name(&self) -> &'static str {
@@ -525,6 +871,53 @@ mod tests {
             let symbols = geo.detect_with_qr(&qr.r, &yhat[..4], c, &mut shared, &mut stats);
             assert_eq!(symbols, &reference.symbols[..], "trial {trial}");
             assert_eq!(stats, reference.stats, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn multi_symbol_lockstep_matches_single_symbol_bitwise() {
+        // The lockstep first descent must be invisible: same symbols, same
+        // stats, for plain and sorted QR, across group sizes that exercise
+        // singleton groups (k = 1), chunk splits (> MAX_LOCKSTEP), and the
+        // AVX2 kernel's symbol remainder (k mod 4 ≠ 0).
+        use crate::batch::{DetectionBatch, DetectionJob};
+        let mut rng = StdRng::seed_from_u64(149);
+        for (trial, &(n_channels, n_jobs)) in
+            [(1usize, 2usize), (3, 7), (2, 40), (5, 11)].iter().enumerate()
+        {
+            let c = [Constellation::Qam16, Constellation::Qam64][trial % 2];
+            let channels: Vec<Matrix> = (0..n_channels)
+                .map(|_| RayleighChannel::new(4, 4).sample_matrix(&mut rng).scale(c.scale()))
+                .collect();
+            let pts = c.points();
+            let jobs: Vec<DetectionJob> = (0..n_jobs)
+                .map(|j| {
+                    let s: Vec<GridPoint> =
+                        (0..4).map(|_| pts[rng.gen_range(0..pts.len())]).collect();
+                    let mut y = apply_channel(&channels[j % n_channels], &s);
+                    for v in y.iter_mut() {
+                        *v += sample_cn(&mut rng, 0.1);
+                    }
+                    DetectionJob { channel: j % n_channels, y }
+                })
+                .collect();
+            let batch = DetectionBatch { channels: &channels, jobs: &jobs, c };
+            for sorted in [false, true] {
+                let mut multi = SphereDecoder::new(GeosphereFactory::full());
+                multi.sorted_qr = sorted;
+                let single = multi.with_single_symbol();
+                assert!(multi.multi_symbol && !single.multi_symbol);
+                let mut ws_m = multi.make_workspace();
+                let mut ws_s = single.make_workspace();
+                let (mut out_m, mut out_s) = (Vec::new(), Vec::new());
+                multi.detect_batch_into(&batch, &mut ws_m, &mut out_m);
+                single.detect_batch_into(&batch, &mut ws_s, &mut out_s);
+                assert_eq!(out_m.len(), out_s.len());
+                for (j, (m, s)) in out_m.iter().zip(&out_s).enumerate() {
+                    assert_eq!(m.symbols, s.symbols, "trial {trial} sorted {sorted} job {j}");
+                    assert_eq!(m.stats, s.stats, "trial {trial} sorted {sorted} job {j}");
+                }
+            }
         }
     }
 

@@ -26,6 +26,7 @@
 //! [`crate::sphere::enumerator`]).
 
 use crate::detector::Detection;
+use crate::stats::DetectorStats;
 use gs_linalg::{Complex, Qr, QrWorkspace, SortedQr};
 use gs_modulation::{BitTable, Constellation, GridPoint};
 
@@ -90,6 +91,45 @@ pub struct SearchWorkspace<E> {
     /// Recycled per-detection symbol buffers (see
     /// [`SearchWorkspace::recycle`]).
     pub(crate) spare: Vec<Vec<GridPoint>>,
+    // --- Multi-symbol lockstep slabs (sibling jobs sharing one channel's
+    // QR walk their first descents level-by-level together; see
+    // `SphereDecoder::detect_jobs_multi`). Job-major slabs index
+    // `[s·nc + i]` for job `s`, level `i`; the `il_*` pair mirrors the
+    // chosen points level-major (`[i·k + s]`) so one level's entries
+    // across all jobs are a contiguous `cdot_soa_multi` input. ---
+    /// Per-job per-level enumerator slab for the lockstep descent.
+    pub(crate) m_enum: Vec<Option<E>>,
+    /// Per-job `dist_above` slab.
+    pub(crate) m_dist: Vec<f64>,
+    /// Per-job partial symbol vectors.
+    pub(crate) m_chosen: Vec<GridPoint>,
+    /// Job-major split-re mirror of `m_chosen` (the per-job resume path's
+    /// `cdot_soa` input).
+    pub(crate) m_chosen_re: Vec<f64>,
+    /// Imaginary half of the job-major mirror.
+    pub(crate) m_chosen_im: Vec<f64>,
+    /// Per-job best solutions.
+    pub(crate) m_best: Vec<GridPoint>,
+    /// Per-job Q*-rotated receive vectors (truncated to `nc`).
+    pub(crate) m_yhat: Vec<Complex>,
+    /// Level-major interleaved split-re mirror of the chosen points.
+    pub(crate) il_re: Vec<f64>,
+    /// Imaginary half of the level-major mirror.
+    pub(crate) il_im: Vec<f64>,
+    /// Kernel output scratch, one entry per lockstep job.
+    pub(crate) ix_re: Vec<f64>,
+    /// Imaginary half of the kernel output scratch.
+    pub(crate) ix_im: Vec<f64>,
+    /// Per-job path distance during the descent, then the leaf distance
+    /// (the resume radius). `NaN` marks a job whose descent hit an empty
+    /// enumerator and must re-run through the plain serial search.
+    pub(crate) m_radius: Vec<f64>,
+    /// Per-job operation counters.
+    pub(crate) m_stats: Vec<DetectorStats>,
+    /// Channel-grouping scratch for the batched path: `(channel, slot)`
+    /// pairs sorted in place (keys unique, so the unstable sort is a
+    /// stable grouping).
+    pub(crate) order: Vec<(u32, u32)>,
 }
 
 /// The workspace type for a given enumerator factory, e.g.
@@ -122,6 +162,65 @@ impl<E> SearchWorkspace<E> {
             preps: Vec::new(),
             prep_fresh: Vec::new(),
             spare: Vec::new(),
+            m_enum: Vec::new(),
+            m_dist: Vec::new(),
+            m_chosen: Vec::new(),
+            m_chosen_re: Vec::new(),
+            m_chosen_im: Vec::new(),
+            m_best: Vec::new(),
+            m_yhat: Vec::new(),
+            il_re: Vec::new(),
+            il_im: Vec::new(),
+            ix_re: Vec::new(),
+            ix_im: Vec::new(),
+            m_radius: Vec::new(),
+            m_stats: Vec::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Sizes the lockstep slabs for `k` jobs of `nc` streams each. Grows
+    /// only, like every other slab — allocation-free once warmed up.
+    pub(crate) fn prepare_multi(&mut self, k: usize, nc: usize) {
+        let slab = k * nc;
+        if self.m_enum.len() < slab {
+            self.m_enum.resize_with(slab, || None);
+        }
+        if self.m_dist.len() < slab {
+            self.m_dist.resize(slab, 0.0);
+        }
+        if self.m_chosen.len() < slab {
+            self.m_chosen.resize(slab, GridPoint::default());
+        }
+        if self.m_chosen_re.len() < slab {
+            self.m_chosen_re.resize(slab, 0.0);
+        }
+        if self.m_chosen_im.len() < slab {
+            self.m_chosen_im.resize(slab, 0.0);
+        }
+        if self.m_best.len() < slab {
+            self.m_best.resize(slab, GridPoint::default());
+        }
+        if self.m_yhat.len() < slab {
+            self.m_yhat.resize(slab, Complex::ZERO);
+        }
+        if self.il_re.len() < slab {
+            self.il_re.resize(slab, 0.0);
+        }
+        if self.il_im.len() < slab {
+            self.il_im.resize(slab, 0.0);
+        }
+        if self.ix_re.len() < k {
+            self.ix_re.resize(k, 0.0);
+        }
+        if self.ix_im.len() < k {
+            self.ix_im.resize(k, 0.0);
+        }
+        if self.m_radius.len() < k {
+            self.m_radius.resize(k, 0.0);
+        }
+        if self.m_stats.len() < k {
+            self.m_stats.resize(k, DetectorStats::default());
         }
     }
 

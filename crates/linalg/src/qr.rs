@@ -42,6 +42,17 @@ impl Qr {
     /// # Panics
     /// Panics when `y.len()` differs from the number of rows of `Q`.
     pub fn rotate_into(&self, y: &[Complex], out: &mut Vec<Complex>) {
+        let _prof = gs_prof::scope(gs_prof::Stage::Rotate);
+        self.rotate_into_unscoped(y, out);
+    }
+
+    /// [`Qr::rotate_into`] without opening a `Rotate` profiling scope.
+    ///
+    /// For a small `nc` the scope entry/exit costs a visible fraction of
+    /// the rotation itself, so batched callers (the multi-symbol lockstep
+    /// rotates up to 16 vectors back-to-back) bracket the whole run under
+    /// one caller-held scope and call this per vector.
+    pub fn rotate_into_unscoped(&self, y: &[Complex], out: &mut Vec<Complex>) {
         assert_eq!(y.len(), self.q.rows(), "rotate dimension mismatch");
         out.clear();
         out.resize(self.q.cols(), Complex::ZERO);
@@ -105,6 +116,7 @@ pub fn qr_decompose(h: &Matrix) -> Qr {
 /// Factors are bit-identical to [`qr_decompose`] (same arithmetic, same
 /// operation order).
 pub fn qr_decompose_into(h: &Matrix, ws: &mut QrWorkspace, out: &mut Qr) {
+    let _prof = gs_prof::scope(gs_prof::Stage::QrDecompose);
     qr_core(h, &mut ws.r_full, &mut ws.q_full, &mut ws.x, out);
 }
 
@@ -246,6 +258,7 @@ pub fn sorted_qr_decompose(h: &Matrix) -> SortedQr {
 /// [`sorted_qr_decompose`] into a caller-owned output with scratch from
 /// `ws`; allocation-free after shape warmup, bit-identical factors.
 pub fn sorted_qr_decompose_into(h: &Matrix, ws: &mut QrWorkspace, out: &mut SortedQr) {
+    let _prof = gs_prof::scope(gs_prof::Stage::QrDecompose);
     let n = h.cols();
     out.perm.clear();
     out.perm.extend(0..n);

@@ -40,11 +40,12 @@
 //!
 //! | value                          | effect                             |
 //! |--------------------------------|------------------------------------|
-//! | unset, `on`, `auto`, `native`  | best tier the CPU supports         |
+//! | unset, `on`, `auto`, `native`, `1` | best tier the CPU supports     |
 //! | `off`, `scalar`, `0`           | force the scalar path              |
 //! | `avx2`                         | force AVX2 (scalar if unsupported) |
+//! | `avx512`                       | recognized, tier not yet implemented: best supported tier (AVX2, else scalar), no warning |
 //! | `neon`                         | force NEON (scalar if unsupported) |
-//! | anything else                  | warning on stderr + scalar path    |
+//! | anything else                  | warning on stderr listing the valid values + scalar path |
 //!
 //! [`force_tier`]/[`reset_tier`] expose the same control programmatically
 //! for tests and benches; because backends are bit-identical, switching
@@ -148,18 +149,30 @@ pub fn tier_supported(tier: Tier) -> bool {
 fn tier_from_env() -> Tier {
     crate::env::env_knob(
         "GS_SIMD",
-        "off|scalar|avx2|neon|auto",
+        "off|scalar|0|on|auto|native|1|avx2|avx512|neon",
         "using the scalar path",
         detected_tier(),
         Tier::Scalar,
-        |v| match v {
-            "" | "on" | "auto" | "native" | "1" => Some(detected_tier()),
-            "off" | "scalar" | "0" => Some(Tier::Scalar),
-            "avx2" => Some(if tier_supported(Tier::Avx2) { Tier::Avx2 } else { Tier::Scalar }),
-            "neon" => Some(if tier_supported(Tier::Neon) { Tier::Neon } else { Tier::Scalar }),
-            _ => None,
-        },
+        parse_tier_value,
     )
+}
+
+/// The `GS_SIMD` value grammar, factored out of [`tier_from_env`] so the
+/// accepted spellings are unit-testable without touching the process
+/// environment. `None` means unrecognized (the knob then warns, listing
+/// the valid values, and falls back to scalar).
+fn parse_tier_value(v: &str) -> Option<Tier> {
+    match v {
+        "" | "on" | "auto" | "native" | "1" => Some(detected_tier()),
+        "off" | "scalar" | "0" => Some(Tier::Scalar),
+        "avx2" => Some(if tier_supported(Tier::Avx2) { Tier::Avx2 } else { Tier::Scalar }),
+        // Forward-compat for the planned AVX-512 tier: recognized (no
+        // warning), falls back to the best tier this build implements on
+        // the requested family — AVX2 where supported, else scalar.
+        "avx512" => Some(if tier_supported(Tier::Avx2) { Tier::Avx2 } else { Tier::Scalar }),
+        "neon" => Some(if tier_supported(Tier::Neon) { Tier::Neon } else { Tier::Scalar }),
+        _ => None,
+    }
 }
 
 /// The tier the kernels currently dispatch to. Resolved once from
@@ -301,6 +314,82 @@ pub fn cdot_soa_with(tier: Tier, ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64])
     dispatch_with!(tier, cdot_soa(ar, ai, br, bi))
 }
 
+/// Multi-symbol [`cdot_soa`]: one shared `a` vector (length `m`) dotted
+/// against `k` symbol columns stored interleaved (`b[j·k + s]` is symbol
+/// `s`'s element `j`) — the sphere engine's lockstep interference
+/// accumulation when sibling symbols share one channel's `R`. Output `s`
+/// is bit-identical to `cdot_soa(a, column_s)` on every backend: the
+/// scalar path replicates the per-symbol spec verbatim and the AVX2 path
+/// vectorizes across the symbol dimension (elementwise there, so the
+/// per-symbol op order is unchanged). NEON currently takes the scalar
+/// path — the across-symbol layout needs ≥4 lanes to pay for itself.
+///
+/// # Panics
+/// Panics when `a` slices differ in length, `b` slices are shorter than
+/// `m·k`, or the outputs are shorter than `k`.
+pub fn cdot_soa_multi(
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    k: usize,
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+) {
+    assert_cdot_soa_multi(ar, ai, br, bi, k, out_re, out_im);
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: `active_tier()` only returns `Avx2` when runtime
+        // detection confirmed AVX2 support.
+        #[allow(unsafe_code)]
+        Tier::Avx2 => unsafe { avx2::cdot_soa_multi(ar, ai, br, bi, k, out_re, out_im) },
+        _ => scalar::cdot_soa_multi(ar, ai, br, bi, k, out_re, out_im),
+    }
+}
+
+/// [`cdot_soa_multi`] forced onto a specific tier (unsupported tiers fall
+/// back to scalar) — the parity-test entry point.
+// Tier selector plus the kernel's slab ABI; same shape as the kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn cdot_soa_multi_with(
+    tier: Tier,
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    k: usize,
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+) {
+    assert_cdot_soa_multi(ar, ai, br, bi, k, out_re, out_im);
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: guarded by `tier_supported`.
+        #[allow(unsafe_code)]
+        Tier::Avx2 if tier_supported(Tier::Avx2) => unsafe {
+            avx2::cdot_soa_multi(ar, ai, br, bi, k, out_re, out_im)
+        },
+        _ => scalar::cdot_soa_multi(ar, ai, br, bi, k, out_re, out_im),
+    }
+}
+
+fn assert_cdot_soa_multi(
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    k: usize,
+    out_re: &[f64],
+    out_im: &[f64],
+) {
+    assert_eq!(ar.len(), ai.len(), "cdot_soa_multi a-length mismatch");
+    assert!(
+        br.len() >= ar.len() * k && bi.len() >= ar.len() * k,
+        "cdot_soa_multi b slabs too short"
+    );
+    assert!(out_re.len() >= k && out_im.len() >= k, "cdot_soa_multi outputs too short");
+}
+
 /// Elementwise conjugated axpy `out_j += conj(a_j) · y` — one row step of
 /// the Q*-rotation ([`crate::Qr::rotate_into`]). Elementwise, so every
 /// backend is trivially bit-identical.
@@ -327,6 +416,8 @@ pub fn caxpy_conj_with(tier: Tier, a: &[Complex], y: Complex, out: &mut [Complex
 /// Panics when slice lengths differ.
 pub fn ped_soa(re: &[f64], im: &[f64], center: Complex, gain: f64, out: &mut [f64]) {
     assert!(re.len() == im.len() && re.len() == out.len(), "ped_soa length mismatch");
+    let _prof = gs_prof::scope(gs_prof::Stage::PedKernel);
+    _prof.add_bytes((re.len() * 3 * std::mem::size_of::<f64>()) as u64);
     dispatch!(ped_soa(re, im, center, gain, out))
 }
 
@@ -399,6 +490,23 @@ mod tests {
         let other = cdot_with(Tier::Avx2, &a, &b);
         assert_eq!(scalar.re.to_bits(), other.re.to_bits());
         assert_eq!(scalar.im.to_bits(), other.im.to_bits());
+    }
+
+    #[test]
+    fn gs_simd_grammar_recognizes_every_documented_value() {
+        for v in ["", "on", "auto", "native", "1", "off", "scalar", "0", "avx2", "avx512", "neon"] {
+            assert!(parse_tier_value(v).is_some(), "documented value {v:?} must parse");
+        }
+        assert_eq!(parse_tier_value("off"), Some(Tier::Scalar));
+        // avx512 is recognized but unimplemented: it must resolve to a
+        // supported tier (never warn, never crash) — AVX2 on machines
+        // that have it, scalar elsewhere.
+        let resolved = parse_tier_value("avx512").unwrap();
+        assert!(tier_supported(resolved), "avx512 must fall back to a supported tier");
+        assert_ne!(resolved, Tier::Neon);
+        for v in ["of", "AVX2", "avx-512", "2", "best"] {
+            assert_eq!(parse_tier_value(v), None, "{v:?} must be rejected (warn + scalar)");
+        }
     }
 
     #[test]

@@ -71,6 +71,68 @@ pub(super) fn cdot_soa(ar: &[f64], ai: &[f64], br: &[f64], bi: &[f64]) -> Comple
     Complex::new(tre, tim)
 }
 
+/// Multi-symbol split-layout complex dot: one shared `a` vector (length
+/// `m`) against `k` interleaved `b` vectors, where symbol `s`'s element
+/// `j` lives at `b[j·k + s]`. Per symbol the lane structure, reduction
+/// tree, and tail handling replicate [`cdot_soa`] exactly, so each output
+/// is bit-identical to a per-symbol `cdot_soa` call on a contiguous copy
+/// of that symbol's column.
+pub(super) fn cdot_soa_multi(
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    k: usize,
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+) {
+    cdot_soa_multi_tail(ar, ai, br, bi, k, 0, out_re, out_im);
+}
+
+/// [`cdot_soa_multi`] restricted to symbols `s_from..k` — the remainder
+/// path of the across-symbol SIMD backends (which handle `k mod lanes`
+/// trailing symbols here, through the specification itself).
+// The arguments are the kernel's slab ABI (four input slabs, the symbol
+// count, the resume offset, two output slabs); a params struct would
+// only rename them.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn cdot_soa_multi_tail(
+    ar: &[f64],
+    ai: &[f64],
+    br: &[f64],
+    bi: &[f64],
+    k: usize,
+    s_from: usize,
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+) {
+    let m = ar.len();
+    for s in s_from..k {
+        let blocks = m / 4;
+        let mut re = [0.0f64; 4];
+        let mut im = [0.0f64; 4];
+        for blk in 0..blocks {
+            for l in 0..4 {
+                let j = 4 * blk + l;
+                let b_r = br[j * k + s];
+                let b_i = bi[j * k + s];
+                re[l] += ar[j] * b_r - ai[j] * b_i;
+                im[l] += ar[j] * b_i + ai[j] * b_r;
+            }
+        }
+        let mut tre = (re[0] + re[2]) + (re[1] + re[3]);
+        let mut tim = (im[0] + im[2]) + (im[1] + im[3]);
+        for j in 4 * blocks..m {
+            let b_r = br[j * k + s];
+            let b_i = bi[j * k + s];
+            tre += ar[j] * b_r - ai[j] * b_i;
+            tim += ar[j] * b_i + ai[j] * b_r;
+        }
+        out_re[s] = tre;
+        out_im[s] = tim;
+    }
+}
+
 /// Elementwise `out_j += conj(a_j) · y`: per element
 /// `re += ar·yr + ai·yi`, `im += ar·yi − ai·yr` — no cross-element
 /// reduction, so lane width cannot matter.

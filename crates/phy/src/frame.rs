@@ -75,6 +75,11 @@ pub(crate) struct RxScratch {
     pub(crate) info: Vec<bool>,
     /// Viterbi trellis scratch (hard and soft paths).
     pub(crate) vit: ViterbiWorkspace,
+    /// Flat client-major mother streams for the lockstep multi-stream
+    /// Viterbi pass (client `cl` at `cl·mother_len..`).
+    pub(crate) mother_multi: Vec<CodedBit>,
+    /// Flat client-major decoded info bits from the lockstep pass.
+    pub(crate) info_multi: Vec<bool>,
 }
 
 /// The detector identity installed into the worker pool: the caller's
@@ -138,6 +143,11 @@ pub struct FrameWorkspace {
     /// Per-client detected symbols, flattened like `symbols`.
     pub(crate) detected: Vec<Vec<GridPoint>>,
     pub(crate) rx: RxScratch,
+    /// Diagnostic/bench knob: decode each client's Viterbi trellis
+    /// separately instead of through the lockstep multi-stream pass.
+    /// Default `false` (batched). Outputs are bit-identical either way —
+    /// this exists so `bench_gate` can time the single-stream path.
+    pub(crate) per_client_viterbi: bool,
     /// The control-plane tier stamp copied into [`UplinkOutcome::tier`] by
     /// `finish_uplink`. Sticky until set again ([`FrameWorkspace::set_detector_tier`]);
     /// defaults to [`DetectorTier::Sphere`].
@@ -172,6 +182,13 @@ impl FrameWorkspace {
     /// report.
     pub fn detector_tier(&self) -> DetectorTier {
         self.tier
+    }
+
+    /// Forces per-client (single-stream) Viterbi decoding instead of the
+    /// default lockstep multi-stream pass. Bit-identical output either
+    /// way; a measurement knob for the bench harness, not a tuning one.
+    pub fn set_per_client_viterbi(&mut self, on: bool) {
+        self.per_client_viterbi = on;
     }
 
     /// The `Arc` handle for `detector`, rebuilding it only when the

@@ -41,6 +41,8 @@ pub fn receive_frame_soft(cfg: &PhyConfig, llrs: &[f64]) -> Option<Vec<bool>> {
 /// Returns whether the CRC verified; the decoded information bits
 /// (payload + CRC) are left in `rx.info`.
 pub(crate) fn receive_frame_soft_into(cfg: &PhyConfig, llrs: &[f64], rx: &mut RxScratch) -> bool {
+    let _prof = gs_prof::scope(gs_prof::Stage::Recover);
+    _prof.add_bytes(cfg.payload_bits as u64 / 8);
     let c = cfg.constellation;
     let il = Interleaver::new(cfg.n_cbps(), c.bits_per_symbol());
     il.deinterleave_values_stream_into(llrs, &mut rx.llr_deint);

@@ -109,6 +109,18 @@ pub(crate) fn receive_frame_flat_into(
     detected: &[GridPoint],
     rx: &mut RxScratch,
 ) -> bool {
+    let _prof = gs_prof::scope(gs_prof::Stage::Recover);
+    _prof.add_bytes(cfg.payload_bits as u64 / 8);
+    preprocess_client_into(cfg, detected, rx);
+    viterbi::decode_with_erasures_into(&rx.mother_cb, &mut rx.vit, &mut rx.info);
+    Scrambler::default_seed().apply_in_place(&mut rx.info);
+    rx.info.truncate(cfg.payload_bits + 32); // drop pad
+    check_crc_ok(&rx.info)
+}
+
+/// The pre-Viterbi half of one client's receive chain: demap the detected
+/// grid points, deinterleave, and depuncture into `rx.mother_cb`.
+fn preprocess_client_into(cfg: &PhyConfig, detected: &[GridPoint], rx: &mut RxScratch) {
     let c = cfg.constellation;
     unmap_points_into(c, detected, &mut rx.bits);
     let il = Interleaver::new(cfg.n_cbps(), c.bits_per_symbol());
@@ -117,10 +129,6 @@ pub(crate) fn receive_frame_flat_into(
     // (rate-1/2) stream is exactly twice it.
     let mother_len = 2 * cfg.total_info_bits();
     depuncture_into(&rx.deint, cfg.code_rate, mother_len, &mut rx.mother_cb);
-    viterbi::decode_with_erasures_into(&rx.mother_cb, &mut rx.vit, &mut rx.info);
-    Scrambler::default_seed().apply_in_place(&mut rx.info);
-    rx.info.truncate(cfg.payload_bits + 32); // drop pad
-    check_crc_ok(&rx.info)
 }
 
 /// Result of one multi-user uplink frame exchange.
@@ -248,6 +256,7 @@ pub(crate) fn decode_frame_scoped_into<'w, R: Rng + ?Sized, D: MimoDetector + ?S
         };
         let detections = BatchDetector::new(detector, workers).detect_batch(&batch);
         begin_assemble(ws);
+        let _prof = gs_prof::scope(gs_prof::Stage::Scatter);
         for (idx, det) in detections.iter().enumerate() {
             absorb_detection(&mut ws.detected, &mut stats, idx, det);
         }
@@ -303,7 +312,9 @@ where
         let mut pool = ws.pool.take().expect("pool just ensured");
         pool.run(&arc, &mut ws.rx_channels, &mut ws.jobs, ws.n_jobs, cfg.constellation);
         begin_assemble(ws);
+        let scatter = gs_prof::scope(gs_prof::Stage::Scatter);
         pool.for_each_result(|idx, det| absorb_detection(&mut ws.detected, &mut stats, idx, det));
+        drop(scatter);
         ws.pool = Some(pool);
     }
     finish_outcome(cfg, ws, stats)
@@ -329,6 +340,7 @@ fn detect_planned_inline<D: MimoDetector + ?Sized>(
         detector.detect_batch_with(&batch, det_ws, det_out);
     }
     begin_assemble(ws);
+    let _prof = gs_prof::scope(gs_prof::Stage::Scatter);
     let FrameWorkspace { det_out, detected, .. } = ws;
     for (idx, det) in det_out.iter().enumerate() {
         absorb_detection(detected, stats, idx, det);
@@ -395,9 +407,11 @@ pub(crate) fn plan_uplink_frame_into<R: Rng + ?Sized>(
     rng: &mut R,
     ws: &mut FrameWorkspace,
 ) {
+    let _prof = gs_prof::scope(gs_prof::Stage::Plan);
     let nc = channel.num_tx();
     let na = channel.num_rx();
     let c = cfg.constellation;
+    _prof.add_bytes((nc * cfg.payload_bits) as u64 / 8);
     let (n_sym, n_grid) = plan_transmit_into(cfg, channel, rng, ws);
     let sigma2 = gs_channel::noise_variance_for_snr_db(snr_db);
     ws.n_grid_channels = n_grid;
@@ -457,6 +471,7 @@ pub(crate) fn plan_uplink_frame_into<R: Rng + ?Sized>(
 
 /// Sizes the per-client detected-symbol buffers for the planned frame.
 pub(crate) fn begin_assemble(ws: &mut FrameWorkspace) {
+    let _prof = gs_prof::scope(gs_prof::Stage::Scatter);
     let nc = ws.n_clients;
     if ws.detected.len() < nc {
         ws.detected.resize_with(nc, Vec::new);
@@ -491,11 +506,49 @@ pub(crate) fn finish_outcome<'w>(
     let nc = ws.n_clients;
     let n_jobs = ws.n_jobs;
     ws.out.client_ok.clear();
-    for cl in 0..nc {
+    if nc >= 2 && !ws.per_client_viterbi {
+        // Multi-symbol SoA path: every client's pre-Viterbi chain feeds one
+        // flat client-major mother slab, one lockstep trellis pass decodes
+        // them all, then the per-client tail (descramble, CRC, compare)
+        // runs over slices of the flat output. Bit-identical to the
+        // per-client loop below — the lockstep decoder reproduces the
+        // single-stream recurrence exactly.
         let FrameWorkspace { detected, payloads, rx, out, .. } = ws;
-        let ok = receive_frame_flat_into(cfg, &detected[cl][..n_jobs], rx)
-            && rx.info[..cfg.payload_bits] == payloads[cl][..];
-        out.client_ok.push(ok);
+        {
+            let _prof = gs_prof::scope(gs_prof::Stage::Recover);
+            _prof.add_bytes((nc * cfg.payload_bits) as u64 / 8);
+            rx.mother_multi.clear();
+            for cl in 0..nc {
+                preprocess_client_into(cfg, &detected[cl][..n_jobs], rx);
+                let RxScratch { mother_cb, mother_multi, .. } = rx;
+                mother_multi.extend_from_slice(mother_cb);
+            }
+        }
+        viterbi::decode_multi_with_erasures_into(
+            &rx.mother_multi,
+            nc,
+            &mut rx.vit,
+            &mut rx.info_multi,
+        );
+        let _prof = gs_prof::scope(gs_prof::Stage::Recover);
+        let info_len = rx.info_multi.len() / nc;
+        let frame_len = cfg.payload_bits + 32;
+        for cl in 0..nc {
+            // Descrambling is positional, so stopping at the CRC boundary
+            // leaves exactly the bits the single-stream path keeps after
+            // its truncate.
+            let info = &mut rx.info_multi[cl * info_len..cl * info_len + frame_len];
+            Scrambler::default_seed().apply_in_place(info);
+            let ok = check_crc_ok(info) && info[..cfg.payload_bits] == payloads[cl][..];
+            out.client_ok.push(ok);
+        }
+    } else {
+        for cl in 0..nc {
+            let FrameWorkspace { detected, payloads, rx, out, .. } = ws;
+            let ok = receive_frame_flat_into(cfg, &detected[cl][..n_jobs], rx)
+                && rx.info[..cfg.payload_bits] == payloads[cl][..];
+            out.client_ok.push(ok);
+        }
     }
     ws.out.stats = stats;
     ws.out.detections = ws.n_jobs as u64;

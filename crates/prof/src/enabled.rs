@@ -1,0 +1,302 @@
+//! The live implementation behind the `profile` feature: per-thread
+//! counter tables, the scope stack doing self-time attribution, and the
+//! tick clock.
+
+use crate::{Stage, StageProfile};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Deepest scope nesting tracked per thread. Deeper scopes still count
+/// invocations but stop re-attributing time (the enclosing scope absorbs
+/// it) — the receive chain nests 3–4 deep, so 32 is pure headroom.
+const MAX_DEPTH: usize = 32;
+
+/// One row of a thread's table. Single-writer: only the owning thread
+/// stores, so plain `Relaxed` load+store (no RMW contention) is enough;
+/// [`snapshot`] on other threads sees values at worst one scope stale.
+#[derive(Default)]
+struct StageCell {
+    cycles: AtomicU64,
+    invocations: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Owner-only writer: load+store is a cheap non-atomic-RMW add.
+#[inline]
+fn bump(counter: &AtomicU64, by: u64) {
+    counter.store(counter.load(Ordering::Relaxed).wrapping_add(by), Ordering::Relaxed);
+}
+
+/// A thread's counter table, shared with the global registry so the
+/// aggregate outlives the thread (shard workers come and go; their cycles
+/// must not).
+struct ThreadSlot {
+    cells: [StageCell; Stage::COUNT],
+}
+
+impl ThreadSlot {
+    fn new() -> Self {
+        ThreadSlot { cells: std::array::from_fn(|_| StageCell::default()) }
+    }
+
+    #[inline]
+    fn add_cycles(&self, idx: usize, d: u64) {
+        bump(&self.cells[idx].cycles, d);
+    }
+}
+
+/// Every table ever registered. Entries are kept after thread exit on
+/// purpose — that is what preserves attribution across the
+/// `ShardedDetectionPool` handoff. A slot is ~300 bytes, so even heavy
+/// thread churn in the test suite stays negligible.
+static REGISTRY: Mutex<Vec<Arc<ThreadSlot>>> = Mutex::new(Vec::new());
+
+struct Local {
+    slot: Arc<ThreadSlot>,
+    depth: Cell<usize>,
+    stack_stage: [Cell<usize>; MAX_DEPTH],
+    resume: [Cell<u64>; MAX_DEPTH],
+}
+
+impl Local {
+    fn register() -> Self {
+        let slot = Arc::new(ThreadSlot::new());
+        REGISTRY.lock().expect("profiler registry poisoned").push(Arc::clone(&slot));
+        Local {
+            slot,
+            depth: Cell::new(0),
+            stack_stage: std::array::from_fn(|_| Cell::new(0)),
+            resume: std::array::from_fn(|_| Cell::new(0)),
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: Local = Local::register();
+}
+
+/// Raw tick counter: TSC on `x86_64`, monotonic nanoseconds elsewhere.
+/// Only deltas are meaningful; convert with [`ticks_per_sec`].
+#[inline]
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // _rdtsc is a register read; no memory is touched.
+pub fn ticks() -> u64 {
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+/// Raw tick counter (monotonic nanoseconds since first use).
+#[inline]
+#[cfg(not(target_arch = "x86_64"))]
+pub fn ticks() -> u64 {
+    use std::time::Instant;
+    static BASE: OnceLock<Instant> = OnceLock::new();
+    BASE.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Measured tick rate (ticks per wall-clock second), calibrated once per
+/// process with a short spin against `Instant`. Used to render the cycle
+/// table in milliseconds and to compute coverage against a wall-clock
+/// envelope.
+pub fn ticks_per_sec() -> f64 {
+    static RATE: OnceLock<f64> = OnceLock::new();
+    *RATE.get_or_init(|| {
+        let start = std::time::Instant::now();
+        let t0 = ticks();
+        while start.elapsed() < std::time::Duration::from_millis(5) {
+            std::hint::spin_loop();
+        }
+        let dt = ticks().wrapping_sub(t0);
+        dt as f64 / start.elapsed().as_secs_f64()
+    })
+}
+
+/// Live scope handle: attributes self-time to `stage` until dropped.
+#[must_use = "a profiling scope measures until dropped"]
+pub struct ScopeGuard {
+    stage: Stage,
+    /// False when the stack was full at entry (the scope still counted an
+    /// invocation but did not push, so drop must not pop).
+    pushed: bool,
+}
+
+impl ScopeGuard {
+    /// Attribute `n` bytes to this scope's stage.
+    #[inline]
+    pub fn add_bytes(&self, n: u64) {
+        let _ = LOCAL.try_with(|l| {
+            bump(&l.slot.cells[self.stage.index()].bytes, n);
+        });
+    }
+}
+
+impl Drop for ScopeGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if !self.pushed {
+            return;
+        }
+        // try_with: guards may drop during thread teardown after the TLS
+        // slot is gone; losing those final ticks beats aborting.
+        let _ = LOCAL.try_with(|l| {
+            let now = ticks();
+            let d = l.depth.get() - 1;
+            l.slot.add_cycles(l.stack_stage[d].get(), now.saturating_sub(l.resume[d].get()));
+            l.depth.set(d);
+            if d > 0 {
+                l.resume[d - 1].set(now);
+            }
+        });
+    }
+}
+
+/// Open a profiling scope for `stage` on the current thread.
+///
+/// Entering attributes the ticks elapsed since the last attribution point
+/// to the *enclosing* scope's stage (self-time accounting), then starts
+/// attributing to `stage`; dropping the returned guard reverses it.
+#[inline]
+pub fn scope(stage: Stage) -> ScopeGuard {
+    let pushed = LOCAL
+        .try_with(|l| {
+            let now = ticks();
+            let idx = stage.index();
+            bump(&l.slot.cells[idx].invocations, 1);
+            let d = l.depth.get();
+            if d >= MAX_DEPTH {
+                return false;
+            }
+            if d > 0 {
+                l.slot.add_cycles(
+                    l.stack_stage[d - 1].get(),
+                    now.saturating_sub(l.resume[d - 1].get()),
+                );
+            }
+            l.stack_stage[d].set(idx);
+            l.resume[d].set(now);
+            l.depth.set(d + 1);
+            true
+        })
+        .unwrap_or(false);
+    ScopeGuard { stage, pushed }
+}
+
+/// Explicitly attribute pre-measured counters to `stage` on the current
+/// thread's table — for wall-time spans that cross threads, e.g. the
+/// queue wait between a task's submit stamp and its pop.
+#[inline]
+pub fn record(stage: Stage, cycles: u64, invocations: u64, bytes: u64) {
+    let _ = LOCAL.try_with(|l| {
+        let c = &l.slot.cells[stage.index()];
+        if cycles > 0 {
+            bump(&c.cycles, cycles);
+        }
+        if invocations > 0 {
+            bump(&c.invocations, invocations);
+        }
+        if bytes > 0 {
+            bump(&c.bytes, bytes);
+        }
+    });
+}
+
+/// Aggregate every registered thread table (including exited threads)
+/// into one [`StageProfile`]. Allocates transiently (registry lock +
+/// iteration) — an observability call, not a hot-path one.
+pub fn snapshot() -> StageProfile {
+    let mut out = StageProfile::empty();
+    let registry = REGISTRY.lock().expect("profiler registry poisoned");
+    for slot in registry.iter() {
+        for (rec, cell) in out.stages.iter_mut().zip(slot.cells.iter()) {
+            rec.cycles = rec.cycles.wrapping_add(cell.cycles.load(Ordering::Relaxed));
+            rec.invocations =
+                rec.invocations.wrapping_add(cell.invocations.load(Ordering::Relaxed));
+            rec.bytes = rec.bytes.wrapping_add(cell.bytes.load(Ordering::Relaxed));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin_ticks(min: u64) {
+        let t0 = ticks();
+        while ticks().wrapping_sub(t0) < min {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn scopes_attribute_self_time() {
+        let before = snapshot();
+        {
+            let _outer = scope(Stage::Recover);
+            spin_ticks(20_000);
+            {
+                let _inner = scope(Stage::Viterbi);
+                spin_ticks(20_000);
+            }
+            spin_ticks(20_000);
+        }
+        let d = snapshot().delta(&before);
+        let rec = d.stages[Stage::Recover.index()];
+        let vit = d.stages[Stage::Viterbi.index()];
+        assert_eq!(rec.invocations, 1);
+        assert_eq!(vit.invocations, 1);
+        // Self time: outer ≈ 2 spins, inner ≈ 1 spin, neither zero and
+        // the inner spin is not double-counted into the outer.
+        assert!(rec.cycles >= 30_000, "outer self-time too small: {}", rec.cycles);
+        assert!(vit.cycles >= 15_000, "inner self-time too small: {}", vit.cycles);
+    }
+
+    #[test]
+    fn record_and_bytes_land_in_the_table() {
+        let before = snapshot();
+        record(Stage::Queue, 777, 3, 0);
+        let g = scope(Stage::PedKernel);
+        g.add_bytes(4096);
+        drop(g);
+        let d = snapshot().delta(&before);
+        assert_eq!(d.stages[Stage::Queue.index()].cycles, 777);
+        assert_eq!(d.stages[Stage::Queue.index()].invocations, 3);
+        assert_eq!(d.stages[Stage::PedKernel.index()].bytes, 4096);
+    }
+
+    #[test]
+    fn counters_survive_thread_exit() {
+        let before = snapshot();
+        std::thread::spawn(|| {
+            let _g = scope(Stage::Enumerate);
+            spin_ticks(10_000);
+        })
+        .join()
+        .unwrap();
+        let d = snapshot().delta(&before);
+        assert!(d.stages[Stage::Enumerate.index()].cycles > 0);
+        assert_eq!(d.stages[Stage::Enumerate.index()].invocations, 1);
+    }
+
+    #[test]
+    fn depth_overflow_counts_but_does_not_corrupt() {
+        let before = snapshot();
+        fn nest(n: usize) {
+            let _g = scope(Stage::Filter);
+            if n > 0 {
+                nest(n - 1);
+            }
+        }
+        nest(MAX_DEPTH + 8);
+        let d = snapshot().delta(&before);
+        assert_eq!(d.stages[Stage::Filter.index()].invocations, (MAX_DEPTH + 9) as u64);
+        LOCAL.with(|l| assert_eq!(l.depth.get(), 0));
+    }
+
+    #[test]
+    fn tick_rate_is_sane() {
+        let tps = ticks_per_sec();
+        // Any real TSC or nanosecond clock ticks between 10 MHz and 10 GHz.
+        assert!(tps > 1e7 && tps < 1e10, "implausible tick rate {tps}");
+    }
+}

@@ -1,0 +1,308 @@
+//! Stage-attributed cycle profiling for the Geosphere receive chain.
+//!
+//! The paper's processing-rate-scalability argument turns every further
+//! optimisation into a measurement problem: a perf PR must *name* the
+//! stage it attacks. This crate is the measurement substrate — a
+//! near-zero-overhead per-thread counter table keyed by the fixed
+//! [`Stage`] taxonomy, recording **cycles** (TSC on `x86_64`, a monotonic
+//! nanosecond clock elsewhere), **invocations**, and **bytes** per stage.
+//!
+//! # Attribution model: exclusive (self) time
+//!
+//! Scopes nest, but cycles never double-count. Each thread keeps a small
+//! scope stack; entering a scope first attributes the time elapsed since
+//! the last attribution point to the *enclosing* scope's stage, then
+//! switches attribution to the new stage. Dropping the guard attributes
+//! the remainder and resumes the parent. The result is a flat table whose
+//! per-stage cycles **partition** the instrumented wall time — summing
+//! the table never exceeds the measured envelope, and "coverage" (table
+//! total ÷ wall clock) directly measures how much of the pipeline the
+//! scopes reach.
+//!
+//! # Compile-time erasure
+//!
+//! Everything is gated on the `profile` cargo feature. With the feature
+//! off (the default), [`ScopeGuard`] is a unit struct, [`scope`] and
+//! [`record`] are empty `#[inline(always)]` functions, and [`snapshot`]
+//! returns an all-zero table — the receive chain compiles to exactly the
+//! same code as before this crate existed. A zero-size type assertion in
+//! the workspace test suite pins this.
+//!
+//! # Threading
+//!
+//! Counters are plain `AtomicU64`s written single-writer (each thread
+//! owns its table; updates are `Relaxed` load+store, not RMW) and read by
+//! [`snapshot`], which sums every table ever registered — including
+//! threads that have since exited, so per-frame attribution survives the
+//! `ShardedDetectionPool` handoff: cycles a shard worker spent on a
+//! frame's jobs are in the global table even after the pool is dropped.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The fixed stage taxonomy. One variant per named category of the
+/// receive chain; the discriminant is the row index in the counter table.
+///
+/// The taxonomy is deliberately closed (no string keys): a fixed enum
+/// keeps the per-thread table a flat array and makes the `bench_gate`
+/// dump stable across runs and machines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// Frame planning: payload draws, transmit chains, channel refresh,
+    /// per-job assembly, noise (`plan_uplink_frame_into`).
+    Plan = 0,
+    /// Householder QR / sorted QR factorisations (`gs-linalg`).
+    QrDecompose,
+    /// `Qᴴ·y` rotations of received vectors into the triangular frame.
+    Rotate,
+    /// The sphere-search loop proper: level opening, child stepping,
+    /// radius shrinking (`engine.rs`), excluding nested kernel scopes.
+    Enumerate,
+    /// Batched SoA kernel invocations (`ped_soa`, multi-symbol dots).
+    PedKernel,
+    /// Linear/SIC/PIC filter builds through `FilterCache`.
+    Filter,
+    /// Detection scatter: routing per-job symbol vectors into per-client
+    /// assembly slots (`begin_detection_assembly` / `absorb_detection`).
+    Scatter,
+    /// The per-client receive chain (demap, deinterleave, depuncture,
+    /// descramble) excluding the nested Viterbi/CRC scopes.
+    Recover,
+    /// Viterbi decoding (hard, erasure-aware, and soft paths).
+    Viterbi,
+    /// CRC-32 computation and verification.
+    Crc,
+    /// Time detection tasks spend queued in a worker pool between submit
+    /// and pop (wall time, recorded via [`record`] on the popping thread).
+    Queue,
+    /// Streaming-runtime delivery: completion queue, in-order parking.
+    Delivery,
+}
+
+impl Stage {
+    /// Number of stages (rows in the counter table).
+    pub const COUNT: usize = 12;
+    /// Every stage, in table order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Plan,
+        Stage::QrDecompose,
+        Stage::Rotate,
+        Stage::Enumerate,
+        Stage::PedKernel,
+        Stage::Filter,
+        Stage::Scatter,
+        Stage::Recover,
+        Stage::Viterbi,
+        Stage::Crc,
+        Stage::Queue,
+        Stage::Delivery,
+    ];
+
+    /// Row index of this stage in the table (`0..COUNT`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name, used by the `bench_gate` dump and JSON.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::Plan => "plan",
+            Stage::QrDecompose => "qr_decompose",
+            Stage::Rotate => "rotate",
+            Stage::Enumerate => "enumerate",
+            Stage::PedKernel => "ped_kernel",
+            Stage::Filter => "filter",
+            Stage::Scatter => "scatter",
+            Stage::Recover => "recover",
+            Stage::Viterbi => "viterbi",
+            Stage::Crc => "crc",
+            Stage::Queue => "queue",
+            Stage::Delivery => "delivery",
+        }
+    }
+}
+
+/// Aggregated counters for one stage, as returned by [`snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageRecord {
+    /// The stage this row describes.
+    pub stage: Stage,
+    /// Exclusive (self) ticks attributed to the stage. Ticks are TSC
+    /// cycles on `x86_64`, monotonic nanoseconds elsewhere; convert with
+    /// [`ticks_per_sec`].
+    pub cycles: u64,
+    /// Number of scope entries / explicit records for the stage.
+    pub invocations: u64,
+    /// Bytes attributed to the stage (payloads drawn, slabs walked,
+    /// bits decoded — whatever the instrumented site declared).
+    pub bytes: u64,
+}
+
+/// A point-in-time aggregate of every thread's counter table.
+///
+/// Counters are monotone, so two snapshots bracket a region of interest:
+/// `after.delta(&before)` is the profile of exactly that region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageProfile {
+    /// One record per [`Stage`], in [`Stage::ALL`] order.
+    pub stages: [StageRecord; Stage::COUNT],
+}
+
+impl StageProfile {
+    /// An all-zero profile (also what [`snapshot`] returns with the
+    /// `profile` feature off).
+    pub fn empty() -> Self {
+        StageProfile {
+            stages: Stage::ALL.map(|stage| StageRecord {
+                stage,
+                cycles: 0,
+                invocations: 0,
+                bytes: 0,
+            }),
+        }
+    }
+
+    /// Sum of self-ticks across all stages.
+    pub fn total_cycles(&self) -> u64 {
+        self.stages.iter().map(|r| r.cycles).sum()
+    }
+
+    /// True when no stage recorded anything (profiling off or unused).
+    pub fn is_empty(&self) -> bool {
+        self.stages.iter().all(|r| r.cycles == 0 && r.invocations == 0 && r.bytes == 0)
+    }
+
+    /// Per-stage difference `self − earlier` (saturating), for bracketing
+    /// a region between two snapshots.
+    pub fn delta(&self, earlier: &StageProfile) -> StageProfile {
+        let mut out = StageProfile::empty();
+        for (o, (a, b)) in out.stages.iter_mut().zip(self.stages.iter().zip(earlier.stages.iter()))
+        {
+            o.cycles = a.cycles.saturating_sub(b.cycles);
+            o.invocations = a.invocations.saturating_sub(b.invocations);
+            o.bytes = a.bytes.saturating_sub(b.bytes);
+        }
+        out
+    }
+
+    /// The stage with the most self-ticks (the "profiler-named top
+    /// stage"), or `None` on an empty profile.
+    pub fn top_stage(&self) -> Option<Stage> {
+        self.stages.iter().filter(|r| r.cycles > 0).max_by_key(|r| r.cycles).map(|r| r.stage)
+    }
+}
+
+#[cfg(feature = "profile")]
+mod enabled;
+
+#[cfg(feature = "profile")]
+pub use enabled::{record, scope, snapshot, ticks, ticks_per_sec, ScopeGuard};
+
+#[cfg(not(feature = "profile"))]
+mod disabled {
+    use super::{Stage, StageProfile};
+
+    /// Scope handle. With the `profile` feature off this is a unit struct
+    /// — the zero-size assertion in the workspace tests pins that the
+    /// instrumentation erases completely.
+    #[derive(Debug, Default)]
+    #[must_use = "a profiling scope measures until dropped"]
+    pub struct ScopeGuard;
+
+    impl ScopeGuard {
+        /// No-op byte attribution.
+        #[inline(always)]
+        pub fn add_bytes(&self, _n: u64) {}
+    }
+
+    /// No-op scope (profiling compiled out).
+    #[inline(always)]
+    pub fn scope(_stage: Stage) -> ScopeGuard {
+        ScopeGuard
+    }
+
+    /// No-op explicit attribution (profiling compiled out).
+    #[inline(always)]
+    pub fn record(_stage: Stage, _cycles: u64, _invocations: u64, _bytes: u64) {}
+
+    /// Always zero with profiling compiled out (so `ticks()` deltas and
+    /// the [`record`] calls built from them vanish).
+    #[inline(always)]
+    pub fn ticks() -> u64 {
+        0
+    }
+
+    /// Tick rate placeholder; `1.0` keeps conversions finite.
+    #[inline(always)]
+    pub fn ticks_per_sec() -> f64 {
+        1.0
+    }
+
+    /// All-zero profile (profiling compiled out).
+    #[inline(always)]
+    pub fn snapshot() -> StageProfile {
+        StageProfile::empty()
+    }
+}
+
+#[cfg(not(feature = "profile"))]
+pub use disabled::{record, scope, snapshot, ticks, ticks_per_sec, ScopeGuard};
+
+/// Whether stage profiling is compiled in (`profile` cargo feature).
+#[inline(always)]
+pub const fn enabled() -> bool {
+    cfg!(feature = "profile")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_are_dense_and_names_unique() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::COUNT);
+    }
+
+    #[test]
+    fn empty_profile_reports_empty() {
+        let p = StageProfile::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.total_cycles(), 0);
+        assert_eq!(p.top_stage(), None);
+    }
+
+    #[test]
+    fn delta_subtracts_per_stage() {
+        let mut a = StageProfile::empty();
+        let mut b = StageProfile::empty();
+        a.stages[Stage::Plan.index()].cycles = 100;
+        a.stages[Stage::Plan.index()].invocations = 7;
+        b.stages[Stage::Plan.index()].cycles = 40;
+        b.stages[Stage::Plan.index()].invocations = 3;
+        let d = a.delta(&b);
+        assert_eq!(d.stages[Stage::Plan.index()].cycles, 60);
+        assert_eq!(d.stages[Stage::Plan.index()].invocations, 4);
+        assert_eq!(d.top_stage(), Some(Stage::Plan));
+    }
+
+    #[cfg(not(feature = "profile"))]
+    #[test]
+    fn disabled_build_erases_scopes() {
+        assert_eq!(std::mem::size_of::<ScopeGuard>(), 0);
+        assert!(!enabled());
+        let g = scope(Stage::Enumerate);
+        g.add_bytes(1024);
+        drop(g);
+        record(Stage::Queue, 123, 1, 0);
+        assert_eq!(ticks(), 0);
+        assert!(snapshot().is_empty());
+    }
+}

@@ -68,6 +68,17 @@ pub struct RuntimeStats {
 }
 
 impl RuntimeStats {
+    /// The process-wide stage-attributed cycle profile at snapshot time:
+    /// every thread's [`gs_prof`] counter table aggregated, including
+    /// exited shard workers (attribution survives the
+    /// `ShardedDetectionPool` handoff). All-zero unless the workspace was
+    /// built with the `profile` feature. Counters are monotone and
+    /// process-global — bracket a region with two snapshots and
+    /// [`gs_prof::StageProfile::delta`] to isolate it.
+    pub fn stage_profile(&self) -> gs_prof::StageProfile {
+        gs_prof::snapshot()
+    }
+
     /// Fraction of the slot pool currently occupied, `0.0..=1.0`.
     pub fn occupancy(&self) -> f64 {
         if self.capacity == 0 {

@@ -453,12 +453,14 @@ impl Shared {
             let core = &mut *core;
             core.stats = DetectorStats::default();
             core.ws.begin_detection_assembly();
+            let _prof = gs_prof::scope(gs_prof::Stage::Scatter);
             for portion in &slot.portions {
                 let portion = lock(portion);
                 for (&idx, det) in portion.indices.iter().zip(portion.out.iter()) {
                     core.ws.absorb_detection(&mut core.stats, idx, det);
                 }
             }
+            drop(_prof);
             let cfg = PhyConfig { payload_bits: lock(&slot.meta).payload_bits, ..self.base_cfg };
             core.ws.finish_uplink(&cfg, core.stats);
         }
@@ -503,6 +505,7 @@ impl Shared {
     /// though its own recovery finished in time), feeds the delivery
     /// window the control plane reads, and queues the completion.
     fn deliver(&self, slot_idx: usize) {
+        let _prof = gs_prof::scope(gs_prof::Stage::Delivery);
         let now = Instant::now();
         let missed = {
             let mut meta = lock(&self.slots[slot_idx].meta);

@@ -266,6 +266,12 @@ fn assert_hard_frame_chain_allocation_free(workers: usize) {
         decode_frame_batched_into(&cfg, &ch, &det, 22.0, &mut rng, workers, &mut ws);
     }
 
+    // With the `profile` feature on, the per-thread counter tables are
+    // registered during warmup (first scope entry on each thread), so the
+    // measured frame below also pins that the instrumentation itself
+    // allocates nothing in steady state.
+    #[cfg(feature = "profile")]
+    let profile_before = gs_prof::snapshot();
     let (delta, detections) = allocations_during_all_threads(|| {
         decode_frame_batched_into(&cfg, &ch, &det, 22.0, &mut rng, workers, &mut ws).detections
     });
@@ -273,6 +279,15 @@ fn assert_hard_frame_chain_allocation_free(workers: usize) {
         delta, 0,
         "hard frame chain ({workers} workers) allocated {delta} times for one warmed frame"
     );
+    #[cfg(feature = "profile")]
+    {
+        assert!(gs_prof::enabled());
+        let moved = gs_prof::snapshot().delta(&profile_before);
+        assert!(
+            moved.total_cycles() > 0,
+            "profiling is compiled in but the measured frame recorded nothing"
+        );
+    }
     assert!(detections > 0, "the frame must actually have been detected");
     assert!(
         ws.outcome().client_ok.iter().any(|&ok| ok),

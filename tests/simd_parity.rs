@@ -16,7 +16,8 @@
 //!   per-detection symbol streams.
 
 use gs_linalg::simd::{
-    self, caxpy_conj_with, cdot_soa_with, cdot_with, cdotc_with, ped_soa_with, Tier,
+    self, caxpy_conj_with, cdot_soa_multi_with, cdot_soa_with, cdot_with, cdotc_with, ped_soa_with,
+    Tier,
 };
 use gs_linalg::{Complex, Matrix};
 use proptest::prelude::*;
@@ -73,6 +74,40 @@ proptest! {
             cdot_soa_with(native, &ar[..n], &ai[..n], &br[..n], &bi[..n]),
             "cdot_soa",
         );
+    }
+
+    #[test]
+    fn cdot_soa_multi_bit_identical(
+        ar in fvec(17), ai in fvec(17),
+        slab in fvec(17 * 19 * 2),
+        k in 1usize..19,
+    ) {
+        // Two contracts at once: every tier agrees bitwise, and output `s`
+        // equals a per-symbol `cdot_soa` on a contiguous copy of symbol
+        // `s`'s column — which is what lets the sphere engine's lockstep
+        // descent swap one for the other without perturbing a single bit.
+        let m = ar.len().min(ai.len()).min(slab.len() / (2 * k.max(1)));
+        let (ar, ai) = (&ar[..m], &ai[..m]);
+        let (br, bi) = (&slab[..m * k], &slab[m * k..2 * m * k]);
+        let mut out_re_s = vec![0.0; k];
+        let mut out_im_s = vec![0.0; k];
+        cdot_soa_multi_with(Tier::Scalar, ar, ai, br, bi, k, &mut out_re_s, &mut out_im_s);
+        if let Some(native) = native_tier() {
+            let mut out_re_v = vec![0.0; k];
+            let mut out_im_v = vec![0.0; k];
+            cdot_soa_multi_with(native, ar, ai, br, bi, k, &mut out_re_v, &mut out_im_v);
+            for s in 0..k {
+                assert_eq!(out_re_s[s].to_bits(), out_re_v[s].to_bits(), "multi re sym {s}");
+                assert_eq!(out_im_s[s].to_bits(), out_im_v[s].to_bits(), "multi im sym {s}");
+            }
+        }
+        for s in 0..k {
+            let col_r: Vec<f64> = (0..m).map(|j| br[j * k + s]).collect();
+            let col_i: Vec<f64> = (0..m).map(|j| bi[j * k + s]).collect();
+            let single = cdot_soa_with(Tier::Scalar, ar, ai, &col_r, &col_i);
+            assert_eq!(out_re_s[s].to_bits(), single.re.to_bits(), "vs cdot_soa re sym {s}");
+            assert_eq!(out_im_s[s].to_bits(), single.im.to_bits(), "vs cdot_soa im sym {s}");
+        }
     }
 
     #[test]

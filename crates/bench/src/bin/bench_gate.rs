@@ -1,6 +1,6 @@
 //! The CI bench-regression gates for the frame hot paths.
 //!
-//! Four modes, selected by `--mode`:
+//! Five modes, selected by `--mode`:
 //!
 //! * `frame_decode` (default, PR 4): times one 64-subcarrier 4×4 64-QAM
 //!   uplink frame at 28 dB through the Geosphere decoder across the decode
@@ -52,8 +52,22 @@
 //!   tails, so this mode gates on per-mode **minima** (noise is strictly
 //!   additive; the min is the stable estimator) with a 15% band instead
 //!   of the trimmed-mean/10% pairing the other timing modes use.
+//! * `metrics` (PR 8): the telemetry-accuracy gate. Saturates a streaming
+//!   pipeline from a driver thread while a live `gs-telemetry`
+//!   `/metrics` endpoint serves it, scrapes twice one second apart, and
+//!   **hard-gates** (no committed baseline needed — both sides of the
+//!   comparison are measured in the same run, so the hardware term is
+//!   absent, not merely cancelled): the exposition must lint clean and
+//!   stay counter-monotone across the scrapes, and
+//!   `gs_windowed_frames_per_sec` at the second scrape must agree with
+//!   the actual delivered rate (Δ`gs_frames_completed_total` over
+//!   Δ`gs_uptime_seconds`) within 10% — the regression this catches is
+//!   exactly the pre-PR-8 bug where the 128-entry delivery ring clamped
+//!   the windowed figure at 128 fps while the bench sustained several
+//!   hundred. Writes `BENCH_pr8.json` including the latency/queue-wait/
+//!   slack histogram summaries.
 //!
-//! All four gates are **machine-relative**: the timing modes compare the
+//! All five gates are **machine-relative**: the timing modes compare the
 //! ratio of two modes measured in the same process against the same ratio
 //! from the committed baseline, and the storm mode calibrates its
 //! deadline from in-process measurements. Absolute milliseconds vary with
@@ -67,7 +81,7 @@
 //! scheduler hiccup on a shared runner cannot fail the gate by itself;
 //! an improvement beyond the baseline prints a hint to refresh it.
 //!
-//! Flags: `--mode frame_decode|frame_stream|multi_symbol|deadline_storm`,
+//! Flags: `--mode frame_decode|frame_stream|multi_symbol|deadline_storm|metrics`,
 //! `--out <path>`, `--baseline <path>`, `--samples <n>`,
 //! `--write-baseline` (regenerate the committed baseline instead of
 //! gating — run on a quiet machine).
@@ -503,6 +517,159 @@ fn storm_gate_main(out_path: &str, baseline_path: &str, samples: usize, write_ba
     }
 }
 
+/// How far `gs_windowed_frames_per_sec` may sit from the measured
+/// delivered rate before the `metrics` gate trips.
+const METRICS_RATE_TOLERANCE: f64 = 0.10;
+/// The historic ring capacity the windowed rate used to clamp at; the
+/// anti-clamp assertion only arms when the pipeline measurably exceeds it
+/// with margin, so a slow single-core runner cannot trip it spuriously.
+const LEGACY_WINDOW_EVENTS: f64 = 128.0;
+
+/// `metrics` mode: saturate a stream while scraping its live endpoint,
+/// then gate the scraped windowed throughput against the measured one.
+fn metrics_gate_main(out_path: &str) {
+    use gs_telemetry::{assert_counters_monotone, lint_exposition, scrape, MetricsServer};
+
+    let (cfg, snr_db, ch) = scenario();
+    let ch = Arc::new(ch);
+    let mut sc = StreamConfig::new(4);
+    sc.workers = 4;
+    sc.capacity = 8;
+    let stream = Arc::new(FrameStream::new(cfg, geosphere_decoder(), sc));
+    let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&stream)).expect("bind endpoint");
+
+    // Saturating driver, same admit-until-refused discipline as
+    // `drive_stream` but time-bounded: runs until told to stop, then
+    // drains its tail so the stream ends idle.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let driver = {
+        let (stream, ch, stop) = (Arc::clone(&stream), Arc::clone(&ch), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            let mut submitted = 0usize;
+            let mut received = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let f =
+                    UplinkFrame::new(submitted % 4, Arc::clone(&ch), snr_db, 77 + submitted as u64);
+                if stream.try_submit(f).is_ok() {
+                    submitted += 1;
+                    continue;
+                }
+                std::hint::black_box(stream.recv().outcome().stats.ped_calcs);
+                received += 1;
+            }
+            while received < submitted {
+                std::hint::black_box(stream.recv().outcome().stats.ped_calcs);
+                received += 1;
+            }
+        })
+    };
+
+    // Let the pipeline reach steady state, then bracket one second with
+    // two scrapes. Rates come from the endpoint itself (Δcompleted over
+    // Δuptime), so no host clock enters the comparison.
+    std::thread::sleep(Duration::from_millis(700));
+    let first = scrape(server.addr(), "/metrics").expect("scrape #1");
+    let first = lint_exposition(&first).expect("scrape #1 lints clean");
+    std::thread::sleep(Duration::from_millis(1000));
+    let second = scrape(server.addr(), "/metrics").expect("scrape #2");
+    let second = lint_exposition(&second).expect("scrape #2 lints clean");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    driver.join().expect("driver thread panicked");
+
+    let monotone = assert_counters_monotone(&first, &second).expect("counters monotone");
+    let value = |expo: &gs_telemetry::Exposition, name: &str| -> f64 {
+        expo.value(name, &[]).unwrap_or_else(|| panic!("series {name} missing"))
+    };
+    let delta_completed =
+        value(&second, "gs_frames_completed_total") - value(&first, "gs_frames_completed_total");
+    let delta_secs = value(&second, "gs_uptime_seconds") - value(&first, "gs_uptime_seconds");
+    assert!(delta_secs > 0.5, "scrapes must bracket a real interval, got {delta_secs}s");
+    let measured_fps = delta_completed / delta_secs;
+    let windowed_fps = value(&second, "gs_windowed_frames_per_sec");
+
+    // Histogram summaries for the JSON artifact, merged across lanes.
+    let stats = stream.stats();
+    let mut latency = gs_prof::hist::HistogramSnapshot::empty();
+    for h in &stats.latency_per_client {
+        latency.merge(h);
+    }
+    let mut queue_wait = gs_prof::hist::HistogramSnapshot::empty();
+    for h in &stats.queue_wait_per_shard {
+        queue_wait.merge(h);
+    }
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"metrics_endpoint_4x4_qam64_64sc\",");
+    let _ = writeln!(s, "  \"simd_tier\": \"{}\",", gs_linalg::simd::active_tier().name());
+    let _ = writeln!(s, "  \"parallelism\": {},", machine_parallelism());
+    let _ = writeln!(s, "  \"measured_fps\": {measured_fps:.3},");
+    let _ = writeln!(s, "  \"windowed_fps\": {windowed_fps:.3},");
+    let _ = writeln!(s, "  \"window_ratio\": {:.4},", windowed_fps / measured_fps);
+    let _ = writeln!(s, "  \"lint_samples\": {},", second.samples.len());
+    let _ = writeln!(s, "  \"monotone_counter_series\": {monotone},");
+    let _ = writeln!(s, "  \"completed\": {},", stats.completed);
+    let _ = writeln!(s, "  \"deadline_misses\": {},", stats.deadline_misses);
+    let secs = |ns: u64| ns as f64 / 1e9;
+    let mut hist_json = |name: &str, h: &gs_prof::hist::HistogramSnapshot, comma: &str| {
+        let _ = writeln!(
+            s,
+            "  \"{name}\": {{\"count\": {}, \"p50_s\": {:.6}, \"p90_s\": {:.6}, \
+             \"p99_s\": {:.6}, \"max_s\": {:.6}, \"mean_s\": {:.6}}}{comma}",
+            h.count(),
+            secs(h.quantile(0.5)),
+            secs(h.quantile(0.9)),
+            secs(h.quantile(0.99)),
+            secs(h.max()),
+            h.mean() / 1e9,
+        );
+    };
+    hist_json("submit_delivery_latency", &latency, ",");
+    hist_json("shard_queue_wait", &queue_wait, ",");
+    hist_json("deadline_slack", &stats.deadline_slack, ",");
+    hist_json("deadline_lateness", &stats.deadline_lateness, "");
+    let _ = writeln!(s, "}}");
+    std::fs::write(out_path, &s).expect("write results");
+
+    println!(
+        "metrics endpoint: measured {measured_fps:.1} fps, windowed {windowed_fps:.1} fps, \
+         latency p50 {:.3} ms p99 {:.3} ms, queue wait p99 {:.3} ms",
+        secs(latency.quantile(0.5)) * 1e3,
+        secs(latency.quantile(0.99)) * 1e3,
+        secs(queue_wait.quantile(0.99)) * 1e3,
+    );
+    println!("lint ok: {} samples, {monotone} counter series monotone", second.samples.len());
+    println!("results written to {out_path}");
+
+    let mut failed = false;
+    let ratio = windowed_fps / measured_fps;
+    println!(
+        "gate: windowed/measured ratio {ratio:.4} must stay within \
+         {METRICS_RATE_TOLERANCE} of 1.0"
+    );
+    if !(1.0 - METRICS_RATE_TOLERANCE..=1.0 + METRICS_RATE_TOLERANCE).contains(&ratio) {
+        eprintln!(
+            "BENCH REGRESSION: windowed rate {windowed_fps:.1} fps disagrees with the \
+             measured {measured_fps:.1} fps by more than {:.0}%",
+            METRICS_RATE_TOLERANCE * 100.0
+        );
+        failed = true;
+    }
+    // The anti-clamp check: only meaningful when this machine actually
+    // pushes past the historic ring capacity with margin.
+    if measured_fps > LEGACY_WINDOW_EVENTS * 1.25 && windowed_fps <= LEGACY_WINDOW_EVENTS {
+        eprintln!(
+            "BENCH REGRESSION: windowed rate {windowed_fps:.1} fps is clamped at the \
+             historic {LEGACY_WINDOW_EVENTS}-event ring capacity while the pipeline \
+             sustains {measured_fps:.1} fps"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn render_json(
     results: &[ModeResult],
     bench: &str,
@@ -664,6 +831,14 @@ fn main() {
         storm_gate_main(&out, &baseline, samples_flag.unwrap_or(12), write_baseline);
         return;
     }
+    // The metrics mode gates the endpoint against an in-run measurement —
+    // self-relative, so it takes no baseline (and `--write-baseline` has
+    // nothing to write).
+    if mode == "metrics" {
+        let out = flag_value("--out").unwrap_or_else(|| "BENCH_pr8.json".into());
+        metrics_gate_main(&out);
+        return;
+    }
 
     // Per-mode defaults: (bench label, out, baseline, gated mode,
     // in-run reference mode — the denominator cancelling the hardware
@@ -693,7 +868,7 @@ fn main() {
         other => {
             panic!(
                 "unknown --mode {other:?} \
-                 (expected frame_decode|frame_stream|multi_symbol|deadline_storm)"
+                 (expected frame_decode|frame_stream|multi_symbol|deadline_storm|metrics)"
             )
         }
     };

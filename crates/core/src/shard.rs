@@ -41,9 +41,11 @@
 //! completion waits and surface the failure as a panic of their own.
 
 use crate::detector::DetectorWorkspace;
+use gs_prof::hist::{HistogramSnapshot, LogHistogram};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Deadline key meaning "no deadline": sorts after every real deadline, so
 /// deadline-free tasks run FIFO behind deadline-bearing ones.
@@ -74,6 +76,11 @@ struct Task {
     /// time to [`gs_prof::Stage::Queue`], preserving per-frame attribution
     /// across the cross-thread handoff.
     submitted_at: u64,
+    /// Wall-clock submit stamp for the telemetry tier: unlike
+    /// `submitted_at` this is **always** recorded — the popping worker
+    /// feeds the submit→pop wait into the shard's queue-wait histogram
+    /// regardless of whether the cycle profiler is compiled in.
+    submitted_wall: Instant,
 }
 
 impl Task {
@@ -157,6 +164,10 @@ struct ShardState {
     cv: Condvar,
     /// Mirrors `heap.len()` so stats snapshots never contend on `q`.
     depth: AtomicUsize,
+    /// Submit→pop wall wait per task, in nanoseconds. Recorded by the
+    /// popping worker (atomic bucket increments, allocation-free), merged
+    /// at scrape time by [`ShardedDetectionPool::queue_wait_snapshots`].
+    queue_wait: LogHistogram,
 }
 
 /// Marks the pool poisoned even when the worker unwinds through a
@@ -243,6 +254,7 @@ impl ShardedDetectionPool {
                     }),
                     cv: Condvar::new(),
                     depth: AtomicUsize::new(0),
+                    queue_wait: LogHistogram::new(),
                 })
             })
             .collect();
@@ -333,7 +345,15 @@ impl ShardedDetectionPool {
         let arrival = q.arrivals;
         q.arrivals += 1;
         let submitted_at = gs_prof::ticks();
-        q.heap.push(Task { key, arrival, token, job: Arc::clone(job), submitted_at });
+        let submitted_wall = Instant::now();
+        q.heap.push(Task {
+            key,
+            arrival,
+            token,
+            job: Arc::clone(job),
+            submitted_at,
+            submitted_wall,
+        });
         state.depth.store(q.heap.len(), Ordering::Relaxed);
         drop(q);
         state.cv.notify_one();
@@ -344,6 +364,13 @@ impl ShardedDetectionPool {
     pub fn queue_depths(&self, out: &mut Vec<usize>) {
         out.clear();
         out.extend(self.shards.iter().map(|s| s.depth.load(Ordering::Relaxed)));
+    }
+
+    /// Per-shard snapshots of the submit→pop queue-wait histograms
+    /// (nanoseconds), in shard order. Allocates — a scrape-time call; the
+    /// recording side is the workers' allocation-free bucket increments.
+    pub fn queue_wait_snapshots(&self) -> Vec<HistogramSnapshot> {
+        self.shards.iter().map(|s| s.queue_wait.snapshot()).collect()
     }
 }
 
@@ -397,6 +424,7 @@ fn shard_worker_loop(state: &ShardState, poisoned: &AtomicBool, shard: usize) {
             1,
             0,
         );
+        state.queue_wait.record_duration(task.submitted_wall.elapsed());
         // A panicking job must mark the pool dead rather than silently
         // dropping the task (its frame would otherwise wait forever).
         let guard = PoisonOnPanic(poisoned);
@@ -505,6 +533,27 @@ mod tests {
         let mut depths = Vec::new();
         pool.queue_depths(&mut depths);
         assert_eq!(depths, vec![0]);
+    }
+
+    #[test]
+    fn queue_wait_histograms_record_every_pop() {
+        let pool = ShardedDetectionPool::new_with_pinning(2, 2, 8, false);
+        let rec = Recorder::new();
+        rec.open_gate();
+        let job: Arc<dyn ShardedJob> = rec.clone();
+        for t in 0..10 {
+            pool.submit(t % 2, NO_DEADLINE, t, &job);
+        }
+        rec.wait_ran(10);
+        let waits = pool.queue_wait_snapshots();
+        assert_eq!(waits.len(), 2, "one histogram per shard");
+        assert_eq!(waits.iter().map(|h| h.count()).sum::<u64>(), 10, "every pop recorded");
+        let mut merged = gs_prof::hist::HistogramSnapshot::empty();
+        for w in &waits {
+            merged.merge(w);
+        }
+        assert_eq!(merged.count(), 10);
+        assert!(merged.quantile(1.0) <= merged.max());
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! HDR-style log-bucketed latency histograms for the telemetry tier.
+//!
+//! [`LogHistogram`] is the hot-path recording surface: a fixed-size array
+//! of relaxed `AtomicU64` bucket counters, preallocated at construction,
+//! so [`LogHistogram::record`] is an index computation plus a handful of
+//! atomic increments — **zero heap allocations**, no locks, safe to call
+//! from every pipeline thread concurrently (`tests/alloc_regression.rs`
+//! pins the claim). Buckets are logarithmic with [`SUB_BITS`] linear
+//! sub-buckets per octave, so any recorded value lands in a bucket whose
+//! width is at most `1/2^SUB_BITS` of its magnitude — quantiles read back
+//! from the buckets carry ≤ ~6% relative error while the whole table
+//! stays under 8 KiB.
+//!
+//! [`HistogramSnapshot`] is the scrape-time view: an owned copy of the
+//! bucket counts that merges ([`HistogramSnapshot::merge`] preserves
+//! totals exactly — proptested in the workspace suite) and answers
+//! quantile queries. Recording and scraping never contend: a snapshot is
+//! a relaxed read pass over the counters.
+//!
+//! Values are plain `u64`s; the streaming runtime records **nanoseconds**
+//! (see [`LogHistogram::record_duration`]), but nothing in the bucket
+//! math assumes a unit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-bucket bits per octave: 2^4 = 16 sub-buckets, bounding the
+/// relative bucket width (and thus quantile error) at 1/16.
+pub const SUB_BITS: u32 = 4;
+
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: indices `0..SUB` are exact small values, then 16
+/// sub-buckets per octave up to `u64::MAX` (exponent 63).
+pub const BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS as usize) + SUB as usize;
+
+/// The bucket index a value lands in. Monotone and total over `u64`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let sub = (v >> (exp - SUB_BITS)) & (SUB - 1);
+        ((((exp - SUB_BITS) as usize) + 1) << SUB_BITS) + sub as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (the inverse of [`bucket_index`]).
+#[inline]
+fn bucket_low(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        i
+    } else {
+        let exp = (i >> SUB_BITS) + u64::from(SUB_BITS) - 1;
+        let sub = i & (SUB - 1);
+        (1u64 << exp) | (sub << (exp - u64::from(SUB_BITS)))
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+#[inline]
+fn bucket_high(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_low(i + 1) - 1
+    }
+}
+
+/// A concurrent log-bucketed histogram: fixed bucket array, relaxed
+/// atomic counters, allocation-free recording. See the module docs.
+#[derive(Debug)]
+pub struct LogHistogram {
+    counts: Box<[AtomicU64; BUCKETS]>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram with every bucket preallocated (the one and
+    /// only allocation this type ever makes).
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: Box::new([0u64; BUCKETS].map(AtomicU64::new)),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Allocation-free, lock-free, callable from any
+    /// thread; counters are relaxed (scrapes see a consistent-enough view
+    /// — each counter individually monotone). The running `sum` is a
+    /// plain wrapping add: with nanosecond values it stays exact until
+    /// ~585 years of *accumulated* latency, which is treated as out of
+    /// domain rather than paid for with a CAS loop on the hot path.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// [`LogHistogram::record`] of a duration in **nanoseconds**
+    /// (saturating at `u64::MAX` ≈ 585 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// An owned point-in-time copy of the counters (allocates — a scrape
+    /// call, not a hot-path one).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        HistogramSnapshot {
+            // Derive the total from the copied buckets rather than the
+            // separate counter so the snapshot is self-consistent even
+            // when racing concurrent recorders.
+            total: counts.iter().sum(),
+            counts,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned histogram snapshot: mergeable, queryable, inert. Produced by
+/// [`LogHistogram::snapshot`], consumed by the telemetry renderer and the
+/// bench dumps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An all-zero snapshot (the identity of [`HistogramSnapshot::merge`]).
+    pub fn empty() -> Self {
+        HistogramSnapshot { counts: vec![0; BUCKETS], total: 0, sum: 0, max: 0 }
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of recorded values (nanoseconds on the runtime's histograms).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest value recorded, exact (not bucket-rounded); `0` when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean recorded value, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Folds `other` into `self` bucket by bucket. Exact: counts, totals,
+    /// and sums add; max takes the larger (the merge of the underlying
+    /// value streams would report exactly these).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` (`0.0..=1.0`): the upper bound of the
+    /// first bucket whose cumulative count reaches `ceil(q · total)`,
+    /// clamped to the exact observed max. `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_inverts() {
+        // Index/low round-trip across octave edges and the linear range.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_low(i)), i, "low of bucket {i}");
+            assert_eq!(bucket_index(bucket_high(i)), i, "high of bucket {i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        let probes =
+            [0u64, 1, 15, 16, 17, 31, 32, 1023, 1024, 1 << 20, (1 << 20) + 7, u64::MAX - 1];
+        for w in probes.windows(2) {
+            assert!(bucket_index(w[0]) <= bucket_index(w[1]));
+        }
+    }
+
+    #[test]
+    fn bucket_relative_width_is_bounded() {
+        for i in SUB as usize..BUCKETS - 1 {
+            let (lo, hi) = (bucket_low(i), bucket_high(i));
+            let width = (hi - lo) as f64;
+            assert!(width <= lo as f64 / (SUB as f64 - 1.0) + 1.0, "bucket {i} too wide");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_recorded_values() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs..1ms in ns
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max(), 1_000_000);
+        let p50 = s.quantile(0.5) as f64;
+        assert!((p50 / 500_000.0 - 1.0).abs() < 0.08, "p50 {p50} vs exact 500000");
+        let p99 = s.quantile(0.99) as f64;
+        assert!((p99 / 990_000.0 - 1.0).abs() < 0.08, "p99 {p99} vs exact 990000");
+        assert_eq!(s.quantile(1.0), 1_000_000, "p100 is the exact max");
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let (a, b) = (LogHistogram::new(), LogHistogram::new());
+        for v in 0..100u64 {
+            a.record(v);
+            b.record(v * 1_000_000);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 200);
+        assert_eq!(m.sum(), a.snapshot().sum() + b.snapshot().sum());
+        assert_eq!(m.max(), 99_000_000);
+        let mut id = HistogramSnapshot::empty();
+        id.merge(&m);
+        assert_eq!(id, m, "empty is the merge identity");
+    }
+}

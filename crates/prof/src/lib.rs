@@ -36,6 +36,12 @@
 //! threads that have since exited, so per-frame attribution survives the
 //! `ShardedDetectionPool` handoff: cycles a shard worker spent on a
 //! frame's jobs are in the global table even after the pool is dropped.
+//!
+//! Besides the feature-gated stage profiler, the crate hosts the
+//! **always-compiled** [`hist`] module: zero-allocation log-bucketed
+//! latency histograms ([`hist::LogHistogram`]) that the streaming
+//! runtime's telemetry tier records into on the hot path and the
+//! `gs-telemetry` Prometheus endpoint merges at scrape time.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -193,6 +199,8 @@ impl StageProfile {
         self.stages.iter().filter(|r| r.cycles > 0).max_by_key(|r| r.cycles).map(|r| r.stage)
     }
 }
+
+pub mod hist;
 
 #[cfg(feature = "profile")]
 mod enabled;

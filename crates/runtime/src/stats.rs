@@ -1,6 +1,7 @@
 //! Runtime observability: the [`RuntimeStats`] snapshot.
 
 use geosphere_core::DetectorTier;
+use gs_prof::hist::HistogramSnapshot;
 use std::time::Duration;
 
 /// A point-in-time snapshot of a [`FrameStream`](crate::FrameStream)'s
@@ -8,8 +9,13 @@ use std::time::Duration;
 ///
 /// Counters are monotone over the stream's lifetime; occupancy, queue
 /// depths, and the windowed rates are instantaneous. Taking a snapshot
-/// allocates (the per-shard depth vector) — it is an observability call,
-/// not a hot-path one.
+/// allocates (the per-shard depth vector and the histogram copies) — it
+/// is an observability call, not a hot-path one. The stage counters are
+/// **clamped into pipeline order** at snapshot time
+/// (`submitted ≥ planned ≥ detected ≥ recovered ≥ completed ≥
+/// deadline_misses`): the live counters are independent atomics, so a raw
+/// racing read could transiently show a later stage ahead of an earlier
+/// one, and gauges differenced from such a snapshot would go negative.
 ///
 /// Two throughput figures are reported on purpose:
 /// [`RuntimeStats::frames_per_sec`] is the lifetime average (total
@@ -17,6 +23,18 @@ use std::time::Duration;
 /// the stream idles), while [`RuntimeStats::windowed_frames_per_sec`]
 /// counts only the trailing window and is what the control plane (and any
 /// live dashboard) should read.
+///
+/// **Windowed-rate semantics** (corrected in PR 8): the windowed figures
+/// are computed over the trailing one-second window, with the throughput
+/// divisor being the span the delivery ring **actually covers** —
+/// `min(1 s, now − oldest retained delivery)`. A freshly started stream
+/// therefore reports its true instantaneous rate instead of
+/// under-reporting until one full second has elapsed, and a saturated
+/// stream is no longer clamped at the ring's event capacity (the historic
+/// 128-event ring capped `windowed_frames_per_sec` at 128 while the
+/// pipeline sustained 400+ fps, and silently shrank the miss-rate horizon
+/// to the trailing ~0.1 s — exactly when the adaptation policy depended
+/// on it).
 #[derive(Clone, Debug)]
 pub struct RuntimeStats {
     /// Frames admitted so far (including those still in flight).
@@ -59,12 +77,31 @@ pub struct RuntimeStats {
     /// "what is it doing now".
     pub frames_per_sec: f64,
     /// Delivered throughput over the trailing one-second window — the
-    /// rate the control plane consumes.
+    /// rate the control plane consumes. Divides by the span the window
+    /// actually covers (see the type docs), so it is exact for young
+    /// streams and saturated ones alike.
     pub windowed_frames_per_sec: f64,
     /// Fraction of deliveries in the trailing one-second window that
     /// missed their deadline (`0.0` when the window is empty) — the miss
     /// signal the control plane consumes.
     pub windowed_miss_rate: f64,
+    /// Submit→delivery latency histogram per client lane (nanoseconds):
+    /// admission stamp to the delivery point where deadline accounting
+    /// happens, so time parked behind slow predecessors counts. Recorded
+    /// allocation-free on the hot path; this snapshot is an owned copy.
+    pub latency_per_client: Vec<HistogramSnapshot>,
+    /// Submit→pop queue-wait histogram per detection shard (nanoseconds),
+    /// recorded by the shard workers at the same point the `gs_prof`
+    /// Queue stage is stamped — but always on, not only under
+    /// `--features profile`.
+    pub queue_wait_per_shard: Vec<HistogramSnapshot>,
+    /// Deadline slack (deadline − delivery instant, nanoseconds) of
+    /// deliveries that made their deadline.
+    pub deadline_slack: HistogramSnapshot,
+    /// Deadline overshoot (delivery instant − deadline, nanoseconds) of
+    /// deliveries that missed — the negative half of the slack
+    /// distribution, kept unsigned as its own histogram.
+    pub deadline_lateness: HistogramSnapshot,
 }
 
 impl RuntimeStats {

@@ -15,6 +15,7 @@ use geosphere_core::{
 use gs_channel::MimoChannel;
 use gs_linalg::Matrix;
 use gs_phy::{FrameWorkspace, PhyConfig, UplinkOutcome};
+use gs_prof::hist::LogHistogram;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -116,6 +117,9 @@ struct SlotMeta {
     missed_deadline: bool,
     /// The detector tier the policy chose at admission.
     tier: DetectorTier,
+    /// Admission wall stamp — the start of the submit→delivery latency the
+    /// telemetry histograms record.
+    submitted_at: Instant,
 }
 
 impl SlotMeta {
@@ -131,6 +135,7 @@ impl SlotMeta {
             channel: None,
             missed_deadline: false,
             tier: DetectorTier::Sphere,
+            submitted_at: Instant::now(),
         }
     }
 }
@@ -213,11 +218,23 @@ struct DeliveryWindow {
     head: usize,
 }
 
-/// Ring capacity: if deliveries outpace this within [`WINDOW_SPAN`], the
-/// rates under-count uniformly (oldest events evicted first).
-const WINDOW_EVENTS: usize = 128;
+/// Ring capacity. Sized so the ring spans the full [`WINDOW_SPAN`] at any
+/// rate the pipeline can physically sustain (bench_gate saturates in the
+/// 400–1300 fps range; 4096 leaves 3× headroom): a ring shorter than one
+/// second of deliveries silently **shrank the horizon** of the windowed
+/// rates under load — throughput clamped at `WINDOW_EVENTS` fps and the
+/// miss rate covered only the trailing fraction of a second, exactly when
+/// the control plane needed the true figures. Should deliveries outpace
+/// even this, [`DeliveryWindow::rates`] now divides by the span the
+/// retained events actually cover, so the rate stays correct and only the
+/// averaging horizon narrows.
+const WINDOW_EVENTS: usize = 4096;
 /// The trailing horizon of the windowed rates.
 const WINDOW_SPAN: Duration = Duration::from_secs(1);
+/// Floor of the covered-span divisor: a burst younger than this reports
+/// the rate as if spread over 1 ms rather than dividing by a near-zero
+/// span (one delivery must never read as "millions of fps").
+const WINDOW_MIN_SPAN: Duration = Duration::from_millis(1);
 
 impl DeliveryWindow {
     fn new() -> Self {
@@ -236,9 +253,18 @@ impl DeliveryWindow {
 
     /// `(frames_per_sec, miss_rate)` over the deliveries within
     /// [`WINDOW_SPAN`] of `now`; `(0.0, 0.0)` when none.
+    ///
+    /// The throughput divisor is the span the window **actually covers**:
+    /// `min(WINDOW_SPAN, now − oldest_retained_event)`, floored at
+    /// [`WINDOW_MIN_SPAN`]. Dividing by the full span unconditionally had
+    /// two bugs: a stream younger than the span under-reported (3 frames
+    /// in the first 100 ms of life is ~30 fps, not 3), and a ring that
+    /// evicted events inside the span clamped throughput at
+    /// `WINDOW_EVENTS` fps while bench_gate sustained 3–10× that.
     fn rates(&self, now: Instant) -> (f64, f64) {
         let mut n = 0u64;
         let mut missed = 0u64;
+        let mut oldest: Option<Instant> = None;
         for &(at, m) in &self.events {
             // `duration_since` saturates to zero for future instants.
             if now.duration_since(at) <= WINDOW_SPAN {
@@ -247,10 +273,21 @@ impl DeliveryWindow {
                     missed += 1;
                 }
             }
+            // Oldest *retained* event, in or out of the span: events older
+            // than the span prove the ring covers the whole span.
+            if oldest.is_none_or(|o| at < o) {
+                oldest = Some(at);
+            }
         }
-        let fps = n as f64 / WINDOW_SPAN.as_secs_f64();
-        let miss_rate = if n == 0 { 0.0 } else { missed as f64 / n as f64 };
-        (fps, miss_rate)
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        let covered = oldest
+            .map(|o| now.duration_since(o))
+            .unwrap_or(WINDOW_SPAN)
+            .clamp(WINDOW_MIN_SPAN, WINDOW_SPAN);
+        let fps = n as f64 / covered.as_secs_f64();
+        (fps, missed as f64 / n as f64)
     }
 }
 
@@ -269,6 +306,15 @@ struct Shared {
     /// is a leaf (taken under `lanes` in the delivery path, alone
     /// elsewhere); never take another stream lock while holding it.
     window: Mutex<DeliveryWindow>,
+    /// Submit→delivery latency per client lane, nanoseconds. Preallocated
+    /// at build; recording is lock- and allocation-free.
+    latency: Vec<LogHistogram>,
+    /// Deadline slack (deadline − delivery) of on-time deliveries.
+    slack: LogHistogram,
+    /// Deadline overshoot (delivery − deadline) of missed deliveries —
+    /// the negative half of the slack distribution, kept as its own
+    /// histogram so both stay unsigned.
+    lateness: LogHistogram,
     slots: Vec<Slot>,
     n_shards: usize,
     n_clients: usize,
@@ -510,6 +556,18 @@ impl Shared {
         let missed = {
             let mut meta = lock(&self.slots[slot_idx].meta);
             meta.missed_deadline = meta.deadline.is_some_and(|d| now > d);
+            // Telemetry, recorded at the observability point the stats
+            // counters use: submit→delivery latency on the client's lane,
+            // and the signed deadline margin split into slack/lateness
+            // (`duration_since` saturates, so each side stays unsigned).
+            self.latency[meta.client].record_duration(now.duration_since(meta.submitted_at));
+            match meta.deadline {
+                Some(d) if meta.missed_deadline => {
+                    self.lateness.record_duration(now.duration_since(d));
+                }
+                Some(d) => self.slack.record_duration(d.duration_since(now)),
+                None => {}
+            }
             meta.missed_deadline
         };
         if missed {
@@ -692,6 +750,9 @@ impl FrameStream {
             policy: Mutex::new(policy),
             depth_scratch: Mutex::new(Vec::with_capacity(n_shards)),
             window: Mutex::new(DeliveryWindow::new()),
+            latency: (0..sc.clients).map(|_| LogHistogram::new()).collect(),
+            slack: LogHistogram::new(),
+            lateness: LogHistogram::new(),
             slots,
             n_shards,
             n_clients: sc.clients,
@@ -842,6 +903,7 @@ impl FrameStream {
             meta.channel = Some(frame.channel);
             meta.missed_deadline = false;
             meta.tier = tier;
+            meta.submitted_at = Instant::now();
         }
         shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
         lock(&shared.plan_q).push_back(slot_idx);
@@ -903,17 +965,32 @@ impl FrameStream {
         let mut shard_queue_depths = Vec::new();
         shared.pool.queue_depths(&mut shard_queue_depths);
         let in_flight = shared.capacity - lock(&shared.free).len();
-        let completed = shared.stats.completed.load(Ordering::Relaxed);
         let elapsed = shared.epoch.elapsed();
         let (windowed_frames_per_sec, windowed_miss_rate) =
             lock(&shared.window).rates(Instant::now());
+        // Each stage counter is its own atomic, so a scrape racing the
+        // pipeline can read a later stage ahead of an earlier one (e.g.
+        // `recovered > detected` between a worker's two increments).
+        // Clamp into the pipeline's monotone order so differenced gauges
+        // (`submitted − completed`, per-stage backlogs) never go negative.
+        let submitted = shared.stats.submitted.load(Ordering::Relaxed);
+        let [planned, detected, recovered, completed, deadline_misses] = clamp_stage_counters(
+            submitted,
+            [
+                shared.stats.planned.load(Ordering::Relaxed),
+                shared.stats.detected.load(Ordering::Relaxed),
+                shared.stats.recovered.load(Ordering::Relaxed),
+                shared.stats.completed.load(Ordering::Relaxed),
+                shared.stats.deadline_misses.load(Ordering::Relaxed),
+            ],
+        );
         RuntimeStats {
-            submitted: shared.stats.submitted.load(Ordering::Relaxed),
+            submitted,
             completed,
-            deadline_misses: shared.stats.deadline_misses.load(Ordering::Relaxed),
-            planned: shared.stats.planned.load(Ordering::Relaxed),
-            detected: shared.stats.detected.load(Ordering::Relaxed),
-            recovered: shared.stats.recovered.load(Ordering::Relaxed),
+            deadline_misses,
+            planned,
+            detected,
+            recovered,
             tier_admissions: std::array::from_fn(|i| {
                 shared.stats.tier_admissions[i].load(Ordering::Relaxed)
             }),
@@ -936,8 +1013,27 @@ impl FrameStream {
             },
             windowed_frames_per_sec,
             windowed_miss_rate,
+            latency_per_client: shared.latency.iter().map(LogHistogram::snapshot).collect(),
+            queue_wait_per_shard: shared.pool.queue_wait_snapshots(),
+            deadline_slack: shared.slack.snapshot(),
+            deadline_lateness: shared.lateness.snapshot(),
         }
     }
+}
+
+/// Clamps the stage counters `[planned, detected, recovered, completed,
+/// deadline_misses]` into the pipeline's monotone order under `submitted`:
+/// each stage can never have processed more frames than the one feeding
+/// it, and misses are a subset of completions. Raw reads can violate this
+/// transiently (each counter is a separate atomic); exported snapshots
+/// must not.
+fn clamp_stage_counters(submitted: u64, raw: [u64; 5]) -> [u64; 5] {
+    let planned = raw[0].min(submitted);
+    let detected = raw[1].min(planned);
+    let recovered = raw[2].min(detected);
+    let completed = raw[3].min(recovered);
+    let deadline_misses = raw[4].min(completed);
+    [planned, detected, recovered, completed, deadline_misses]
 }
 
 impl Drop for FrameStream {
@@ -1040,6 +1136,93 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(f.seed);
         decode_frame_batched_into(&cfg, &f.channel, &geosphere_decoder(), f.snr_db, &mut rng, 1, ws)
             .clone()
+    }
+
+    /// PR 8 regression (the saturating-window bug): a 500 fps delivery
+    /// stream must report ~500 windowed fps. Before the fix the 128-entry
+    /// ring divided by the full 1 s span regardless of coverage, clamping
+    /// the figure at 128 fps from ~430 fps onward — the exact signal the
+    /// `HysteresisPolicy` reads.
+    #[test]
+    fn window_reports_true_rate_at_500_fps() {
+        let mut w = DeliveryWindow::new();
+        let now = Instant::now();
+        // 600 deliveries at exactly 2 ms spacing, newest at `now`: 501
+        // fall within the trailing second (offsets 0..=1000 ms).
+        for k in (0..600u64).rev() {
+            w.record(now - Duration::from_millis(2 * k), false);
+        }
+        let (fps, miss) = w.rates(now);
+        assert!((fps - 501.0).abs() < 5.0, "expected ~500 fps, got {fps} (pre-fix: 128)");
+        assert_eq!(miss, 0.0);
+    }
+
+    /// PR 8 regression (the shrinking miss horizon): under load the old
+    /// ring retained only the trailing ~0.1 s of deliveries, so misses
+    /// older than that vanished from the windowed miss rate. The horizon
+    /// must stay pinned at the full covered second.
+    #[test]
+    fn window_miss_horizon_stays_one_second() {
+        let mut w = DeliveryWindow::new();
+        let now = Instant::now();
+        // 500 deliveries over the last second; the *older* 250 all missed.
+        // A horizon shrunk to the trailing 0.1 s would report ~0 misses.
+        for k in (0..500u64).rev() {
+            w.record(now - Duration::from_millis(2 * k), k >= 250);
+        }
+        let (fps, miss) = w.rates(now);
+        assert!((fps - 500.0).abs() < 5.0, "expected ~500 fps, got {fps}");
+        assert!((miss - 0.5).abs() < 0.01, "expected miss rate 0.5, got {miss}");
+    }
+
+    /// A stream younger than the window span reports its true rate over
+    /// the covered span, not an average diluted by the uncovered future.
+    #[test]
+    fn window_young_stream_is_not_underestimated() {
+        let mut w = DeliveryWindow::new();
+        let now = Instant::now();
+        // 50 deliveries over the last 100 ms — a 500 fps burst.
+        for k in (0..50u64).rev() {
+            w.record(now - Duration::from_millis(2 * k), false);
+        }
+        let (fps, _) = w.rates(now);
+        assert!((fps - 500.0).abs() < 30.0, "expected ~500 fps over 98 ms, got {fps}");
+        // Idle decay still works: a second later everything aged out.
+        let (fps_idle, miss_idle) = w.rates(now + Duration::from_secs(2));
+        assert_eq!((fps_idle, miss_idle), (0.0, 0.0));
+    }
+
+    /// Overflowing the (now much larger) ring narrows the averaging
+    /// horizon but must not clamp the reported rate.
+    #[test]
+    fn window_overflow_keeps_rate_unclamped() {
+        let mut w = DeliveryWindow::new();
+        let now = Instant::now();
+        // 2 × WINDOW_EVENTS deliveries at 10 µs spacing (100k fps): the
+        // ring retains the newest WINDOW_EVENTS, covering ~41 ms.
+        for k in (0..2 * WINDOW_EVENTS as u64).rev() {
+            w.record(now - Duration::from_micros(10 * k), false);
+        }
+        let (fps, _) = w.rates(now);
+        assert!(
+            (fps - 100_000.0).abs() / 100_000.0 < 0.05,
+            "expected ~100k fps over the covered span, got {fps}"
+        );
+    }
+
+    /// Stage counters exported by a snapshot must be monotone along the
+    /// pipeline even when the raw atomics were read mid-increment.
+    #[test]
+    fn stage_counter_clamp_restores_pipeline_order() {
+        // A torn read: detection finished (7) before the scrape saw the
+        // planner's increment (6), and a miss landed before `completed`.
+        let [planned, detected, recovered, completed, misses] =
+            clamp_stage_counters(8, [6, 7, 7, 5, 6]);
+        assert!(planned <= 8 && detected <= planned && recovered <= detected);
+        assert!(completed <= recovered && misses <= completed);
+        assert_eq!([planned, detected, recovered, completed, misses], [6, 6, 6, 5, 5]);
+        // An in-order read passes through untouched.
+        assert_eq!(clamp_stage_counters(10, [9, 8, 7, 6, 2]), [9, 8, 7, 6, 2]);
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Parsing and linting of Prometheus text expositions.
+//!
+//! A deliberately small parser for the text format the renderer emits —
+//! enough for the e2e scrape tests to read values back and for CI to lint
+//! the endpoint: every sample must belong to a declared `# TYPE` family,
+//! family names must be unique and well-formed, values must parse, and
+//! (given two scrapes) counters must be monotone.
+
+use std::collections::BTreeMap;
+
+/// One parsed sample line: a metric name, its labels in source order, and
+/// the value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (the part before the label braces).
+    pub name: String,
+    /// `(key, value)` label pairs, in the order they appeared.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// A canonical series identity: name plus sorted labels. Two scrapes
+    /// of the same endpoint pair up series by this key.
+    pub fn series_id(&self) -> String {
+        let mut labels = self.labels.clone();
+        labels.sort();
+        let mut id = self.name.clone();
+        for (k, v) in labels {
+            id.push_str(&format!("|{k}={v}"));
+        }
+        id
+    }
+}
+
+/// A parsed exposition: declared families and every sample line.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    /// `# TYPE` declarations: family name → type (`counter`, `gauge`,
+    /// `summary`, ...), in declaration order.
+    pub types: BTreeMap<String, String>,
+    /// Every sample line, in document order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// All samples named exactly `name` (no label filtering).
+    pub fn series(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// The value of the unique sample with this exact name and label set
+    /// (`&[]` for an unlabeled sample). `None` when absent or ambiguous.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let matches: Vec<&Sample> = self
+            .samples
+            .iter()
+            .filter(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && labels.iter().all(|(k, v)| s.label(k) == Some(v))
+            })
+            .collect();
+        match matches[..] {
+            [one] => Some(one.value),
+            _ => None,
+        }
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits `name{k="v",...}` into the name and its label pairs.
+fn parse_series(text: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let Some(open) = text.find('{') else {
+        return Ok((text.to_string(), Vec::new()));
+    };
+    let name = text[..open].to_string();
+    let rest = &text[open + 1..];
+    let Some(body) = rest.strip_suffix('}') else {
+        return Err(format!("unterminated label braces in `{text}`"));
+    };
+    let mut labels = Vec::new();
+    for pair in body.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("label pair `{pair}` in `{text}` has no `=`"))?;
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("label value in `{pair}` is not quoted"))?;
+        if !valid_name(k) {
+            return Err(format!("invalid label name `{k}` in `{text}`"));
+        }
+        labels.push((k.to_string(), v.to_string()));
+    }
+    Ok((name, labels))
+}
+
+/// Parses a text exposition into its `# TYPE` table and sample list.
+/// Rejects malformed lines; does **not** enforce the family rules — that
+/// is [`lint_exposition`]'s job.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                let (name, kind) = (parts.next(), parts.next());
+                let (Some(name), Some(kind)) = (name, kind) else {
+                    return Err(format!("line {}: malformed # TYPE line", lineno + 1));
+                };
+                if out.types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {}: duplicate # TYPE for `{name}`", lineno + 1));
+                }
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(char::is_whitespace)
+            .ok_or_else(|| format!("line {}: no value on sample line", lineno + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: unparseable value `{value}`", lineno + 1))?;
+        let (name, labels) =
+            parse_series(series.trim()).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        out.samples.push(Sample { name, labels, value });
+    }
+    Ok(out)
+}
+
+/// The `# TYPE` family a sample belongs to: its own name, or — for
+/// summary/histogram child series — the name with the `_sum`/`_count`
+/// suffix stripped.
+fn family_of<'a>(expo: &Exposition, sample_name: &'a str) -> Option<&'a str> {
+    if expo.types.contains_key(sample_name) {
+        return Some(sample_name);
+    }
+    for suffix in ["_sum", "_count"] {
+        if let Some(stem) = sample_name.strip_suffix(suffix) {
+            if matches!(expo.types.get(stem).map(String::as_str), Some("summary" | "histogram")) {
+                return Some(stem);
+            }
+        }
+    }
+    None
+}
+
+/// Parses and lints one exposition. Checks, on top of parsing:
+///
+/// - every metric/label name is well-formed;
+/// - every sample belongs to a declared `# TYPE` family (family names are
+///   unique by construction — duplicates already fail the parse);
+/// - every value is not NaN (counters and our gauges never emit NaN);
+/// - counter samples are non-negative;
+/// - no two samples share a series identity (name + label set).
+pub fn lint_exposition(text: &str) -> Result<Exposition, String> {
+    let expo = parse_exposition(text)?;
+    for name in expo.types.keys() {
+        if !valid_name(name) {
+            return Err(format!("invalid family name `{name}`"));
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for s in &expo.samples {
+        if !valid_name(&s.name) {
+            return Err(format!("invalid metric name `{}`", s.name));
+        }
+        let Some(family) = family_of(&expo, &s.name) else {
+            return Err(format!("sample `{}` has no # TYPE declaration", s.name));
+        };
+        if s.value.is_nan() {
+            return Err(format!("sample `{}` is NaN", s.name));
+        }
+        if expo.types[family] == "counter" && s.value < 0.0 {
+            return Err(format!("counter `{}` is negative ({})", s.name, s.value));
+        }
+        if !seen.insert(s.series_id()) {
+            return Err(format!("duplicate series `{}`", s.series_id()));
+        }
+    }
+    Ok(expo)
+}
+
+/// Given two scrapes of the same endpoint (`before` first), checks every
+/// counter series present in both is monotone non-decreasing. Returns the
+/// number of counter series compared.
+pub fn assert_counters_monotone(before: &Exposition, after: &Exposition) -> Result<usize, String> {
+    let mut earlier: BTreeMap<String, f64> = BTreeMap::new();
+    for s in &before.samples {
+        if family_of(before, &s.name).map(|f| before.types[f].as_str()) == Some("counter") {
+            earlier.insert(s.series_id(), s.value);
+        }
+    }
+    let mut compared = 0;
+    for s in &after.samples {
+        if let Some(&was) = earlier.get(&s.series_id()) {
+            if s.value < was {
+                return Err(format!(
+                    "counter `{}` went backwards: {} -> {}",
+                    s.series_id(),
+                    was,
+                    s.value
+                ));
+            }
+            compared += 1;
+        }
+    }
+    Ok(compared)
+}

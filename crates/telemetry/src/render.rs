@@ -1,0 +1,169 @@
+//! [`RuntimeStats`] → Prometheus text exposition format (version 0.0.4).
+//!
+//! Pure string rendering: no I/O, no locks, deterministic for a given
+//! snapshot. The renderer is what the [`MetricsServer`](crate::MetricsServer)
+//! serves and what the e2e tests compare against [`RuntimeStats`] field by
+//! field. Histograms are exported as Prometheus *summaries* (pre-computed
+//! quantiles, `_sum`, `_count`) because the log-bucketed edges are an
+//! implementation detail — plus an explicit `_max` gauge per family, which
+//! a summary cannot carry but an operator staring at deadline overshoot
+//! wants.
+
+use geosphere_core::DetectorTier;
+use gs_prof::hist::HistogramSnapshot;
+use gs_runtime::RuntimeStats;
+use std::fmt::Write as _;
+
+/// Quantiles exported for every histogram-backed summary family.
+pub const QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+const NS_PER_SEC: f64 = 1e9;
+
+/// Appends one `# TYPE` header.
+fn type_line(out: &mut String, name: &str, kind: &str) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Appends one unlabeled sample.
+fn sample(out: &mut String, name: &str, value: f64) {
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends one sample with a single `key="value"` label.
+fn sample1(out: &mut String, name: &str, key: &str, label: &str, value: f64) {
+    let _ = writeln!(out, "{name}{{{key}=\"{label}\"}} {value}");
+}
+
+/// Renders nanosecond histograms as one summary family in **seconds**,
+/// one series per `(key, value)` label.
+fn summary(out: &mut String, name: &str, key: &str, series: &[(String, &HistogramSnapshot)]) {
+    type_line(out, name, "summary");
+    for (value, hist) in series {
+        for q in QUANTILES {
+            let _ = writeln!(
+                out,
+                "{name}{{{key}=\"{value}\",quantile=\"{q}\"}} {}",
+                hist.quantile(q) as f64 / NS_PER_SEC
+            );
+        }
+        sample1(out, &format!("{name}_sum"), key, value, hist.sum() as f64 / NS_PER_SEC);
+        sample1(out, &format!("{name}_count"), key, value, hist.count() as f64);
+    }
+    // The exact observed maximum, as its own gauge family (summaries have
+    // no max series in the exposition format).
+    let max_name = format!("{name}_max");
+    type_line(out, &max_name, "gauge");
+    for (value, hist) in series {
+        sample1(out, &max_name, key, value, hist.max() as f64 / NS_PER_SEC);
+    }
+}
+
+/// Renders an *unlabeled* summary family from one histogram.
+fn summary_single(out: &mut String, name: &str, hist: &HistogramSnapshot) {
+    type_line(out, name, "summary");
+    for q in QUANTILES {
+        let _ =
+            writeln!(out, "{name}{{quantile=\"{q}\"}} {}", hist.quantile(q) as f64 / NS_PER_SEC);
+    }
+    sample(out, &format!("{name}_sum"), hist.sum() as f64 / NS_PER_SEC);
+    sample(out, &format!("{name}_count"), hist.count() as f64);
+    type_line(out, &format!("{name}_max"), "gauge");
+    sample(out, &format!("{name}_max"), hist.max() as f64 / NS_PER_SEC);
+}
+
+/// Renders a [`RuntimeStats`] snapshot as a complete Prometheus text
+/// exposition: lifetime counters, instantaneous gauges (including the
+/// corrected windowed rates), latency/queue-wait/deadline summaries, and
+/// — when the workspace is built with `--features profile` — the
+/// stage-attributed cycle table as `gs_stage_*_total{stage=...}` series.
+///
+/// Every metric name is emitted exactly once with a `# TYPE` header, so
+/// the output always passes [`lint_exposition`](crate::lint_exposition).
+pub fn render_runtime_stats(stats: &RuntimeStats) -> String {
+    let mut out = String::with_capacity(4096);
+
+    // Lifetime pipeline counters, in stage order (already clamped
+    // monotone by the snapshot).
+    for (name, v) in [
+        ("gs_frames_submitted_total", stats.submitted),
+        ("gs_frames_planned_total", stats.planned),
+        ("gs_frames_detected_total", stats.detected),
+        ("gs_frames_recovered_total", stats.recovered),
+        ("gs_frames_completed_total", stats.completed),
+        ("gs_deadline_misses_total", stats.deadline_misses),
+    ] {
+        type_line(&mut out, name, "counter");
+        sample(&mut out, name, v as f64);
+    }
+
+    type_line(&mut out, "gs_tier_admissions_total", "counter");
+    for tier in DetectorTier::ALL {
+        sample1(
+            &mut out,
+            "gs_tier_admissions_total",
+            "tier",
+            tier.name(),
+            stats.tier_admissions[tier.index()] as f64,
+        );
+    }
+
+    // Instantaneous gauges.
+    for (name, v) in [
+        ("gs_current_tier", stats.current_tier.index() as f64),
+        ("gs_in_flight", stats.in_flight as f64),
+        ("gs_capacity", stats.capacity as f64),
+        ("gs_occupancy", stats.occupancy()),
+        ("gs_shards", stats.shards as f64),
+        ("gs_workers", stats.workers as f64),
+        ("gs_uptime_seconds", stats.elapsed.as_secs_f64()),
+        ("gs_frames_per_sec", stats.frames_per_sec),
+        ("gs_windowed_frames_per_sec", stats.windowed_frames_per_sec),
+        ("gs_windowed_miss_rate", stats.windowed_miss_rate),
+    ] {
+        type_line(&mut out, name, "gauge");
+        sample(&mut out, name, v);
+    }
+
+    type_line(&mut out, "gs_shard_queue_depth", "gauge");
+    for (i, depth) in stats.shard_queue_depths.iter().enumerate() {
+        sample1(&mut out, "gs_shard_queue_depth", "shard", &i.to_string(), *depth as f64);
+    }
+
+    // Latency summaries (nanosecond histograms exported in seconds).
+    let per_client: Vec<(String, &HistogramSnapshot)> =
+        stats.latency_per_client.iter().enumerate().map(|(i, h)| (i.to_string(), h)).collect();
+    summary(&mut out, "gs_submit_delivery_latency_seconds", "client", &per_client);
+
+    let per_shard: Vec<(String, &HistogramSnapshot)> =
+        stats.queue_wait_per_shard.iter().enumerate().map(|(i, h)| (i.to_string(), h)).collect();
+    summary(&mut out, "gs_shard_queue_wait_seconds", "shard", &per_shard);
+
+    summary_single(&mut out, "gs_deadline_slack_seconds", &stats.deadline_slack);
+    summary_single(&mut out, "gs_deadline_lateness_seconds", &stats.deadline_lateness);
+
+    // Stage-attributed cycle table (all-zero and therefore elided unless
+    // the workspace was built with the `profile` feature).
+    if gs_prof::enabled() {
+        let profile = stats.stage_profile();
+        type_line(&mut out, "gs_stage_cycles_total", "counter");
+        for r in &profile.stages {
+            sample1(&mut out, "gs_stage_cycles_total", "stage", r.stage.name(), r.cycles as f64);
+        }
+        type_line(&mut out, "gs_stage_invocations_total", "counter");
+        for r in &profile.stages {
+            sample1(
+                &mut out,
+                "gs_stage_invocations_total",
+                "stage",
+                r.stage.name(),
+                r.invocations as f64,
+            );
+        }
+        type_line(&mut out, "gs_stage_bytes_total", "counter");
+        for r in &profile.stages {
+            sample1(&mut out, "gs_stage_bytes_total", "stage", r.stage.name(), r.bytes as f64);
+        }
+    }
+
+    out
+}

@@ -1,0 +1,132 @@
+//! The `/metrics` endpoint: a minimal HTTP/1.1 server over std
+//! [`TcpListener`] — no async runtime, no HTTP crate, no new
+//! dependencies. One accept thread renders a fresh [`RuntimeStats`]
+//! snapshot per request; scrapes never touch the frame hot path beyond
+//! the relaxed atomic reads a snapshot performs.
+
+use crate::render::render_runtime_stats;
+use gs_runtime::FrameStream;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection I/O deadline: a stuck scraper must not wedge the
+/// single-threaded accept loop.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running Prometheus scrape endpoint bound to a local TCP port.
+///
+/// Serves `GET /metrics` (text format 0.0.4) rendered from the stream's
+/// [`stats`](FrameStream::stats) snapshot at request time; any other path
+/// gets `404`, any other method `405`. The server owns one accept thread
+/// and shuts down on [`Drop`] (or explicit [`MetricsServer::shutdown`]),
+/// joining the thread so no socket outlives the value.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (use port 0 to let the OS pick — read it back with
+    /// [`MetricsServer::addr`]) and starts serving the stream's stats.
+    pub fn spawn(addr: &str, stream: Arc<FrameStream>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new().name("gs-metrics".into()).spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                // Serve inline: scrapes are rare, tiny, and deadline-bounded.
+                let _ = serve_one(conn, &stream);
+            }
+        })?;
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address, e.g. to build a scrape URL for port 0 binds.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent;
+    /// also called by [`Drop`].
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            // The accept loop is parked in `accept`; poke it awake with a
+            // throwaway connection to our own port.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Handles one connection: parse the request line, answer, close.
+fn serve_one(conn: TcpStream, stream: &Arc<FrameStream>) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(IO_TIMEOUT))?;
+    conn.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(conn);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so the peer never sees a reset before our response.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+    let mut conn = reader.into_inner();
+
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = match (method, path) {
+        ("GET", "/metrics") => ("200 OK", render_runtime_stats(&stream.stats())),
+        ("GET", _) => ("404 Not Found", String::from("not found\n")),
+        _ => ("405 Method Not Allowed", String::from("method not allowed\n")),
+    };
+    let content_type =
+        if status.starts_with("200") { "text/plain; version=0.0.4" } else { "text/plain" };
+    write!(
+        conn,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    conn.flush()?;
+    let _ = conn.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+/// Performs one `GET` against a [`MetricsServer`] (or anything speaking
+/// HTTP/1.1 on `addr`) and returns the response body. Errors on non-200
+/// statuses. This is the scrape side of the e2e tests and the CI smoke
+/// job — a plain [`TcpStream`], mirroring the server's no-deps stance.
+pub fn scrape(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(IO_TIMEOUT))?;
+    conn.set_write_timeout(Some(IO_TIMEOUT))?;
+    write!(conn, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    conn.flush()?;
+    let mut response = String::new();
+    conn.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("no header/body separator in response"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains("200") {
+        return Err(std::io::Error::other(format!("scrape of {path} failed: {status_line}")));
+    }
+    Ok(body.to_string())
+}

@@ -1,0 +1,96 @@
+//! Operations cockpit demo: the streaming runtime under Poisson uplink
+//! traffic with a live Prometheus `/metrics` endpoint scraping it.
+//!
+//! ```sh
+//! cargo run --release --example metrics_endpoint          # bounded demo
+//! cargo run --release --example metrics_endpoint -- --serve  # keep serving
+//! ```
+//!
+//! The bounded run (what CI's metrics smoke job executes) drives two
+//! traffic bursts, self-scrapes the endpoint between them, lints the
+//! exposition, checks counters are monotone across the scrapes, and
+//! prints the headline series. With `--serve` it leaves the endpoint up
+//! on `GS_METRICS_ADDR` (default `127.0.0.1:9184`) for a real Prometheus
+//! to scrape: `curl http://127.0.0.1:9184/metrics`.
+
+use geosphere::channel::RayleighChannel;
+use geosphere::core::geosphere_decoder;
+use geosphere::modulation::Constellation;
+use geosphere::phy::PhyConfig;
+use geosphere::runtime::{FrameStream, StreamConfig};
+use geosphere::sim::{run_poisson_uplink, PoissonParams};
+use geosphere::telemetry::{assert_counters_monotone, lint_exposition, scrape, MetricsServer};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let serve_forever = std::env::args().any(|a| a == "--serve");
+    let addr = std::env::var("GS_METRICS_ADDR").unwrap_or_else(|_| {
+        // Bounded demo binds port 0 so parallel CI jobs never collide.
+        if serve_forever {
+            "127.0.0.1:9184".into()
+        } else {
+            "127.0.0.1:0".into()
+        }
+    });
+
+    let cfg = PhyConfig { payload_bits: 1024, ..PhyConfig::new(Constellation::Qam16) };
+    let clients = 4;
+    let stream = Arc::new(FrameStream::new(cfg, geosphere_decoder(), StreamConfig::new(clients)));
+    let server = MetricsServer::spawn(&addr, Arc::clone(&stream)).expect("bind metrics endpoint");
+    println!("serving http://{}/metrics", server.addr());
+
+    let model = RayleighChannel::new(4, 2);
+    let params = PoissonParams {
+        clients,
+        frames_per_client: 25,
+        rate_hz: f64::INFINITY,
+        snr_db: 26.0,
+        deadline: Some(Duration::from_millis(50)),
+        seed: 2014,
+    };
+
+    run_poisson_uplink(&stream, &model, &params);
+    let first = scrape(server.addr(), "/metrics").expect("scrape #1");
+    let first = lint_exposition(&first).expect("exposition lints clean");
+
+    run_poisson_uplink(&stream, &model, &params);
+    let second = scrape(server.addr(), "/metrics").expect("scrape #2");
+    let second = lint_exposition(&second).expect("exposition lints clean");
+
+    let monotone =
+        assert_counters_monotone(&first, &second).expect("counters monotone across scrapes");
+    println!("lint ok: {} samples, {} counter series monotone", second.samples.len(), monotone);
+
+    for name in [
+        "gs_frames_completed_total",
+        "gs_deadline_misses_total",
+        "gs_windowed_frames_per_sec",
+        "gs_windowed_miss_rate",
+        "gs_uptime_seconds",
+    ] {
+        println!("  {name} = {}", second.value(name, &[]).expect("headline series present"));
+    }
+    for (q, label) in [("0.5", "p50"), ("0.99", "p99")] {
+        if let Some(v) =
+            second.value("gs_submit_delivery_latency_seconds", &[("client", "0"), ("quantile", q)])
+        {
+            println!("  latency client=0 {label} = {v:.6}s");
+        }
+    }
+
+    let stats = stream.stats();
+    assert_eq!(
+        second.value("gs_frames_submitted_total", &[]),
+        Some(stats.submitted as f64),
+        "scrape disagrees with RuntimeStats (stream idle, so counts are stable)"
+    );
+    println!("metrics endpoint agrees with RuntimeStats ({} frames)", stats.submitted);
+
+    if serve_forever {
+        println!("--serve: endpoint stays up; ctrl-c to exit");
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+}

@@ -11,5 +11,7 @@ pub use gs_coding as coding;
 pub use gs_linalg as linalg;
 pub use gs_modulation as modulation;
 pub use gs_phy as phy;
+pub use gs_prof as prof;
 pub use gs_runtime as runtime;
 pub use gs_sim as sim;
+pub use gs_telemetry as telemetry;

@@ -316,6 +316,28 @@ fn assert_soft_frame_chain_allocation_free() {
     assert!(ws.outcome().stats.visited_nodes > 0, "soft searches must actually have run");
 }
 
+/// Telemetry recording — the [`gs_prof::hist::LogHistogram`] surface the
+/// streaming runtime records submit→delivery latency, shard queue wait,
+/// and deadline slack into on every frame — must not touch the allocator
+/// after construction (the bucket array is the type's one allocation).
+/// Snapshots may allocate; they are scrape-time calls and stay outside
+/// the armed region.
+fn assert_histogram_recording_allocation_free() {
+    use gs_prof::hist::LogHistogram;
+    let hist = LogHistogram::new();
+    let (delta, ()) = allocations_during(|| {
+        // Values spanning the whole bucket range, including both linear
+        // small-value buckets and high octaves.
+        for v in 0..10_000u64 {
+            hist.record(v.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        hist.record_duration(std::time::Duration::from_micros(123));
+        hist.record_duration(std::time::Duration::from_secs(3600));
+    });
+    assert_eq!(delta, 0, "histogram recording allocated {delta} times across 10002 records");
+    assert_eq!(hist.count(), 10_002);
+}
+
 #[test]
 fn detection_hot_path_is_allocation_free_after_warmup() {
     assert_detect_with_qr_allocation_free();
@@ -325,4 +347,6 @@ fn detection_hot_path_is_allocation_free_after_warmup() {
     assert_hard_frame_chain_allocation_free(1);
     assert_hard_frame_chain_allocation_free(4);
     assert_soft_frame_chain_allocation_free();
+    // Telemetry tier: histogram recording shares the hot path's contract.
+    assert_histogram_recording_allocation_free();
 }

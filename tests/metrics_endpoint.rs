@@ -1,0 +1,134 @@
+//! End-to-end test of the operations cockpit: drive real frames through
+//! the streaming runtime, scrape the live `/metrics` endpoint over a raw
+//! TCP connection, parse the exposition, and require the scraped counters
+//! to match a [`RuntimeStats`] snapshot *exactly* — the endpoint is a
+//! rendering of the snapshot, not a second bookkeeping system.
+
+use geosphere::channel::RayleighChannel;
+use geosphere::core::geosphere_decoder;
+use geosphere::modulation::Constellation;
+use geosphere::phy::PhyConfig;
+use geosphere::runtime::{FrameStream, StreamConfig};
+use geosphere::sim::{run_poisson_uplink, PoissonParams};
+use geosphere::telemetry::{
+    assert_counters_monotone, lint_exposition, render_runtime_stats, scrape, MetricsServer,
+    QUANTILES,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: usize = 3;
+const FRAMES_PER_CLIENT: usize = 20;
+
+#[test]
+fn scraped_metrics_match_runtime_stats_exactly() {
+    let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(Constellation::Qam16) };
+    let stream = Arc::new(FrameStream::new(cfg, geosphere_decoder(), StreamConfig::new(CLIENTS)));
+    let server = MetricsServer::spawn("127.0.0.1:0", Arc::clone(&stream)).expect("bind");
+    let model = RayleighChannel::new(4, 2);
+    let params = PoissonParams {
+        clients: CLIENTS,
+        frames_per_client: FRAMES_PER_CLIENT,
+        rate_hz: f64::INFINITY,
+        snr_db: 24.0,
+        deadline: Some(Duration::from_millis(250)),
+        seed: 814,
+    };
+
+    let report = run_poisson_uplink(&stream, &model, &params);
+    assert!(report.submitted > 0, "traffic must actually have flowed");
+
+    // The driver has drained every completion, so the stream is idle and
+    // the scrape must agree with a snapshot taken around it bit for bit.
+    let body = scrape(server.addr(), "/metrics").expect("scrape");
+    let expo = lint_exposition(&body).expect("exposition lints clean");
+    let stats = stream.stats();
+
+    for (name, expect) in [
+        ("gs_frames_submitted_total", stats.submitted),
+        ("gs_frames_planned_total", stats.planned),
+        ("gs_frames_detected_total", stats.detected),
+        ("gs_frames_recovered_total", stats.recovered),
+        ("gs_frames_completed_total", stats.completed),
+        ("gs_deadline_misses_total", stats.deadline_misses),
+    ] {
+        assert_eq!(expo.value(name, &[]), Some(expect as f64), "{name}");
+    }
+    assert_eq!(stats.submitted, (CLIENTS * FRAMES_PER_CLIENT) as u64 - report.dropped);
+
+    let tiers: f64 =
+        expo.series("gs_tier_admissions_total").iter().map(|sample| sample.value).sum();
+    assert_eq!(tiers, stats.tier_admissions.iter().sum::<u64>() as f64);
+
+    for (name, expect) in [
+        ("gs_in_flight", stats.in_flight as f64),
+        ("gs_capacity", stats.capacity as f64),
+        ("gs_occupancy", stats.occupancy()),
+        ("gs_shards", stats.shards as f64),
+        ("gs_workers", stats.workers as f64),
+        ("gs_current_tier", stats.current_tier.index() as f64),
+    ] {
+        assert_eq!(expo.value(name, &[]), Some(expect), "{name}");
+    }
+    assert_eq!(expo.value("gs_in_flight", &[]), Some(0.0), "stream must be idle after drain");
+    assert_eq!(expo.series("gs_shard_queue_depth").len(), stats.shards);
+
+    // Histogram-backed summaries: one series set per client/shard, counts
+    // consistent with the pipeline counters, quantiles ordered.
+    for client in 0..CLIENTS {
+        let label = client.to_string();
+        let count = expo
+            .value("gs_submit_delivery_latency_seconds_count", &[("client", &label)])
+            .expect("latency count series");
+        assert_eq!(count, stats.latency_per_client[client].count() as f64);
+        let qs: Vec<f64> = QUANTILES
+            .iter()
+            .map(|q| {
+                expo.value(
+                    "gs_submit_delivery_latency_seconds",
+                    &[("client", &label), ("quantile", &q.to_string())],
+                )
+                .expect("latency quantile series")
+            })
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "quantiles must be ordered: {qs:?}");
+        let max = expo
+            .value("gs_submit_delivery_latency_seconds_max", &[("client", &label)])
+            .expect("latency max series");
+        assert!(qs.iter().all(|&q| q <= max + 1e-12));
+    }
+    let latency_total: u64 = stats.latency_per_client.iter().map(|h| h.count()).sum();
+    assert_eq!(latency_total, stats.completed, "every delivery records one latency sample");
+    assert_eq!(
+        stats.deadline_slack.count() + stats.deadline_lateness.count(),
+        stats.completed,
+        "every delivery lands in exactly one of slack/lateness"
+    );
+    let queue_wait_total: u64 = stats.queue_wait_per_shard.iter().map(|h| h.count()).sum();
+    assert!(queue_wait_total >= stats.detected, "each frame's shard jobs waited in some queue");
+
+    // The endpoint serves exactly what the renderer produces.
+    let rendered = lint_exposition(&render_runtime_stats(&stats)).expect("renderer lints clean");
+    assert_eq!(rendered.types, expo.types, "served families match direct rendering");
+
+    // A second burst: counters move forward, never backward, and the new
+    // scrape still lints.
+    run_poisson_uplink(&stream, &model, &params);
+    let second = lint_exposition(&scrape(server.addr(), "/metrics").expect("scrape #2"))
+        .expect("second exposition lints clean");
+    let compared = assert_counters_monotone(&expo, &second).expect("counters monotone");
+    assert!(compared >= 9, "all counter series present in both scrapes");
+    assert!(
+        second.value("gs_frames_completed_total", &[])
+            > expo.value("gs_frames_completed_total", &[]),
+        "second burst completed more frames"
+    );
+
+    // Unknown paths 404 (scrape surfaces that as an error), wrong methods
+    // are rejected, and shutdown is clean + idempotent.
+    assert!(scrape(server.addr(), "/nope").is_err());
+    let mut server = server;
+    server.shutdown();
+    server.shutdown();
+    assert!(scrape(server.addr(), "/metrics").is_err(), "endpoint is down after shutdown");
+}

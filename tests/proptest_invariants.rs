@@ -284,4 +284,49 @@ proptest! {
         }
         prop_assert!(geosphere::channel::lambda_max(&h) >= 1.0 - 1e-9);
     }
+
+    // --- telemetry histograms ---
+
+    #[test]
+    fn histogram_merge_preserves_totals(
+        // Values span every histogram octave a latency can reach (up to
+        // ~5 hours in nanoseconds) while keeping the running sums far
+        // from u64 overflow — the documented domain of the recorder.
+        a in proptest::collection::vec(0u64..1 << 44, 0..200),
+        b in proptest::collection::vec(0u64..1 << 44, 0..200),
+    ) {
+        use geosphere::prof::hist::{HistogramSnapshot, LogHistogram};
+        let (ha, hb) = (LogHistogram::new(), LogHistogram::new());
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let (sa, sb) = (ha.snapshot(), hb.snapshot());
+
+        // Merge is exact on counts, sums, and max — exactly what one
+        // histogram fed both value streams would have reported.
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        prop_assert_eq!(merged.count(), a.len() as u64 + b.len() as u64);
+        let sum = |vs: &[u64]| vs.iter().sum::<u64>();
+        prop_assert_eq!(merged.sum(), sum(&a) + sum(&b));
+        prop_assert_eq!(merged.max(), a.iter().chain(&b).copied().max().unwrap_or(0));
+
+        // Merging in the other order gives the identical snapshot, and
+        // the empty snapshot is the identity.
+        let mut flipped = sb.clone();
+        flipped.merge(&sa);
+        prop_assert_eq!(&flipped, &merged);
+        let mut ident = HistogramSnapshot::empty();
+        ident.merge(&merged);
+        prop_assert_eq!(&ident, &merged);
+
+        // Quantiles of the merge are bracketed by the per-side extremes
+        // and never exceed the exact max.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let m = merged.quantile(q);
+            prop_assert!(m <= merged.max());
+            if !a.is_empty() && !b.is_empty() {
+                prop_assert!(m >= sa.quantile(q).min(sb.quantile(q)));
+            }
+        }
+    }
 }

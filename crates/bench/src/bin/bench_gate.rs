@@ -93,7 +93,8 @@ use gs_phy::{
     decode_frame_batched, decode_frame_batched_into, uplink_frame, FrameWorkspace, PhyConfig,
 };
 use gs_runtime::{FrameStream, StreamConfig, UplinkFrame};
-use gs_sim::{run_deadline_storm, run_drain_recovery, StormConfig};
+use gs_sim::scenario::presets;
+use gs_sim::{run_campaign, run_deadline_storm, run_drain_recovery, CampaignConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -244,7 +245,7 @@ fn drive_stream(stream: &FrameStream, ch: &Arc<MimoChannel>, snr_db: f64, n: usi
                 continue;
             }
         }
-        let done = stream.recv();
+        let done = stream.recv().expect("stream died mid-benchmark");
         acc += done.outcome().stats.ped_calcs;
         received += 1;
     }
@@ -319,14 +320,14 @@ fn run_storm_gate(samples: usize) -> StormGateResult {
     // the corridor the calibrated deadline sits in — is wide enough to
     // separate the two pipelines cleanly.
     let (cfg, _, _) = scenario();
-    let snr_db = 18.0;
+    let snr_db = presets::STORM_SNR_DB;
     let model = SelectiveRayleighChannel {
         n_fft: 64,
         n_subcarriers: 64,
         ..SelectiveRayleighChannel::indoor(4, 4)
     };
 
-    let capacity = 6usize;
+    let capacity = presets::STORM_CAPACITY;
 
     // Serial calibration on the storm's frame shape, one worker, recycled
     // workspace: the per-frame cost at the sphere ceiling and at the MMSE
@@ -367,16 +368,10 @@ fn run_storm_gate(samples: usize) -> StormGateResult {
 
     let latency_ms = capacity as f64 * (serial_frame_ms * floor_frame_ms).sqrt();
     let deadline = Duration::from_secs_f64((latency_ms / 1e3).max(0.25e-3));
-    let storm = StormConfig {
-        clients: 3,
-        frames_per_client: 16,
-        snr_db,
-        deadline,
-        workers: 2,
-        shards: 1,
-        capacity,
-        seed: 2014,
-    };
+    // The scenario shape (clients, frames, topology, SNR) is the shared
+    // `presets::deadline_storm` definition — the campaign engine's
+    // `campaign_storm` scenario is the same storm under a pinned tier.
+    let storm = presets::deadline_storm(deadline, 2014);
 
     let cmp = run_deadline_storm(&cfg, &model, &storm);
     // Idle > the control plane's one-second miss window so storm misses
@@ -517,6 +512,77 @@ fn storm_gate_main(out_path: &str, baseline_path: &str, samples: usize, write_ba
     }
 }
 
+/// The base seed of the CI campaign. Every scenario's seed derives from
+/// this via splitmix64, so re-running any index locally reproduces its
+/// report byte-for-byte.
+const CAMPAIGN_BASE_SEED: u64 = 2014;
+
+/// `campaign` mode: run the seeded scenario campaign at the fidelity the
+/// `GS_SPEEDUP` env knob selects and gate hard on invariant violations.
+/// The campaign is self-judging — every scenario carries its own
+/// invariants (serial bit-identity, in-order delivery, exact miss and
+/// refusal accounting) — so there is no timing baseline to compare
+/// against and `--write-baseline` has nothing to write.
+fn campaign_gate_main(out_path: &str) {
+    // Lethal fault scenarios kill workers by panicking them on purpose;
+    // keep those expected backtraces out of the gate's output while
+    // leaving every other panic loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("injected worker fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let config = CampaignConfig::from_env(CAMPAIGN_BASE_SEED);
+    println!(
+        "campaign: {} scenarios x {} frames/client (speedup {}, base seed {})",
+        config.scenarios, config.frames_per_client, config.speedup, config.base_seed
+    );
+    let report = run_campaign(&config);
+    let json = report.render_json();
+    std::fs::write(out_path, &json).expect("write campaign report");
+    println!("results written to {out_path}");
+
+    let offered: u64 = report.outcomes.iter().map(|o| o.offered).sum();
+    let delivered: u64 = report.outcomes.iter().map(|o| o.delivered).sum();
+    let faults = report.outcomes.iter().filter(|o| o.fault != "none").count();
+    let fired = report.outcomes.iter().filter(|o| o.fault_fired).count();
+    println!(
+        "campaign: {} frames offered, {} delivered; {} scenarios carried a fault \
+         ({} fired); checksum {:#018x}",
+        offered,
+        delivered,
+        faults,
+        fired,
+        report.checksum()
+    );
+
+    let violations = report.total_violations();
+    if violations > 0 {
+        for o in report.outcomes.iter().filter(|o| !o.violations.is_empty()) {
+            eprintln!(
+                "CAMPAIGN VIOLATION: scenario {} (seed {:#018x}, {}):",
+                o.index, o.seed, o.descriptor
+            );
+            for v in &o.violations {
+                eprintln!("  - {v}");
+            }
+            eprintln!(
+                "  reproduce with: gs_sim::run_scenario_by_index({}, {:#x}, {})",
+                o.index, config.base_seed, config.frames_per_client
+            );
+        }
+        eprintln!("CAMPAIGN FAILED: {violations} invariant violations");
+        std::process::exit(1);
+    }
+    println!("gate: zero invariant violations across {} scenarios", report.outcomes.len());
+}
+
 /// How far `gs_windowed_frames_per_sec` may sit from the measured
 /// delivered rate before the `metrics` gate trips.
 const METRICS_RATE_TOLERANCE: f64 = 0.10;
@@ -554,11 +620,15 @@ fn metrics_gate_main(out_path: &str) {
                     submitted += 1;
                     continue;
                 }
-                std::hint::black_box(stream.recv().outcome().stats.ped_calcs);
+                std::hint::black_box(
+                    stream.recv().expect("stream died mid-scrape").outcome().stats.ped_calcs,
+                );
                 received += 1;
             }
             while received < submitted {
-                std::hint::black_box(stream.recv().outcome().stats.ped_calcs);
+                std::hint::black_box(
+                    stream.recv().expect("stream died mid-drain").outcome().stats.ped_calcs,
+                );
                 received += 1;
             }
         })
@@ -837,6 +907,13 @@ fn main() {
     if mode == "metrics" {
         let out = flag_value("--out").unwrap_or_else(|| "BENCH_pr8.json".into());
         metrics_gate_main(&out);
+        return;
+    }
+    // The campaign mode gates on seeded-scenario invariants (bit-identity,
+    // ordering, miss accounting) — deterministic, so no baseline either.
+    if mode == "campaign" {
+        let out = flag_value("--out").unwrap_or_else(|| "CAMPAIGN_pr9.json".into());
+        campaign_gate_main(&out);
         return;
     }
 

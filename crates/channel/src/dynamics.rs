@@ -1,0 +1,325 @@
+//! Time-varying channel dynamics for scenario campaigns.
+//!
+//! The stationary models ([`crate::RayleighChannel`] and friends) draw
+//! i.i.d. realizations per frame — the paper's §5.2.1 setting. Campaigns
+//! need the *time* axis too: a client moving through a cell sees channels
+//! that decorrelate at its Doppler rate, interference arrives in bursts,
+//! and large-scale SNR drifts. This module provides those processes as
+//! small composable generators, each advanced one frame at a time and
+//! fully determined by the RNG stream it is fed — a campaign scenario that
+//! seeds the RNG reproduces the exact channel history, which is what the
+//! seeded-campaign determinism contract rests on.
+//!
+//! * [`DopplerTrajectory`] — a mobility profile: frame index → normalized
+//!   Doppler `f_d·T` (Doppler frequency × frame interval).
+//! * [`FadingProcess`] — first-order Gauss–Markov (AR(1)) block fading
+//!   `H_{k+1} = ρ·H_k + √(1−ρ²)·W` with `ρ = J₀(2π f_d T)` (Jakes'
+//!   autocorrelation at the trajectory's current Doppler) and `W` i.i.d.
+//!   `CN(0,1)`, so every marginal stays unit-power Rayleigh while
+//!   consecutive frames correlate like a mobile channel.
+//! * [`InterferenceBurst`] — a two-state Markov on/off process modelling
+//!   bursty co-channel interference as a per-frame SNR penalty.
+//! * [`SnrWalk`] — a bounded per-client random walk of the large-scale
+//!   operating SNR (shadowing drift).
+
+use crate::model::MimoChannel;
+use crate::noise::sample_cn;
+use gs_linalg::Matrix;
+use rand::Rng;
+
+/// A mobility profile: maps a frame index to the **normalized Doppler**
+/// `f_d·T` (Doppler frequency times frame interval) in effect for that
+/// frame. `0.0` is a static client (fully correlated block fading);
+/// `≥ ~0.4` decorrelates consecutive frames almost completely (Jakes' J₀
+/// first crosses zero at `2π f_d T ≈ 2.405`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DopplerTrajectory {
+    /// A constant Doppler — a client moving at fixed speed.
+    Constant(f64),
+    /// Linear ramp from `from` (frame 0) to `to` (the last frame): a
+    /// client accelerating or braking across the scenario.
+    Ramp {
+        /// Normalized Doppler at the first frame.
+        from: f64,
+        /// Normalized Doppler at the last frame.
+        to: f64,
+    },
+    /// Sinusoidal sweep `center + swing·sin(2π·frame/period)`: a client
+    /// orbiting the cell (alternating approach and recession), clamped
+    /// at zero.
+    Orbit {
+        /// Mean normalized Doppler.
+        center: f64,
+        /// Peak deviation from the mean.
+        swing: f64,
+        /// Sweep period in frames (≥ 1).
+        period: usize,
+    },
+}
+
+impl DopplerTrajectory {
+    /// The normalized Doppler for `frame` of `total` frames (≥ 0).
+    pub fn normalized_doppler(&self, frame: usize, total: usize) -> f64 {
+        match *self {
+            DopplerTrajectory::Constant(fd) => fd.max(0.0),
+            DopplerTrajectory::Ramp { from, to } => {
+                let t = if total <= 1 { 0.0 } else { frame as f64 / (total - 1) as f64 };
+                (from + (to - from) * t).max(0.0)
+            }
+            DopplerTrajectory::Orbit { center, swing, period } => {
+                let phase = 2.0 * std::f64::consts::PI * frame as f64 / period.max(1) as f64;
+                (center + swing * phase.sin()).max(0.0)
+            }
+        }
+    }
+}
+
+/// Bessel function of the first kind, order zero, by its power series
+/// `Σ (−1)^m (x/2)^{2m} / (m!)²` — fine in f64 for the `|x| ≲ 15` range
+/// the Doppler map ever produces (no `libm` dependency in the container).
+fn bessel_j0(x: f64) -> f64 {
+    let q = -(x * x) / 4.0;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for m in 1..40 {
+        term *= q / ((m * m) as f64);
+        sum += term;
+        if term.abs() < 1e-16 {
+            break;
+        }
+    }
+    sum
+}
+
+/// Jakes' model frame-to-frame fading correlation at normalized Doppler
+/// `f_d·T`: `ρ = J₀(2π f_d T)`, clamped to `[0, 1]` (the oscillating tail
+/// past the first zero is treated as full decorrelation — the AR(1)
+/// recursion needs a nonnegative coefficient).
+pub fn fading_correlation(normalized_doppler: f64) -> f64 {
+    bessel_j0(2.0 * std::f64::consts::PI * normalized_doppler).clamp(0.0, 1.0)
+}
+
+/// First-order Gauss–Markov (AR(1)) flat block fading driven by a
+/// [`DopplerTrajectory`]: frame `k`'s channel is
+/// `H_k = ρ_k·H_{k−1} + √(1−ρ_k²)·W_k` with `W_k` i.i.d. `CN(0,1)` and
+/// `ρ_k` the Jakes correlation at the trajectory's Doppler for frame `k`.
+/// The first frame is drawn i.i.d. Every marginal is unit-power Rayleigh
+/// (the i.i.d. models' SNR convention carries over unchanged); only the
+/// *temporal* correlation differs.
+#[derive(Clone, Debug)]
+pub struct FadingProcess {
+    num_rx: usize,
+    num_tx: usize,
+    trajectory: DopplerTrajectory,
+    h: Option<Matrix>,
+    frame: usize,
+}
+
+impl FadingProcess {
+    /// A fresh process (no channel history yet).
+    pub fn new(num_rx: usize, num_tx: usize, trajectory: DopplerTrajectory) -> Self {
+        assert!(num_rx >= num_tx, "uplink MU-MIMO requires na >= nc");
+        FadingProcess { num_rx, num_tx, trajectory, h: None, frame: 0 }
+    }
+
+    /// Advances one frame and returns its channel. `total` is the
+    /// scenario's frame count (the trajectory's time base).
+    pub fn advance<R: Rng + ?Sized>(&mut self, total: usize, rng: &mut R) -> MimoChannel {
+        let next = match &self.h {
+            None => Matrix::from_fn(self.num_rx, self.num_tx, |_, _| sample_cn(rng, 1.0)),
+            Some(prev) => {
+                let fd = self.trajectory.normalized_doppler(self.frame, total);
+                let rho = fading_correlation(fd);
+                let innov = (1.0 - rho * rho).max(0.0).sqrt();
+                Matrix::from_fn(self.num_rx, self.num_tx, |r, c| {
+                    prev[(r, c)] * rho + sample_cn(rng, 1.0) * innov
+                })
+            }
+        };
+        self.h = Some(next.clone());
+        self.frame += 1;
+        MimoChannel::flat(next)
+    }
+}
+
+/// A two-state Markov on/off interference process: each frame is either
+/// clean or inside a burst; bursts knock `penalty_db` off the frame's
+/// operating SNR. Transition probabilities are evaluated once per frame,
+/// giving geometrically-distributed burst and gap lengths (mean burst
+/// `1/p_off` frames, mean gap `1/p_on`).
+#[derive(Clone, Debug)]
+pub struct InterferenceBurst {
+    /// Probability a clean frame starts a burst.
+    pub p_on: f64,
+    /// Probability a burst frame ends the burst.
+    pub p_off: f64,
+    /// SNR penalty while inside a burst, in dB (≥ 0).
+    pub penalty_db: f64,
+    in_burst: bool,
+}
+
+impl InterferenceBurst {
+    /// A fresh process, starting clean.
+    pub fn new(p_on: f64, p_off: f64, penalty_db: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_on) && (0.0..=1.0).contains(&p_off));
+        InterferenceBurst { p_on, p_off, penalty_db, in_burst: false }
+    }
+
+    /// Advances one frame; returns the SNR penalty (dB) for this frame
+    /// (`0.0` when clean, `penalty_db` inside a burst).
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let flip: f64 = rng.gen();
+        self.in_burst = if self.in_burst { flip >= self.p_off } else { flip < self.p_on };
+        if self.in_burst {
+            self.penalty_db
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A bounded random walk of a client's large-scale operating SNR
+/// (shadowing drift): each frame moves by `Uniform(−step_db, +step_db)`
+/// and reflects off `[min_db, max_db]`.
+#[derive(Clone, Debug)]
+pub struct SnrWalk {
+    snr_db: f64,
+    /// Per-frame maximum excursion, in dB.
+    pub step_db: f64,
+    /// Lower clamp of the walk.
+    pub min_db: f64,
+    /// Upper clamp of the walk.
+    pub max_db: f64,
+}
+
+impl SnrWalk {
+    /// A walk starting at `start_db`.
+    pub fn new(start_db: f64, step_db: f64, min_db: f64, max_db: f64) -> Self {
+        assert!(min_db <= max_db);
+        SnrWalk { snr_db: start_db.clamp(min_db, max_db), step_db, min_db, max_db }
+    }
+
+    /// Advances one frame; returns the new operating SNR in dB.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        self.snr_db =
+            (self.snr_db + (2.0 * u - 1.0) * self.step_db).clamp(self.min_db, self.max_db);
+        self.snr_db
+    }
+
+    /// The walk's current SNR without advancing.
+    pub fn current(&self) -> f64 {
+        self.snr_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bessel_j0_matches_known_values() {
+        assert!((bessel_j0(0.0) - 1.0).abs() < 1e-15);
+        // Tabulated: J0(1) ≈ 0.7651976866, J0(2.4048) ≈ 0 (first zero),
+        // J0(5) ≈ -0.1775967713.
+        assert!((bessel_j0(1.0) - 0.765_197_686_6).abs() < 1e-9);
+        assert!(bessel_j0(2.404_825_557_7).abs() < 1e-9);
+        assert!((bessel_j0(5.0) + 0.177_596_771_3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_decays_with_doppler() {
+        assert_eq!(fading_correlation(0.0), 1.0);
+        let slow = fading_correlation(0.01);
+        let fast = fading_correlation(0.2);
+        assert!(slow > 0.99, "near-static clients stay correlated: {slow}");
+        assert!(fast < slow, "faster clients decorrelate faster");
+        // Past the first J0 zero the clamp holds at full decorrelation.
+        assert_eq!(fading_correlation(0.5), 0.0);
+    }
+
+    #[test]
+    fn trajectories_cover_their_ranges() {
+        let ramp = DopplerTrajectory::Ramp { from: 0.0, to: 0.1 };
+        assert_eq!(ramp.normalized_doppler(0, 11), 0.0);
+        assert!((ramp.normalized_doppler(10, 11) - 0.1).abs() < 1e-12);
+        let orbit = DopplerTrajectory::Orbit { center: 0.05, swing: 0.05, period: 8 };
+        let values: Vec<f64> = (0..8).map(|k| orbit.normalized_doppler(k, 8)).collect();
+        assert!(values.iter().all(|&v| (0.0..=0.1 + 1e-12).contains(&v)));
+        assert!(values.iter().any(|&v| v > 0.09), "orbit reaches its peak");
+    }
+
+    #[test]
+    fn fading_process_keeps_unit_power_and_correlates() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Slow mobility: consecutive frames must be visibly correlated.
+        // (Power is *not* averaged here — a near-unity ρ makes the whole
+        // run one effective sample, so its power estimate is meaningless.)
+        let mut slow = FadingProcess::new(4, 2, DopplerTrajectory::Constant(0.01));
+        let mut corr = 0.0;
+        let mut prev: Option<MimoChannel> = None;
+        let n = 400;
+        for _ in 0..n {
+            let ch = slow.advance(n, &mut rng);
+            if let Some(p) = &prev {
+                corr += ch.subcarrier(0).max_abs_diff(p.subcarrier(0));
+            }
+            prev = Some(ch);
+        }
+        assert!(corr / ((n - 1) as f64) < 0.5, "slow fading barely moves frame to frame");
+        // Fast mobility decorrelates (ρ clamps to 0 at fd = 0.4): frames
+        // are i.i.d., so the power average is trustworthy there.
+        let mut fast = FadingProcess::new(4, 2, DopplerTrajectory::Constant(0.4));
+        let mut prev: Option<MimoChannel> = None;
+        let mut fast_corr = 0.0;
+        let mut power = 0.0;
+        for _ in 0..n {
+            let ch = fast.advance(n, &mut rng);
+            power += ch.average_entry_power();
+            if let Some(p) = &prev {
+                fast_corr += ch.subcarrier(0).max_abs_diff(p.subcarrier(0));
+            }
+            prev = Some(ch);
+        }
+        assert!((power / n as f64 - 1.0).abs() < 0.1, "marginals stay unit power");
+        assert!(fast_corr / ((n - 1) as f64) > 1.0, "fast fading jumps frame to frame");
+    }
+
+    #[test]
+    fn fading_process_is_seed_deterministic() {
+        let make = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut p = FadingProcess::new(2, 2, DopplerTrajectory::Ramp { from: 0.0, to: 0.2 });
+            (0..10).map(|_| p.advance(10, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(make(), make(), "same seed, same channel history");
+    }
+
+    #[test]
+    fn interference_burst_duty_cycle_matches_stationary_distribution() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Stationary on-fraction = p_on / (p_on + p_off) = 0.2.
+        let mut b = InterferenceBurst::new(0.05, 0.2, 10.0);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| b.advance(&mut rng) > 0.0).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.03, "burst duty cycle {frac}, expected ~0.2");
+    }
+
+    #[test]
+    fn snr_walk_stays_bounded() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut w = SnrWalk::new(20.0, 1.5, 12.0, 28.0);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..5000 {
+            let s = w.advance(&mut rng);
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        assert!(lo >= 12.0 && hi <= 28.0, "walk escaped [{lo}, {hi}]");
+        assert!(hi - lo > 5.0, "walk actually explores its range");
+    }
+}

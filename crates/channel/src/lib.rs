@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamics;
 pub mod geometric;
 pub mod metrics;
 pub mod model;
@@ -19,6 +20,9 @@ pub mod rayleigh;
 pub mod testbed;
 pub mod trace;
 
+pub use dynamics::{
+    fading_correlation, DopplerTrajectory, FadingProcess, InterferenceBurst, SnrWalk,
+};
 pub use geometric::{ApArray, GeometricChannel, Pos};
 pub use metrics::{kappa_sqr_db, lambda_max, lambda_max_db, zf_snr_degradation, Cdf};
 pub use model::{taps_to_subcarriers, ChannelModel, MimoChannel};

@@ -70,7 +70,7 @@ pub use kbest::KBestDetector;
 pub use linear::{MmseDetector, ZfDetector};
 pub use ml::MlDetector;
 pub use precode::{mod_tau, Precoded, VectorPerturbationPrecoder};
-pub use shard::{ShardedDetectionPool, ShardedJob, NO_DEADLINE};
+pub use shard::{PoolPoisoned, ShardedDetectionPool, ShardedJob, NO_DEADLINE};
 pub use sic::MmseSicDetector;
 pub use soft::{SoftDetection, SoftGeosphereDetector, SoftWorkspace};
 pub use sphere::{GeosphereFactory, HessFactory, SearchWorkspace, SphereDecoder, WorkspaceFor};

@@ -37,12 +37,16 @@
 //! allocation discipline in steady state.
 //!
 //! A panicking worker poisons the pool ([`ShardedDetectionPool::is_poisoned`])
-//! instead of hanging its siblings; embedders poll the flag from their
-//! completion waits and surface the failure as a panic of their own.
+//! instead of hanging its siblings; submissions against a poisoned pool are
+//! refused with the typed [`PoolPoisoned`] error, and embedders poll the
+//! flag from their completion waits to surface the failure as a typed
+//! "stream dead" condition of their own. Fault-injection campaigns can
+//! kill a worker on a chosen task pop via
+//! [`ShardedDetectionPool::inject_worker_panic_after`].
 
 use crate::detector::DetectorWorkspace;
 use gs_prof::hist::{HistogramSnapshot, LogHistogram};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -50,6 +54,23 @@ use std::time::Instant;
 /// Deadline key meaning "no deadline": sorts after every real deadline, so
 /// deadline-free tasks run FIFO behind deadline-bearing ones.
 pub const NO_DEADLINE: u64 = u64::MAX;
+
+/// Typed refusal from [`ShardedDetectionPool::submit`]: a worker panicked
+/// (organically, or via [`ShardedDetectionPool::inject_worker_panic_after`])
+/// and the pool will never run another task. Embedders translate this into
+/// their own "stream is dead" error instead of unwinding the submitting
+/// thread, which is what lets fault-injection campaigns record worker loss
+/// as a scenario *outcome*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolPoisoned;
+
+impl std::fmt::Display for PoolPoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sharded detection pool is poisoned: a worker panicked")
+    }
+}
+
+impl std::error::Error for PoolPoisoned {}
 
 /// A unit of shard work: the embedder's view of "run my portion of shard
 /// `shard` for the frame identified by `token`".
@@ -168,6 +189,13 @@ struct ShardState {
     /// popping worker (atomic bucket increments, allocation-free), merged
     /// at scrape time by [`ShardedDetectionPool::queue_wait_snapshots`].
     queue_wait: LogHistogram,
+    /// Lifetime count of tasks popped from this shard's queue — the clock
+    /// the fault-injection hook is armed against.
+    pops: AtomicU64,
+    /// Fault-injection arming: the 1-based pop ordinal at which the
+    /// popping worker panics *instead of* running its task (`0` =
+    /// disarmed). See [`ShardedDetectionPool::inject_worker_panic_after`].
+    fault_at_pop: AtomicU64,
 }
 
 /// Marks the pool poisoned even when the worker unwinds through a
@@ -255,6 +283,8 @@ impl ShardedDetectionPool {
                     cv: Condvar::new(),
                     depth: AtomicUsize::new(0),
                     queue_wait: LogHistogram::new(),
+                    pops: AtomicU64::new(0),
+                    fault_at_pop: AtomicU64::new(0),
                 })
             })
             .collect();
@@ -330,16 +360,45 @@ impl ShardedDetectionPool {
         self.poisoned.load(Ordering::SeqCst)
     }
 
+    /// Arms the fault-injection hook on `shard`: the worker popping that
+    /// shard's `pops`-th task *from now* (1-based) panics with an
+    /// "injected worker fault" **instead of** running the task, flowing
+    /// through the ordinary poisoning machinery — exactly what an
+    /// organic worker crash looks like from the embedder's side.
+    ///
+    /// With one worker per shard and lockstep submission the panicking
+    /// pop ordinal is fully deterministic, which is what the seeded
+    /// fault-injection campaigns rely on. `pops == 0` disarms. This hook
+    /// exists **only** for fault-injection scenarios; production
+    /// embedders must never call it.
+    pub fn inject_worker_panic_after(&self, shard: usize, pops: u64) {
+        let state = &self.shards[shard];
+        let target = if pops == 0 { 0 } else { state.pops.load(Ordering::SeqCst) + pops };
+        state.fault_at_pop.store(target, Ordering::SeqCst);
+    }
+
     /// Enqueues `(token, job)` on `shard` with EDF key `key`
     /// ([`NO_DEADLINE`] for deadline-free FIFO). Clones the `Arc` — never
     /// allocates.
     ///
+    /// Returns [`PoolPoisoned`] when a worker has panicked — the pool
+    /// will never run the task, so the caller must treat the stream as
+    /// dead rather than retry.
+    ///
     /// # Panics
-    /// Panics when the pool is poisoned or the shard queue is over its
-    /// construction-time capacity (both embedder bugs, not load
-    /// conditions: capacity must bound the embedder's in-flight frames).
-    pub fn submit(&self, shard: usize, key: u64, token: usize, job: &Arc<dyn ShardedJob>) {
-        assert!(!self.is_poisoned(), "ShardedDetectionPool is dead: a worker panicked");
+    /// Panics when the shard queue is over its construction-time capacity
+    /// (an embedder bug, not a load condition: capacity must bound the
+    /// embedder's in-flight frames).
+    pub fn submit(
+        &self,
+        shard: usize,
+        key: u64,
+        token: usize,
+        job: &Arc<dyn ShardedJob>,
+    ) -> Result<(), PoolPoisoned> {
+        if self.is_poisoned() {
+            return Err(PoolPoisoned);
+        }
         let state = &self.shards[shard];
         let mut q = lock_ignoring_poison(&state.q);
         let arrival = q.arrivals;
@@ -357,6 +416,7 @@ impl ShardedDetectionPool {
         state.depth.store(q.heap.len(), Ordering::Relaxed);
         drop(q);
         state.cv.notify_one();
+        Ok(())
     }
 
     /// Snapshot of every shard's queued-task count, written into `out`
@@ -428,6 +488,13 @@ fn shard_worker_loop(state: &ShardState, poisoned: &AtomicBool, shard: usize) {
         // A panicking job must mark the pool dead rather than silently
         // dropping the task (its frame would otherwise wait forever).
         let guard = PoisonOnPanic(poisoned);
+        let ordinal = state.pops.fetch_add(1, Ordering::SeqCst) + 1;
+        let armed = state.fault_at_pop.load(Ordering::SeqCst);
+        if armed != 0 && ordinal >= armed {
+            // Injected fault: die *before* the task runs, so its frame is
+            // lost exactly as it would be under an organic worker crash.
+            panic!("injected worker fault (shard {shard}, pop {ordinal})");
+        }
         task.job.run_shard(shard, task.token, &mut ws);
         drop(guard);
     }
@@ -513,15 +580,15 @@ mod tests {
         // Occupy the single worker so the rest queue up (wait until the
         // gate task has actually been popped, so the depths below are
         // deterministic).
-        pool.submit(0, 0, usize::MAX, &job);
+        pool.submit(0, 0, usize::MAX, &job).unwrap();
         wait_queues_empty(&pool);
         // Mixed submission order: late deadline, none, early deadline,
         // another none, mid deadline.
-        pool.submit(0, 900, 1, &job);
-        pool.submit(0, NO_DEADLINE, 2, &job);
-        pool.submit(0, 100, 3, &job);
-        pool.submit(0, NO_DEADLINE, 4, &job);
-        pool.submit(0, 500, 5, &job);
+        pool.submit(0, 900, 1, &job).unwrap();
+        pool.submit(0, NO_DEADLINE, 2, &job).unwrap();
+        pool.submit(0, 100, 3, &job).unwrap();
+        pool.submit(0, NO_DEADLINE, 4, &job).unwrap();
+        pool.submit(0, 500, 5, &job).unwrap();
         let mut depths = Vec::new();
         pool.queue_depths(&mut depths);
         assert_eq!(depths, vec![5]);
@@ -542,7 +609,7 @@ mod tests {
         rec.open_gate();
         let job: Arc<dyn ShardedJob> = rec.clone();
         for t in 0..10 {
-            pool.submit(t % 2, NO_DEADLINE, t, &job);
+            pool.submit(t % 2, NO_DEADLINE, t, &job).unwrap();
         }
         rec.wait_ran(10);
         let waits = pool.queue_wait_snapshots();
@@ -566,7 +633,7 @@ mod tests {
         rec.open_gate();
         let job: Arc<dyn ShardedJob> = rec.clone();
         for t in 0..8 {
-            pool.submit(t % 2, NO_DEADLINE, t, &job);
+            pool.submit(t % 2, NO_DEADLINE, t, &job).unwrap();
         }
         rec.wait_ran(8);
         let mut ran: Vec<usize> = rec.order.lock().unwrap().clone();
@@ -614,17 +681,41 @@ mod tests {
         }
         let pool = ShardedDetectionPool::new_with_pinning(1, 1, 4, false);
         let job: Arc<dyn ShardedJob> = Arc::new(Panicky);
-        pool.submit(0, NO_DEADLINE, 0, &job);
+        pool.submit(0, NO_DEADLINE, 0, &job).unwrap();
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while !pool.is_poisoned() {
             assert!(std::time::Instant::now() < deadline, "poison flag never set");
             std::thread::sleep(Duration::from_millis(1));
         }
-        let reuse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.submit(0, NO_DEADLINE, 1, &job);
-        }));
-        assert!(reuse.is_err(), "a poisoned pool must refuse further tasks");
+        assert_eq!(
+            pool.submit(0, NO_DEADLINE, 1, &job),
+            Err(PoolPoisoned),
+            "a poisoned pool must refuse further tasks with a typed error"
+        );
         drop(pool); // must not hang joining the dead worker's siblings
+    }
+
+    #[test]
+    fn injected_worker_fault_kills_the_armed_pop() {
+        let pool = ShardedDetectionPool::new_with_pinning(1, 1, 8, false);
+        let rec = Recorder::new();
+        rec.open_gate();
+        let job: Arc<dyn ShardedJob> = rec.clone();
+        // Armed at the 3rd pop from now: tasks 0 and 1 run, task 2's pop
+        // panics before the job executes.
+        pool.inject_worker_panic_after(0, 3);
+        pool.submit(0, NO_DEADLINE, 0, &job).unwrap();
+        pool.submit(0, NO_DEADLINE, 1, &job).unwrap();
+        rec.wait_ran(2);
+        pool.submit(0, NO_DEADLINE, 2, &job).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !pool.is_poisoned() {
+            assert!(std::time::Instant::now() < deadline, "injected fault never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The faulted task never ran, and the pool now refuses work.
+        assert_eq!(rec.ran.load(Ordering::SeqCst), 2);
+        assert_eq!(pool.submit(0, NO_DEADLINE, 3, &job), Err(PoolPoisoned));
     }
 
     #[test]
@@ -632,12 +723,12 @@ mod tests {
         let pool = ShardedDetectionPool::new_with_pinning(1, 1, 2, false);
         let rec = Recorder::new();
         let job: Arc<dyn ShardedJob> = rec.clone();
-        pool.submit(0, 0, usize::MAX, &job); // parks the worker
+        pool.submit(0, 0, usize::MAX, &job).unwrap(); // parks the worker
         wait_queues_empty(&pool); // the gate task is running, queue empty
-        pool.submit(0, 1, 1, &job);
-        pool.submit(0, 2, 2, &job);
+        pool.submit(0, 1, 1, &job).unwrap();
+        pool.submit(0, 2, 2, &job).unwrap();
         let overflow = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.submit(0, 3, 3, &job);
+            let _ = pool.submit(0, 3, 3, &job);
         }));
         assert!(overflow.is_err(), "submitting past capacity must fail fast");
         rec.open_gate();

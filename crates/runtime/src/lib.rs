@@ -87,4 +87,4 @@ pub mod stream;
 pub use geosphere_core::{DetectorLadder, DetectorTier};
 pub use policy::{AdaptationPolicy, HysteresisPolicy, PinnedPolicy, PressureSignal};
 pub use stats::RuntimeStats;
-pub use stream::{Completed, FrameStream, StreamConfig, UplinkFrame};
+pub use stream::{Completed, FrameStream, StreamConfig, StreamDead, TrySubmitError, UplinkFrame};

@@ -62,6 +62,44 @@ impl UplinkFrame {
     }
 }
 
+/// The stream can no longer make progress: a detection worker panicked
+/// (poisoning the [`ShardedDetectionPool`]) or a planner/recovery thread
+/// unwound. Outstanding frames will never complete; the stream must be
+/// torn down. Returned as a typed error (rather than a panic on the
+/// submitting thread) so fault-injection campaigns can record worker loss
+/// as a scenario outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamDead;
+
+impl std::fmt::Display for StreamDead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame stream is dead: a detection worker or stage thread panicked")
+    }
+}
+
+impl std::error::Error for StreamDead {}
+
+/// Refusal from [`FrameStream::try_submit`], returning the frame so the
+/// source can retry, reroute, or drop it.
+#[derive(Debug)]
+pub enum TrySubmitError {
+    /// Every slot is in flight — the documented loss-tolerant admission
+    /// refusal (a load condition, not a failure).
+    Full(UplinkFrame),
+    /// The stream is dead ([`StreamDead`]); the frame can never complete
+    /// here.
+    Dead(UplinkFrame),
+}
+
+impl TrySubmitError {
+    /// The refused frame, whichever way it was refused.
+    pub fn into_frame(self) -> UplinkFrame {
+        match self {
+            TrySubmitError::Full(f) | TrySubmitError::Dead(f) => f,
+        }
+    }
+}
+
 /// Sizing and placement knobs for a [`FrameStream`].
 #[derive(Clone, Debug)]
 pub struct StreamConfig {
@@ -483,7 +521,13 @@ impl Shared {
         slot.remaining.store(self.n_shards as u64, Ordering::Release);
         self.stats.planned.fetch_add(1, Ordering::Relaxed);
         for s in 0..self.n_shards {
-            self.pool.submit(s, deadline_key, slot_idx, job);
+            if self.pool.submit(s, deadline_key, slot_idx, job).is_err() {
+                // The pool died under us: the frame is abandoned (its
+                // remaining shards will never run), and `is_dead()` already
+                // reports the poisoning to submit/recv — nothing further
+                // to do but stop feeding a dead pool.
+                return;
+            }
         }
     }
 
@@ -822,23 +866,27 @@ impl FrameStream {
     /// sustained rate instead of growing an unbounded queue. Frames of one
     /// client submitted concurrently are ordered by their arrival here.
     ///
+    /// Returns [`StreamDead`] when a detection worker or stage thread has
+    /// panicked — the frame was *not* admitted and never will be; tear the
+    /// stream down.
+    ///
     /// # Panics
-    /// Panics when `frame.client` is out of range or a detection worker
-    /// has panicked.
-    pub fn submit(&self, frame: UplinkFrame) {
+    /// Panics when `frame.client` is out of range or the channel shape
+    /// mismatches the stream's PHY config (submitter bugs, not runtime
+    /// conditions).
+    pub fn submit(&self, frame: UplinkFrame) -> Result<(), StreamDead> {
         // Validate before taking a slot: a panic past this point must not
         // leak the slot it popped.
         self.assert_admissible(&frame);
         let slot_idx = {
             let mut free = lock(&self.shared.free);
             loop {
+                if self.shared.is_dead() {
+                    return Err(StreamDead);
+                }
                 if let Some(idx) = free.pop() {
                     break idx;
                 }
-                assert!(
-                    !self.shared.is_dead(),
-                    "FrameStream is dead: a worker or stage thread panicked"
-                );
                 let (guard, _) = self
                     .shared
                     .free_cv
@@ -848,18 +896,42 @@ impl FrameStream {
             }
         };
         self.install(slot_idx, frame);
+        Ok(())
     }
 
     /// Non-blocking admission: returns the frame back when no slot is
-    /// free, for sources that prefer dropping to stalling.
-    pub fn try_submit(&self, frame: UplinkFrame) -> Result<(), UplinkFrame> {
+    /// free ([`TrySubmitError::Full`], for sources that prefer dropping to
+    /// stalling) or the stream is dead ([`TrySubmitError::Dead`]).
+    pub fn try_submit(&self, frame: UplinkFrame) -> Result<(), TrySubmitError> {
         self.assert_admissible(&frame);
+        if self.shared.is_dead() {
+            return Err(TrySubmitError::Dead(frame));
+        }
         let slot_idx = match lock(&self.shared.free).pop() {
             Some(idx) => idx,
-            None => return Err(frame),
+            None => return Err(TrySubmitError::Full(frame)),
         };
         self.install(slot_idx, frame);
         Ok(())
+    }
+
+    /// Fault injection: arms `shard`'s underlying detection-pool hook so
+    /// the worker popping that shard's `pops`-th task from now panics
+    /// instead of running it (see
+    /// [`ShardedDetectionPool::inject_worker_panic_after`]). The poisoning
+    /// then surfaces from [`FrameStream::submit`]/[`FrameStream::recv`] as
+    /// [`StreamDead`]. For seeded fault-injection campaigns only —
+    /// production embedders must never call this.
+    pub fn inject_worker_panic_after(&self, shard: usize, pops: u64) {
+        self.shared.pool.inject_worker_panic_after(shard, pops);
+    }
+
+    /// Whether the stream is dead — a detection worker or stage thread
+    /// panicked. A dead stream refuses new work
+    /// ([`StreamDead`] / [`TrySubmitError::Dead`]) but [`FrameStream::recv`]
+    /// still drains completions that were already queued.
+    pub fn is_dead(&self) -> bool {
+        self.shared.is_dead()
     }
 
     fn assert_admissible(&self, frame: &UplinkFrame) {
@@ -918,20 +990,21 @@ impl FrameStream {
     /// Dropping the returned [`Completed`] guard releases the frame's slot
     /// back to admission — hold it only as long as the outcome is needed.
     ///
-    /// # Panics
-    /// Panics when a detection worker has panicked (the pipeline can no
-    /// longer complete the outstanding frames).
-    pub fn recv(&self) -> Completed<'_> {
+    /// Returns [`StreamDead`] when a detection worker or stage thread has
+    /// panicked and no completed frame is queued — outstanding frames can
+    /// never arrive, so waiting on would hang. Completions already
+    /// delivered to the done queue before the failure are still handed
+    /// out first.
+    pub fn recv(&self) -> Result<Completed<'_>, StreamDead> {
         let slot_idx = {
             let mut q = lock(&self.shared.done_q);
             loop {
                 if let Some(idx) = q.pop_front() {
                     break idx;
                 }
-                assert!(
-                    !self.shared.is_dead(),
-                    "FrameStream is dead: a worker or stage thread panicked"
-                );
+                if self.shared.is_dead() {
+                    return Err(StreamDead);
+                }
                 let (guard, _) = self
                     .shared
                     .done_cv
@@ -940,7 +1013,7 @@ impl FrameStream {
                 q = guard;
             }
         };
-        self.completed(slot_idx)
+        Ok(self.completed(slot_idx))
     }
 
     /// Non-blocking [`FrameStream::recv`].
@@ -1251,13 +1324,13 @@ mod tests {
         std::thread::scope(|scope| {
             scope.spawn(|| {
                 for f in &frames {
-                    stream.submit(f.clone());
+                    stream.submit(f.clone()).unwrap();
                 }
             });
             let mut next_seq = [0u64; 2];
             let mut seen = 0;
             while seen < frames.len() {
-                let done = stream.recv();
+                let done = stream.recv().unwrap();
                 let client = done.client();
                 assert_eq!(done.seq(), next_seq[client], "per-client delivery order");
                 next_seq[client] += 1;
@@ -1296,20 +1369,21 @@ mod tests {
             let f = UplinkFrame::new(0, Arc::clone(&chans[0]), 20.0, k);
             match stream.try_submit(f) {
                 Ok(()) => {}
-                Err(back) => {
+                Err(TrySubmitError::Full(back)) => {
                     assert_eq!(back.seed, k, "refused frame returned unchanged");
                     refused += 1;
                     // recv frees a slot, proving the pipeline still flows,
                     // then blocking submit applies backpressure instead.
-                    drop(stream.recv());
+                    drop(stream.recv().unwrap());
                     received += 1;
-                    stream.submit(back);
+                    stream.submit(back).unwrap();
                 }
+                Err(TrySubmitError::Dead(_)) => panic!("healthy stream reported dead"),
             }
         }
         assert!(refused > 0, "capacity 2 must refuse at least one of 8 rapid submissions");
         while received < 8 {
-            drop(stream.recv());
+            drop(stream.recv().unwrap());
             received += 1;
         }
         let stats = stream.stats();
@@ -1333,14 +1407,14 @@ mod tests {
         expired.deadline = Some(Instant::now() - Duration::from_secs(1));
         let mut roomy = UplinkFrame::new(0, Arc::clone(&chans[0]), 20.0, 2);
         roomy.deadline = Some(Instant::now() + Duration::from_secs(3600));
-        stream.submit(expired);
-        stream.submit(roomy);
+        stream.submit(expired).unwrap();
+        stream.submit(roomy).unwrap();
 
-        let first = stream.recv();
+        let first = stream.recv().unwrap();
         assert_eq!(first.seq(), 0);
         assert!(first.missed_deadline(), "expired deadline must be flagged");
         drop(first);
-        let second = stream.recv();
+        let second = stream.recv().unwrap();
         assert!(!second.missed_deadline(), "one-hour deadline cannot be missed");
         drop(second);
         assert_eq!(stream.stats().deadline_misses, 1);
@@ -1363,13 +1437,13 @@ mod tests {
             .realize(&mut StdRng::seed_from_u64(9)),
         );
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            stream.submit(UplinkFrame::new(0, bad, 20.0, 1));
+            let _ = stream.submit(UplinkFrame::new(0, bad, 20.0, 1));
         }));
         assert!(res.is_err(), "mismatched subcarrier count must be rejected at submission");
         // The stream is still fully operational afterwards.
         let good = channels(1, 45);
-        stream.submit(UplinkFrame::new(0, Arc::clone(&good[0]), 20.0, 2));
-        let done = stream.recv();
+        stream.submit(UplinkFrame::new(0, Arc::clone(&good[0]), 20.0, 2)).unwrap();
+        let done = stream.recv().unwrap();
         assert_eq!(done.seq(), 0);
     }
 
@@ -1395,12 +1469,48 @@ mod tests {
         let reference: Vec<UplinkOutcome> =
             frames.iter().map(|f| serial_outcome(&cfg, f, &mut ws)).collect();
         for f in &frames {
-            stream.submit(f.clone());
+            stream.submit(f.clone()).unwrap();
         }
         for r in &reference {
-            let done = stream.recv();
+            let done = stream.recv().unwrap();
             assert_eq!(done.outcome().client_ok, r.client_ok);
             assert_eq!(done.outcome().stats, r.stats);
         }
+    }
+
+    /// An injected worker fault must surface as typed [`StreamDead`]
+    /// errors from `submit`/`recv` — never as a panic on the caller's
+    /// thread — with the pre-fault completions still delivered and the
+    /// fault position deterministic under lockstep submission.
+    #[test]
+    fn injected_worker_fault_reports_stream_dead() {
+        let cfg = small_cfg();
+        let chans = channels(1, 46);
+        let mut sc = StreamConfig::new(1);
+        sc.workers = 1;
+        sc.shards = 1;
+        sc.capacity = 2;
+        let stream = FrameStream::new(cfg, geosphere_decoder(), sc);
+        // Lockstep: one task in flight at a time, so pool pop k = frame k.
+        // Armed at pop 3 → frames 0 and 1 complete, frame 2 is lost.
+        stream.inject_worker_panic_after(0, 3);
+        for k in 0..2u64 {
+            stream.submit(UplinkFrame::new(0, Arc::clone(&chans[0]), 20.0, k)).unwrap();
+            let done = stream.recv().unwrap();
+            assert_eq!(done.seq(), k);
+        }
+        stream.submit(UplinkFrame::new(0, Arc::clone(&chans[0]), 20.0, 2)).unwrap();
+        assert_eq!(stream.recv().err(), Some(StreamDead), "lost frame must report a dead stream");
+        match stream.try_submit(UplinkFrame::new(0, Arc::clone(&chans[0]), 20.0, 3)) {
+            Err(TrySubmitError::Dead(back)) => assert_eq!(back.seed, 3),
+            other => panic!("dead stream must refuse admission, got {other:?}"),
+        }
+        assert_eq!(
+            stream.submit(UplinkFrame::new(0, Arc::clone(&chans[0]), 20.0, 4)),
+            Err(StreamDead)
+        );
+        let stats = stream.stats();
+        assert_eq!(stats.completed, 2, "pre-fault completions are retained");
+        drop(stream); // teardown must not hang on the dead worker
     }
 }

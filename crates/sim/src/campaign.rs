@@ -1,0 +1,897 @@
+//! The campaign runner: thousands of seeded scenarios, executed in
+//! parallel, invariant-checked, and rendered into one deterministic
+//! report.
+//!
+//! A campaign ([`run_campaign`]) expands a base seed into [`Scenario`]s
+//! ([`Scenario::sampled`]), runs them across runner threads — each
+//! thread reusing one serial-reference [`FrameWorkspace`] and caching its
+//! last [`FrameStream`] across same-shaped scenarios, so the campaign
+//! itself obeys the runtime's zero-alloc steady-state discipline — and
+//! checks per-scenario invariants:
+//!
+//! * **bit-identity**: every delivered frame's detection outcome (CRC
+//!   bits, detection count, PED work) equals the serial
+//!   `decode_frame_batched_into` reference at the scenario's pinned tier;
+//! * **in-order delivery**: per-client completion sequences are contiguous
+//!   and monotone;
+//! * **miss accounting**: frames in pre-expired deadline windows are all
+//!   delivered and all recorded as misses, generous/deadline-free frames
+//!   never are, and the stream's [`RuntimeStats`] deltas (submitted,
+//!   completed, deadline misses) agree exactly with the driver's counts;
+//! * **fault containment**: a lethal fault fires where armed, kills
+//!   exactly the frames after its position, and surfaces as typed
+//!   `StreamDead`/`PoolPoisoned` errors — never an abort or a hang; a
+//!   slot-exhaustion burst is refused at exactly the pool capacity.
+//!
+//! Scenario outcomes carry an FNV-1a checksum over every delivered
+//! frame's bits, and [`CampaignReport::render_json`] contains no
+//! wall-clock fields, so a campaign report is **byte-identical** across
+//! re-runs, runner thread counts, and machines — re-running one failing
+//! seed locally reproduces CI's line exactly
+//! (`tests/campaign_determinism.rs`).
+//!
+//! Fidelity scales with the `GS_SPEEDUP` knob
+//! ([`CampaignConfig::from_env`]): speedup 1 is the full 1024-scenario
+//! campaign, higher values shrink both the scenario count (÷ speedup)
+//! and the per-client frame count (÷ √speedup). CI runs speedup 16
+//! (64 scenarios); release qualification runs 1.
+//!
+//! [`RuntimeStats`]: gs_runtime::RuntimeStats
+
+use crate::faults::FaultSpec;
+use crate::scenario::{DeadlineKind, PlannedFrame, Scenario};
+use geosphere_core::{geosphere_decoder, DetectorTier, FsdDetector, MmseDetector};
+use gs_channel::noise_variance_for_snr_db;
+use gs_modulation::Constellation;
+use gs_phy::{decode_frame_batched_into, FrameWorkspace, PhyConfig};
+use gs_runtime::{
+    DetectorLadder, FrameStream, PinnedPolicy, StreamConfig, TrySubmitError, UplinkFrame,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The frame shape every campaign scenario decodes: the paper's 48-
+/// subcarrier rate-1/2 16-QAM configuration with a small payload, so one
+/// scenario costs milliseconds and a campaign of thousands stays CI-sized.
+pub fn campaign_phy_config() -> PhyConfig {
+    PhyConfig { payload_bits: 256, ..PhyConfig::new(Constellation::Qam16) }
+}
+
+/// Campaign sizing. Build with [`CampaignConfig::full`] and scale with
+/// [`CampaignConfig::at_speedup`] / [`CampaignConfig::from_env`].
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Seed the whole campaign derives from.
+    pub base_seed: u64,
+    /// Scenarios to run.
+    pub scenarios: usize,
+    /// Frames per client per scenario.
+    pub frames_per_client: usize,
+    /// Runner threads (`0` = available parallelism, capped at 8).
+    pub runner_threads: usize,
+    /// The fidelity divisor this config was scaled by (recorded in the
+    /// report).
+    pub speedup: u64,
+}
+
+/// Full-fidelity scenario count (speedup 1).
+const FULL_SCENARIOS: usize = 1024;
+/// Full-fidelity frames per client (speedup 1).
+const FULL_FRAMES_PER_CLIENT: usize = 32;
+
+impl CampaignConfig {
+    /// The full-fidelity campaign: 1024 scenarios × 32 frames/client.
+    pub fn full(base_seed: u64) -> Self {
+        CampaignConfig {
+            base_seed,
+            scenarios: FULL_SCENARIOS,
+            frames_per_client: FULL_FRAMES_PER_CLIENT,
+            runner_threads: 0,
+            speedup: 1,
+        }
+    }
+
+    /// Scales fidelity down by `speedup`: scenario count ÷ speedup
+    /// (floor 8), frames per client ÷ √speedup (floor 4). Speedup 16 is
+    /// the CI shape: 64 scenarios × 8 frames/client.
+    pub fn at_speedup(mut self, speedup: u64) -> Self {
+        let s = speedup.max(1);
+        self.speedup = s;
+        self.scenarios = (FULL_SCENARIOS / s as usize).max(8);
+        let sqrt = (s as f64).sqrt().round().max(1.0) as usize;
+        self.frames_per_client = (FULL_FRAMES_PER_CLIENT / sqrt).max(4);
+        self
+    }
+
+    /// The full campaign scaled by the `GS_SPEEDUP` environment knob
+    /// (positive integer; unset = 1 = full fidelity; garbage warns and
+    /// falls back to full fidelity per the workspace env policy).
+    pub fn from_env(base_seed: u64) -> Self {
+        let s = gs_linalg::env::env_knob(
+            "GS_SPEEDUP",
+            "a positive integer fidelity divisor",
+            "running the campaign at full fidelity",
+            1u64,
+            1u64,
+            |v| v.parse().ok().filter(|&x| x >= 1),
+        );
+        CampaignConfig::full(base_seed).at_speedup(s)
+    }
+}
+
+/// One scenario's verdict, ready for the report.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// Campaign index (report order).
+    pub index: usize,
+    /// The scenario's seed — re-run it with
+    /// [`run_one`](run_scenario_by_index).
+    pub seed: u64,
+    /// Human descriptor of the sampled axes.
+    pub descriptor: String,
+    /// Channel family name.
+    pub channel: &'static str,
+    /// Traffic mix name.
+    pub traffic: &'static str,
+    /// Pinned tier name.
+    pub tier: &'static str,
+    /// Fault taxonomy name, `"none"` when the scenario is healthy.
+    pub fault: String,
+    /// Frames the scenario offered.
+    pub offered: u64,
+    /// Frames delivered with a completion.
+    pub delivered: u64,
+    /// Frames refused at ingress (slot exhaustion, post-death submits).
+    pub refused: u64,
+    /// Delivered frames with every client stream CRC-clean.
+    pub all_ok: u64,
+    /// Delivered frames accounted as deadline misses.
+    pub misses: u64,
+    /// Whether the armed fault actually fired.
+    pub fault_fired: bool,
+    /// FNV-1a checksum over every delivered frame's outcome bits, in
+    /// global submission order.
+    pub checksum: u64,
+    /// Invariant violations (empty = scenario passed).
+    pub violations: Vec<String>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut h: u64, x: u64) -> u64 {
+    for b in x.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// What the driver recorded for one planned frame.
+#[derive(Clone, Copy, Default)]
+struct FrameRec {
+    delivered: bool,
+    ok_mask: u64,
+    all_ok: bool,
+    detections: u64,
+    ped_calcs: u64,
+    missed: bool,
+}
+
+/// Per-thread cache of the last stream, keyed by the scenario shape that
+/// determines stream construction. Same-shaped scenarios reuse the warm
+/// stream (and its slots/heaps/replicas — zero steady-state allocations);
+/// a shape change or a lethal fault rebuilds it.
+struct StreamCache {
+    key: Option<(usize, usize, usize, usize, u8, u64)>,
+    stream: Option<FrameStream>,
+}
+
+impl StreamCache {
+    fn new() -> Self {
+        StreamCache { key: None, stream: None }
+    }
+
+    fn shape_key(s: &Scenario) -> (usize, usize, usize, usize, u8, u64) {
+        (
+            s.clients,
+            s.workers,
+            s.shards,
+            s.capacity,
+            s.tier.index() as u8,
+            s.snr.base_db().to_bits(),
+        )
+    }
+
+    fn get_or_create(&mut self, s: &Scenario) -> &FrameStream {
+        let key = Self::shape_key(s);
+        let dead = self.stream.as_ref().is_some_and(|st| st.is_dead());
+        if self.key != Some(key) || dead {
+            let mut sc = StreamConfig::new(s.clients);
+            sc.workers = s.workers;
+            sc.shards = s.shards;
+            sc.capacity = s.capacity;
+            let ladder =
+                DetectorLadder::geosphere_default(noise_variance_for_snr_db(s.snr.base_db()));
+            self.stream = Some(FrameStream::adaptive(
+                campaign_phy_config(),
+                ladder,
+                PinnedPolicy(s.tier),
+                sc,
+            ));
+            self.key = Some(key);
+        }
+        self.stream.as_ref().expect("stream present")
+    }
+
+    fn invalidate(&mut self) {
+        self.key = None;
+        self.stream = None;
+    }
+}
+
+/// The deadline instant a [`DeadlineKind`] stamps at submission time.
+/// `Expired` backdates (completion strictly after submission ⇒ always a
+/// miss); `Generous` is an hour out (never a miss in a CI-scale run).
+fn stamp_deadline(kind: DeadlineKind) -> Option<Instant> {
+    let now = Instant::now();
+    match kind {
+        DeadlineKind::Free => None,
+        DeadlineKind::Generous => Some(now + Duration::from_secs(3600)),
+        DeadlineKind::Expired => Some(now.checked_sub(Duration::from_millis(1)).unwrap_or(now)),
+    }
+}
+
+fn make_frame(pf: &PlannedFrame, client: usize) -> UplinkFrame {
+    let mut f = UplinkFrame::new(client, pf.channel.clone(), pf.snr_db, pf.seed);
+    f.deadline = stamp_deadline(pf.deadline);
+    f
+}
+
+/// Runs one scenario end to end — drive, invariants, serial reference —
+/// reusing the caller's workspace and stream cache.
+pub fn run_scenario(scenario: &Scenario, index: usize, ws: &mut FrameWorkspace) -> ScenarioOutcome {
+    let mut cache = StreamCache::new();
+    run_scenario_cached(scenario, index, ws, &mut cache)
+}
+
+/// Re-runs campaign scenario `index` of the campaign rooted at
+/// `base_seed` — the local-reproduction entry: its rendered line is
+/// byte-identical to the same scenario's line in the full campaign
+/// report.
+pub fn run_scenario_by_index(
+    index: usize,
+    base_seed: u64,
+    frames_per_client: usize,
+) -> ScenarioOutcome {
+    let scenario = Scenario::sampled(index as u64, base_seed, frames_per_client);
+    run_scenario(&scenario, index, &mut FrameWorkspace::new())
+}
+
+fn run_scenario_cached(
+    scenario: &Scenario,
+    index: usize,
+    ws: &mut FrameWorkspace,
+    cache: &mut StreamCache,
+) -> ScenarioOutcome {
+    let plan = scenario.plan();
+    let n = plan.len();
+    let mut violations: Vec<String> = Vec::new();
+    let mut records: Vec<FrameRec> = vec![FrameRec::default(); n];
+
+    // Per-client plan indices in submission order: completion k of client
+    // c is that client's k-th planned frame (per-client FIFO delivery).
+    let mut per_client: Vec<Vec<usize>> = vec![Vec::new(); scenario.clients];
+    for (idx, pf) in plan.iter().enumerate() {
+        per_client[pf.client].push(idx);
+    }
+
+    let stream = cache.get_or_create(scenario);
+    let before = stream.stats();
+
+    let mut accepted = 0u64;
+    let mut refused = 0u64;
+    let mut fault_fired = false;
+
+    // Delivery bookkeeping shared by all drivers. A reused stream's
+    // per-client sequence numbers continue across scenarios, so
+    // contiguity is checked against the first sequence seen per client.
+    let mut counts: Vec<u64> = vec![0; scenario.clients];
+    let mut base_seq: Vec<Option<u64>> = vec![None; scenario.clients];
+    let mut absorb = |done: gs_runtime::Completed<'_>,
+                      records: &mut [FrameRec],
+                      violations: &mut Vec<String>| {
+        let client = done.client();
+        let k = counts[client];
+        match base_seq[client] {
+            None => base_seq[client] = Some(done.seq()),
+            Some(b) => {
+                if done.seq() != b + k {
+                    violations.push(format!(
+                        "out-of-order delivery for client {client}: seq {} after base {b} + {k}",
+                        done.seq()
+                    ));
+                }
+            }
+        }
+        counts[client] += 1;
+        let Some(&plan_idx) = per_client[client].get(k as usize) else {
+            violations.push(format!("client {client} delivered more frames than planned"));
+            return;
+        };
+        if done.tier() != scenario.tier {
+            violations.push(format!(
+                "frame {plan_idx} decoded at {} instead of the pinned {}",
+                done.tier().name(),
+                scenario.tier.name()
+            ));
+        }
+        let out = done.outcome();
+        let mut mask = 0u64;
+        for (i, &ok) in out.client_ok.iter().enumerate() {
+            if ok {
+                mask |= 1 << (i as u64 & 63);
+            }
+        }
+        records[plan_idx] = FrameRec {
+            delivered: true,
+            ok_mask: mask,
+            all_ok: out.client_ok.iter().all(|&ok| ok),
+            detections: out.detections,
+            ped_calcs: out.stats.ped_calcs,
+            missed: done.missed_deadline(),
+        };
+    };
+
+    match scenario.fault {
+        Some(FaultSpec::WorkerPanic { after_frames })
+        | Some(FaultSpec::ShardLoss { after_frames, .. }) => {
+            // Lockstep drive: exactly one frame in flight, so pool pop k
+            // belongs to frame k on every shard and the armed ordinal
+            // kills a known frame.
+            let shard = match scenario.fault {
+                Some(FaultSpec::ShardLoss { shard, .. }) => shard,
+                _ => 0,
+            };
+            stream.inject_worker_panic_after(shard, after_frames + 1);
+            for pf in &plan {
+                let frame = make_frame(pf, pf.client);
+                if stream.submit(frame).is_err() {
+                    refused += 1;
+                    continue;
+                }
+                accepted += 1;
+                match stream.recv() {
+                    Ok(done) => absorb(done, &mut records, &mut violations),
+                    Err(_) => fault_fired = true,
+                }
+            }
+            let delivered_now: u64 = records.iter().filter(|r| r.delivered).count() as u64;
+            if !fault_fired {
+                violations
+                    .push(format!("lethal fault armed after {after_frames} frames never fired"));
+            } else if delivered_now != after_frames {
+                violations.push(format!(
+                    "lethal fault killed the wrong frame: {delivered_now} delivered, \
+                     expected {after_frames}"
+                ));
+            }
+        }
+        Some(FaultSpec::SlotExhaustion { burst }) => {
+            // Stalled-consumer burst: admissions must cap at the slot
+            // pool's capacity, the rest refused — bounded memory under
+            // overload, no hangs, no loss of admitted frames.
+            let burst_n = burst.min(n);
+            for pf in &plan[..burst_n] {
+                match stream.try_submit(make_frame(pf, pf.client)) {
+                    Ok(()) => accepted += 1,
+                    Err(TrySubmitError::Full(_)) => refused += 1,
+                    Err(TrySubmitError::Dead(_)) => {
+                        violations.push("stream died during a slot-exhaustion burst".into())
+                    }
+                }
+            }
+            let expect = burst_n.min(scenario.capacity) as u64;
+            if accepted != expect {
+                violations.push(format!(
+                    "slot pool admitted {accepted} of a {burst_n}-frame burst, expected {expect}"
+                ));
+            }
+            fault_fired = refused > 0;
+            for _ in 0..accepted {
+                match stream.recv() {
+                    Ok(done) => absorb(done, &mut records, &mut violations),
+                    Err(_) => {
+                        violations.push("stream died draining the exhaustion burst".into());
+                        break;
+                    }
+                }
+            }
+            // The tail (if the burst did not cover the plan) runs through
+            // the normal interleaved driver below via this shared loop.
+            let mut received = 0usize;
+            let mut submitted = burst_n;
+            let mut delivered_tail = 0usize;
+            while received < n - burst_n {
+                if submitted < n {
+                    match stream.try_submit(make_frame(&plan[submitted], plan[submitted].client)) {
+                        Ok(()) => {
+                            submitted += 1;
+                            accepted += 1;
+                            continue;
+                        }
+                        Err(TrySubmitError::Full(_)) => {}
+                        Err(TrySubmitError::Dead(_)) => {
+                            violations.push("stream died without a lethal fault".into());
+                            break;
+                        }
+                    }
+                }
+                match stream.recv() {
+                    Ok(done) => absorb(done, &mut records, &mut violations),
+                    Err(_) => {
+                        violations.push("stream died without a lethal fault".into());
+                        break;
+                    }
+                }
+                received += 1;
+                delivered_tail += 1;
+            }
+            let _ = delivered_tail;
+        }
+        _ => {
+            // Healthy / deadline-storm drive: admit until the pool
+            // refuses, then consume one — the pipeline stays full, slots
+            // recycle mid-scenario, and every offered frame is delivered.
+            let mut submitted = 0usize;
+            let mut received = 0usize;
+            while received < n {
+                if submitted < n {
+                    match stream.try_submit(make_frame(&plan[submitted], plan[submitted].client)) {
+                        Ok(()) => {
+                            submitted += 1;
+                            accepted += 1;
+                            continue;
+                        }
+                        Err(TrySubmitError::Full(_)) => {}
+                        Err(TrySubmitError::Dead(_)) => {
+                            violations.push("stream died without a lethal fault".into());
+                            break;
+                        }
+                    }
+                }
+                match stream.recv() {
+                    Ok(done) => absorb(done, &mut records, &mut violations),
+                    Err(_) => {
+                        violations.push("stream died without a lethal fault".into());
+                        break;
+                    }
+                }
+                received += 1;
+            }
+        }
+    }
+
+    // --- Post-drive invariants ---------------------------------------
+
+    let delivered: u64 = records.iter().filter(|r| r.delivered).count() as u64;
+    let all_ok: u64 = records.iter().filter(|r| r.delivered && r.all_ok).count() as u64;
+    let misses: u64 = records.iter().filter(|r| r.delivered && r.missed).count() as u64;
+
+    // A deadline storm "fires" when its expired window actually lands
+    // misses (the lethal and exhaustion drivers set the flag themselves).
+    if let Some(FaultSpec::DeadlineStorm { start, len }) = scenario.fault {
+        fault_fired = records[start.min(records.len())..(start + len).min(records.len())]
+            .iter()
+            .any(|r| r.delivered && r.missed);
+    }
+
+    // Deadline regimes are wall-clock independent by construction:
+    // pre-expired windows always miss, generous/free frames never do.
+    for (idx, (pf, rec)) in plan.iter().zip(&records).enumerate() {
+        if !rec.delivered {
+            continue;
+        }
+        match pf.deadline {
+            DeadlineKind::Expired if !rec.missed => {
+                violations.push(format!("frame {idx} had an expired deadline but was not a miss"))
+            }
+            DeadlineKind::Generous | DeadlineKind::Free if rec.missed => {
+                violations.push(format!("frame {idx} missed an unmissable deadline"))
+            }
+            _ => {}
+        }
+    }
+
+    // Stats deltas must agree exactly with the driver's own accounting.
+    let stats = stream.stats();
+    if stats.submitted - before.submitted != accepted {
+        violations.push(format!(
+            "stats.submitted moved by {} but the driver admitted {accepted}",
+            stats.submitted - before.submitted
+        ));
+    }
+    if stats.completed - before.completed != delivered {
+        violations.push(format!(
+            "stats.completed moved by {} but the driver received {delivered}",
+            stats.completed - before.completed
+        ));
+    }
+    if stats.deadline_misses - before.deadline_misses != misses {
+        violations.push(format!(
+            "stats.deadline_misses moved by {} but the driver counted {misses}",
+            stats.deadline_misses - before.deadline_misses
+        ));
+    }
+
+    // Bit-identity: every delivered frame equals the serial reference
+    // decode at the pinned tier. The reference uses the same concrete
+    // detectors (same parameters) the stream's default ladder holds.
+    let cfg = campaign_phy_config();
+    let sigma2 = noise_variance_for_snr_db(scenario.snr.base_db());
+    for (idx, (pf, rec)) in plan.iter().zip(&records).enumerate() {
+        if !rec.delivered {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(pf.seed);
+        let serial = match scenario.tier {
+            DetectorTier::Sphere => decode_frame_batched_into(
+                &cfg,
+                &pf.channel,
+                &geosphere_decoder(),
+                pf.snr_db,
+                &mut rng,
+                1,
+                ws,
+            ),
+            DetectorTier::Fsd => decode_frame_batched_into(
+                &cfg,
+                &pf.channel,
+                &FsdDetector::new(),
+                pf.snr_db,
+                &mut rng,
+                1,
+                ws,
+            ),
+            DetectorTier::Mmse => decode_frame_batched_into(
+                &cfg,
+                &pf.channel,
+                &MmseDetector::new(sigma2),
+                pf.snr_db,
+                &mut rng,
+                1,
+                ws,
+            ),
+        };
+        let mut serial_mask = 0u64;
+        for (i, &ok) in serial.client_ok.iter().enumerate() {
+            if ok {
+                serial_mask |= 1 << (i as u64 & 63);
+            }
+        }
+        if serial_mask != rec.ok_mask
+            || serial.detections != rec.detections
+            || serial.stats.ped_calcs != rec.ped_calcs
+        {
+            violations.push(format!(
+                "frame {idx} diverges from the serial reference \
+                 (ok {serial_mask:#x} vs {:#x}, detections {} vs {}, ped {} vs {})",
+                rec.ok_mask,
+                serial.detections,
+                rec.detections,
+                serial.stats.ped_calcs,
+                rec.ped_calcs
+            ));
+        }
+    }
+
+    // A dead stream must not be reused by the next scenario.
+    if stream.is_dead() {
+        cache.invalidate();
+    }
+
+    // Checksum over the plan in global submission order: the scenario's
+    // byte-reproducibility boils down to this number plus the counters.
+    let mut checksum = fnv_fold(FNV_OFFSET, scenario.seed);
+    for rec in &records {
+        checksum = fnv_fold(checksum, rec.delivered as u64);
+        if rec.delivered {
+            checksum = fnv_fold(checksum, rec.ok_mask);
+            checksum = fnv_fold(checksum, rec.detections);
+            checksum = fnv_fold(checksum, rec.ped_calcs);
+            checksum = fnv_fold(checksum, rec.missed as u64);
+        }
+    }
+
+    ScenarioOutcome {
+        index,
+        seed: scenario.seed,
+        descriptor: scenario.descriptor(),
+        channel: scenario.channel.name(),
+        traffic: scenario.traffic.name(),
+        tier: scenario.tier.name(),
+        fault: scenario.fault.map_or_else(|| "none".into(), |f| f.name().to_string()),
+        offered: n as u64,
+        delivered,
+        refused,
+        all_ok,
+        misses,
+        fault_fired,
+        checksum,
+        violations,
+    }
+}
+
+/// The campaign verdict: every scenario outcome (index order) plus the
+/// config that produced them.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// The sizing the campaign ran at.
+    pub config: CampaignConfig,
+    /// Per-scenario outcomes, sorted by campaign index.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl CampaignReport {
+    /// Total invariant violations across all scenarios.
+    pub fn total_violations(&self) -> usize {
+        self.outcomes.iter().map(|o| o.violations.len()).sum()
+    }
+
+    /// Campaign-wide checksum: FNV-1a over the per-scenario checksums in
+    /// index order.
+    pub fn checksum(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .fold(fnv_fold(FNV_OFFSET, self.config.base_seed), |h, o| fnv_fold(h, o.checksum))
+    }
+
+    /// Counts outcomes per value of `key` (used for the aggregate
+    /// distributions in the JSON).
+    fn distribution(&self, key: impl Fn(&ScenarioOutcome) -> &str) -> Vec<(String, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for o in &self.outcomes {
+            *map.entry(key(o).to_string()).or_insert(0usize) += 1;
+        }
+        map.into_iter().collect()
+    }
+
+    /// Renders the deterministic campaign artifact: integers, names, and
+    /// checksums only — **no wall-clock fields** — scenario entries in
+    /// index order. Byte-identical across re-runs, thread counts, and
+    /// machines for the same `(base_seed, speedup)`.
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        let agg = |f: fn(&ScenarioOutcome) -> u64| -> u64 { self.outcomes.iter().map(f).sum() };
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"campaign\": \"geosphere_scenario_campaign\",");
+        let _ = writeln!(s, "  \"schema\": 1,");
+        let _ = writeln!(s, "  \"base_seed\": {},", self.config.base_seed);
+        let _ = writeln!(s, "  \"speedup\": {},", self.config.speedup);
+        let _ = writeln!(s, "  \"scenario_count\": {},", self.outcomes.len());
+        let _ = writeln!(s, "  \"frames_per_client\": {},", self.config.frames_per_client);
+        let _ = writeln!(s, "  \"checksum\": \"{:#018x}\",", self.checksum());
+        let _ = writeln!(s, "  \"aggregate\": {{");
+        let _ = writeln!(s, "    \"frames_offered\": {},", agg(|o| o.offered));
+        let _ = writeln!(s, "    \"frames_delivered\": {},", agg(|o| o.delivered));
+        let _ = writeln!(s, "    \"frames_refused\": {},", agg(|o| o.refused));
+        let _ = writeln!(s, "    \"frames_all_ok\": {},", agg(|o| o.all_ok));
+        let _ = writeln!(s, "    \"deadline_misses\": {},", agg(|o| o.misses));
+        let _ = writeln!(
+            s,
+            "    \"faults_injected\": {},",
+            self.outcomes.iter().filter(|o| o.fault != "none").count()
+        );
+        let _ = writeln!(
+            s,
+            "    \"faults_fired\": {},",
+            self.outcomes.iter().filter(|o| o.fault_fired).count()
+        );
+        let _ = writeln!(s, "    \"violations\": {},", self.total_violations());
+        let mut dist = |name: &str, entries: Vec<(String, usize)>, comma: &str| {
+            let _ = write!(s, "    \"{name}\": {{");
+            let mut first = true;
+            for (k, v) in entries {
+                let _ = write!(s, "{}\"{k}\": {v}", if first { "" } else { ", " });
+                first = false;
+            }
+            let _ = writeln!(s, "}}{comma}");
+        };
+        dist("by_channel", self.distribution(|o| o.channel), ",");
+        dist("by_traffic", self.distribution(|o| o.traffic), ",");
+        dist("by_tier", self.distribution(|o| o.tier), ",");
+        dist("by_fault", self.distribution(|o| &o.fault), "");
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"scenarios\": [");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let comma = if i + 1 == self.outcomes.len() { "" } else { "," };
+            let _ = write!(
+                s,
+                "    {{\"index\": {}, \"seed\": {}, \"descriptor\": \"{}\", \
+                 \"offered\": {}, \"delivered\": {}, \"refused\": {}, \"all_ok\": {}, \
+                 \"misses\": {}, \"fault_fired\": {}, \"checksum\": \"{:#018x}\", \
+                 \"violations\": [",
+                o.index,
+                o.seed,
+                o.descriptor,
+                o.offered,
+                o.delivered,
+                o.refused,
+                o.all_ok,
+                o.misses,
+                o.fault_fired,
+                o.checksum,
+            );
+            for (j, v) in o.violations.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(s, "{sep}\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+            }
+            let _ = writeln!(s, "]}}{comma}");
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+/// Runs the campaign: expands `config.scenarios` seeded scenarios and
+/// executes them across runner threads. Each thread reuses one
+/// [`FrameWorkspace`] and one cached [`FrameStream`] across its
+/// scenarios; outcomes land in index order regardless of scheduling, so
+/// the report is thread-count independent.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let threads = if config.runner_threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    } else {
+        config.runner_threads
+    };
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<ScenarioOutcome>>> =
+        (0..config.scenarios).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut ws = FrameWorkspace::new();
+                let mut cache = StreamCache::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= config.scenarios {
+                        break;
+                    }
+                    let scenario =
+                        Scenario::sampled(i as u64, config.base_seed, config.frames_per_client);
+                    let outcome = run_scenario_cached(&scenario, i, &mut ws, &mut cache);
+                    *results[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                        Some(outcome);
+                }
+            });
+        }
+    });
+
+    let outcomes = results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every scenario index was claimed and completed")
+        })
+        .collect();
+    CampaignReport { config: config.clone(), outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ChannelSpec, DeadlineSpec, SnrSpec};
+    use crate::traffic::TrafficMix;
+    use gs_runtime::DetectorTier;
+
+    fn small(seed: u64) -> Scenario {
+        Scenario::new(seed).clients(2).frames_per_client(4).topology(2, 1, 3)
+    }
+
+    #[test]
+    fn healthy_scenario_passes_all_invariants() {
+        let s = small(11)
+            .channel(ChannelSpec::IidRayleigh)
+            .snr(SnrSpec::Fixed(24.0))
+            .deadlines(DeadlineSpec::Generous)
+            .tier(DetectorTier::Sphere);
+        let out = run_scenario(&s, 0, &mut FrameWorkspace::new());
+        assert_eq!(out.violations, Vec::<String>::new());
+        assert_eq!(out.offered, 8);
+        assert_eq!(out.delivered, 8);
+        assert_eq!(out.refused, 0);
+        assert_eq!(out.misses, 0);
+        assert!(!out.fault_fired);
+    }
+
+    #[test]
+    fn expired_window_misses_are_exact() {
+        let s = small(12).deadlines(DeadlineSpec::ExpiredWindow { start: 2, len: 3 });
+        let out = run_scenario(&s, 0, &mut FrameWorkspace::new());
+        assert_eq!(out.violations, Vec::<String>::new());
+        assert_eq!(out.delivered, 8, "expired deadlines never drop frames");
+        assert_eq!(out.misses, 3, "exactly the window misses");
+    }
+
+    #[test]
+    fn worker_panic_is_a_recorded_outcome_not_an_abort() {
+        let s = small(13).fault(FaultSpec::WorkerPanic { after_frames: 3 });
+        let out = run_scenario(&s, 0, &mut FrameWorkspace::new());
+        assert_eq!(out.violations, Vec::<String>::new());
+        assert!(out.fault_fired);
+        assert_eq!(out.delivered, 3);
+        assert!(out.refused >= 1, "post-death submissions are refused, not lost");
+    }
+
+    #[test]
+    fn shard_loss_kills_the_armed_shard() {
+        let s =
+            small(14).topology(2, 2, 3).fault(FaultSpec::ShardLoss { shard: 1, after_frames: 2 });
+        let out = run_scenario(&s, 0, &mut FrameWorkspace::new());
+        assert_eq!(out.violations, Vec::<String>::new());
+        assert!(out.fault_fired);
+        assert_eq!(out.delivered, 2);
+    }
+
+    #[test]
+    fn slot_exhaustion_caps_at_capacity() {
+        let s = small(15).fault(FaultSpec::SlotExhaustion { burst: 8 });
+        let out = run_scenario(&s, 0, &mut FrameWorkspace::new());
+        assert_eq!(out.violations, Vec::<String>::new());
+        assert!(out.fault_fired);
+        assert_eq!(out.delivered, 3, "capacity-many frames survive the burst");
+        assert_eq!(out.refused, 5, "the rest are refused, not lost");
+    }
+
+    #[test]
+    fn scenario_outcomes_are_reproducible() {
+        let s = small(16)
+            .channel(ChannelSpec::BlockFading {
+                trajectory: gs_channel::DopplerTrajectory::Constant(0.05),
+            })
+            .traffic(TrafficMix::Pareto { rate_hz: 900.0, alpha: 1.9 })
+            .fault(FaultSpec::WorkerPanic { after_frames: 5 });
+        let a = run_scenario(&s, 0, &mut FrameWorkspace::new());
+        let b = run_scenario(&s, 0, &mut FrameWorkspace::new());
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn campaign_report_is_thread_count_invariant() {
+        let mut cfg = CampaignConfig::full(2014).at_speedup(64);
+        cfg.scenarios = 12; // keep the unit test fast; the integration
+                            // suite runs the full CI shape
+        cfg.frames_per_client = 4;
+        let mut one = cfg.clone();
+        one.runner_threads = 1;
+        let mut four = cfg.clone();
+        four.runner_threads = 4;
+        let a = run_campaign(&one);
+        let b = run_campaign(&four);
+        assert_eq!(a.total_violations(), 0, "{:?}", collect_violations(&a));
+        assert_eq!(a.render_json(), b.render_json(), "report must not depend on thread count");
+    }
+
+    fn collect_violations(r: &CampaignReport) -> Vec<&String> {
+        r.outcomes.iter().flat_map(|o| o.violations.iter()).collect()
+    }
+
+    #[test]
+    fn speedup_scales_both_axes() {
+        let full = CampaignConfig::full(1);
+        assert_eq!((full.scenarios, full.frames_per_client), (1024, 32));
+        let ci = CampaignConfig::full(1).at_speedup(16);
+        assert_eq!((ci.scenarios, ci.frames_per_client), (64, 8));
+        let floor = CampaignConfig::full(1).at_speedup(100_000);
+        assert!(floor.scenarios >= 8 && floor.frames_per_client >= 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! The fault taxonomy for seeded scenario campaigns.
+//!
+//! A campaign scenario may carry exactly one [`FaultSpec`]: a deliberate,
+//! deterministic failure injected into the streaming runtime so the
+//! campaign can assert that faults degrade into *recorded outcomes* —
+//! never aborts, hangs, or silent loss. Each spec maps onto a concrete
+//! runtime mechanism:
+//!
+//! * [`FaultSpec::WorkerPanic`] — arms
+//!   `FrameStream::inject_worker_panic_after` on shard 0: a detection
+//!   worker panics mid-task, the `ShardedDetectionPool` poisons itself,
+//!   and every later `submit`/`recv` reports `StreamDead`.
+//! * [`FaultSpec::ShardLoss`] — the same hook armed on a non-zero shard
+//!   of a multi-shard pool: one memory domain's worker dies while the
+//!   others keep draining, modelling the loss of a whole detection shard.
+//! * [`FaultSpec::DeadlineStorm`] — a contiguous window of frames is
+//!   submitted with already-expired deadlines: every frame in the window
+//!   *must* be delivered and *must* be accounted as a miss (deadlines are
+//!   scheduling hints, not admission control).
+//! * [`FaultSpec::SlotExhaustion`] — a burst of `try_submit` calls with
+//!   the consumer stalled: admissions beyond the slot-pool capacity must
+//!   be refused (bounded memory), and every admitted frame must still be
+//!   delivered once the consumer resumes.
+//!
+//! Faults are part of the scenario's identity: the same seed arms the
+//! same fault at the same frame, so a scenario report — including where
+//! the fault fired and how many frames survived — is byte-reproducible.
+
+/// One injected failure inside a campaign scenario. See the module docs
+/// for the runtime mechanism behind each variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// A detection worker on shard 0 panics after `after_frames` frames
+    /// have completed; the frame that would have been next dies with the
+    /// worker.
+    WorkerPanic {
+        /// Frames guaranteed to complete before the fault fires.
+        after_frames: u64,
+    },
+    /// A worker on shard `shard` (> 0, multi-shard topologies) panics
+    /// after `after_frames` frames, killing that shard's domain.
+    ShardLoss {
+        /// The shard whose worker dies.
+        shard: usize,
+        /// Frames guaranteed to complete before the fault fires.
+        after_frames: u64,
+    },
+    /// Frames `start .. start + len` (global submission order) carry
+    /// already-expired deadlines: all delivered, all accounted as misses.
+    DeadlineStorm {
+        /// First frame of the expired window (global submission index).
+        start: usize,
+        /// Number of frames in the window.
+        len: usize,
+    },
+    /// `burst` frames offered via `try_submit` while the consumer is
+    /// stalled: admissions are capped at the slot-pool capacity, the rest
+    /// refused and counted.
+    SlotExhaustion {
+        /// Frames offered in the stalled burst.
+        burst: usize,
+    },
+}
+
+impl FaultSpec {
+    /// The taxonomy name (stable — used in campaign reports and CI
+    /// aggregation).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultSpec::WorkerPanic { .. } => "worker_panic",
+            FaultSpec::ShardLoss { .. } => "shard_loss",
+            FaultSpec::DeadlineStorm { .. } => "deadline_storm",
+            FaultSpec::SlotExhaustion { .. } => "slot_exhaustion",
+        }
+    }
+
+    /// Full descriptor including the fault's position, e.g.
+    /// `worker_panic@4` or `deadline_storm@2+5`.
+    pub fn describe(&self) -> String {
+        match *self {
+            FaultSpec::WorkerPanic { after_frames } => format!("worker_panic@{after_frames}"),
+            FaultSpec::ShardLoss { shard, after_frames } => {
+                format!("shard_loss(s{shard})@{after_frames}")
+            }
+            FaultSpec::DeadlineStorm { start, len } => format!("deadline_storm@{start}+{len}"),
+            FaultSpec::SlotExhaustion { burst } => format!("slot_exhaustion@{burst}"),
+        }
+    }
+
+    /// Whether this fault kills the stream (worker/shard loss) rather
+    /// than degrading service (storms, exhaustion).
+    pub fn is_lethal(&self) -> bool {
+        matches!(self, FaultSpec::WorkerPanic { .. } | FaultSpec::ShardLoss { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptors_are_stable() {
+        assert_eq!(FaultSpec::WorkerPanic { after_frames: 4 }.describe(), "worker_panic@4");
+        assert_eq!(
+            FaultSpec::ShardLoss { shard: 1, after_frames: 2 }.describe(),
+            "shard_loss(s1)@2"
+        );
+        assert_eq!(FaultSpec::DeadlineStorm { start: 2, len: 5 }.describe(), "deadline_storm@2+5");
+        assert_eq!(FaultSpec::SlotExhaustion { burst: 9 }.describe(), "slot_exhaustion@9");
+        assert!(FaultSpec::WorkerPanic { after_frames: 0 }.is_lethal());
+        assert!(FaultSpec::ShardLoss { shard: 1, after_frames: 0 }.is_lethal());
+        assert!(!FaultSpec::DeadlineStorm { start: 0, len: 1 }.is_lethal());
+        assert!(!FaultSpec::SlotExhaustion { burst: 1 }.is_lethal());
+    }
+}

@@ -11,21 +11,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod distributed;
 pub mod experiments;
+pub mod faults;
 pub mod rate_adapt;
+pub mod scenario;
 pub mod selection;
 pub mod storm;
 pub mod traffic;
 
+pub use campaign::{
+    run_campaign, run_scenario, run_scenario_by_index, CampaignConfig, CampaignReport,
+    ScenarioOutcome,
+};
 pub use distributed::{DistributedChannel, DistributedCluster};
 pub use experiments::{
     complexity_at_target_fer, conditioning_cdfs, rayleigh_throughput, testbed_throughput,
     ComplexityPoint, DetectorKind, ExperimentParams, ThroughputPoint, PAPER_CONFIGS, PAPER_SNRS,
 };
+pub use faults::FaultSpec;
 pub use rate_adapt::{decoding_threshold_db, RateAdapter};
+pub use scenario::{ChannelSpec, DeadlineSpec, PlannedFrame, Scenario, SnrSpec};
 pub use selection::{select_groups, UserGroup};
 pub use storm::{
     run_deadline_storm, run_drain_recovery, DrainRecoveryReport, StormComparison, StormConfig,
 };
-pub use traffic::{run_poisson_uplink, PoissonParams, TrafficReport};
+pub use traffic::{
+    run_poisson_uplink, run_traffic_uplink, PoissonParams, TrafficMix, TrafficParams, TrafficReport,
+};

@@ -190,8 +190,8 @@ pub fn run_drain_recovery<M: ChannelModel>(
         let channel = Arc::new(model.realize(&mut rng));
         let frame =
             UplinkFrame::new(k % storm.clients, channel, storm.snr_db, storm.seed ^ (k as u64));
-        stream.submit(frame);
-        let done = stream.recv();
+        stream.submit(frame).expect("stream died during the trickle phase");
+        let done = stream.recv().expect("stream died during the trickle phase");
         trickle_tiers.push(done.tier());
     }
     let recovered = trickle_tiers.last() == Some(&DetectorTier::Sphere);

@@ -158,11 +158,11 @@ fn check_deadline_accounting(sc: &Scenario) {
     std::thread::scope(|scope| {
         scope.spawn(|| {
             for f in &schedule {
-                stream.submit(f.clone());
+                stream.submit(f.clone()).expect("stream died mid-submit");
             }
         });
         for _ in 0..total {
-            let done = stream.recv();
+            let done = stream.recv().expect("stream died mid-drain");
             let client = done.client();
             assert_eq!(done.seq() as usize, seen[client], "{sc:?}: client {client} out of order");
             let kind = per_client_kinds[client][seen[client]];
@@ -287,9 +287,9 @@ fn frame_held_in_parking_ring_past_deadline_is_a_miss() {
     let deadline = Instant::now() + Duration::from_millis(50);
     frame_a1.deadline = Some(deadline);
 
-    stream.submit(frame_g);
-    stream.submit(frame_a0);
-    stream.submit(frame_a1);
+    stream.submit(frame_g).expect("submit G");
+    stream.submit(frame_a0).expect("submit A0");
+    stream.submit(frame_a1).expect("submit A1");
 
     // Let the planner queue A0 and A1 behind the gated worker, then free
     // it: EDF runs A1 (deadline beats A0's NO_DEADLINE key), which
@@ -297,7 +297,7 @@ fn frame_held_in_parking_ring_past_deadline_is_a_miss() {
     std::thread::sleep(Duration::from_millis(20));
     open_gate(&g);
 
-    let done_g = stream.recv();
+    let done_g = stream.recv().expect("recv G");
     assert_eq!(done_g.client(), 1);
     assert_eq!(done_g.tier(), DetectorTier::Sphere);
     assert!(!done_g.missed_deadline(), "G has no deadline");
@@ -311,13 +311,13 @@ fn frame_held_in_parking_ring_past_deadline_is_a_miss() {
     }
     open_gate(&a);
 
-    let done_a0 = stream.recv();
+    let done_a0 = stream.recv().expect("recv A0");
     assert_eq!((done_a0.client(), done_a0.seq()), (0, 0));
     assert_eq!(done_a0.tier(), DetectorTier::Fsd);
     assert!(!done_a0.missed_deadline(), "A0 has no deadline");
     drop(done_a0);
 
-    let done_a1 = stream.recv();
+    let done_a1 = stream.recv().expect("recv A1");
     assert_eq!((done_a1.client(), done_a1.seq()), (0, 1));
     assert_eq!(done_a1.tier(), DetectorTier::Mmse);
     assert!(

@@ -212,11 +212,11 @@ fn check_stream_matches_serial(sc: &Scenario) {
     std::thread::scope(|scope| {
         scope.spawn(|| {
             for f in &schedule {
-                stream.submit(f.clone());
+                stream.submit(f.clone()).expect("stream died mid-submit");
             }
         });
         for _ in 0..total {
-            let done = stream.recv();
+            let done = stream.recv().expect("stream died mid-drain");
             let client = done.client();
             assert_eq!(
                 done.seq() as usize,
@@ -314,11 +314,11 @@ fn check_pinned_tiers_match_serial() {
         std::thread::scope(|scope| {
             scope.spawn(|| {
                 for f in &frames {
-                    stream.submit(f.clone());
+                    stream.submit(f.clone()).expect("stream died mid-submit");
                 }
             });
             for _ in 0..frames.len() {
-                let done = stream.recv();
+                let done = stream.recv().expect("stream died mid-drain");
                 assert_eq!(done.seq() as usize, got.len(), "{tier:?}: frames out of order");
                 assert_eq!(done.tier(), tier, "{tier:?}: completion mis-stamped");
                 assert_eq!(done.outcome().tier, tier, "{tier:?}: outcome mis-stamped");
@@ -367,7 +367,7 @@ fn assert_stream_steady_state_allocation_free() {
                 }
                 // Full: fall through to consume one.
             }
-            let done = stream.recv();
+            let done = stream.recv().expect("stream died mid-drain");
             if done.outcome().client_ok.iter().all(|&b| b) {
                 ok += 1;
             }

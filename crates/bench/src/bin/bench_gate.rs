@@ -81,7 +81,16 @@
 //! scheduler hiccup on a shared runner cannot fail the gate by itself;
 //! an improvement beyond the baseline prints a hint to refresh it.
 //!
-//! Flags: `--mode frame_decode|frame_stream|multi_symbol|deadline_storm|metrics`,
+//! * `trace` (PR 10): the flight-recorder overhead gate. Measures the
+//!   sustained streaming per-frame time twice in the same process —
+//!   recorder disarmed, then armed — and hard-gates the armed/disarmed
+//!   minimum ratio at 1.05 (≤5% fps overhead with the recorder live).
+//!   Both sides carry independent in-process noise tails, so the gate
+//!   uses per-mode minima like `multi_symbol`. Without `--features
+//!   trace` the recorder is compiled out, both runs measure identical
+//!   code, and the gate documents the erasure. Writes `BENCH_pr10.json`.
+//!
+//! Flags: `--mode frame_decode|frame_stream|multi_symbol|deadline_storm|metrics|campaign|trace`,
 //! `--out <path>`, `--baseline <path>`, `--samples <n>`,
 //! `--write-baseline` (regenerate the committed baseline instead of
 //! gating — run on a quiet machine).
@@ -740,6 +749,79 @@ fn metrics_gate_main(out_path: &str) {
     }
 }
 
+/// Allowed armed-over-disarmed per-frame-time ratio in `trace` mode:
+/// the flight recorder may cost at most 5% of sustained throughput.
+const TRACE_MAX_OVERHEAD_RATIO: f64 = 1.05;
+
+/// `trace` mode: sustained streaming per-frame time with the flight
+/// recorder disarmed vs armed, measured back to back in one process so
+/// the hardware term cancels. Hard gate, no committed baseline.
+fn trace_gate_main(out_path: &str, samples: usize) {
+    use gs_prof::trace as gtrace;
+
+    let (cfg, snr_db, ch) = scenario();
+    let ch = Arc::new(ch);
+    let det = geosphere_decoder();
+    let mut results = Vec::new();
+    for (name, armed) in [("disarmed", false), ("armed", true)] {
+        gtrace::set_armed(armed);
+        let mut sc = StreamConfig::new(4);
+        sc.workers = 4;
+        sc.capacity = 8;
+        let stream = FrameStream::new(cfg, det, sc);
+        results.push(measure_mode(name, samples, STREAM_FRAMES_PER_SAMPLE, || {
+            drive_stream(&stream, &ch, snr_db, STREAM_FRAMES_PER_SAMPLE)
+        }));
+    }
+    gtrace::set_armed(true);
+
+    let min_of = |mode: &str| -> f64 {
+        results.iter().find(|r| r.name == mode).map(|r| r.min_ms).expect("mode measured")
+    };
+    let ratio = min_of("armed") / min_of("disarmed");
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"trace_overhead_4x4_qam64_64sc\",");
+    let _ = writeln!(s, "  \"samples\": {samples},");
+    let _ = writeln!(s, "  \"simd_tier\": \"{}\",", gs_linalg::simd::active_tier().name());
+    let _ = writeln!(s, "  \"parallelism\": {},", machine_parallelism());
+    let _ = writeln!(s, "  \"recorder_compiled_in\": {},", gtrace::recording_enabled());
+    let _ = writeln!(s, "  \"modes\": {{");
+    for (k, r) in results.iter().enumerate() {
+        let comma = if k + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    \"{}\": {{\"mean_ms\": {:.6}, \"min_ms\": {:.6}}}{comma}",
+            r.name, r.mean_ms, r.min_ms
+        );
+    }
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"armed_over_disarmed_min\": {ratio:.4}");
+    let _ = writeln!(s, "}}");
+    std::fs::write(out_path, &s).expect("write results");
+
+    for r in &results {
+        println!("{:<18} mean {:8.3} ms   min {:8.3} ms", r.name, r.mean_ms, r.min_ms);
+    }
+    if !gtrace::recording_enabled() {
+        println!("recorder compiled out (rebuild with --features trace to measure it live)");
+    }
+    println!("results written to {out_path}");
+    println!(
+        "gate: armed/disarmed min ratio {ratio:.4} must stay below {TRACE_MAX_OVERHEAD_RATIO}"
+    );
+    if ratio > TRACE_MAX_OVERHEAD_RATIO {
+        eprintln!(
+            "BENCH REGRESSION: the armed flight recorder costs {:.1}% of sustained \
+             streaming throughput (limit {:.0}%)",
+            (ratio - 1.0) * 100.0,
+            (TRACE_MAX_OVERHEAD_RATIO - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
 fn render_json(
     results: &[ModeResult],
     bench: &str,
@@ -916,6 +998,13 @@ fn main() {
         campaign_gate_main(&out);
         return;
     }
+    // The trace mode gates the recorder against an in-process disarmed
+    // run — self-relative, no baseline.
+    if mode == "trace" {
+        let out = flag_value("--out").unwrap_or_else(|| "BENCH_pr10.json".into());
+        trace_gate_main(&out, samples_flag.unwrap_or(12));
+        return;
+    }
 
     // Per-mode defaults: (bench label, out, baseline, gated mode,
     // in-run reference mode — the denominator cancelling the hardware
@@ -944,8 +1033,8 @@ fn main() {
         ),
         other => {
             panic!(
-                "unknown --mode {other:?} \
-                 (expected frame_decode|frame_stream|multi_symbol|deadline_storm|metrics)"
+                "unknown --mode {other:?} (expected frame_decode|frame_stream|\
+                 multi_symbol|deadline_storm|metrics|campaign|trace)"
             )
         }
     };

@@ -102,6 +102,11 @@ struct Task {
     /// feeds the submit→pop wait into the shard's queue-wait histogram
     /// regardless of whether the cycle profiler is compiled in.
     submitted_wall: Instant,
+    /// Flight-recorder identity captured from the submitter's ambient
+    /// context, so the popping worker can stamp its pop instant and set
+    /// its own context before running the job ([`gs_prof::trace::FrameCtx::NONE`]
+    /// when no context was set or the recorder is compiled out).
+    trace_ctx: gs_prof::trace::FrameCtx,
 }
 
 impl Task {
@@ -206,6 +211,13 @@ impl Drop for PoisonOnPanic<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
             self.0.store(true, Ordering::SeqCst);
+            // Black-box the worker death (injected or organic) against
+            // the frame it was holding before the pool winds down.
+            gs_prof::trace::emit(gs_prof::trace::TracePoint::Fault);
+            gs_prof::trace::trigger(
+                gs_prof::trace::Trigger::Fault,
+                gs_prof::trace::context().frame,
+            );
         }
     }
 }
@@ -400,6 +412,17 @@ impl ShardedDetectionPool {
             return Err(PoolPoisoned);
         }
         let state = &self.shards[shard];
+        // Capture the submitter's frame identity and stamp the enqueue on
+        // the flight recorder (no-ops without an ambient context).
+        let trace_ctx =
+            gs_prof::trace::FrameCtx { shard: shard as u16, ..gs_prof::trace::context() };
+        if trace_ctx.frame != gs_prof::trace::NO_FRAME {
+            gs_prof::trace::emit_for(
+                gs_prof::trace::TracePoint::Enqueue,
+                gs_prof::trace::EventKind::Instant,
+                trace_ctx,
+            );
+        }
         let mut q = lock_ignoring_poison(&state.q);
         let arrival = q.arrivals;
         q.arrivals += 1;
@@ -412,6 +435,7 @@ impl ShardedDetectionPool {
             job: Arc::clone(job),
             submitted_at,
             submitted_wall,
+            trace_ctx,
         });
         state.depth.store(q.heap.len(), Ordering::Relaxed);
         drop(q);
@@ -485,6 +509,16 @@ fn shard_worker_loop(state: &ShardState, poisoned: &AtomicBool, shard: usize) {
             0,
         );
         state.queue_wait.record_duration(task.submitted_wall.elapsed());
+        // Stamp the EDF pop and adopt the frame's identity for the span
+        // of the job (the runtime's detect span reads it ambiently).
+        if task.trace_ctx.frame != gs_prof::trace::NO_FRAME {
+            gs_prof::trace::emit_for(
+                gs_prof::trace::TracePoint::Pop,
+                gs_prof::trace::EventKind::Instant,
+                task.trace_ctx,
+            );
+        }
+        gs_prof::trace::set_context(task.trace_ctx);
         // A panicking job must mark the pool dead rather than silently
         // dropping the task (its frame would otherwise wait forever).
         let guard = PoisonOnPanic(poisoned);
@@ -497,6 +531,7 @@ fn shard_worker_loop(state: &ShardState, poisoned: &AtomicBool, shard: usize) {
         }
         task.job.run_shard(shard, task.token, &mut ws);
         drop(guard);
+        gs_prof::trace::clear_context();
     }
 }
 

@@ -408,6 +408,7 @@ pub(crate) fn plan_uplink_frame_into<R: Rng + ?Sized>(
     ws: &mut FrameWorkspace,
 ) {
     let _prof = gs_prof::scope(gs_prof::Stage::Plan);
+    let _tspan = gs_prof::trace::span(gs_prof::trace::TracePoint::Stage(gs_prof::Stage::Plan));
     let nc = channel.num_tx();
     let na = channel.num_rx();
     let c = cfg.constellation;
@@ -516,6 +517,8 @@ pub(crate) fn finish_outcome<'w>(
         let FrameWorkspace { detected, payloads, rx, out, .. } = ws;
         {
             let _prof = gs_prof::scope(gs_prof::Stage::Recover);
+            let _tspan =
+                gs_prof::trace::span(gs_prof::trace::TracePoint::Stage(gs_prof::Stage::Recover));
             _prof.add_bytes((nc * cfg.payload_bits) as u64 / 8);
             rx.mother_multi.clear();
             for cl in 0..nc {
@@ -524,13 +527,18 @@ pub(crate) fn finish_outcome<'w>(
                 mother_multi.extend_from_slice(mother_cb);
             }
         }
-        viterbi::decode_multi_with_erasures_into(
-            &rx.mother_multi,
-            nc,
-            &mut rx.vit,
-            &mut rx.info_multi,
-        );
+        {
+            let _tspan =
+                gs_prof::trace::span(gs_prof::trace::TracePoint::Stage(gs_prof::Stage::Viterbi));
+            viterbi::decode_multi_with_erasures_into(
+                &rx.mother_multi,
+                nc,
+                &mut rx.vit,
+                &mut rx.info_multi,
+            );
+        }
         let _prof = gs_prof::scope(gs_prof::Stage::Recover);
+        let _tspan = gs_prof::trace::span(gs_prof::trace::TracePoint::Stage(gs_prof::Stage::Crc));
         let info_len = rx.info_multi.len() / nc;
         let frame_len = cfg.payload_bits + 32;
         for cl in 0..nc {
@@ -543,6 +551,10 @@ pub(crate) fn finish_outcome<'w>(
             out.client_ok.push(ok);
         }
     } else {
+        // Per-client fallback: Viterbi/CRC run nested inside the chain,
+        // so the flight recorder sees one recover span per frame here.
+        let _tspan =
+            gs_prof::trace::span(gs_prof::trace::TracePoint::Stage(gs_prof::Stage::Recover));
         for cl in 0..nc {
             let FrameWorkspace { detected, payloads, rx, out, .. } = ws;
             let ok = receive_frame_flat_into(cfg, &detected[cl][..n_jobs], rx)

@@ -5,7 +5,7 @@
 use crate::{Stage, StageProfile};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 /// Deepest scope nesting tracked per thread. Deeper scopes still count
 /// invocations but stop re-attributing time (the enclosing scope absorbs
@@ -76,40 +76,7 @@ thread_local! {
     static LOCAL: Local = Local::register();
 }
 
-/// Raw tick counter: TSC on `x86_64`, monotonic nanoseconds elsewhere.
-/// Only deltas are meaningful; convert with [`ticks_per_sec`].
-#[inline]
-#[cfg(target_arch = "x86_64")]
-#[allow(unsafe_code)] // _rdtsc is a register read; no memory is touched.
-pub fn ticks() -> u64 {
-    unsafe { core::arch::x86_64::_rdtsc() }
-}
-
-/// Raw tick counter (monotonic nanoseconds since first use).
-#[inline]
-#[cfg(not(target_arch = "x86_64"))]
-pub fn ticks() -> u64 {
-    use std::time::Instant;
-    static BASE: OnceLock<Instant> = OnceLock::new();
-    BASE.get_or_init(Instant::now).elapsed().as_nanos() as u64
-}
-
-/// Measured tick rate (ticks per wall-clock second), calibrated once per
-/// process with a short spin against `Instant`. Used to render the cycle
-/// table in milliseconds and to compute coverage against a wall-clock
-/// envelope.
-pub fn ticks_per_sec() -> f64 {
-    static RATE: OnceLock<f64> = OnceLock::new();
-    *RATE.get_or_init(|| {
-        let start = std::time::Instant::now();
-        let t0 = ticks();
-        while start.elapsed() < std::time::Duration::from_millis(5) {
-            std::hint::spin_loop();
-        }
-        let dt = ticks().wrapping_sub(t0);
-        dt as f64 / start.elapsed().as_secs_f64()
-    })
-}
+pub use crate::clock::{ticks, ticks_per_sec};
 
 /// Live scope handle: attributes self-time to `stage` until dropped.
 #[must_use = "a profiling scope measures until dropped"]

@@ -41,7 +41,10 @@
 //! **always-compiled** [`hist`] module: zero-allocation log-bucketed
 //! latency histograms ([`hist::LogHistogram`]) that the streaming
 //! runtime's telemetry tier records into on the hot path and the
-//! `gs-telemetry` Prometheus endpoint merges at scrape time.
+//! `gs-telemetry` Prometheus endpoint merges at scrape time — and the
+//! [`trace`] module: the per-frame flight recorder (per-thread event
+//! rings, anomaly-triggered dumps, Chrome trace-event export) gated on
+//! the `trace` cargo feature with the same erasure discipline.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -201,6 +204,10 @@ impl StageProfile {
 }
 
 pub mod hist;
+pub mod trace;
+
+#[cfg(any(feature = "profile", feature = "trace"))]
+mod clock;
 
 #[cfg(feature = "profile")]
 mod enabled;

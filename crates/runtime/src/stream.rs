@@ -16,6 +16,7 @@ use gs_channel::MimoChannel;
 use gs_linalg::Matrix;
 use gs_phy::{FrameWorkspace, PhyConfig, UplinkOutcome};
 use gs_prof::hist::LogHistogram;
+use gs_prof::trace as gtrace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -158,6 +159,8 @@ struct SlotMeta {
     /// Admission wall stamp — the start of the submit→delivery latency the
     /// telemetry histograms record.
     submitted_at: Instant,
+    /// Global submission ordinal — the flight recorder's frame id.
+    frame_id: u64,
 }
 
 impl SlotMeta {
@@ -174,6 +177,7 @@ impl SlotMeta {
             missed_deadline: false,
             tier: DetectorTier::Sphere,
             submitted_at: Instant::now(),
+            frame_id: 0,
         }
     }
 }
@@ -390,6 +394,11 @@ impl Drop for StagePoisonOnPanic<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
             self.0.stage_panicked.store(true, Ordering::SeqCst);
+            // Black-box the death: record the fault against whatever
+            // frame this stage thread was working (ambient context), then
+            // snapshot the rings before the stream winds down.
+            gtrace::emit(gtrace::TracePoint::Fault);
+            gtrace::trigger(gtrace::Trigger::Fault, gtrace::context().frame);
         }
     }
 }
@@ -421,6 +430,8 @@ impl Shared {
     fn detect_portion(&self, shard: usize, slot_idx: usize, ws: &mut DetectorWorkspace) {
         let slot = &self.slots[slot_idx];
         {
+            // The shard worker set the frame context before dispatching.
+            let _tspan = gtrace::span(gtrace::TracePoint::Detect);
             let core = slot.core.read().unwrap_or_else(std::sync::PoisonError::into_inner);
             let mut portion = lock(&slot.portions[shard]);
             let portion = &mut *portion;
@@ -476,7 +487,7 @@ impl Shared {
     /// The plan stage for one frame, run on a planner thread.
     fn plan_frame(&self, slot_idx: usize, job: &Arc<dyn ShardedJob>) {
         let slot = &self.slots[slot_idx];
-        let (channel, cfg, snr_db, seed, deadline_key, tier) = {
+        let (channel, cfg, snr_db, seed, deadline_key, tier, frame_id, client) = {
             let meta = lock(&slot.meta);
             (
                 Arc::clone(meta.channel.as_ref().expect("slot submitted without a channel")),
@@ -485,8 +496,13 @@ impl Shared {
                 meta.seed,
                 meta.deadline_key,
                 meta.tier,
+                meta.frame_id,
+                meta.client,
             )
         };
+        // Ambient frame identity for the recorder: the phy plan scope and
+        // the pool's enqueue instants pick it up without plumbing.
+        gtrace::set_context(trace_ctx(frame_id, client, tier));
         {
             let mut core = slot.core.write().unwrap_or_else(std::sync::PoisonError::into_inner);
             let core = &mut *core;
@@ -526,9 +542,11 @@ impl Shared {
                 // remaining shards will never run), and `is_dead()` already
                 // reports the poisoning to submit/recv — nothing further
                 // to do but stop feeding a dead pool.
+                gtrace::clear_context();
                 return;
             }
         }
+        gtrace::clear_context();
     }
 
     /// The recover stage for one frame, run on the recovery thread:
@@ -539,17 +557,26 @@ impl Shared {
     fn recover_frame(&self, slot_idx: usize) {
         let slot = &self.slots[slot_idx];
         {
+            let (frame_id, client, tier) = {
+                let meta = lock(&slot.meta);
+                (meta.frame_id, meta.client, meta.tier)
+            };
+            gtrace::set_context(trace_ctx(frame_id, client, tier));
+        }
+        {
             let mut core = slot.core.write().unwrap_or_else(std::sync::PoisonError::into_inner);
             let core = &mut *core;
             core.stats = DetectorStats::default();
             core.ws.begin_detection_assembly();
             let _prof = gs_prof::scope(gs_prof::Stage::Scatter);
+            let _tspan = gtrace::span(gtrace::TracePoint::Stage(gs_prof::Stage::Scatter));
             for portion in &slot.portions {
                 let portion = lock(portion);
                 for (&idx, det) in portion.indices.iter().zip(portion.out.iter()) {
                     core.ws.absorb_detection(&mut core.stats, idx, det);
                 }
             }
+            drop(_tspan);
             drop(_prof);
             let cfg = PhyConfig { payload_bits: lock(&slot.meta).payload_bits, ..self.base_cfg };
             core.ws.finish_uplink(&cfg, core.stats);
@@ -578,6 +605,7 @@ impl Shared {
                 lane.next_deliver += 1;
             }
         } else {
+            gtrace::emit(gtrace::TracePoint::Park);
             let cell = &mut lane.parked[(seq % self.capacity as u64) as usize];
             // A hard assert, not a debug one: an occupied cell means a
             // sequencing bug is about to overwrite (lose) a completed
@@ -588,6 +616,7 @@ impl Shared {
             assert!(cell.is_none(), "parking ring cell already occupied (seq {seq})");
             *cell = Some(slot_idx);
         }
+        gtrace::clear_context();
     }
 
     /// Makes one frame observable: accounts its deadline **now** (a frame
@@ -597,7 +626,7 @@ impl Shared {
     fn deliver(&self, slot_idx: usize) {
         let _prof = gs_prof::scope(gs_prof::Stage::Delivery);
         let now = Instant::now();
-        let missed = {
+        let (missed, frame_id, client, tier) = {
             let mut meta = lock(&self.slots[slot_idx].meta);
             meta.missed_deadline = meta.deadline.is_some_and(|d| now > d);
             // Telemetry, recorded at the observability point the stats
@@ -612,10 +641,19 @@ impl Shared {
                 Some(d) => self.slack.record_duration(d.duration_since(now)),
                 None => {}
             }
-            meta.missed_deadline
+            (meta.missed_deadline, meta.frame_id, meta.client, meta.tier)
         };
+        // Explicit identity: the recovery thread's ambient context is the
+        // frame being recovered, which may differ when draining parked
+        // successors.
+        gtrace::emit_for(
+            gtrace::TracePoint::Deliver,
+            gtrace::EventKind::Instant,
+            trace_ctx(frame_id, client, tier),
+        );
         if missed {
             self.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            gtrace::trigger(gtrace::Trigger::DeadlineMiss, frame_id);
         }
         lock(&self.window).record(now, missed);
         lock(&self.done_q).push_back(slot_idx);
@@ -654,6 +692,17 @@ impl Shared {
         self.stats.tier_admissions[tier.index()].fetch_add(1, Ordering::Relaxed);
         self.stats.last_tier.store(tier as u8, Ordering::Relaxed);
         tier
+    }
+}
+
+/// Flight-recorder identity for a frame (shard filled in by whoever is
+/// shard-specific).
+fn trace_ctx(frame_id: u64, client: usize, tier: DetectorTier) -> gtrace::FrameCtx {
+    gtrace::FrameCtx {
+        frame: frame_id,
+        client: client as u32,
+        shard: gtrace::NO_SHARD,
+        tier: tier.index() as u8,
     }
 }
 
@@ -909,7 +958,23 @@ impl FrameStream {
         }
         let slot_idx = match lock(&self.shared.free).pop() {
             Some(idx) => idx,
-            None => return Err(TrySubmitError::Full(frame)),
+            None => {
+                // Loss-tolerant refusal is an anomaly worth a flight
+                // record: no frame id exists (nothing was admitted), so
+                // the event rides the no-frame "stream" track.
+                gtrace::emit_for(
+                    gtrace::TracePoint::Refuse,
+                    gtrace::EventKind::Instant,
+                    gtrace::FrameCtx {
+                        frame: gtrace::NO_FRAME,
+                        client: frame.client as u32,
+                        shard: gtrace::NO_SHARD,
+                        tier: gtrace::NO_TIER,
+                    },
+                );
+                gtrace::trigger(gtrace::Trigger::AdmissionRefusal, gtrace::NO_FRAME);
+                return Err(TrySubmitError::Full(frame));
+            }
         };
         self.install(slot_idx, frame);
         Ok(())
@@ -955,17 +1020,22 @@ impl FrameStream {
         let shared = &*self.shared;
         // One policy consultation per admission, before the frame enters
         // the plan queue, so the tier reflects pressure at admission time.
+        let prev_tier = shared.stats.last_tier.load(Ordering::Relaxed);
         let tier = shared.select_tier();
+        let client = frame.client;
         let client_seq = {
             let mut lanes = lock(&shared.lanes);
-            let lane = &mut lanes[frame.client];
+            let lane = &mut lanes[client];
             let seq = lane.next_submit;
             lane.next_submit += 1;
             seq
         };
+        // The global submission ordinal doubles as the flight recorder's
+        // frame id (the pre-increment value, so ids start at 0).
+        let frame_id = shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
         {
             let mut meta = lock(&shared.slots[slot_idx].meta);
-            meta.client = frame.client;
+            meta.client = client;
             meta.client_seq = client_seq;
             meta.snr_db = frame.snr_db;
             meta.seed = frame.seed;
@@ -976,8 +1046,15 @@ impl FrameStream {
             meta.missed_deadline = false;
             meta.tier = tier;
             meta.submitted_at = Instant::now();
+            meta.frame_id = frame_id;
         }
-        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let tctx = trace_ctx(frame_id, client, tier);
+        gtrace::emit_for(gtrace::TracePoint::Submit, gtrace::EventKind::Instant, tctx);
+        gtrace::emit_for(gtrace::TracePoint::Admit, gtrace::EventKind::Instant, tctx);
+        if tier as u8 != prev_tier {
+            gtrace::emit_for(gtrace::TracePoint::TierSwitch, gtrace::EventKind::Instant, tctx);
+            gtrace::trigger(gtrace::Trigger::TierSwitch, frame_id);
+        }
         lock(&shared.plan_q).push_back(slot_idx);
         shared.plan_cv.notify_one();
     }

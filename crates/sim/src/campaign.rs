@@ -158,6 +158,11 @@ pub struct ScenarioOutcome {
     pub checksum: u64,
     /// Invariant violations (empty = scenario passed).
     pub violations: Vec<String>,
+    /// Flight-recorder repro recipe, attached only when the scenario
+    /// violated an invariant (so passing campaign artifacts stay
+    /// byte-identical across runs). Mentions the retained trace dump when
+    /// the workspace was built with `--features trace`.
+    pub flight_record: Option<String>,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -606,6 +611,36 @@ fn run_scenario_cached(
         }
     }
 
+    // An invariant violation is a flight-recorder anomaly: fire the
+    // trigger (always counted; captures a ring dump when the workspace is
+    // built with `--features trace` and the recorder is armed) and attach
+    // a repro recipe to the failing outcome. Green scenarios attach
+    // nothing, so the passing campaign artifact stays byte-identical.
+    let flight_record = if violations.is_empty() {
+        None
+    } else {
+        use gs_prof::trace as gtrace;
+        let captured = gtrace::trigger(gtrace::Trigger::Violation, gtrace::NO_FRAME);
+        let mut recipe = format!(
+            "repro: run_scenario_by_index(index {index}, seed {}) [{}]",
+            scenario.seed,
+            scenario.descriptor()
+        );
+        if captured {
+            if let Some(dump) = gtrace::recent_dumps().last() {
+                let _ = write!(
+                    recipe,
+                    "; trace dump seq {} retained ({} events, {} frame timelines) — \
+                     serve /trace or /trace/latest to inspect",
+                    dump.seq,
+                    dump.events.len(),
+                    dump.timelines.len()
+                );
+            }
+        }
+        Some(recipe)
+    };
+
     ScenarioOutcome {
         index,
         seed: scenario.seed,
@@ -622,6 +657,7 @@ fn run_scenario_cached(
         fault_fired,
         checksum,
         violations,
+        flight_record,
     }
 }
 
@@ -729,7 +765,17 @@ impl CampaignReport {
                 let sep = if j == 0 { "" } else { ", " };
                 let _ = write!(s, "{sep}\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
             }
-            let _ = writeln!(s, "]}}{comma}");
+            let _ = write!(s, "]");
+            // Only failing scenarios carry a flight record — the field is
+            // absent (not null) on the deterministic passing path.
+            if let Some(fr) = &o.flight_record {
+                let _ = write!(
+                    s,
+                    ", \"flight_record\": \"{}\"",
+                    fr.replace('\\', "\\\\").replace('"', "\\\"")
+                );
+            }
+            let _ = writeln!(s, "}}{comma}");
         }
         let _ = writeln!(s, "  ]");
         let _ = writeln!(s, "}}");

@@ -18,8 +18,12 @@
 //!   histograms ([`gs_prof::hist`]) the hot path records into. Built with
 //!   `--features profile`, the per-stage cycle table rides along as
 //!   `gs_stage_*_total{stage=...}`.
-//! - [`MetricsServer`] — one accept thread serving `GET /metrics`, port-0
-//!   friendly, joined on drop. [`scrape`] is the matching client.
+//! - [`MetricsServer`] — one accept thread serving `GET /metrics`, the
+//!   live dashboard at `/` ([`DASHBOARD_HTML`]), the flight-recorder
+//!   dump JSON at `/trace` ([`render_trace_dumps`]), and the newest
+//!   dump's Chrome trace-event export at `/trace/latest`; port-0
+//!   friendly, joined on drop. [`scrape`] is the matching client, with
+//!   an overall response deadline ([`scrape_deadline`]).
 //! - [`parse_exposition`] / [`lint_exposition`] /
 //!   [`assert_counters_monotone`] — the read side: a small parser the e2e
 //!   tests use to compare scraped values against [`gs_runtime::RuntimeStats`]
@@ -35,13 +39,18 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dashboard;
 mod expo;
 mod render;
 mod server;
 
+pub use dashboard::DASHBOARD_HTML;
 pub use expo::{assert_counters_monotone, lint_exposition, parse_exposition, Exposition, Sample};
-pub use render::{render_runtime_stats, QUANTILES};
-pub use server::{scrape, MetricsServer};
+pub use render::{
+    render_runtime_stats, render_runtime_stats_capped, render_trace_dumps,
+    DEFAULT_MAX_CLIENT_LANES, QUANTILES,
+};
+pub use server::{scrape, scrape_deadline, MetricsServer, MAX_CLIENT_LANES_ENV};
 
 #[cfg(test)]
 mod tests {

@@ -11,11 +11,17 @@
 
 use geosphere_core::DetectorTier;
 use gs_prof::hist::HistogramSnapshot;
+use gs_prof::trace;
 use gs_runtime::RuntimeStats;
 use std::fmt::Write as _;
 
 /// Quantiles exported for every histogram-backed summary family.
 pub const QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// Default cap on per-client latency summary lanes. Clients beyond the
+/// cap are merged into one `client="other"` lane so a base station with
+/// hundreds of attached clients cannot blow up scrape cardinality.
+pub const DEFAULT_MAX_CLIENT_LANES: usize = 16;
 
 const NS_PER_SEC: f64 = 1e9;
 
@@ -79,7 +85,19 @@ fn summary_single(out: &mut String, name: &str, hist: &HistogramSnapshot) {
 ///
 /// Every metric name is emitted exactly once with a `# TYPE` header, so
 /// the output always passes [`lint_exposition`](crate::lint_exposition).
+///
+/// Per-client latency lanes are capped at [`DEFAULT_MAX_CLIENT_LANES`];
+/// use [`render_runtime_stats_capped`] to pick a different cap.
 pub fn render_runtime_stats(stats: &RuntimeStats) -> String {
+    render_runtime_stats_capped(stats, DEFAULT_MAX_CLIENT_LANES)
+}
+
+/// [`render_runtime_stats`] with an explicit cap on per-client latency
+/// lanes: clients `0..cap` keep their own `client="<i>"` series (stable
+/// labels — a client's lane never changes identity as others join), and
+/// everything at index `cap` and beyond is merged into a single
+/// `client="other"` summary. A cap of 0 folds every client into `other`.
+pub fn render_runtime_stats_capped(stats: &RuntimeStats, max_client_lanes: usize) -> String {
     let mut out = String::with_capacity(4096);
 
     // Lifetime pipeline counters, in stage order (already clamped
@@ -130,8 +148,19 @@ pub fn render_runtime_stats(stats: &RuntimeStats) -> String {
     }
 
     // Latency summaries (nanosecond histograms exported in seconds).
-    let per_client: Vec<(String, &HistogramSnapshot)> =
-        stats.latency_per_client.iter().enumerate().map(|(i, h)| (i.to_string(), h)).collect();
+    // Per-client lanes are capped: the tail merges into `client="other"`.
+    let mut other = HistogramSnapshot::empty();
+    let mut per_client: Vec<(String, &HistogramSnapshot)> = Vec::new();
+    for (i, h) in stats.latency_per_client.iter().enumerate() {
+        if i < max_client_lanes {
+            per_client.push((i.to_string(), h));
+        } else {
+            other.merge(h);
+        }
+    }
+    if stats.latency_per_client.len() > max_client_lanes {
+        per_client.push((String::from("other"), &other));
+    }
     summary(&mut out, "gs_submit_delivery_latency_seconds", "client", &per_client);
 
     let per_shard: Vec<(String, &HistogramSnapshot)> =
@@ -165,5 +194,120 @@ pub fn render_runtime_stats(stats: &RuntimeStats) -> String {
         }
     }
 
+    // Flight-recorder anomaly families. Trigger counts are maintained even
+    // when the recorder is compiled out, so these are always present (the
+    // dump gauge just stays 0 without `--features trace`).
+    type_line(&mut out, "gs_trace_triggers_total", "counter");
+    let triggers = trace::trigger_counts();
+    for t in trace::Trigger::ALL {
+        sample1(
+            &mut out,
+            "gs_trace_triggers_total",
+            "trigger",
+            t.name(),
+            triggers[t.index()] as f64,
+        );
+    }
+    type_line(&mut out, "gs_trace_dumps", "gauge");
+    sample(&mut out, "gs_trace_dumps", trace::dump_count() as f64);
+    type_line(&mut out, "gs_trace_recording_enabled", "gauge");
+    sample(&mut out, "gs_trace_recording_enabled", trace::recording_enabled() as u64 as f64);
+
+    out
+}
+
+/// Sentinel-aware integer: [`trace::NO_SHARD`]-style "none" markers render
+/// as `-1` so the JSON consumer gets one honest convention instead of
+/// magic max values.
+fn opt_int(raw: u64, none: u64) -> i64 {
+    if raw == none {
+        -1
+    } else {
+        raw as i64
+    }
+}
+
+/// Renders the retained flight-recorder dumps as the `/trace` JSON
+/// payload: trigger counters, recorder state, and — per dump — the
+/// assembled per-frame timelines with span/instant offsets in
+/// microseconds relative to each dump's earliest event. Hand-rolled like
+/// the rest of the crate (no serde in an offline workspace); every string
+/// emitted is a static identifier, so no escaping is needed.
+pub fn render_trace_dumps(dumps: &[trace::TraceDump]) -> String {
+    let mut out = String::with_capacity(1024 + dumps.len() * 4096);
+    out.push_str("{\"recording_enabled\":");
+    let _ = write!(out, "{}", trace::recording_enabled());
+    let _ = write!(out, ",\"armed\":{}", trace::armed());
+    out.push_str(",\"triggers\":{");
+    let triggers = trace::trigger_counts();
+    for (i, t) in trace::Trigger::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", t.name(), triggers[t.index()]);
+    }
+    out.push_str("},\"dumps\":[");
+    for (di, dump) in dumps.iter().enumerate() {
+        if di > 0 {
+            out.push(',');
+        }
+        let tpu = if dump.ticks_per_us > 0.0 { dump.ticks_per_us } else { 1.0 };
+        let t0 = dump.events.iter().map(|e| e.tsc).min().unwrap_or(0);
+        let us = |t: u64| t.saturating_sub(t0) as f64 / tpu;
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"trigger\":\"{}\",\"frame\":{},\"unix_ms\":{},\"event_count\":{},\"timelines\":[",
+            dump.seq,
+            dump.trigger.name(),
+            opt_int(dump.frame, trace::NO_FRAME),
+            dump.unix_ms,
+            dump.events.len()
+        );
+        for (ti, tl) in dump.timelines.iter().enumerate() {
+            if ti > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"frame\":{},\"client\":{},\"tier\":{},\"begin_us\":{:.3},\"duration_us\":{:.3},\"spans\":[",
+                tl.frame,
+                opt_int(tl.client as u64, trace::NO_CLIENT as u64),
+                opt_int(tl.tier as u64, trace::NO_TIER as u64),
+                us(tl.begin),
+                us(tl.end) - us(tl.begin)
+            );
+            for (si, s) in tl.spans.iter().enumerate() {
+                if si > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"point\":\"{}\",\"thread\":{},\"shard\":{},\"start_us\":{:.3},\"dur_us\":{:.3}}}",
+                    s.point.name(),
+                    s.thread,
+                    opt_int(s.shard as u64, trace::NO_SHARD as u64),
+                    us(s.begin),
+                    us(s.end) - us(s.begin)
+                );
+            }
+            out.push_str("],\"instants\":[");
+            for (ii, ev) in tl.instants.iter().enumerate() {
+                if ii > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"point\":\"{}\",\"thread\":{},\"shard\":{},\"at_us\":{:.3}}}",
+                    ev.point.name(),
+                    ev.thread,
+                    opt_int(ev.shard as u64, trace::NO_SHARD as u64),
+                    us(ev.tsc)
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
     out
 }

@@ -1,29 +1,49 @@
-//! The `/metrics` endpoint: a minimal HTTP/1.1 server over std
+//! The ops endpoint: a minimal HTTP/1.1 server over std
 //! [`TcpListener`] — no async runtime, no HTTP crate, no new
-//! dependencies. One accept thread renders a fresh [`RuntimeStats`]
-//! snapshot per request; scrapes never touch the frame hot path beyond
-//! the relaxed atomic reads a snapshot performs.
+//! dependencies. One accept thread serves `/metrics` (Prometheus text),
+//! `/trace` (flight-recorder dump JSON), `/trace/latest` (Chrome
+//! trace-event export of the newest dump), and `/` (the live dashboard).
+//! Every response renders from a fresh snapshot per request; scrapes
+//! never touch the frame hot path beyond relaxed atomic reads.
 
-use crate::render::render_runtime_stats;
+use crate::dashboard::DASHBOARD_HTML;
+use crate::render::{render_runtime_stats_capped, render_trace_dumps, DEFAULT_MAX_CLIENT_LANES};
+use gs_prof::trace;
 use gs_runtime::FrameStream;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-connection I/O deadline: a stuck scraper must not wedge the
 /// single-threaded accept loop.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
-/// A running Prometheus scrape endpoint bound to a local TCP port.
+/// Overall deadline for one [`scrape`]: covers connect plus the whole
+/// response, so a byte-at-a-time server cannot keep the client pinned by
+/// resetting the per-read timeout forever.
+const SCRAPE_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Environment variable overriding the per-client latency-lane cap
+/// ([`DEFAULT_MAX_CLIENT_LANES`]) for a spawned server.
+pub const MAX_CLIENT_LANES_ENV: &str = "GS_METRICS_MAX_CLIENT_LANES";
+
+/// A running ops endpoint bound to a local TCP port.
 ///
 /// Serves `GET /metrics` (text format 0.0.4) rendered from the stream's
-/// [`stats`](FrameStream::stats) snapshot at request time; any other path
-/// gets `404`, any other method `405`. The server owns one accept thread
-/// and shuts down on [`Drop`] (or explicit [`MetricsServer::shutdown`]),
-/// joining the thread so no socket outlives the value.
+/// [`stats`](FrameStream::stats) snapshot at request time, `GET /trace`
+/// (retained flight-recorder dumps as JSON), `GET /trace/latest` (the
+/// newest dump as Chrome trace-event JSON, Perfetto-loadable), and
+/// `GET /` (the live dashboard). Any other path gets `404`, any other
+/// method `405`. The server owns one accept thread and shuts down on
+/// [`Drop`] (or explicit [`MetricsServer::shutdown`]), joining the
+/// thread so no socket outlives the value.
+///
+/// The per-client latency-lane cap defaults to
+/// [`DEFAULT_MAX_CLIENT_LANES`], overridable via the
+/// [`MAX_CLIENT_LANES_ENV`] environment variable (read once at spawn).
 #[derive(Debug)]
 pub struct MetricsServer {
     addr: SocketAddr,
@@ -39,6 +59,10 @@ impl MetricsServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        let lanes = std::env::var(MAX_CLIENT_LANES_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_MAX_CLIENT_LANES);
         let handle = std::thread::Builder::new().name("gs-metrics".into()).spawn(move || {
             for conn in listener.incoming() {
                 if stop_flag.load(Ordering::Acquire) {
@@ -46,7 +70,7 @@ impl MetricsServer {
                 }
                 let Ok(conn) = conn else { continue };
                 // Serve inline: scrapes are rare, tiny, and deadline-bounded.
-                let _ = serve_one(conn, &stream);
+                let _ = serve_one(conn, &stream, lanes);
             }
         })?;
         Ok(MetricsServer { addr, stop, handle: Some(handle) })
@@ -77,7 +101,7 @@ impl Drop for MetricsServer {
 }
 
 /// Handles one connection: parse the request line, answer, close.
-fn serve_one(conn: TcpStream, stream: &Arc<FrameStream>) -> std::io::Result<()> {
+fn serve_one(conn: TcpStream, stream: &Arc<FrameStream>, lanes: usize) -> std::io::Result<()> {
     conn.set_read_timeout(Some(IO_TIMEOUT))?;
     conn.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut reader = BufReader::new(conn);
@@ -92,13 +116,25 @@ fn serve_one(conn: TcpStream, stream: &Arc<FrameStream>) -> std::io::Result<()> 
 
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, body) = match (method, path) {
-        ("GET", "/metrics") => ("200 OK", render_runtime_stats(&stream.stats())),
-        ("GET", _) => ("404 Not Found", String::from("not found\n")),
-        _ => ("405 Method Not Allowed", String::from("method not allowed\n")),
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            render_runtime_stats_capped(&stream.stats(), lanes),
+        ),
+        ("GET", "/") | ("GET", "/index.html") => {
+            ("200 OK", "text/html; charset=utf-8", DASHBOARD_HTML.to_string())
+        }
+        ("GET", "/trace") => {
+            ("200 OK", "application/json", render_trace_dumps(&trace::recent_dumps()))
+        }
+        ("GET", "/trace/latest") => match trace::recent_dumps().last() {
+            Some(dump) => ("200 OK", "application/json", trace::chrome_trace_json(dump)),
+            None => ("404 Not Found", "text/plain", String::from("no trace dumps captured\n")),
+        },
+        ("GET", _) => ("404 Not Found", "text/plain", String::from("not found\n")),
+        _ => ("405 Method Not Allowed", "text/plain", String::from("method not allowed\n")),
     };
-    let content_type =
-        if status.starts_with("200") { "text/plain; version=0.0.4" } else { "text/plain" };
     write!(
         conn,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -113,14 +149,61 @@ fn serve_one(conn: TcpStream, stream: &Arc<FrameStream>) -> std::io::Result<()> 
 /// HTTP/1.1 on `addr`) and returns the response body. Errors on non-200
 /// statuses. This is the scrape side of the e2e tests and the CI smoke
 /// job — a plain [`TcpStream`], mirroring the server's no-deps stance.
+///
+/// The whole request — connect, write, and reading the full response —
+/// is bounded by a 5 s deadline (see [`scrape_deadline`] for an explicit
+/// budget): a per-read timeout alone would let a byte-at-a-time peer
+/// hold the client forever by resetting the clock on every byte.
 pub fn scrape(addr: SocketAddr, path: &str) -> std::io::Result<String> {
-    let mut conn = TcpStream::connect(addr)?;
-    conn.set_read_timeout(Some(IO_TIMEOUT))?;
-    conn.set_write_timeout(Some(IO_TIMEOUT))?;
+    scrape_deadline(addr, path, SCRAPE_DEADLINE)
+}
+
+/// [`scrape`] with an explicit overall deadline.
+pub fn scrape_deadline(
+    addr: SocketAddr,
+    path: &str,
+    deadline: Duration,
+) -> std::io::Result<String> {
+    let start = Instant::now();
+    let timed_out = |what: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            format!("scrape of {path} timed out ({what})"),
+        )
+    };
+    let remaining = |start: Instant| {
+        let left = deadline.saturating_sub(start.elapsed());
+        if left.is_zero() {
+            None
+        } else {
+            Some(left)
+        }
+    };
+    let mut conn = TcpStream::connect_timeout(&addr, deadline)?;
+    conn.set_write_timeout(remaining(start).ok_or_else(|| timed_out("connect"))?.into())?;
     write!(conn, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
     conn.flush()?;
-    let mut response = String::new();
-    conn.read_to_string(&mut response)?;
+    // Read to EOF under the *overall* deadline: each read's timeout is
+    // whatever budget is left, not a fresh per-read allowance.
+    let mut response = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        let Some(left) = remaining(start) else { return Err(timed_out("read")) };
+        conn.set_read_timeout(Some(left))?;
+        match conn.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => response.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(timed_out("read"))
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let response = String::from_utf8(response)
+        .map_err(|_| std::io::Error::other("non-UTF-8 response body"))?;
     let (head, body) = response
         .split_once("\r\n\r\n")
         .ok_or_else(|| std::io::Error::other("no header/body separator in response"))?;

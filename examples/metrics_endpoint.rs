@@ -9,9 +9,13 @@
 //! The bounded run (what CI's metrics smoke job executes) drives two
 //! traffic bursts, self-scrapes the endpoint between them, lints the
 //! exposition, checks counters are monotone across the scrapes, and
-//! prints the headline series. With `--serve` it leaves the endpoint up
+//! prints the headline series. A third, deadline-hopeless burst then fires
+//! the flight recorder's anomaly triggers, and the demo fetches the live
+//! dashboard (`/`) and dump summary (`/trace`); set `GS_TRACE_OUT=path`
+//! to save a trace JSON sample (the Chrome/Perfetto export when built
+//! with `--features trace`). With `--serve` it leaves the endpoint up
 //! on `GS_METRICS_ADDR` (default `127.0.0.1:9184`) for a real Prometheus
-//! to scrape: `curl http://127.0.0.1:9184/metrics`.
+//! to scrape — and a browser to watch: `http://127.0.0.1:9184/`.
 
 use geosphere::channel::RayleighChannel;
 use geosphere::core::geosphere_decoder;
@@ -86,6 +90,42 @@ fn main() {
         "scrape disagrees with RuntimeStats (stream idle, so counts are stable)"
     );
     println!("metrics endpoint agrees with RuntimeStats ({} frames)", stats.submitted);
+
+    // Flight recorder: a hopeless-deadline burst guarantees deadline-miss
+    // anomalies, so (when built with `--features trace`) a dump is retained
+    // and the dashboard's anomaly panel has something to show.
+    use geosphere::prof::trace as gtrace;
+    gtrace::set_min_dump_gap_ms(0);
+    let miss_params =
+        PoissonParams { deadline: Some(Duration::from_nanos(1)), seed: 2015, ..params.clone() };
+    let report = run_poisson_uplink(&stream, &model, &miss_params);
+    println!("anomaly burst: {} deadline misses triggered", report.deadline_misses);
+
+    let dash = scrape(server.addr(), "/").expect("scrape /");
+    assert!(dash.contains("ops cockpit"), "dashboard page served at /");
+    let trace_json = scrape(server.addr(), "/trace").expect("scrape /trace");
+    println!(
+        "dashboard: {} bytes at /, dump summary: {} bytes at /trace",
+        dash.len(),
+        trace_json.len()
+    );
+    println!(
+        "flight recorder compiled in: {}, retained dumps: {}",
+        gtrace::recording_enabled(),
+        gtrace::dump_count()
+    );
+    // CI's metrics smoke job sets GS_TRACE_OUT and uploads the file: the
+    // Chrome export of the freshest dump when the recorder is live, else
+    // the (dump-free) summary so the artifact is always well-formed JSON.
+    if let Ok(out) = std::env::var("GS_TRACE_OUT") {
+        let payload = if gtrace::dump_count() > 0 {
+            scrape(server.addr(), "/trace/latest").expect("scrape /trace/latest")
+        } else {
+            trace_json
+        };
+        std::fs::write(&out, &payload).expect("write GS_TRACE_OUT");
+        println!("wrote {} bytes of trace JSON to {out}", payload.len());
+    }
 
     if serve_forever {
         println!("--serve: endpoint stays up; ctrl-c to exit");

@@ -338,6 +338,57 @@ fn assert_histogram_recording_allocation_free() {
     assert_eq!(hist.count(), 10_002);
 }
 
+/// Flight-recorder emission — the per-thread event ring behind the
+/// runtime's submit/admit/enqueue/pop/deliver instants and the stage
+/// spans — must not touch the allocator once the thread's ring is
+/// registered (registration is the one warmup allocation). Anomaly dump
+/// capture allocates, but that is a rate-limited cold path and stays
+/// outside the armed region. The loop wraps the ring several times, so
+/// steady-state wraparound is measured, not just the first lap. Without
+/// `--features trace` the same calls erase to stubs and trivially pass.
+fn assert_trace_recording_allocation_free() {
+    use gs_prof::trace as gtrace;
+    use gs_prof::Stage;
+
+    // Warmup: registers this thread's ring and touches the context slot.
+    gtrace::set_context(gtrace::FrameCtx { frame: 1, client: 0, shard: 0, tier: 2 });
+    gtrace::emit(gtrace::TracePoint::Submit);
+    drop(gtrace::span(gtrace::TracePoint::Detect));
+    gtrace::clear_context();
+
+    let rounds = (gtrace::RING_CAP * 3) as u64;
+    let (delta, ()) = allocations_during(|| {
+        for k in 0..rounds {
+            gtrace::set_context(gtrace::FrameCtx {
+                frame: k,
+                client: (k % 4) as u32,
+                shard: (k % 8) as u16,
+                tier: 0,
+            });
+            gtrace::emit(gtrace::TracePoint::Submit);
+            gtrace::emit_for(
+                gtrace::TracePoint::Deliver,
+                gtrace::EventKind::Instant,
+                gtrace::context(),
+            );
+            drop(gtrace::span(gtrace::TracePoint::Stage(Stage::Plan)));
+            gtrace::clear_context();
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "flight-recorder emission allocated {delta} times across {rounds} warmed frames"
+    );
+    #[cfg(feature = "trace")]
+    {
+        assert!(gtrace::recording_enabled());
+        assert!(
+            !gtrace::snapshot_events().is_empty(),
+            "recording is compiled in but the measured loop recorded nothing"
+        );
+    }
+}
+
 #[test]
 fn detection_hot_path_is_allocation_free_after_warmup() {
     assert_detect_with_qr_allocation_free();
@@ -349,4 +400,6 @@ fn detection_hot_path_is_allocation_free_after_warmup() {
     assert_soft_frame_chain_allocation_free();
     // Telemetry tier: histogram recording shares the hot path's contract.
     assert_histogram_recording_allocation_free();
+    // Flight recorder: event emission shares it too.
+    assert_trace_recording_allocation_free();
 }

@@ -11,8 +11,8 @@ use geosphere::phy::PhyConfig;
 use geosphere::runtime::{FrameStream, StreamConfig};
 use geosphere::sim::{run_poisson_uplink, PoissonParams};
 use geosphere::telemetry::{
-    assert_counters_monotone, lint_exposition, render_runtime_stats, scrape, MetricsServer,
-    QUANTILES,
+    assert_counters_monotone, lint_exposition, render_runtime_stats, render_runtime_stats_capped,
+    scrape, scrape_deadline, MetricsServer, QUANTILES,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -131,4 +131,67 @@ fn scraped_metrics_match_runtime_stats_exactly() {
     server.shutdown();
     server.shutdown();
     assert!(scrape(server.addr(), "/metrics").is_err(), "endpoint is down after shutdown");
+}
+
+/// Capping per-client latency lanes keeps the first N clients as their own
+/// series and folds the tail into a single `client="other"` lane without
+/// losing any samples.
+#[test]
+fn client_lanes_past_the_cap_fold_into_other() {
+    let cfg = PhyConfig { payload_bits: 512, ..PhyConfig::new(Constellation::Qam16) };
+    let stream = Arc::new(FrameStream::new(cfg, geosphere_decoder(), StreamConfig::new(CLIENTS)));
+    let model = RayleighChannel::new(4, 2);
+    let params = PoissonParams {
+        clients: CLIENTS,
+        frames_per_client: FRAMES_PER_CLIENT,
+        rate_hz: f64::INFINITY,
+        snr_db: 24.0,
+        deadline: None,
+        seed: 915,
+    };
+    run_poisson_uplink(&stream, &model, &params);
+    let stats = stream.stats();
+    const _: () = assert!(CLIENTS >= 3, "test needs a tail to fold past a cap of 2");
+
+    fn count_in(expo: &geosphere::telemetry::Exposition, label: &str) -> Option<f64> {
+        expo.value("gs_submit_delivery_latency_seconds_count", &[("client", label)])
+    }
+    let capped = lint_exposition(&render_runtime_stats_capped(&stats, 2)).expect("capped lints");
+    assert_eq!(count_in(&capped, "0"), Some(stats.latency_per_client[0].count() as f64));
+    assert_eq!(count_in(&capped, "1"), Some(stats.latency_per_client[1].count() as f64));
+    assert_eq!(count_in(&capped, "2"), None, "client 2 must have folded into the overflow lane");
+    let tail: u64 = stats.latency_per_client[2..].iter().map(|h| h.count()).sum();
+    assert_eq!(count_in(&capped, "other"), Some(tail as f64), "overflow lane keeps every sample");
+
+    // A cap at or above the client count changes nothing: every client
+    // keeps its own lane and no overflow lane appears.
+    let uncapped = lint_exposition(&render_runtime_stats_capped(&stats, CLIENTS)).expect("lints");
+    assert_eq!(
+        uncapped.value("gs_submit_delivery_latency_seconds_count", &[("client", "other")]),
+        None
+    );
+    assert_eq!(count_in(&uncapped, "2"), Some(stats.latency_per_client[2].count() as f64));
+    let default = lint_exposition(&render_runtime_stats(&stats)).expect("default render lints");
+    assert_eq!(
+        default.value("gs_submit_delivery_latency_seconds_count", &[("client", "other")]),
+        None,
+        "default cap must not fold a {CLIENTS}-client stream"
+    );
+}
+
+/// A scrape against a peer that accepts the connection but never responds
+/// must give up at the caller's deadline instead of hanging.
+#[test]
+fn scrape_gives_up_at_its_deadline_against_a_stalled_peer() {
+    // A bound-but-never-accepted listener: the kernel completes the TCP
+    // handshake, the request lands in a buffer, and no byte ever comes
+    // back — exactly the stall the deadline exists for.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let start = std::time::Instant::now();
+    let err = scrape_deadline(addr, "/metrics", Duration::from_millis(250))
+        .expect_err("stalled peer must not yield a body");
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "unexpected error: {err}");
+    assert!(start.elapsed() < Duration::from_secs(3), "deadline must bound the wait");
+    drop(listener);
 }
